@@ -1,0 +1,55 @@
+"""Benchmark + regeneration of Figure 10 (energy/area vs threshold).
+
+Times one full evaluation point (map + simulate + cost accounting) and
+archives the four-suite sweep with per-byte energy, total area, and
+bit-vector waste -- the paper's headline "up to 76% energy / 58% area
+reduction" experiment.
+"""
+
+import pytest
+
+from repro.compiler.mapping import map_network
+from repro.experiments.fig10 import format_fig10, run_fig10
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.runner import emit_suite, prep_rules
+from repro.hardware.cost import area_of_mapping, energy_of_run
+from repro.hardware.simulator import NetworkSimulator
+from repro.workloads.inputs import stream_for_style
+from repro.workloads.synth import snort_like
+
+from conftest import save_report
+
+
+@pytest.fixture(scope="module")
+def snort_network():
+    return emit_suite(prep_rules(snort_like(total=100)), unfold_threshold=10)
+
+
+def test_map_and_simulate_speed(benchmark, snort_network):
+    data = stream_for_style("network", 1024, seed=2)
+
+    def run():
+        mapping = map_network(snort_network)
+        sim = NetworkSimulator(snort_network)
+        sim.run(data)
+        return energy_of_run(sim.stats, mapping), area_of_mapping(mapping)
+
+    energy, area = benchmark(run)
+    assert energy.nj_per_byte > 0
+    assert area.total_mm2 > 0
+
+
+def test_regenerate_fig10(benchmark):
+    def run():
+        fig9 = run_fig9(scale=0.2)
+        return run_fig10(scale=0.2, stream_len=2048, prepped=fig9.prepped)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("fig10", format_fig10(result))
+    # the paper's headline shape
+    assert result.energy_reduction("Snort") > 0.4
+    assert result.energy_reduction("Suricata") > 0.4
+    assert result.area_reduction("Snort") > 0.2
+    # threshold-invariant match results
+    for points in result.series.values():
+        assert len({p.reports for p in points}) == 1

@@ -1,0 +1,47 @@
+"""Benchmark + regeneration of Figure 3 (exact vs hybrid runtime).
+
+Times the exact and hybrid analyses head-to-head on the hard
+``Sigma*(~s1 s1{n} + ~s2 s2{n})`` family with overlapping classes --
+the family behind the paper's above-diagonal outliers -- and archives
+the scatter summary over the IDS suites.
+"""
+
+import pytest
+
+from repro.analysis.hybrid import analyze_pattern
+from repro.analysis.result import Method
+from repro.experiments.fig3 import (
+    format_fig3,
+    run_fig3,
+    run_fig3_family,
+)
+
+from conftest import save_report
+
+FAMILY_N = 300
+FAMILY = rf".*([^a-m][a-m]{{{FAMILY_N}}}|[^g-z][g-z]{{{FAMILY_N}}})"
+
+
+def test_exact_on_family(benchmark):
+    result = benchmark(analyze_pattern, FAMILY, method=Method.EXACT)
+    assert not result.ambiguous
+
+
+def test_hybrid_on_family(benchmark):
+    result = benchmark(analyze_pattern, FAMILY, method=Method.HYBRID)
+    assert not result.ambiguous
+
+
+def test_regenerate_fig3(benchmark):
+    def run():
+        family = run_fig3_family(bounds=(50, 100, 200, 400))
+        suites = run_fig3(scale=0.15)
+        family.points.extend(suites.points)
+        return family
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("fig3", format_fig3(result))
+    # the hybrid wins grow with the bound on the hard family
+    family_points = [p for p in result.points if p.suite == "family"]
+    speedups = [p.speedup for p in family_points]
+    assert speedups[-1] > speedups[0] > 1

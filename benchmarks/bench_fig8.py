@@ -1,0 +1,44 @@
+"""Benchmark + regeneration of Figure 8 (module vs unfolding sweeps).
+
+Times the compile+simulate round for the module and unfolded variants
+of the micro-benchmark regexes and archives the full static sweep
+(energy and area versus the repetition bound n, both sub-figure
+pairs).
+"""
+
+import pytest
+
+from repro.compiler.pipeline import compile_pattern
+from repro.experiments.fig8 import format_fig8, run_fig8, validate_point
+from repro.hardware.simulator import NetworkSimulator
+
+from conftest import save_report
+
+N = 512
+
+
+@pytest.mark.parametrize("threshold", [0, float("inf")], ids=["module", "unfold"])
+def test_compile_and_simulate(benchmark, threshold):
+    data = b"a" * 1024
+
+    def run():
+        compiled = compile_pattern(f"^a{{{N}}}", unfold_threshold=threshold)
+        sim = NetworkSimulator(compiled.network)
+        sim.run(data)
+        return sim.stats.cycles
+
+    assert benchmark(run) == len(data)
+
+
+def test_regenerate_fig8(benchmark):
+    result = benchmark.pedantic(run_fig8, rounds=1, iterations=1)
+    save_report("fig8", format_fig8(result))
+    assert result.counter_series[-1].energy_ratio > 100
+
+
+def test_dynamic_cross_check(benchmark):
+    point = benchmark.pedantic(
+        validate_point, args=(600,), kwargs={"ambiguous": False}, rounds=1, iterations=1
+    )
+    assert point.reports_agree
+    assert point.module_nj_per_byte < point.unfold_nj_per_byte

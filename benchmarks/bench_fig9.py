@@ -1,0 +1,39 @@
+"""Benchmark + regeneration of Figure 9 (MNRL nodes vs threshold).
+
+Times whole-suite emission at a threshold (analysis amortized away, as
+in a real compiler server) and archives the node-count sweep for all
+four application suites.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.fig9 import format_fig9, run_fig9
+from repro.experiments.runner import emit_suite, prep_rules
+from repro.workloads.synth import snort_like
+
+from conftest import save_report
+
+
+@pytest.fixture(scope="module")
+def snort_prepped():
+    return prep_rules(snort_like(total=120))
+
+
+@pytest.mark.parametrize("threshold", [5, 100, math.inf], ids=["k5", "k100", "all"])
+def test_emit_speed(benchmark, snort_prepped, threshold):
+    network = benchmark(emit_suite, snort_prepped, threshold)
+    assert network.node_count() > 0
+
+
+def test_regenerate_fig9(benchmark):
+    result = benchmark.pedantic(
+        run_fig9, kwargs={"scale": 0.2}, rounds=1, iterations=1
+    )
+    save_report("fig9", format_fig9(result))
+    # monotone node counts, large-bound suites reduce most
+    for suite, points in result.series.items():
+        nodes = [p.nodes for p in points]
+        assert nodes == sorted(nodes)
+    assert result.reduction("Snort") > result.reduction("SpamAssassin")

@@ -1,0 +1,41 @@
+"""Benchmark + regeneration of Table 1 (benchmark censuses).
+
+Times the hybrid counter-ambiguity census per suite and archives the
+full five-suite table with the paper's column fractions alongside.
+"""
+
+import pytest
+
+from repro.experiments.table1 import format_table1, run_table1
+from repro.workloads.stats import census
+from repro.workloads.synth import (
+    clamav_like,
+    protomata_like,
+    snort_like,
+    spamassassin_like,
+    suricata_like,
+)
+
+from conftest import save_report
+
+SUITES = {
+    "snort": lambda: snort_like(total=120),
+    "suricata": lambda: suricata_like(total=100),
+    "protomata": lambda: protomata_like(total=60),
+    "spamassassin": lambda: spamassassin_like(total=80),
+    "clamav": lambda: clamav_like(total=200),
+}
+
+
+@pytest.mark.parametrize("name", list(SUITES))
+def test_census_speed(benchmark, name):
+    suite = SUITES[name]()
+    row = benchmark(census, suite)
+    assert row.supported <= row.total
+    assert row.ambiguous <= row.counting
+
+
+def test_regenerate_table1(benchmark):
+    result = benchmark.pedantic(run_table1, kwargs={"scale": 0.3}, rounds=1, iterations=1)
+    save_report("table1", format_table1(result))
+    assert len(result.rows) == 5

@@ -1,0 +1,42 @@
+"""Benchmark + regeneration of Table 2 (component parameters).
+
+The Table 2 scalars are inputs (our documented SPICE substitution), so
+the benchmark here times what depends on them operationally: the
+functional simulator's cycle rate on augmented networks, plus the
+delay-slack verification behind the paper's "no performance penalty"
+claim.
+"""
+
+from repro.compiler.pipeline import compile_ruleset
+from repro.experiments.table2 import format_table2, run_table2
+from repro.hardware.simulator import NetworkSimulator
+from repro.workloads.inputs import network_stream
+
+from conftest import save_report
+
+RULES = [
+    ("r1", r"[^a]a{2,200}"),
+    ("r2", r"foo.{2,120}bar"),
+    ("r3", r"GET /[a-z]{1,40} HTTP"),
+    ("r4", r"\x00[^\x00]{8,64}\x00"),
+]
+
+
+def test_simulator_cycle_rate(benchmark):
+    rs = compile_ruleset(RULES)
+    data = network_stream(4096, seed=1)
+    sim = NetworkSimulator(rs.network)
+
+    def run():
+        sim.reset()
+        sim.run(data)
+        return sim.stats.cycles
+
+    cycles = benchmark(run)
+    assert cycles == len(data)
+
+
+def test_regenerate_table2(benchmark):
+    result = benchmark(run_table2)
+    save_report("table2", format_table2(result))
+    assert result.no_performance_penalty

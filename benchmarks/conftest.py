@@ -1,0 +1,21 @@
+"""Benchmark-harness helpers.
+
+Every benchmark regenerates one of the paper's tables/figures: it
+times the underlying experiment driver with pytest-benchmark and
+archives the paper-style text rendering under ``benchmarks/results/``
+(also echoed to stdout) so the artifacts survive the run.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_report(name: str, text: str) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")

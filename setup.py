@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this
+file exists so that ``pip install -e .`` keeps working on offline
+machines whose setuptools lacks the ``wheel`` package required by the
+PEP 660 editable-install path (``--no-use-pep517`` then falls back to
+``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

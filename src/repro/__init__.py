@@ -1,0 +1,108 @@
+"""repro: reproduction of "Software-Hardware Codesign for Efficient
+In-Memory Regular Pattern Matching" (PLDI 2022).
+
+The library spans the paper's whole stack:
+
+* :mod:`repro.regex` -- POSIX-style regexes with counting: parser,
+  rewrites, metrics, unfolding, and a derivative-based oracle matcher;
+* :mod:`repro.nca` -- nondeterministic counter automata: the Glushkov
+  construction and token-set / counting-set execution engines;
+* :mod:`repro.analysis` -- the static counter-(un)ambiguity analyses
+  (exact, over-approximate, hybrid, with witness generation);
+* :mod:`repro.mnrl` -- the MNRL-style interchange format extended with
+  counter and bit-vector nodes;
+* :mod:`repro.compiler` -- regex-to-MNRL compilation and CAMA mapping;
+* :mod:`repro.hardware` -- the augmented-CAMA functional simulator and
+  the Table 2 energy/delay/area cost model;
+* :mod:`repro.workloads` -- synthetic Snort/Suricata/Protomata/
+  SpamAssassin/ClamAV-style suites and input streams;
+* :mod:`repro.experiments` -- drivers regenerating every table and
+  figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import compile_pattern, NetworkSimulator
+
+    compiled = compile_pattern(r"a(bc){1,3}d")
+    sim = NetworkSimulator(compiled.network)
+    print(sim.match_ends(b"xabcbcdy"))   # -> [7]
+"""
+
+from .analysis import (
+    InstanceResult,
+    Method,
+    RegexAnalysisResult,
+    analyze,
+    analyze_pattern,
+)
+from .compiler import (
+    CompiledPattern,
+    CompiledRuleset,
+    Decision,
+    compile_pattern,
+    compile_ruleset,
+)
+from .compiler.mapping import NetworkMapping, map_network
+from .hardware import (
+    BIT_VECTOR,
+    CAM_ARRAY,
+    COUNTER,
+    GEOMETRY,
+    NetworkSimulator,
+    ReportEvent,
+    simulate,
+)
+from .hardware.cost import area_of_mapping, energy_of_run
+from .matching import PatternMatcher, RulesetMatcher, ScanResult
+from .mnrl import BitVectorNode, CounterNode, Network, STE
+from .nca import NCA, CountingSetExecutor, NCAExecutor, build_nca
+from .regex import CharClass, Pattern, parse, simplify
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # regex
+    "CharClass",
+    "Pattern",
+    "parse",
+    "simplify",
+    # nca
+    "NCA",
+    "build_nca",
+    "NCAExecutor",
+    "CountingSetExecutor",
+    # analysis
+    "Method",
+    "InstanceResult",
+    "RegexAnalysisResult",
+    "analyze",
+    "analyze_pattern",
+    # mnrl
+    "Network",
+    "STE",
+    "CounterNode",
+    "BitVectorNode",
+    # compiler
+    "Decision",
+    "CompiledPattern",
+    "CompiledRuleset",
+    "compile_pattern",
+    "compile_ruleset",
+    "map_network",
+    "NetworkMapping",
+    # hardware
+    "NetworkSimulator",
+    "ReportEvent",
+    "simulate",
+    "CAM_ARRAY",
+    "COUNTER",
+    "BIT_VECTOR",
+    "GEOMETRY",
+    "area_of_mapping",
+    "energy_of_run",
+    # high-level facade
+    "RulesetMatcher",
+    "PatternMatcher",
+    "ScanResult",
+]

@@ -1,0 +1,32 @@
+"""Static analysis for counter-(un)ambiguity (Section 3)."""
+
+from .approximate import analyze_approximate, check_instance_approximate, star_all_but
+from .degree import exact_degree, has_degree_at_least
+from .exact import analyze_exact, check_instance_exact
+from .hybrid import analyze, analyze_hybrid, analyze_pattern
+from .module_safety import check_module_safety, module_safety_map
+from .product import PairSearch, PairSearchResult
+from .result import InstanceResult, Method, RegexAnalysisResult
+from .transition_system import TokenEdge, TokenTransitionSystem
+
+__all__ = [
+    "TokenTransitionSystem",
+    "TokenEdge",
+    "PairSearch",
+    "PairSearchResult",
+    "Method",
+    "InstanceResult",
+    "RegexAnalysisResult",
+    "analyze_exact",
+    "check_instance_exact",
+    "analyze_approximate",
+    "check_instance_approximate",
+    "star_all_but",
+    "analyze_hybrid",
+    "analyze",
+    "analyze_pattern",
+    "check_module_safety",
+    "module_safety_map",
+    "has_degree_at_least",
+    "exact_degree",
+]

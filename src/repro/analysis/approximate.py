@@ -1,0 +1,123 @@
+"""Over-approximate counter-ambiguity analysis (Section 3.2).
+
+"The idea is to over-approximate all occurrences of {m,n} (constrained
+repetition) with * (unconstrained repetition), except for the one that
+we are analyzing."  Starring adds token paths, so unambiguity of the
+approximation implies unambiguity of the original; ambiguity of the
+approximation is *inconclusive*.
+
+The payoff is asymptotic: for ``Sigma* (~s1 s1{n} + ~s2 s2{n})`` the
+exact product search explores Theta(n^2) pairs while each
+approximation explores Theta(n) (Example 3.4); the experiments of
+Figures 2 and 3 reproduce this gap.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..nca.glushkov import build_nca
+from ..regex.ast import Regex, Repeat, Star, collect_repeats, star
+from .product import PairSearch
+from .result import InstanceResult, Method, RegexAnalysisResult
+from .transition_system import TokenTransitionSystem
+
+__all__ = ["star_all_but", "check_instance_approximate", "analyze_approximate"]
+
+
+def star_all_but(root: Regex, keep_path: tuple[int, ...]) -> Regex:
+    """Replace every Repeat except the one at ``keep_path`` with a star.
+
+    The kept occurrence's subtree is transformed too (its nested
+    occurrences are starred), which only adds more paths and therefore
+    preserves the over-approximation property.
+    """
+
+    def walk(node: Regex, path: tuple[int, ...]) -> Regex:
+        kids = node.children()
+        rebuilt = tuple(walk(kid, path + (i,)) for i, kid in enumerate(kids))
+        if isinstance(node, Repeat) and path != keep_path:
+            return star(rebuilt[0])
+        return _rebuild(node, rebuilt)
+
+    return walk(root, ())
+
+
+def _rebuild(node: Regex, kids: tuple[Regex, ...]) -> Regex:
+    from ..regex.ast import Alt, Concat
+
+    if not kids:
+        return node
+    if isinstance(node, Concat):
+        return Concat(kids)
+    if isinstance(node, Alt):
+        return Alt(kids)
+    if isinstance(node, Star):
+        return star(kids[0])
+    if isinstance(node, Repeat):
+        return Repeat(kids[0], node.lo, node.hi)
+    raise TypeError(f"cannot rebuild {type(node).__name__}")
+
+
+def check_instance_approximate(
+    ast: Regex,
+    instance_path: tuple[int, ...],
+    max_pairs: Optional[int] = None,
+) -> tuple[bool, int]:
+    """Approximate check of one occurrence.
+
+    Returns ``(certainly_unambiguous, pairs_created)``; a False first
+    component means *inconclusive*, not ambiguous.
+    """
+    approx = star_all_but(ast, instance_path)
+    nca = build_nca(approx)
+    if not nca.instances:
+        # The kept occurrence collapsed (e.g. its body was epsilon).
+        return True, 0
+    (info,) = nca.instances
+    outcome = PairSearch(
+        TokenTransitionSystem(nca),
+        target_states=info.body,
+        max_pairs=max_pairs,
+    ).run()
+    return (not outcome.ambiguous), outcome.pairs_created
+
+
+def analyze_approximate(
+    ast: Regex,
+    max_pairs: Optional[int] = None,
+) -> RegexAnalysisResult:
+    """Approximate analysis of every occurrence in the regex.
+
+    Occurrences the approximation cannot certify come back with
+    ``ambiguous=True, conclusive=False``; the hybrid driver then
+    re-checks them exactly.
+    """
+    start = time.perf_counter()
+    instances = collect_repeats(ast)
+    results: list[InstanceResult] = []
+    for inst in instances:
+        t0 = time.perf_counter()
+        certain, pairs = check_instance_approximate(ast, inst.path, max_pairs)
+        hi = inst.hi if inst.hi is not None else inst.lo
+        results.append(
+            InstanceResult(
+                instance=inst.index,
+                lo=inst.lo,
+                hi=hi,
+                ambiguous=not certain,
+                conclusive=certain,
+                pairs_created=pairs,
+                elapsed_s=time.perf_counter() - t0,
+                method=Method.APPROXIMATE,
+            )
+        )
+    nca = build_nca(ast) if instances else None
+    return RegexAnalysisResult(
+        ast=ast,
+        method=Method.APPROXIMATE,
+        nca=nca,
+        instances=results,
+        elapsed_s=time.perf_counter() - start,
+    )

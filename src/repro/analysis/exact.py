@@ -1,0 +1,110 @@
+"""Exact counter-ambiguity analysis (Section 3.1).
+
+For each occurrence of bounded repetition, runs the pair-reachability
+search of :mod:`repro.analysis.product` with the occurrence's body
+states as targets.  The search halts at the first witness pair, so an
+ambiguous instance is usually cheap to refute; unambiguous instances
+pay for exhausting the reachable pair space (this asymmetry is visible
+in Figure 2's scatter plots, where the expensive outliers are
+*unambiguous* regexes with large bounds).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..nca.glushkov import build_nca
+from ..regex.ast import Regex, collect_repeats
+from .product import PairSearch
+from .result import InstanceResult, Method, RegexAnalysisResult
+from .transition_system import TokenTransitionSystem
+
+__all__ = ["analyze_exact", "check_instance_exact"]
+
+
+def analyze_exact(
+    ast: Regex,
+    record_witness: bool = False,
+    max_pairs: Optional[int] = None,
+) -> RegexAnalysisResult:
+    """Exact per-instance analysis of a simplified regex.
+
+    Args:
+        ast: regex in rewrite normal form (see ``repro.regex.rewrite``).
+        record_witness: also reconstruct a counter-ambiguity witness
+            string per ambiguous instance (the "HW" variant of Fig. 2).
+        max_pairs: optional safety cap on created token pairs.
+    """
+    start = time.perf_counter()
+    instances = collect_repeats(ast)
+    if not instances:
+        return RegexAnalysisResult(
+            ast=ast,
+            method=Method.EXACT,
+            nca=None,
+            instances=[],
+            elapsed_s=time.perf_counter() - start,
+        )
+    nca = build_nca(ast)
+    system = TokenTransitionSystem(nca)
+    results: list[InstanceResult] = []
+    for info in nca.instances:
+        t0 = time.perf_counter()
+        search = PairSearch(
+            system,
+            target_states=info.body,
+            record_witness=record_witness,
+            max_pairs=max_pairs,
+        )
+        outcome = search.run()
+        results.append(
+            InstanceResult(
+                instance=info.instance,
+                lo=info.lo,
+                hi=info.hi,
+                ambiguous=outcome.ambiguous,
+                conclusive=True,
+                witness=outcome.witness,
+                pairs_created=outcome.pairs_created,
+                elapsed_s=time.perf_counter() - t0,
+                method=Method.EXACT,
+            )
+        )
+    return RegexAnalysisResult(
+        ast=ast,
+        method=Method.EXACT,
+        nca=nca,
+        instances=results,
+        elapsed_s=time.perf_counter() - start,
+    )
+
+
+def check_instance_exact(
+    ast: Regex,
+    instance: int,
+    record_witness: bool = False,
+    max_pairs: Optional[int] = None,
+) -> InstanceResult:
+    """Exact analysis of a single occurrence of bounded repetition."""
+    nca = build_nca(ast)
+    info = nca.instances[instance]
+    system = TokenTransitionSystem(nca)
+    t0 = time.perf_counter()
+    outcome = PairSearch(
+        system,
+        target_states=info.body,
+        record_witness=record_witness,
+        max_pairs=max_pairs,
+    ).run()
+    return InstanceResult(
+        instance=instance,
+        lo=info.lo,
+        hi=info.hi,
+        ambiguous=outcome.ambiguous,
+        conclusive=True,
+        witness=outcome.witness,
+        pairs_created=outcome.pairs_created,
+        elapsed_s=time.perf_counter() - t0,
+        method=Method.EXACT,
+    )

@@ -1,0 +1,165 @@
+"""Hybrid counter-ambiguity checker (Section 3.3).
+
+"First, it checks the counter-(un)ambiguity of each instance of
+bounded repetition in the regex using the over-approximate analysis.
+If it finds a potentially counter-ambiguous instance, then it halts the
+over-approximate analysis and uses the exact algorithm to check the
+regex.  Otherwise, it determines that the regex is counter-
+unambiguous."
+
+This is the production entry point: it is fast on the easy
+unambiguous cases (approximation certifies them in linear pair
+explorations) and falls back to the exact algorithm -- optionally with
+witness reporting, the "HW" variant -- only when needed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from ..nca.glushkov import build_nca
+from ..regex.ast import Regex, collect_repeats
+from ..regex.parser import parse
+from ..regex.rewrite import simplify
+from .approximate import check_instance_approximate
+from .exact import analyze_exact
+from .product import PairSearch
+from .result import InstanceResult, Method, RegexAnalysisResult
+from .transition_system import TokenTransitionSystem
+
+__all__ = ["analyze_hybrid", "analyze", "analyze_pattern"]
+
+
+def analyze_hybrid(
+    ast: Regex,
+    record_witness: bool = False,
+    max_pairs: Optional[int] = None,
+) -> RegexAnalysisResult:
+    """Hybrid analysis of a simplified regex."""
+    start = time.perf_counter()
+    instances = collect_repeats(ast)
+    if not instances:
+        return RegexAnalysisResult(
+            ast=ast,
+            method=Method.HYBRID,
+            nca=None,
+            instances=[],
+            elapsed_s=time.perf_counter() - start,
+        )
+
+    approx_results: list[InstanceResult] = []
+    all_certain = True
+    for inst in instances:
+        t0 = time.perf_counter()
+        certain, pairs = check_instance_approximate(ast, inst.path, max_pairs)
+        hi = inst.hi if inst.hi is not None else inst.lo
+        approx_results.append(
+            InstanceResult(
+                instance=inst.index,
+                lo=inst.lo,
+                hi=hi,
+                ambiguous=not certain,
+                conclusive=certain,
+                pairs_created=pairs,
+                elapsed_s=time.perf_counter() - t0,
+                method=Method.APPROXIMATE,
+            )
+        )
+        if not certain:
+            all_certain = False
+            break  # halt the over-approximate analysis
+
+    if all_certain:
+        nca = build_nca(ast)
+        return RegexAnalysisResult(
+            ast=ast,
+            method=Method.HYBRID,
+            nca=nca,
+            instances=approx_results,
+            elapsed_s=time.perf_counter() - start,
+        )
+
+    # Exact fallback.  Instances already certified unambiguous by the
+    # approximation keep their (cheap, conclusive) verdicts; only the
+    # remaining ones are checked exactly.  The pairs created by the
+    # aborted approximate probe are real work and are folded into that
+    # instance's exact accounting so Fig. 2(b) totals stay honest.
+    certified = {r.instance: r for r in approx_results if r.conclusive}
+    aborted_pairs = {
+        r.instance: r.pairs_created for r in approx_results if not r.conclusive
+    }
+    nca = build_nca(ast)
+    system = TokenTransitionSystem(nca)
+    merged: list[InstanceResult] = []
+    for info in nca.instances:
+        if info.instance in certified:
+            merged.append(certified[info.instance])
+            continue
+        t0 = time.perf_counter()
+        outcome = PairSearch(
+            system,
+            target_states=info.body,
+            record_witness=record_witness,
+            max_pairs=max_pairs,
+        ).run()
+        merged.append(
+            InstanceResult(
+                instance=info.instance,
+                lo=info.lo,
+                hi=info.hi,
+                ambiguous=outcome.ambiguous,
+                conclusive=True,
+                witness=outcome.witness,
+                pairs_created=outcome.pairs_created
+                + aborted_pairs.get(info.instance, 0),
+                elapsed_s=time.perf_counter() - t0,
+                method=Method.EXACT,
+            )
+        )
+    return RegexAnalysisResult(
+        ast=ast,
+        method=Method.HYBRID,
+        nca=nca,
+        instances=merged,
+        elapsed_s=time.perf_counter() - start,
+    )
+
+
+def analyze(
+    ast: Regex,
+    method: Method | str = Method.HYBRID,
+    record_witness: bool = False,
+    max_pairs: Optional[int] = None,
+) -> RegexAnalysisResult:
+    """Dispatch to one of the three analysis variants."""
+    from .approximate import analyze_approximate
+
+    if isinstance(method, str):
+        method = Method(method)
+    if method is Method.EXACT:
+        return analyze_exact(ast, record_witness=record_witness, max_pairs=max_pairs)
+    if method is Method.APPROXIMATE:
+        return analyze_approximate(ast, max_pairs=max_pairs)
+    return analyze_hybrid(ast, record_witness=record_witness, max_pairs=max_pairs)
+
+
+def analyze_pattern(
+    pattern: str,
+    method: Method | str = Method.HYBRID,
+    record_witness: bool = False,
+    max_pairs: Optional[int] = None,
+) -> RegexAnalysisResult:
+    """Parse, simplify and analyze a pattern string in one call.
+
+    The analysis runs on the *search form* of the pattern
+    (``Sigma* r`` for unanchored patterns), which is what the hardware
+    executes; anchoring changes ambiguity (``a{2}`` anchored is
+    unambiguous, but ``Sigma* a{2}`` is ambiguous), so this choice
+    matters and matches the paper's streaming setting.
+    """
+    parsed = parse(pattern)
+    ast = simplify(parsed.search_ast())
+    return analyze(
+        ast, method=method, record_witness=record_witness, max_pairs=max_pairs
+    )

@@ -1,0 +1,104 @@
+"""Module-safety analysis: can one counter register serve an instance?
+
+Counter-unambiguity (Definition 3.1) bounds the tokens *per state*.
+The hardware counter module, however, holds a *single* count register
+for the whole repetition body (Fig. 6) -- so it is faithful only when
+at most one token occupies the body, across **all** its states, at any
+time.  For multi-state bodies those properties differ: two tokens can
+march through the body at an offset, each state holding at most one at
+a time, while the shared register can only track one of them.
+
+Concrete witness (found by randomized search during this reproduction;
+regression-tested in ``tests/analysis/test_module_safety.py``)::
+
+    Sigma* b ([bc]bc){2,4} [bc]
+
+is counter-unambiguous at every state, yet the input ``bcbbcbcb...``
+keeps two interleaved passes alive; a single register mis-counts one
+of them.  Single-class bodies are immune (one body state makes the two
+properties coincide), which is also why bit-vector eligibility needs
+no extra check.
+
+:func:`check_module_safety` decides the stronger property with the
+same product-reachability machinery: an instance is *module-safe* iff
+no reachable pair of **distinct** tokens has both components inside
+the body.  The compiler uses it as a gate in front of counter-module
+selection (on by default; ``strict_modules=False`` reproduces the
+naive unambiguity-only policy for ablation).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..nca.automaton import NCA, Token
+from .product import PairSearch, PairSearchResult
+from .transition_system import TokenTransitionSystem
+
+__all__ = ["check_module_safety", "module_safety_map"]
+
+
+def check_module_safety(
+    nca: NCA,
+    instance: int,
+    system: Optional[TokenTransitionSystem] = None,
+    record_witness: bool = False,
+    max_pairs: Optional[int] = None,
+) -> PairSearchResult:
+    """Search for two distinct simultaneous tokens in the instance body.
+
+    Returns a :class:`PairSearchResult` whose ``ambiguous`` field means
+    *unsafe* here (two body tokens are reachable); ``witness`` (when
+    requested) is an input driving the automaton into that situation.
+    """
+    info = nca.instances[instance]
+    body = info.body
+    if system is None:
+        system = TokenTransitionSystem(nca)
+
+    def two_in_body(t1: Token, t2: Token) -> bool:
+        return t1 != t2 and t1[0] in body and t2[0] in body
+
+    search = PairSearch(
+        system,
+        record_witness=record_witness,
+        max_pairs=max_pairs,
+        pair_goal=two_in_body,
+    )
+    return search.run()
+
+
+def module_safety_map(
+    nca: NCA,
+    instances: Optional[list[int]] = None,
+    max_pairs: Optional[int] = None,
+) -> dict[int, bool]:
+    """Safety verdict per instance (True = one register suffices).
+
+    ``instances`` restricts the check (the compiler only asks about
+    instances it would implement with a counter).  A search that hits
+    ``max_pairs`` is treated conservatively as unsafe.
+    """
+    system = TokenTransitionSystem(nca)
+    targets = (
+        [info.instance for info in nca.instances]
+        if instances is None
+        else instances
+    )
+    verdicts: dict[int, bool] = {}
+    for instance in targets:
+        info = nca.instances[instance]
+        if len(info.body) == 1:
+            # single-state body: per-state unambiguity already implies
+            # single-token occupancy
+            verdicts[instance] = True
+            continue
+        try:
+            outcome = check_module_safety(
+                nca, instance, system=system, max_pairs=max_pairs
+            )
+        except RuntimeError:
+            verdicts[instance] = False
+            continue
+        verdicts[instance] = not outcome.ambiguous
+    return verdicts

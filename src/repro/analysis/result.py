@@ -1,0 +1,114 @@
+"""Result records produced by the counter-ambiguity analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from ..nca.automaton import NCA
+from ..regex.ast import Regex
+
+__all__ = ["Method", "InstanceResult", "RegexAnalysisResult"]
+
+
+class Method(Enum):
+    """Which analysis variant produced a result (Fig. 2 column labels)."""
+
+    EXACT = "exact"           # "E"
+    APPROXIMATE = "approximate"  # "A"
+    HYBRID = "hybrid"         # "H" ("HW" = hybrid with record_witness)
+
+
+@dataclass
+class InstanceResult:
+    """Verdict for one occurrence of bounded repetition.
+
+    ``conclusive`` is False only for the over-approximate analysis when
+    it cannot certify unambiguity (Section 3.2: "it either declares
+    that a state is counter-unambiguous, or it says that the analysis
+    is inconclusive").  An inconclusive instance is *treated* as
+    ambiguous by downstream consumers (compiler, censuses) -- that is
+    safe, never wrong, merely potentially wasteful.
+    """
+
+    instance: int
+    lo: int
+    hi: int
+    ambiguous: bool
+    conclusive: bool = True
+    witness: Optional[bytes] = None
+    pairs_created: int = 0
+    elapsed_s: float = 0.0
+    method: Method = Method.EXACT
+
+    @property
+    def treat_as_ambiguous(self) -> bool:
+        return self.ambiguous or not self.conclusive
+
+
+@dataclass
+class RegexAnalysisResult:
+    """Per-regex analysis summary.
+
+    ``ambiguous`` follows the paper's definition: a regex is counter-
+    ambiguous iff at least one occurrence of bounded repetition is
+    counter-ambiguous (inconclusive occurrences count conservatively).
+    """
+
+    ast: Regex
+    method: Method
+    nca: Optional[NCA]
+    instances: list[InstanceResult] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def has_counting(self) -> bool:
+        return bool(self.instances)
+
+    @property
+    def ambiguous(self) -> bool:
+        return any(r.treat_as_ambiguous for r in self.instances)
+
+    @property
+    def conclusive(self) -> bool:
+        return all(r.conclusive for r in self.instances)
+
+    @property
+    def pairs_created(self) -> int:
+        return sum(r.pairs_created for r in self.instances)
+
+    def ambiguous_instances(self) -> list[InstanceResult]:
+        return [r for r in self.instances if r.treat_as_ambiguous]
+
+    def result_for(self, instance: int) -> InstanceResult:
+        for r in self.instances:
+            if r.instance == instance:
+                return r
+        raise KeyError(f"no result for instance {instance}")
+
+    def unambiguous_counter_states(self) -> frozenset[int]:
+        """States safe to store with a single scalar counter valuation.
+
+        A counter state qualifies iff *every* instance whose body
+        contains it was conclusively proven unambiguous; this feeds
+        :func:`repro.nca.counting_sets.classify_states` and the
+        compiler's counter/bit-vector selection.
+        """
+        if self.nca is None:
+            return frozenset()
+        bad: set[int] = set()
+        for r in self.instances:
+            if r.treat_as_ambiguous:
+                bad.update(self.nca.instances[r.instance].body)
+        good = {
+            state
+            for state in self.nca.states
+            if self.nca.counters_of(state) and state not in bad
+        }
+        return frozenset(good)
+
+    def witnesses(self) -> dict[int, bytes]:
+        return {
+            r.instance: r.witness for r in self.instances if r.witness is not None
+        }

@@ -1,0 +1,81 @@
+"""The labeled transition system of tokens (Section 3.1).
+
+For an NCA ``A``, the tokens ``Tk(A)`` with the relations ``->a`` form
+a labeled transition system ``G``.  Transitions are kept *symbolic*:
+edges are labeled with alphabet predicates rather than individual
+symbols ("the transitions are annotated with predicates over the
+alphabet, not symbols ... we want to maintain such a representation in
+the graphs G^d").  The product construction then intersects predicates
+and keeps only non-empty intersections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nca.automaton import NCA, Token
+from ..regex.charclass import CharClass
+
+__all__ = ["TokenEdge", "TokenTransitionSystem"]
+
+
+@dataclass(frozen=True)
+class TokenEdge:
+    """A symbolic edge ``token ->[predicate] successor`` in ``G``."""
+
+    predicate: CharClass
+    successor: Token
+
+
+class TokenTransitionSystem:
+    """On-the-fly view of ``G`` with memoized successor computation.
+
+    The token space can be exponential in the regex (counter
+    valuations), so nothing is materialized eagerly; ``edges(token)``
+    computes and caches the symbolic out-edges of one token.
+    """
+
+    def __init__(self, nca: NCA):
+        self.nca = nca
+        self._cache: dict[Token, tuple[TokenEdge, ...]] = {}
+        self.tokens_expanded = 0
+
+    def initial_token(self) -> Token:
+        return self.nca.initial_token()
+
+    def edges(self, token: Token) -> tuple[TokenEdge, ...]:
+        cached = self._cache.get(token)
+        if cached is not None:
+            return cached
+        out: dict[tuple[CharClass, Token], TokenEdge] = {}
+        for t in self.nca.out_transitions(token[0]):
+            successor = self.nca.apply_transition(token, t)
+            if successor is None:
+                continue
+            predicate = self.nca.predicate_of(t.target)
+            key = (predicate, successor)
+            if key not in out:
+                out[key] = TokenEdge(predicate, successor)
+        edges = tuple(out.values())
+        self._cache[token] = edges
+        self.tokens_expanded += 1
+        return edges
+
+    def reachable_tokens(self, limit: int | None = None) -> set[Token]:
+        """BFS enumeration of reachable tokens (used by tests/examples).
+
+        ``limit`` caps exploration for safety; the bounded-counter
+        automata of this project always terminate.
+        """
+        start = self.initial_token()
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            token = frontier.pop()
+            for edge in self.edges(token):
+                if edge.successor not in seen:
+                    seen.add(edge.successor)
+                    frontier.append(edge.successor)
+                    if limit is not None and len(seen) > limit:
+                        raise RuntimeError(f"token space exceeds limit {limit}")
+        return seen

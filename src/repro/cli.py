@@ -1,0 +1,222 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the toolchain stages:
+
+* ``analyze``  -- run the counter-(un)ambiguity analysis on a pattern;
+* ``compile``  -- compile a pattern (or rule file) to extended MNRL;
+* ``scan``     -- scan a file with a rule set on the simulated hardware;
+* ``census``   -- Table 1-style census of a synthetic suite;
+* ``report``   -- regenerate one of the paper's tables/figures.
+
+Rule files are plain text: one ``id<TAB>pattern`` (or just ``pattern``)
+per line; ``#`` comments and blank lines are ignored.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .analysis.hybrid import analyze_pattern
+from .compiler.mapping import map_network
+from .compiler.pipeline import compile_pattern, compile_ruleset
+from .hardware.cost import area_of_mapping
+from .matching import RulesetMatcher
+from .mnrl.serialize import dumps, save
+from .workloads.stats import census
+from .workloads.synth import suite_by_name
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="In-memory regex matching with counters and bit vectors "
+        "(PLDI 2022 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_analyze = sub.add_parser("analyze", help="counter-(un)ambiguity analysis")
+    p_analyze.add_argument("pattern")
+    p_analyze.add_argument(
+        "--method", choices=["exact", "approximate", "hybrid"], default="hybrid"
+    )
+    p_analyze.add_argument("--witness", action="store_true")
+
+    p_compile = sub.add_parser("compile", help="compile to extended MNRL")
+    p_compile.add_argument("pattern")
+    p_compile.add_argument("-o", "--output", help="write MNRL JSON here")
+    p_compile.add_argument(
+        "--threshold",
+        type=float,
+        default=0,
+        help="unfold occurrences with upper bound <= threshold "
+        "(inf = unfold everything)",
+    )
+
+    p_scan = sub.add_parser("scan", help="scan a file with a rule set")
+    p_scan.add_argument("--rules", required=True, help="rule file (id\\tpattern lines)")
+    p_scan.add_argument("--input", required=True, help="data file to scan")
+    p_scan.add_argument("--threshold", type=float, default=0)
+
+    p_census = sub.add_parser("census", help="Table 1-style suite census")
+    p_census.add_argument(
+        "--suite",
+        choices=["Snort", "Suricata", "Protomata", "SpamAssassin", "ClamAV"],
+        required=True,
+    )
+    p_census.add_argument("--total", type=int, default=None)
+    p_census.add_argument("--seed", type=int, default=None)
+
+    p_report = sub.add_parser("report", help="regenerate a table/figure")
+    p_report.add_argument(
+        "--which",
+        choices=["table1", "table2", "fig2", "fig3", "fig8", "fig9", "fig10"],
+        required=True,
+    )
+    p_report.add_argument("--scale", type=float, default=0.2)
+    return parser
+
+
+def _cmd_analyze(args) -> int:
+    result = analyze_pattern(
+        args.pattern, method=args.method, record_witness=args.witness
+    )
+    if not result.has_counting:
+        print("no bounded repetition; nothing to analyze")
+        return 0
+    for inst in result.instances:
+        verdict = "AMBIGUOUS" if inst.treat_as_ambiguous else "unambiguous"
+        if not inst.conclusive:
+            verdict = "inconclusive (treated ambiguous)"
+        line = (
+            f"occurrence #{inst.instance} {{{inst.lo},{inst.hi}}}: {verdict} "
+            f"[{inst.method.value}, {inst.pairs_created} pairs, "
+            f"{inst.elapsed_s * 1000:.2f} ms]"
+        )
+        if inst.witness is not None:
+            line += f" witness={inst.witness!r}"
+        print(line)
+    print(f"regex verdict: {'ambiguous' if result.ambiguous else 'unambiguous'}")
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    compiled = compile_pattern(args.pattern, unfold_threshold=args.threshold)
+    print(
+        f"{compiled.ste_count} STEs, {compiled.counter_count} counters, "
+        f"{compiled.bit_vector_count} bit vectors "
+        f"(decisions: { {k: v.value for k, v in compiled.decisions.items()} })"
+    )
+    mapping = map_network(compiled.network)
+    area = area_of_mapping(mapping)
+    print(
+        f"placement: {mapping.bank.pes_used} PEs, "
+        f"{mapping.bank.cam_arrays_used} CAM arrays, "
+        f"area {area.total_mm2:.6f} mm^2"
+    )
+    if args.output:
+        save(compiled.network, args.output)
+        print(f"MNRL written to {args.output}")
+    else:
+        print(dumps(compiled.network))
+    return 0
+
+
+def _read_rules(path: str) -> list[tuple[str, str]]:
+    rules: list[tuple[str, str]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for index, line in enumerate(handle):
+            line = line.rstrip("\n")
+            if not line.strip() or line.lstrip().startswith("#"):
+                continue
+            if "\t" in line:
+                rule_id, pattern = line.split("\t", 1)
+            else:
+                rule_id, pattern = f"rule{index}", line
+            rules.append((rule_id, pattern))
+    return rules
+
+
+def _cmd_scan(args) -> int:
+    rules = _read_rules(args.rules)
+    matcher = RulesetMatcher(rules, unfold_threshold=args.threshold)
+    for rule_id, reason in matcher.skipped:
+        print(f"skipped {rule_id}: {reason}", file=sys.stderr)
+    with open(args.input, "rb") as handle:
+        data = handle.read()
+    result = matcher.scan(data)
+    resources = matcher.resources()
+    print(
+        f"scanned {result.bytes_scanned} bytes with "
+        f"{resources.rules_compiled} rules "
+        f"({resources.stes} STEs / {resources.counters} ctr / "
+        f"{resources.bit_vectors} bv; {resources.area_mm2:.4f} mm^2; "
+        f"{result.energy_nj_per_byte:.4f} nJ/B)"
+    )
+    for rule_id in sorted(result.matches):
+        ends = result.matches[rule_id]
+        shown = ", ".join(map(str, ends[:8]))
+        suffix = ", ..." if len(ends) > 8 else ""
+        print(f"  {rule_id}: {len(ends)} match(es) at [{shown}{suffix}]")
+    if not result.matches:
+        print("  no matches")
+    return 0
+
+
+def _cmd_census(args) -> int:
+    suite = suite_by_name(args.suite, total=args.total, seed=args.seed)
+    row = census(suite)
+    print(
+        f"{row.name}: total {row.total}, supported {row.supported}, "
+        f"counting {row.counting}, counter-ambiguous {row.ambiguous} "
+        f"[{row.elapsed_s:.2f}s]"
+    )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from . import experiments as ex
+
+    which = args.which
+    if which == "table1":
+        print(ex.format_table1(ex.run_table1(scale=args.scale)))
+    elif which == "table2":
+        print(ex.format_table2(ex.run_table2()))
+    elif which == "fig2":
+        result = ex.run_fig2(scale=args.scale)
+        print(ex.format_fig2(result))
+        print()
+        print(ex.format_fig2(result, metric="pairs"))
+    elif which == "fig3":
+        result = ex.run_fig3_family()
+        result.points.extend(ex.run_fig3(scale=args.scale).points)
+        print(ex.format_fig3(result))
+    elif which == "fig8":
+        print(ex.format_fig8(ex.run_fig8()))
+    elif which == "fig9":
+        print(ex.format_fig9(ex.run_fig9(scale=args.scale)))
+    elif which == "fig10":
+        fig9 = ex.run_fig9(scale=args.scale)
+        print(ex.format_fig10(ex.run_fig10(scale=args.scale, prepped=fig9.prepped)))
+    return 0
+
+
+_COMMANDS = {
+    "analyze": _cmd_analyze,
+    "compile": _cmd_compile,
+    "scan": _cmd_scan,
+    "census": _cmd_census,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,20 @@
+"""Regex-to-MNRL compiler (Section 4.2) and CAMA resource mapping."""
+
+from .emit import Decision, EmitError, emit_network, plan_decisions
+from .pipeline import (
+    CompiledPattern,
+    CompiledRuleset,
+    compile_pattern,
+    compile_ruleset,
+)
+
+__all__ = [
+    "Decision",
+    "EmitError",
+    "emit_network",
+    "plan_decisions",
+    "CompiledPattern",
+    "CompiledRuleset",
+    "compile_pattern",
+    "compile_ruleset",
+]

@@ -1,0 +1,239 @@
+"""The regex-to-MNRL compiler pipeline (Section 4.2).
+
+Three steps, exactly as the paper lays them out:
+
+1. *Parse and simplify* -- POSIX-style parsing, then the rewrite rules
+   (unfold upper bounds < 2, merge classes in simple alternations,
+   lower unbounded repetition).
+2. *Analyze* -- the Section 3 static analysis annotates every
+   occurrence of bounded repetition with a counter-(un)ambiguity
+   verdict.  Analysis runs on the *search form* (``Sigma* r`` for
+   unanchored patterns) because that is what the streaming hardware
+   executes.
+3. *Emit* -- an MNRL network where each occurrence is realized by a
+   counter module, a bit-vector module, or unfolded STEs according to
+   the verdicts and the unfolding threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..analysis.hybrid import analyze
+from ..analysis.module_safety import module_safety_map
+from ..analysis.result import Method, RegexAnalysisResult
+from ..mnrl.network import Network
+from ..regex import charclass as cc
+from ..regex.ast import Regex, Sym, concat, star
+from ..regex.errors import RegexError, UnsupportedFeatureError
+from ..regex.parser import Pattern, parse
+from ..regex.rewrite import simplify
+from .emit import Decision, EmitError, emit_network, plan_decisions
+
+__all__ = [
+    "CompiledPattern",
+    "CompiledRuleset",
+    "compile_pattern",
+    "compile_ruleset",
+    "compute_module_unsafe",
+]
+
+
+def compute_module_unsafe(
+    analysis: RegexAnalysisResult,
+    ambiguous: dict[int, bool],
+    strict: bool = True,
+    max_pairs: Optional[int] = None,
+) -> frozenset[int]:
+    """Instances that must not get a single counter register.
+
+    Only counter-module *candidates* are checked (unambiguous,
+    multi-state body); everything else is already handled by bit
+    vectors or unfolding.  With ``strict=False`` the check is skipped,
+    reproducing the naive unambiguity-only policy (ablation mode).
+    """
+    if not strict or analysis.nca is None:
+        return frozenset()
+    candidates = [
+        info.instance
+        for info in analysis.nca.instances
+        if not ambiguous.get(info.instance, True) and len(info.body) > 1
+    ]
+    if not candidates:
+        return frozenset()
+    safety = module_safety_map(analysis.nca, candidates, max_pairs=max_pairs)
+    return frozenset(i for i, safe in safety.items() if not safe)
+
+
+@dataclass
+class CompiledPattern:
+    """One pattern taken through the full pipeline."""
+
+    source: str
+    pattern: Pattern
+    ast: Regex
+    analysis: RegexAnalysisResult
+    decisions: dict[int, Decision]
+    network: Network
+    matches_empty: bool
+    report_id: str
+
+    # -- resource statistics --------------------------------------------------
+    @property
+    def ste_count(self) -> int:
+        return self.network.ste_count()
+
+    @property
+    def counter_count(self) -> int:
+        return self.network.counter_count()
+
+    @property
+    def bit_vector_count(self) -> int:
+        return self.network.bit_vector_count()
+
+    @property
+    def node_count(self) -> int:
+        return self.network.node_count()
+
+    def decision_counts(self) -> dict[Decision, int]:
+        counts = {d: 0 for d in Decision}
+        for decision in self.decisions.values():
+            counts[decision] += 1
+        return counts
+
+
+def compile_pattern(
+    pattern_text: str,
+    unfold_threshold: float = 0,
+    method: Method | str = Method.HYBRID,
+    report_id: Optional[str] = None,
+    network: Optional[Network] = None,
+    prefix: str = "",
+    bv_module_size: Optional[int] = None,
+    max_pairs: Optional[int] = None,
+    strict_modules: bool = True,
+) -> CompiledPattern:
+    """Compile one pattern to an MNRL network.
+
+    Args:
+        pattern_text: POSIX/PCRE-style pattern source.
+        unfold_threshold: occurrences with upper bound <= threshold are
+            unfolded (``float('inf')`` = the unfold-all CAMA baseline).
+        method: which static analysis drives module selection.
+        report_id: report tag attached to the pattern's match outputs.
+        network: emit into an existing network (for rulesets).
+        prefix: node-id prefix (must be unique per pattern in a shared
+            network).
+        bv_module_size: physical size for bit-vector nodes (None sizes
+            them to their bound; the cost model can still charge
+            module-granular 2000-bit allocations).
+        max_pairs: safety cap forwarded to the static analysis.
+        strict_modules: additionally require counter-module candidates
+            to pass the body-level single-token check (see
+            :mod:`repro.analysis.module_safety`); on by default because
+            counter-unambiguity alone does not justify a single count
+            register for multi-state bodies.
+    """
+    parsed = parse(pattern_text)
+    simplified = simplify(parsed.ast)
+    if parsed.anchored_start:
+        analysis_ast = simplified
+    else:
+        analysis_ast = concat(star(Sym(cc.SIGMA)), simplified)
+    analysis = analyze(analysis_ast, method=method, max_pairs=max_pairs)
+    ambiguous = {r.instance: r.treat_as_ambiguous for r in analysis.instances}
+    module_unsafe = compute_module_unsafe(
+        analysis, ambiguous, strict=strict_modules, max_pairs=max_pairs
+    )
+    decisions = plan_decisions(
+        simplified, ambiguous, unfold_threshold, module_unsafe
+    )
+    rid = report_id if report_id is not None else pattern_text
+    emitted = emit_network(
+        simplified,
+        decisions,
+        anchored_start=parsed.anchored_start,
+        report_id=rid,
+        network=network,
+        prefix=prefix,
+        bv_module_size=bv_module_size,
+    )
+    return CompiledPattern(
+        source=pattern_text,
+        pattern=parsed,
+        ast=simplified,
+        analysis=analysis,
+        decisions=decisions,
+        network=emitted.network,
+        matches_empty=emitted.matches_empty,
+        report_id=rid,
+    )
+
+
+@dataclass
+class CompiledRuleset:
+    """A whole benchmark compiled into one shared network.
+
+    Mirrors how the hardware hosts thousands of rules side by side in
+    one bank configuration; the ``skipped`` list records rules filtered
+    out for unsupported features (the Table 1 supported/total gap).
+    """
+
+    network: Network
+    patterns: list[CompiledPattern] = field(default_factory=list)
+    skipped: list[tuple[str, str]] = field(default_factory=list)  # (rule, reason)
+
+    @property
+    def node_count(self) -> int:
+        return self.network.node_count()
+
+    def decision_counts(self) -> dict[Decision, int]:
+        counts = {d: 0 for d in Decision}
+        for compiled in self.patterns:
+            for decision, n in compiled.decision_counts().items():
+                counts[decision] += n
+        return counts
+
+
+def compile_ruleset(
+    rules: Iterable[str] | Sequence[tuple[str, str]],
+    unfold_threshold: float = 0,
+    method: Method | str = Method.HYBRID,
+    network_id: str = "ruleset",
+    bv_module_size: Optional[int] = None,
+    max_pairs: Optional[int] = None,
+    strict_modules: bool = True,
+) -> CompiledRuleset:
+    """Compile many rules into one network, skipping unsupported ones.
+
+    ``rules`` is either an iterable of pattern strings or of
+    ``(rule_id, pattern)`` pairs.
+    """
+    network = Network(network_id)
+    result = CompiledRuleset(network=network)
+    for index, rule in enumerate(rules):
+        if isinstance(rule, tuple):
+            rule_id, pattern_text = rule
+        else:
+            rule_id, pattern_text = f"rule{index}", rule
+        try:
+            compiled = compile_pattern(
+                pattern_text,
+                unfold_threshold=unfold_threshold,
+                method=method,
+                report_id=rule_id,
+                network=network,
+                prefix=f"{rule_id}.",
+                bv_module_size=bv_module_size,
+                max_pairs=max_pairs,
+                strict_modules=strict_modules,
+            )
+        except UnsupportedFeatureError as err:
+            result.skipped.append((rule_id, f"unsupported: {err.feature}"))
+            continue
+        except (RegexError, EmitError) as err:
+            result.skipped.append((rule_id, str(err)))
+            continue
+        result.patterns.append(compiled)
+    return result

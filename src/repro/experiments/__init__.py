@@ -1,0 +1,68 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each ``run_*`` returns plain data; each ``format_*`` renders the
+paper-style text table.  The benchmark harness under ``benchmarks/``
+times these drivers and archives their outputs; EXPERIMENTS.md records
+paper-vs-measured for every experiment.
+"""
+
+from .ablation import (
+    AblationPoint,
+    AblationResult,
+    format_policy_ablation,
+    format_strictness_ablation,
+    run_policy_ablation,
+    run_strictness_ablation,
+)
+from .fig2 import Fig2Point, Fig2Result, VARIANTS, format_fig2, run_fig2
+from .fig3 import Fig3Point, Fig3Result, format_fig3, run_fig3, run_fig3_family
+from .fig8 import DEFAULT_SWEEP, Fig8Result, format_fig8, run_fig8, validate_point
+from .fig9 import DEFAULT_THRESHOLDS, Fig9Point, Fig9Result, format_fig9, run_fig9
+from .fig10 import Fig10Point, Fig10Result, format_fig10, run_fig10
+from .runner import PreppedRule, Stopwatch, emit_suite, format_table, prep_rules
+from .table1 import Table1Result, format_table1, run_table1
+from .table2 import Table2Result, format_table2, run_table2
+
+__all__ = [
+    "run_table1",
+    "format_table1",
+    "Table1Result",
+    "run_fig2",
+    "format_fig2",
+    "Fig2Result",
+    "Fig2Point",
+    "VARIANTS",
+    "run_fig3",
+    "run_fig3_family",
+    "format_fig3",
+    "Fig3Result",
+    "Fig3Point",
+    "run_table2",
+    "format_table2",
+    "Table2Result",
+    "run_fig8",
+    "format_fig8",
+    "validate_point",
+    "Fig8Result",
+    "DEFAULT_SWEEP",
+    "run_fig9",
+    "format_fig9",
+    "Fig9Result",
+    "Fig9Point",
+    "DEFAULT_THRESHOLDS",
+    "run_fig10",
+    "format_fig10",
+    "Fig10Result",
+    "Fig10Point",
+    "prep_rules",
+    "emit_suite",
+    "PreppedRule",
+    "Stopwatch",
+    "format_table",
+    "run_policy_ablation",
+    "format_policy_ablation",
+    "run_strictness_ablation",
+    "format_strictness_ablation",
+    "AblationResult",
+    "AblationPoint",
+]

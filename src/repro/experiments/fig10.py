@@ -1,0 +1,148 @@
+"""Experiment: Figure 10 -- energy and area of the augmented CAMA.
+
+For each application benchmark and each unfolding threshold the paper
+maps the compiled MNRL onto the augmented CAMA, feeds it the
+benchmark's input, and reports per-input-byte energy (left plot) and
+total area with the bit-vector waste highlighted (right plot).
+
+Expected shapes: for the large-bound suites (Snort, Suricata) small
+thresholds cut energy by up to ~76% and area by up to ~58% vs the
+unfold-all baseline; for small-bound suites (Protomata, SpamAssassin)
+the augmented design shows little change ("little to no overhead").
+The waste component is the unused tail of partially filled 2000-bit
+vector modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..compiler.mapping import map_network
+from ..hardware.cost import area_of_mapping, energy_of_run
+from ..hardware.simulator import NetworkSimulator
+from ..workloads.inputs import plant_matches, stream_for_style
+from ..workloads.synth import APPLICATION_SUITES, Suite, suite_by_name
+from .fig9 import DEFAULT_THRESHOLDS
+from .runner import PreppedRule, emit_suite, format_table, prep_rules
+
+__all__ = ["Fig10Point", "Fig10Result", "run_fig10", "format_fig10"]
+
+
+@dataclass(frozen=True)
+class Fig10Point:
+    threshold: float
+    energy_nj_per_byte: float
+    area_mm2: float
+    waste_mm2: float
+    cam_arrays: int
+    counters: int
+    bv_modules: int
+    reports: int
+
+
+@dataclass
+class Fig10Result:
+    series: dict[str, list[Fig10Point]] = field(default_factory=dict)
+
+    def energy_reduction(self, suite: str) -> float:
+        """Best-threshold energy reduction vs unfold-all (paper: <=76%)."""
+        points = self.series[suite]
+        full = points[-1].energy_nj_per_byte
+        best = min(p.energy_nj_per_byte for p in points)
+        return 1.0 - best / full if full else 0.0
+
+    def area_reduction(self, suite: str) -> float:
+        """Best-threshold area reduction vs unfold-all (paper: <=58%)."""
+        points = self.series[suite]
+        full = points[-1].area_mm2
+        best = min(p.area_mm2 for p in points)
+        return 1.0 - best / full if full else 0.0
+
+
+def run_fig10(
+    suites: list[Suite] | None = None,
+    scale: float = 0.25,
+    thresholds: tuple[float, ...] = DEFAULT_THRESHOLDS,
+    stream_len: int = 2048,
+    prepped: dict[str, list[PreppedRule]] | None = None,
+    seed: int = 0,
+) -> Fig10Result:
+    """Simulate each suite at every threshold and account energy/area."""
+    if suites is None:
+        suites = [suite_by_name(name) for name in APPLICATION_SUITES]
+        if scale != 1.0:
+            suites = [
+                suite_by_name(s.name, total=max(10, round(len(s.rules) * scale)))
+                for s in suites
+            ]
+    result = Fig10Result()
+    for suite in suites:
+        rules = (prepped or {}).get(suite.name) or prep_rules(suite)
+        background = stream_for_style(suite.input_style, stream_len, seed=seed)
+        sample = [r.pattern for r in suite.rules[: 40] if "\\1" not in r.pattern]
+        data = plant_matches(background, sample, seed=seed + 1, density=0.05)
+        points: list[Fig10Point] = []
+        for threshold in thresholds:
+            network = emit_suite(rules, threshold, network_id=f"{suite.name}@{threshold}")
+            mapping = map_network(network)
+            sim = NetworkSimulator(network)
+            sim.run(data)
+            energy = energy_of_run(sim.stats, mapping)
+            area = area_of_mapping(mapping)
+            distinct = len(sim.distinct_reports())
+            points.append(
+                Fig10Point(
+                    threshold=threshold,
+                    energy_nj_per_byte=energy.nj_per_byte,
+                    area_mm2=area.total_mm2,
+                    waste_mm2=area.waste_mm2,
+                    cam_arrays=mapping.bank.cam_arrays_used,
+                    counters=mapping.bank.counter_count,
+                    bv_modules=mapping.bank.bv_modules_used,
+                    reports=distinct,
+                )
+            )
+        result.series[suite.name] = points
+    return result
+
+
+def format_fig10(result: Fig10Result) -> str:
+    headers = [
+        "Suite",
+        "threshold",
+        "energy nJ/B",
+        "area mm2",
+        "waste mm2",
+        "#arrays",
+        "#ctr",
+        "#bv-mod",
+        "reports",
+    ]
+    rows = []
+    for suite, points in result.series.items():
+        for p in points:
+            label = "all" if p.threshold == float("inf") else f"{p.threshold:g}"
+            rows.append(
+                [
+                    suite,
+                    label,
+                    f"{p.energy_nj_per_byte:.4f}",
+                    f"{p.area_mm2:.4f}",
+                    f"{p.waste_mm2:.4f}",
+                    p.cam_arrays,
+                    p.counters,
+                    p.bv_modules,
+                    p.reports,
+                ]
+            )
+    table = format_table(
+        headers,
+        rows,
+        title="Figure 10: energy per byte and area vs unfolding threshold",
+    )
+    summary = ", ".join(
+        f"{suite}: energy -{result.energy_reduction(suite) * 100:.0f}% "
+        f"area -{result.area_reduction(suite) * 100:.0f}%"
+        for suite in result.series
+    )
+    return table + f"\nbest-threshold reduction vs unfold-all: {summary}"

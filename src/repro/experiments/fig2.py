@@ -1,0 +1,147 @@
+"""Experiment: Figure 2 -- static-analysis cost vs mu(r).
+
+The paper plots, per benchmark and per analysis variant (E = exact,
+A = approximate, H = hybrid, HW = hybrid with witness), one point per
+counting regex: x = mu(r) (max repetition upper bound), y = running
+time in ms (Fig. 2a) or # created token pairs (Fig. 2b).
+
+We reproduce the full grid on the synthetic suites.  The shapes to
+check (see EXPERIMENTS.md): cost grows with mu; the exact variant has
+expensive outliers on large-bound *unambiguous* regexes (quadratic pair
+exploration); approximate/hybrid stay near-linear; witness recording
+adds only small overhead over hybrid.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..analysis.hybrid import analyze_pattern
+from ..analysis.result import Method
+from ..regex.errors import RegexError
+from ..regex.metrics import mu
+from ..regex.parser import parse
+from ..regex.rewrite import simplify
+from ..workloads.synth import Suite, all_suites
+from .runner import format_table
+
+__all__ = ["Fig2Point", "Fig2Result", "VARIANTS", "run_fig2", "format_fig2"]
+
+#: (label, method, record_witness) -- the four columns of Figure 2.
+VARIANTS: tuple[tuple[str, Method, bool], ...] = (
+    ("E", Method.EXACT, False),
+    ("A", Method.APPROXIMATE, False),
+    ("H", Method.HYBRID, False),
+    ("HW", Method.HYBRID, True),
+)
+
+
+@dataclass(frozen=True)
+class Fig2Point:
+    rule_id: str
+    mu: int
+    time_ms: float
+    pairs: int
+    ambiguous: bool
+
+
+@dataclass
+class Fig2Result:
+    #: (suite name, variant label) -> scatter points
+    points: dict[tuple[str, str], list[Fig2Point]] = field(default_factory=dict)
+
+    def series(self, suite: str, variant: str) -> list[Fig2Point]:
+        return self.points.get((suite, variant), [])
+
+
+def run_fig2(
+    suites: list[Suite] | None = None,
+    scale: float = 0.25,
+    max_pairs: int | None = 2_000_000,
+    variants: tuple[tuple[str, Method, bool], ...] = VARIANTS,
+) -> Fig2Result:
+    """Time every counting rule under every analysis variant."""
+    if suites is None:
+        suites = all_suites(scale=scale)
+    result = Fig2Result()
+    for suite in suites:
+        counting_rules = []
+        for rule in suite.rules:
+            try:
+                simplified = simplify(parse(rule.pattern).ast)
+            except RegexError:
+                continue
+            bound = mu(simplified)
+            if bound >= 2:
+                counting_rules.append((rule, bound))
+        for label, method, witness in variants:
+            points: list[Fig2Point] = []
+            for rule, bound in counting_rules:
+                t0 = time.perf_counter()
+                try:
+                    analysis = analyze_pattern(
+                        rule.pattern,
+                        method=method,
+                        record_witness=witness,
+                        max_pairs=max_pairs,
+                    )
+                except RuntimeError:
+                    continue
+                elapsed_ms = (time.perf_counter() - t0) * 1000.0
+                points.append(
+                    Fig2Point(
+                        rule_id=rule.rule_id,
+                        mu=bound,
+                        time_ms=elapsed_ms,
+                        pairs=analysis.pairs_created,
+                        ambiguous=analysis.ambiguous,
+                    )
+                )
+            result.points[(suite.name, label)] = points
+    return result
+
+
+def _bucket(bound: int) -> str:
+    if bound <= 10:
+        return "mu<=10"
+    if bound <= 100:
+        return "mu<=100"
+    if bound <= 1000:
+        return "mu<=1000"
+    return "mu>1000"
+
+
+def format_fig2(result: Fig2Result, metric: str = "time") -> str:
+    """Summarize the scatter as per-bucket medians (text stands in for
+    the log-log scatter plots)."""
+    headers = ["Suite", "Variant", "bucket", "#regexes", "median", "max"]
+    rows = []
+    buckets = ("mu<=10", "mu<=100", "mu<=1000", "mu>1000")
+    for (suite, variant), points in sorted(result.points.items()):
+        grouped: dict[str, list[float]] = {b: [] for b in buckets}
+        for p in points:
+            value = p.time_ms if metric == "time" else float(p.pairs)
+            grouped[_bucket(p.mu)].append(value)
+        for bucket in buckets:
+            values = sorted(grouped[bucket])
+            if not values:
+                continue
+            median = values[len(values) // 2]
+            unit = "ms" if metric == "time" else "pairs"
+            rows.append(
+                [
+                    suite,
+                    variant,
+                    bucket,
+                    len(values),
+                    f"{median:.2f} {unit}",
+                    f"{values[-1]:.2f} {unit}",
+                ]
+            )
+    title = (
+        "Figure 2(a): static-analysis running time vs mu"
+        if metric == "time"
+        else "Figure 2(b): created token pairs vs mu"
+    )
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,141 @@
+"""Experiment: Figure 8 -- micro-benchmarks, module vs unfolding.
+
+Left pair of sub-figures: the counter-unambiguous regex ``a{n}``;
+hardware = one 17-bit counter + one STE vs ``n`` unfolded STEs.
+Right pair: the counter-ambiguous ``Sigma* a{n}``; hardware = one
+bit vector (sized to ``n``, as the paper does per data point) + one
+STE vs ``n`` unfolded STEs.
+
+The expected shapes (log-log axes in the paper): unfolding cost grows
+linearly with n for both energy and area; the counter is flat; the
+bit vector grows linearly but with a slope ~40x (energy) and ~5x
+(area) below unfolding.  "Using a counter/bit vector provides better
+performance compared to unfolding even for repetitions with small
+upper bounds."
+
+Besides the Table 2 arithmetic, ``validate_point`` cross-checks one
+sweep point dynamically: it compiles both variants, simulates them on
+an all-``a`` stream, and derives energy from the measured activity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..compiler.mapping import map_network
+from ..compiler.pipeline import compile_pattern
+from ..hardware.cost import (
+    MicrobenchPoint,
+    bit_vector_cost,
+    counter_cost,
+    energy_of_run,
+    unfolded_cost,
+)
+from ..hardware.simulator import NetworkSimulator
+from .runner import format_table
+
+__all__ = [
+    "Fig8Result",
+    "DEFAULT_SWEEP",
+    "run_fig8",
+    "format_fig8",
+    "validate_point",
+]
+
+DEFAULT_SWEEP = (4, 8, 16, 32, 64, 128, 256, 512, 1024, 2000)
+
+
+@dataclass
+class Fig8Result:
+    counter_series: list[MicrobenchPoint] = field(default_factory=list)
+    bit_vector_series: list[MicrobenchPoint] = field(default_factory=list)
+
+
+def run_fig8(sweep: tuple[int, ...] = DEFAULT_SWEEP) -> Fig8Result:
+    """Static Table 2 arithmetic across the bound sweep."""
+    result = Fig8Result()
+    for n in sweep:
+        unfold_energy, unfold_area = unfolded_cost(n)
+        ctr_energy, ctr_area = counter_cost()
+        result.counter_series.append(
+            MicrobenchPoint(n, ctr_energy, ctr_area, unfold_energy, unfold_area)
+        )
+        bv_energy, bv_area = bit_vector_cost(n)
+        result.bit_vector_series.append(
+            MicrobenchPoint(n, bv_energy, bv_area, unfold_energy, unfold_area)
+        )
+    return result
+
+
+@dataclass
+class ValidatedPoint:
+    """Dynamic cross-check of one sweep point via actual simulation."""
+
+    n: int
+    module_nj_per_byte: float
+    unfold_nj_per_byte: float
+    reports_agree: bool
+
+
+def validate_point(n: int, ambiguous: bool, stream_len: int = 512) -> ValidatedPoint:
+    """Compile ``a{n}`` (or ``.*``-entered variant) both ways and
+    simulate on an all-'a' stream; energies come from measured
+    activity, and both variants must report identically."""
+    pattern = f"a{{{n}}}" if not ambiguous else f"a{{{n}}}"
+    anchor = "^" if not ambiguous else ""
+    source = anchor + pattern
+    module_cp = compile_pattern(source, unfold_threshold=0)
+    unfold_cp = compile_pattern(source, unfold_threshold=float("inf"))
+    data = b"a" * stream_len
+
+    module_sim = NetworkSimulator(module_cp.network)
+    module_ends = module_sim.match_ends(data)
+    unfold_sim = NetworkSimulator(unfold_cp.network)
+    unfold_ends = unfold_sim.match_ends(data)
+
+    module_energy = energy_of_run(module_sim.stats, map_network(module_cp.network))
+    unfold_energy = energy_of_run(unfold_sim.stats, map_network(unfold_cp.network))
+    return ValidatedPoint(
+        n=n,
+        module_nj_per_byte=module_energy.nj_per_byte,
+        unfold_nj_per_byte=unfold_energy.nj_per_byte,
+        reports_agree=module_ends == unfold_ends,
+    )
+
+
+def format_fig8(result: Fig8Result) -> str:
+    headers = [
+        "n",
+        "module E (fJ/B)",
+        "unfold E (fJ/B)",
+        "E ratio",
+        "module A (um2)",
+        "unfold A (um2)",
+        "A ratio",
+    ]
+
+    def rows(series):
+        return [
+            [
+                p.n,
+                f"{p.module_energy_fj:.1f}",
+                f"{p.unfold_energy_fj:.1f}",
+                f"{p.energy_ratio:.1f}x",
+                f"{p.module_area_um2:.1f}",
+                f"{p.unfold_area_um2:.1f}",
+                f"{p.area_ratio:.1f}x",
+            ]
+            for p in series
+        ]
+
+    top = format_table(
+        headers,
+        rows(result.counter_series),
+        title="Figure 8 (left): counter vs unfolding on a{n}",
+    )
+    bottom = format_table(
+        headers,
+        rows(result.bit_vector_series),
+        title="Figure 8 (right): bit vector vs unfolding on Sigma* a{n}",
+    )
+    return top + "\n\n" + bottom

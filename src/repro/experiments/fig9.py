@@ -1,0 +1,104 @@
+"""Experiment: Figure 9 -- MNRL node counts vs unfolding threshold.
+
+For each benchmark, the paper compiles the whole rule set at a sweep of
+unfolding thresholds k (bounded repetitions with upper bound <= k are
+unfolded, the rest become counters/bit vectors) and plots the total
+number of MNRL nodes; the rightmost point is full unfolding.  Node
+counts fall steeply as k shrinks for the large-bound suites
+(Snort/Suricata) and barely move for small-bound ones
+(Protomata/SpamAssassin).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..workloads.synth import APPLICATION_SUITES, Suite, suite_by_name
+from .runner import PreppedRule, emit_suite, format_table, prep_rules
+
+__all__ = [
+    "Fig9Point",
+    "Fig9Result",
+    "DEFAULT_THRESHOLDS",
+    "run_fig9",
+    "format_fig9",
+]
+
+#: Threshold sweep; ``inf`` is the paper's "unfold all" endpoint.
+DEFAULT_THRESHOLDS: tuple[float, ...] = (5, 10, 25, 50, 100, float("inf"))
+
+
+@dataclass(frozen=True)
+class Fig9Point:
+    threshold: float
+    nodes: int
+    stes: int
+    counters: int
+    bit_vectors: int
+
+
+@dataclass
+class Fig9Result:
+    #: suite name -> sweep points
+    series: dict[str, list[Fig9Point]] = field(default_factory=dict)
+    #: cached prepped rules per suite, reusable by Fig. 10
+    prepped: dict[str, list[PreppedRule]] = field(default_factory=dict)
+
+    def reduction(self, suite: str) -> float:
+        """Node-count reduction of the smallest threshold vs unfold-all."""
+        points = self.series[suite]
+        full = points[-1].nodes
+        best = points[0].nodes
+        return 1.0 - best / full if full else 0.0
+
+
+def run_fig9(
+    suites: list[Suite] | None = None,
+    scale: float = 0.25,
+    thresholds: tuple[float, ...] = DEFAULT_THRESHOLDS,
+    prepped: dict[str, list[PreppedRule]] | None = None,
+) -> Fig9Result:
+    """Compile each suite at every threshold and count nodes."""
+    if suites is None:
+        suites = [
+            suite_by_name(name, total=None) for name in APPLICATION_SUITES
+        ]
+        if scale != 1.0:
+            suites = [
+                suite_by_name(s.name, total=max(10, round(len(s.rules) * scale)))
+                for s in suites
+            ]
+    result = Fig9Result()
+    for suite in suites:
+        rules = (prepped or {}).get(suite.name) or prep_rules(suite)
+        result.prepped[suite.name] = rules
+        points: list[Fig9Point] = []
+        for threshold in thresholds:
+            network = emit_suite(rules, threshold, network_id=f"{suite.name}@{threshold}")
+            points.append(
+                Fig9Point(
+                    threshold=threshold,
+                    nodes=network.node_count(),
+                    stes=network.ste_count(),
+                    counters=network.counter_count(),
+                    bit_vectors=network.bit_vector_count(),
+                )
+            )
+        result.series[suite.name] = points
+    return result
+
+
+def format_fig9(result: Fig9Result) -> str:
+    headers = ["Suite", "threshold", "#nodes", "#STE", "#counter", "#bitvector"]
+    rows = []
+    for suite, points in result.series.items():
+        for p in points:
+            label = "all" if p.threshold == float("inf") else f"{p.threshold:g}"
+            rows.append([suite, label, p.nodes, p.stes, p.counters, p.bit_vectors])
+    table = format_table(
+        headers, rows, title="Figure 9: total MNRL nodes vs unfolding threshold"
+    )
+    reductions = ", ".join(
+        f"{suite}: {result.reduction(suite) * 100:.0f}%" for suite in result.series
+    )
+    return table + f"\nnode reduction at smallest threshold vs unfold-all: {reductions}"

@@ -1,0 +1,148 @@
+"""Shared infrastructure for the experiment drivers.
+
+Every table/figure driver returns a plain-data result object and has a
+``format_*`` companion producing the paper-style text table, so the
+benchmark harness, the examples, and EXPERIMENTS.md all render the same
+rows.  ``prep_rules`` factors the analyze-once/emit-many pattern used
+by the threshold sweeps (Figures 9 and 10): re-running the static
+analysis per threshold would only re-derive identical verdicts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from ..analysis.hybrid import analyze
+from ..analysis.result import Method, RegexAnalysisResult
+from ..compiler.emit import Decision, EmitError, emit_network, plan_decisions
+from ..mnrl.network import Network
+from ..regex import charclass as cc
+from ..regex.ast import Regex, Sym, concat, star
+from ..regex.errors import RegexError, UnsupportedFeatureError
+from ..regex.parser import Pattern, parse
+from ..regex.rewrite import simplify
+from ..workloads.synth import Suite
+
+__all__ = [
+    "PreppedRule",
+    "prep_rules",
+    "emit_suite",
+    "format_table",
+    "Stopwatch",
+]
+
+
+class Stopwatch:
+    """Tiny perf_counter wrapper used across the drivers."""
+
+    def __init__(self) -> None:
+        self.start = time.perf_counter()
+
+    def lap_ms(self) -> float:
+        now = time.perf_counter()
+        elapsed = (now - self.start) * 1000.0
+        self.start = now
+        return elapsed
+
+    def elapsed_s(self) -> float:
+        return time.perf_counter() - self.start
+
+
+@dataclass
+class PreppedRule:
+    """A rule parsed, simplified and analyzed once, ready for emission."""
+
+    rule_id: str
+    pattern: Pattern
+    simplified: Regex
+    analysis: RegexAnalysisResult
+    ambiguous: dict[int, bool] = field(default_factory=dict)
+    module_unsafe: frozenset[int] = frozenset()
+
+
+def prep_rules(
+    suite: Suite,
+    method: Method | str = Method.HYBRID,
+    max_pairs: Optional[int] = 2_000_000,
+    strict_modules: bool = True,
+) -> list[PreppedRule]:
+    """Parse + simplify + analyze every supported rule of a suite."""
+    from ..compiler.pipeline import compute_module_unsafe
+
+    prepped: list[PreppedRule] = []
+    for rule in suite.rules:
+        try:
+            parsed = parse(rule.pattern)
+        except (UnsupportedFeatureError, RegexError):
+            continue
+        simplified = simplify(parsed.ast)
+        if parsed.anchored_start:
+            analysis_ast = simplified
+        else:
+            analysis_ast = concat(star(Sym(cc.SIGMA)), simplified)
+        try:
+            analysis = analyze(analysis_ast, method=method, max_pairs=max_pairs)
+        except RuntimeError:
+            continue
+        ambiguous = {r.instance: r.treat_as_ambiguous for r in analysis.instances}
+        prepped.append(
+            PreppedRule(
+                rule_id=rule.rule_id,
+                pattern=parsed,
+                simplified=simplified,
+                analysis=analysis,
+                ambiguous=ambiguous,
+                module_unsafe=compute_module_unsafe(
+                    analysis, ambiguous, strict=strict_modules, max_pairs=max_pairs
+                ),
+            )
+        )
+    return prepped
+
+
+def emit_suite(
+    prepped: Sequence[PreppedRule],
+    unfold_threshold: float,
+    network_id: str = "suite",
+) -> Network:
+    """Emit all prepped rules into one network at a given threshold."""
+    network = Network(network_id)
+    for index, rule in enumerate(prepped):
+        decisions = plan_decisions(
+            rule.simplified, rule.ambiguous, unfold_threshold, rule.module_unsafe
+        )
+        try:
+            emit_network(
+                rule.simplified,
+                decisions,
+                anchored_start=rule.pattern.anchored_start,
+                report_id=rule.rule_id,
+                network=network,
+                prefix=f"r{index}.",
+            )
+        except EmitError:
+            continue
+    return network
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Minimal fixed-width ASCII table used by every formatter."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Experiment: Table 1 -- analysis censuses of the five benchmarks.
+
+Paper row format: benchmark, # total, # supported, # counting,
+# counter-ambiguous.  Our suites are scaled-down synthetics, so the
+formatter shows both absolute counts and the column *fractions* next
+to the paper's -- the fractions are the reproduction target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..analysis.result import Method
+from ..workloads.stats import CensusRow, census
+from ..workloads.synth import PAPER_TABLE1, all_suites
+from .runner import format_table
+
+__all__ = ["Table1Result", "run_table1", "format_table1"]
+
+
+@dataclass
+class Table1Result:
+    rows: list[CensusRow] = field(default_factory=list)
+
+    def row(self, name: str) -> CensusRow:
+        for row in self.rows:
+            if row.name == name:
+                return row
+        raise KeyError(name)
+
+
+def run_table1(
+    scale: float = 0.5,
+    method: Method | str = Method.HYBRID,
+    max_pairs: int | None = 2_000_000,
+) -> Table1Result:
+    """Census all five suites at ``scale`` of their default sizes."""
+    result = Table1Result()
+    for suite in all_suites(scale=scale):
+        result.rows.append(census(suite, method=method, max_pairs=max_pairs))
+    return result
+
+
+def format_table1(result: Table1Result) -> str:
+    headers = [
+        "Benchmark",
+        "#total",
+        "#supported",
+        "#counting",
+        "#c-ambiguous",
+        "supported%",
+        "counting%",
+        "ambiguous%",
+        "paper%",
+    ]
+    rows = []
+    for row in result.rows:
+        paper = PAPER_TABLE1[row.name]
+        sup = row.supported / row.total if row.total else 0.0
+        cnt = row.counting / row.supported if row.supported else 0.0
+        amb = row.ambiguous / row.counting if row.counting else 0.0
+        p_sup = paper["supported"] / paper["total"]
+        p_cnt = paper["counting"] / paper["supported"]
+        p_amb = paper["ambiguous"] / paper["counting"]
+        rows.append(
+            [
+                row.name,
+                row.total,
+                row.supported,
+                row.counting,
+                row.ambiguous,
+                f"{sup:.2f}",
+                f"{cnt:.2f}",
+                f"{amb:.2f}",
+                f"{p_sup:.2f}/{p_cnt:.2f}/{p_amb:.2f}",
+            ]
+        )
+    return format_table(
+        headers, rows, title="Table 1: analysis of regexes in the benchmarks"
+    )

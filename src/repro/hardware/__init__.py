@@ -1,0 +1,34 @@
+"""Augmented-CAMA hardware model: parameters, simulator, mapping, cost."""
+
+from .params import (
+    BIT_VECTOR,
+    CAM_ARRAY,
+    CLOCK_GHZ,
+    COUNTER,
+    ComponentParams,
+    CamaGeometry,
+    GEOMETRY,
+    TECHNOLOGY,
+    THROUGHPUT_GBPS,
+    clock_period_ps,
+    module_delay_slack_ps,
+)
+from .simulator import ActivityStats, NetworkSimulator, ReportEvent, simulate
+
+__all__ = [
+    "ComponentParams",
+    "CAM_ARRAY",
+    "COUNTER",
+    "BIT_VECTOR",
+    "CamaGeometry",
+    "GEOMETRY",
+    "CLOCK_GHZ",
+    "THROUGHPUT_GBPS",
+    "TECHNOLOGY",
+    "clock_period_ps",
+    "module_delay_slack_ps",
+    "NetworkSimulator",
+    "ActivityStats",
+    "ReportEvent",
+    "simulate",
+]

@@ -1,0 +1,154 @@
+"""Structural model of the augmented CAMA bank (Fig. 5).
+
+The physical hierarchy is: bank -> 16 processing arrays -> 8 processing
+elements (PEs) each; every PE contains two 256-STE CAM arrays, two
+local switches, 8 counter modules, and optionally one 2000-bit vector
+module whose bits "can be broken down to segments and used separately
+for counting with small upper bounds" (Section 4.3).
+
+This module provides the allocation containers the mapping algorithm
+fills, with capacity checking against :data:`repro.hardware.params.GEOMETRY`,
+plus occupancy statistics for the cost model (occupied CAM arrays,
+counters in use, bit-vector segments and waste bits).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .params import CamaGeometry, GEOMETRY
+
+__all__ = ["ProcessingElement", "Bank", "BankAllocationError"]
+
+
+class BankAllocationError(Exception):
+    """A placement request exceeded a physical capacity."""
+
+
+@dataclass
+class ProcessingElement:
+    """One PE: STE slots, counter slots, one segmentable bit vector."""
+
+    index: int
+    geometry: CamaGeometry = field(default=GEOMETRY, repr=False)
+    stes: list[str] = field(default_factory=list)
+    counters: list[str] = field(default_factory=list)
+    #: (node id, live bits) segments carved out of the PE's bit vector
+    bv_segments: list[tuple[str, int]] = field(default_factory=list)
+
+    # -- capacities -------------------------------------------------------
+    @property
+    def ste_room(self) -> int:
+        return self.geometry.stes_per_pe - len(self.stes)
+
+    @property
+    def counter_room(self) -> int:
+        return self.geometry.counters_per_pe - len(self.counters)
+
+    @property
+    def bv_bits_used(self) -> int:
+        return sum(bits for _, bits in self.bv_segments)
+
+    @property
+    def bv_bits_room(self) -> int:
+        return self.geometry.bit_vector_bits_per_pe - self.bv_bits_used
+
+    def fits(self, stes: int, counters: int, bv_bits: int) -> bool:
+        return (
+            stes <= self.ste_room
+            and counters <= self.counter_room
+            and bv_bits <= self.bv_bits_room
+        )
+
+    def place(
+        self,
+        stes: list[str],
+        counters: list[str],
+        bv_segments: list[tuple[str, int]],
+    ) -> None:
+        need_bits = sum(bits for _, bits in bv_segments)
+        if not self.fits(len(stes), len(counters), need_bits):
+            raise BankAllocationError(
+                f"PE {self.index} cannot fit {len(stes)} STEs / "
+                f"{len(counters)} counters / {need_bits} bv bits"
+            )
+        self.stes.extend(stes)
+        self.counters.extend(counters)
+        self.bv_segments.extend(bv_segments)
+
+    # -- occupancy statistics ------------------------------------------------
+    @property
+    def cam_arrays_used(self) -> int:
+        """CAM arrays powered in this PE (256 STEs each, up to 2)."""
+        return math.ceil(len(self.stes) / self.geometry.stes_per_cam_array)
+
+    @property
+    def has_bit_vector_module(self) -> bool:
+        return bool(self.bv_segments)
+
+    @property
+    def bv_waste_bits(self) -> int:
+        """Unused bits of the PE's bit-vector module, if powered.
+
+        This is the per-PE contribution to the "waste" series in
+        Figure 10's area plot.
+        """
+        if not self.bv_segments:
+            return 0
+        return self.geometry.bit_vector_bits_per_pe - self.bv_bits_used
+
+
+@dataclass
+class Bank:
+    """A full CAMA bank: a growable pool of PEs grouped into arrays.
+
+    ``new_pe`` grows the pool; callers may exceed one physical bank, in
+    which case the occupancy statistics simply report multiple banks
+    (large rulesets span banks in deployment too).
+    """
+
+    geometry: CamaGeometry = field(default=GEOMETRY, repr=False)
+    pes: list[ProcessingElement] = field(default_factory=list)
+
+    def new_pe(self) -> ProcessingElement:
+        pe = ProcessingElement(index=len(self.pes), geometry=self.geometry)
+        self.pes.append(pe)
+        return pe
+
+    # -- occupancy statistics ------------------------------------------------
+    @property
+    def pes_used(self) -> int:
+        return len(self.pes)
+
+    @property
+    def arrays_used(self) -> int:
+        return math.ceil(self.pes_used / self.geometry.pes_per_array)
+
+    @property
+    def banks_used(self) -> int:
+        return max(1, math.ceil(self.pes_used / self.geometry.pes_per_bank))
+
+    @property
+    def cam_arrays_used(self) -> int:
+        return sum(pe.cam_arrays_used for pe in self.pes)
+
+    @property
+    def ste_count(self) -> int:
+        return sum(len(pe.stes) for pe in self.pes)
+
+    @property
+    def counter_count(self) -> int:
+        return sum(len(pe.counters) for pe in self.pes)
+
+    @property
+    def bv_modules_used(self) -> int:
+        return sum(1 for pe in self.pes if pe.has_bit_vector_module)
+
+    @property
+    def bv_bits_used(self) -> int:
+        return sum(pe.bv_bits_used for pe in self.pes)
+
+    @property
+    def bv_waste_bits(self) -> int:
+        return sum(pe.bv_waste_bits for pe in self.pes)

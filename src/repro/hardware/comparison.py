@@ -1,0 +1,79 @@
+"""Memory-cost comparison against prior in-memory NFA architectures.
+
+Section 1 and Section 4.1 quantify the landscape the codesign enters:
+
+* AP and Cache Automaton store one 256-bit column per STE ("each STE
+  uses 256 memory bits for 8-bit symbols");
+* Impala's multi-stride encoding reduces that to two 16x256 SRAMs per
+  256 STEs (32 bits/STE), CAMA's CAM encoding to roughly one 16x256
+  8-transistor CAM (~16 bits/STE);
+* so "a modest counting operator with upper limit 1024 requires at
+  least 16384 memory bits [on Impala/CAMA], while the information
+  required for implementing the operator may be only 10 bits".
+
+:func:`counting_memory_bits` reproduces that arithmetic per
+architecture and per implementation strategy; the augmented design
+charges ``ceil(log2(n+1))`` bits for a counter-unambiguous occurrence
+and ``n`` bits for a bit-vector one.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "Architecture",
+    "ARCHITECTURES",
+    "ste_memory_bits",
+    "counting_memory_bits",
+    "information_theoretic_bits",
+]
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """A prior in-memory automata accelerator's per-STE memory cost."""
+
+    name: str
+    bits_per_ste: int
+    note: str
+
+
+ARCHITECTURES = (
+    Architecture("AP", 256, "256-bit RAM column per STE (one-hot symbol rows)"),
+    Architecture("CA", 256, "cache-slice RAM columns, same 256-bit encoding"),
+    Architecture("Impala", 32, "two 16x256 6T SRAMs per 256 STEs (4-bit stride encoding)"),
+    Architecture("CAMA", 16, "one 16x256 8T CAM per 256 STEs"),
+)
+
+
+def ste_memory_bits(architecture: str) -> int:
+    for arch in ARCHITECTURES:
+        if arch.name == architecture:
+            return arch.bits_per_ste
+    raise KeyError(architecture)
+
+
+def counting_memory_bits(
+    architecture: str, bound: int, strategy: str = "unfold"
+) -> int:
+    """Memory bits one occurrence ``r{0..bound}`` costs.
+
+    ``strategy``: ``unfold`` (bound STEs, what all prior architectures
+    do), ``counter`` (one log-width register, counter-unambiguous), or
+    ``bitvector`` (bound bits, counter-ambiguous).
+    """
+    if strategy == "unfold":
+        return bound * ste_memory_bits(architecture)
+    if strategy == "counter":
+        return math.ceil(math.log2(bound + 1))
+    if strategy == "bitvector":
+        return bound
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def information_theoretic_bits(bound: int) -> int:
+    """Bits needed to represent one count in ``[0, bound]`` -- the
+    paper's "may be only 10 bits" for bound 1024."""
+    return math.ceil(math.log2(bound + 1))

@@ -1,0 +1,206 @@
+"""Energy/area accounting driven by Table 2 (the Figures 8 & 10 math).
+
+Two granularities are provided:
+
+* ``per_ste`` -- charges CAM energy/area proportionally to the STE
+  count (one 256-STE array amortized per STE).  Used for the Fig. 8
+  micro-benchmarks, which compare one isolated repetition against its
+  unfolding and whose published curves are smooth in n.
+* ``mapped`` -- charges whole occupied CAM arrays, counters, and
+  2000-bit vector modules from an actual placement
+  (:class:`~repro.compiler.mapping.NetworkMapping`), including the
+  *waste* bits of partially used bit-vector modules.  Used for the
+  Fig. 10 application benchmarks.
+
+Energy model recap (see DESIGN.md decision 6): every occupied CAM
+array performs one search per input byte; a counter spends one op's
+energy on cycles where its ports see events; a bit-vector module
+spends energy weighted by its live-bit fraction on cycles where it
+shifts or resets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .params import BIT_VECTOR, CAM_ARRAY, COUNTER, GEOMETRY, CamaGeometry
+from .simulator import ActivityStats
+
+__all__ = [
+    "AreaReport",
+    "EnergyReport",
+    "area_per_ste",
+    "area_of_mapping",
+    "energy_of_run",
+    "energy_per_byte_upper_bound",
+    "unfolded_cost",
+    "counter_cost",
+    "bit_vector_cost",
+    "MicrobenchPoint",
+]
+
+FJ_PER_NJ = 1e6
+UM2_PER_MM2 = 1e6
+
+
+@dataclass(frozen=True)
+class AreaReport:
+    """Area breakdown in um^2 (helpers convert to mm^2)."""
+
+    cam_um2: float
+    counter_um2: float
+    bit_vector_um2: float
+    waste_um2: float = 0.0
+
+    @property
+    def total_um2(self) -> float:
+        return self.cam_um2 + self.counter_um2 + self.bit_vector_um2 + self.waste_um2
+
+    @property
+    def total_mm2(self) -> float:
+        return self.total_um2 / UM2_PER_MM2
+
+    @property
+    def waste_mm2(self) -> float:
+        return self.waste_um2 / UM2_PER_MM2
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy breakdown in fJ with per-byte views."""
+
+    cam_fj: float
+    counter_fj: float
+    bit_vector_fj: float
+    bytes_processed: int
+
+    @property
+    def total_fj(self) -> float:
+        return self.cam_fj + self.counter_fj + self.bit_vector_fj
+
+    @property
+    def nj_per_byte(self) -> float:
+        if self.bytes_processed == 0:
+            return 0.0
+        return self.total_fj / self.bytes_processed / FJ_PER_NJ
+
+
+# ----------------------------------------------------------------------
+# Fig. 8 micro-benchmark arithmetic (per-STE granularity)
+# ----------------------------------------------------------------------
+def area_per_ste(ste_count: int, geometry: CamaGeometry = GEOMETRY) -> float:
+    """CAM area in um^2, amortized per STE slot."""
+    return ste_count * CAM_ARRAY.area_um2 / geometry.stes_per_cam_array
+
+
+def unfolded_cost(
+    n_stes: int, geometry: CamaGeometry = GEOMETRY
+) -> tuple[float, float]:
+    """(energy fJ/byte, area um^2) of an n-STE unfolded repetition.
+
+    Every byte triggers a search over the STEs' share of CAM columns.
+    """
+    energy = n_stes * CAM_ARRAY.energy_fj / geometry.stes_per_cam_array
+    return energy, area_per_ste(n_stes, geometry)
+
+
+def counter_cost() -> tuple[float, float]:
+    """(energy fJ/byte, area um^2) of one counter module.
+
+    The counter is charged one op per byte -- the worst case, in which
+    its repetition advances on every input symbol (as in the ``a{n}``
+    micro-benchmark on an all-``a`` stream).
+    """
+    return COUNTER.energy_fj, COUNTER.area_um2
+
+
+def bit_vector_cost(
+    live_bits: int, geometry: CamaGeometry = GEOMETRY
+) -> tuple[float, float]:
+    """(energy fJ/byte, area um^2) of a bit vector sized to ``live_bits``.
+
+    Fig. 8 sizes the vector to the repetition bound n per data point;
+    energy and area scale with the live-bit fraction of the 2000-bit
+    module characterized in Table 2.
+    """
+    fraction = live_bits / geometry.bit_vector_bits_per_pe
+    return BIT_VECTOR.energy_fj * fraction, BIT_VECTOR.area_um2 * fraction
+
+
+@dataclass(frozen=True)
+class MicrobenchPoint:
+    """One x-position of Fig. 8: module vs unfolding at bound n."""
+
+    n: int
+    module_energy_fj: float
+    module_area_um2: float
+    unfold_energy_fj: float
+    unfold_area_um2: float
+
+    @property
+    def energy_ratio(self) -> float:
+        return self.unfold_energy_fj / self.module_energy_fj
+
+    @property
+    def area_ratio(self) -> float:
+        return self.unfold_area_um2 / self.module_area_um2
+
+
+# ----------------------------------------------------------------------
+# Fig. 10 application-benchmark arithmetic (mapped granularity)
+# ----------------------------------------------------------------------
+def area_of_mapping(mapping) -> AreaReport:
+    """Area of a placed network, waste included.
+
+    ``mapping`` is a :class:`repro.compiler.mapping.NetworkMapping`
+    (duck-typed to avoid an import cycle).  Occupied CAM arrays are
+    charged whole; each PE hosting bit-vector segments is charged one
+    whole 2000-bit module, split into used and waste shares.
+    """
+    bank = mapping.bank
+    geometry = bank.geometry
+    cam = bank.cam_arrays_used * CAM_ARRAY.area_um2
+    counters = bank.counter_count * COUNTER.area_um2
+    module_bits = geometry.bit_vector_bits_per_pe
+    used_um2 = bank.bv_bits_used / module_bits * BIT_VECTOR.area_um2
+    waste_um2 = bank.bv_waste_bits / module_bits * BIT_VECTOR.area_um2
+    return AreaReport(
+        cam_um2=cam,
+        counter_um2=counters,
+        bit_vector_um2=used_um2,
+        waste_um2=waste_um2,
+    )
+
+
+def energy_of_run(stats: ActivityStats, mapping) -> EnergyReport:
+    """Energy of one simulated run over a placed network."""
+    bank = mapping.bank
+    cam = bank.cam_arrays_used * stats.cycles * CAM_ARRAY.energy_fj
+    counters = stats.counter_ops * COUNTER.energy_fj
+    module_bits = bank.geometry.bit_vector_bits_per_pe
+    # weighted ops already accumulate hi/size per op; rescale from the
+    # node's allocated size to the physical module size
+    bit_vectors = stats.bit_vector_weighted_ops * BIT_VECTOR.energy_fj
+    return EnergyReport(
+        cam_fj=cam,
+        counter_fj=counters,
+        bit_vector_fj=bit_vectors,
+        bytes_processed=stats.cycles,
+    )
+
+
+def energy_per_byte_upper_bound(mapping) -> float:
+    """Static worst-case nJ/byte (all modules active every cycle).
+
+    Useful when comparing configurations without simulating: the CAM
+    term dominates and is exact; module terms are upper bounds.
+    """
+    bank = mapping.bank
+    module_bits = bank.geometry.bit_vector_bits_per_pe
+    fj = (
+        bank.cam_arrays_used * CAM_ARRAY.energy_fj
+        + bank.counter_count * COUNTER.energy_fj
+        + bank.bv_bits_used / module_bits * BIT_VECTOR.energy_fj
+    )
+    return fj / FJ_PER_NJ

@@ -1,0 +1,315 @@
+"""Functional cycle simulator for augmented-CAMA networks.
+
+The paper "modified the open-source simulator VASim to simulate the
+hardware performance of our counter- and bit-vector-augmented CAMA
+design" (Section 4.3).  This module is that simulator, rebuilt: it
+executes an MNRL-style :class:`~repro.mnrl.network.Network` one symbol
+per clock cycle, following the two-phase in-memory architecture of
+Section 4.1:
+
+1. *state matching* -- every enabled STE whose symbol set contains the
+   input byte activates;
+2. *state transition* -- activations propagate through the (modeled)
+   switch network to compute next-cycle enables, and through the
+   counter/bit-vector modules, whose updates and output signals
+   complete within the same cycle (their delays fit the 325 ps
+   critical path, Table 2).
+
+Module port timing: ``fst``/``lst``/``body`` inputs are same-cycle;
+``pre`` inputs are latched one cycle (see :mod:`repro.mnrl.nodes`).
+Module-to-module same-cycle signals (nested repetitions) are resolved
+in topological order, computed once at load time.
+
+Besides report events the simulator gathers the per-component activity
+statistics that the cost model turns into the energy numbers of
+Figures 8 and 10.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..mnrl.network import Network
+from ..mnrl.nodes import BitVectorNode, CounterNode, STE, StartType
+from .params import GEOMETRY
+
+__all__ = ["ReportEvent", "ActivityStats", "NetworkSimulator", "simulate"]
+
+
+@dataclass(frozen=True)
+class ReportEvent:
+    """A report fired at ``position`` (1-based count of consumed bytes)."""
+
+    position: int
+    node_id: str
+    report_id: Optional[str]
+
+
+@dataclass
+class ActivityStats:
+    """Per-run activity counters consumed by the cost model."""
+
+    cycles: int = 0
+    ste_activations: int = 0
+    counter_ops: int = 0
+    bit_vector_ops: int = 0
+    #: per-module live-bit-weighted ops: sum over cycles of hi/size
+    bit_vector_weighted_ops: float = 0.0
+    reports: int = 0
+
+
+class _CounterState:
+    __slots__ = ("count", "prev_pre")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.prev_pre = False
+
+
+class _BitVectorState:
+    __slots__ = ("mask", "prev_pre")
+
+    def __init__(self) -> None:
+        self.mask = 0
+        self.prev_pre = False
+
+
+def _range_mask(lo: int, hi: int) -> int:
+    """Mask of count values ``lo..hi`` (count ``v`` lives at bit v-1)."""
+    if hi < lo or hi < 1:
+        return 0
+    lo = max(lo, 1)
+    return ((1 << (hi - lo + 1)) - 1) << (lo - 1)
+
+
+class NetworkSimulator:
+    """Executes a network byte-per-cycle with activity accounting."""
+
+    def __init__(self, network: Network):
+        network.validate()
+        self.network = network
+        self._build_wiring()
+        self.stats = ActivityStats()
+        self.reports: list[ReportEvent] = []
+        self.reset()
+
+    # -- static wiring ---------------------------------------------------------
+    def _build_wiring(self) -> None:
+        net = self.network
+        self.stes = {n.id: n for n in net.stes()}
+        self.modules = {
+            n.id: n for n in net.nodes.values() if not isinstance(n, STE)
+        }
+        # signal fan-outs
+        self.ste_to_stes: dict[str, list[str]] = defaultdict(list)
+        self.ste_to_module_ports: dict[str, list[tuple[str, str]]] = defaultdict(list)
+        self.module_out_to_stes: dict[tuple[str, str], list[str]] = defaultdict(list)
+        self.module_out_to_ports: dict[tuple[str, str], list[tuple[str, str]]] = (
+            defaultdict(list)
+        )
+        same_cycle_deps: dict[str, set[str]] = defaultdict(set)
+        for conn in net.connections:
+            src_is_ste = conn.source in self.stes
+            dst_is_ste = conn.target in self.stes
+            if src_is_ste and dst_is_ste:
+                self.ste_to_stes[conn.source].append(conn.target)
+            elif src_is_ste:
+                self.ste_to_module_ports[conn.source].append(
+                    (conn.target, conn.target_port)
+                )
+            elif dst_is_ste:
+                self.module_out_to_stes[(conn.source, conn.source_port)].append(
+                    conn.target
+                )
+            else:
+                self.module_out_to_ports[(conn.source, conn.source_port)].append(
+                    (conn.target, conn.target_port)
+                )
+                if conn.target_port != "pre":  # pre is latched, breaks the cycle
+                    same_cycle_deps[conn.target].add(conn.source)
+        self.module_order = self._topo_order(same_cycle_deps)
+
+    def _topo_order(self, deps: dict[str, set[str]]) -> list[str]:
+        order: list[str] = []
+        visiting: set[str] = set()
+        done: set[str] = set()
+
+        def visit(module_id: str) -> None:
+            if module_id in done:
+                return
+            if module_id in visiting:
+                raise ValueError("combinational cycle between modules")
+            visiting.add(module_id)
+            for dep in deps.get(module_id, ()):
+                visit(dep)
+            visiting.discard(module_id)
+            done.add(module_id)
+            order.append(module_id)
+
+        for module_id in self.modules:
+            visit(module_id)
+        return order
+
+    # -- dynamic state -----------------------------------------------------------
+    def reset(self) -> None:
+        self.cycle = 0
+        # Only enabled STEs are examined each cycle: the CAM hardware
+        # searches every occupied array regardless (the cost model
+        # charges that), but the *functional* outcome only depends on
+        # enabled states, and real rulesets keep that set small.
+        self.always_enabled: list[str] = [
+            ste_id
+            for ste_id, ste in self.stes.items()
+            if ste.start is StartType.ALL_INPUT
+        ]
+        self.start_of_data: list[str] = [
+            ste_id
+            for ste_id, ste in self.stes.items()
+            if ste.start is StartType.START_OF_DATA
+        ]
+        self.enabled: set[str] = set()
+        self.module_state: dict[str, _CounterState | _BitVectorState] = {}
+        for module_id, module in self.modules.items():
+            if isinstance(module, CounterNode):
+                state = _CounterState()
+            else:
+                state = _BitVectorState()
+            # START_OF_DATA acts as a virtual `pre` before the first
+            # symbol; ALL_INPUT re-arms it every cycle (see step()).
+            state.prev_pre = module.start in (
+                StartType.START_OF_DATA,
+                StartType.ALL_INPUT,
+            )
+            self.module_state[module_id] = state
+        self.stats = ActivityStats()
+        self.reports = []
+
+    # -- one cycle ------------------------------------------------------------
+    def step(self, byte: int) -> list[ReportEvent]:
+        position = self.cycle + 1
+        events: list[ReportEvent] = []
+
+        # Phase 1: state matching over the enabled set.
+        candidates = self.enabled.union(self.always_enabled)
+        if self.cycle == 0:
+            candidates.update(self.start_of_data)
+        active: list[str] = []
+        for ste_id in candidates:
+            if byte in self.stes[ste_id].symbol_set:
+                active.append(ste_id)
+        self.stats.ste_activations += len(active)
+
+        # Collect STE-driven signals.
+        next_enabled: set[str] = set()
+        port_signals: dict[tuple[str, str], bool] = defaultdict(bool)
+        for ste_id in active:
+            ste = self.stes[ste_id]
+            if ste.report:
+                events.append(ReportEvent(position, ste_id, ste.report_id))
+            for target in self.ste_to_stes[ste_id]:
+                next_enabled.add(target)
+            for target_port in self.ste_to_module_ports[ste_id]:
+                port_signals[target_port] = True
+
+        # Phase 2: module updates in same-cycle topological order.
+        for module_id in self.module_order:
+            module = self.modules[module_id]
+            state = self.module_state[module_id]
+            fired: dict[str, bool] = {}
+            if isinstance(module, CounterNode):
+                fst = port_signals[(module_id, "fst")]
+                lst = port_signals[(module_id, "lst")]
+                if fst or lst:
+                    self.stats.counter_ops += 1
+                if fst:
+                    if state.prev_pre:
+                        state.count = 1  # new pass; reset wins
+                    else:
+                        state.count += 1  # loop-back completed a pass
+                fired["en_out"] = lst and module.lo <= state.count <= module.hi
+                fired["en_fst"] = lst and state.count < module.hi
+            else:
+                assert isinstance(module, BitVectorNode)
+                body = port_signals[(module_id, "body")]
+                if body or state.mask:
+                    self.stats.bit_vector_ops += 1
+                    # live-bit fraction of the physical 2000-bit module
+                    # (Table 2 characterizes the full module; a shift
+                    # over k live bits toggles k/2000 of the register)
+                    self.stats.bit_vector_weighted_ops += (
+                        module.hi / GEOMETRY.bit_vector_bits_per_pe
+                    )
+                if body:
+                    live = _range_mask(1, module.hi)
+                    state.mask = (state.mask << 1) & live
+                    if state.prev_pre:
+                        state.mask |= 1  # setFirst: a token entered, count 1
+                else:
+                    state.mask = 0  # reset: in-flight tokens died
+                fired["en_out"] = bool(state.mask & _range_mask(module.lo, module.hi))
+                fired["en_body"] = bool(state.mask & _range_mask(1, module.hi - 1))
+
+            if fired.get("en_out") and module.report:
+                events.append(ReportEvent(position, module_id, module.report_id))
+            for port, value in fired.items():
+                if not value:
+                    continue
+                for target in self.module_out_to_stes[(module_id, port)]:
+                    next_enabled.add(target)
+                for target_port in self.module_out_to_ports[(module_id, port)]:
+                    port_signals[target_port] = True
+
+        # Latch `pre` inputs for the next cycle.  This happens after
+        # *all* modules ran because `pre` may be driven by any module's
+        # output regardless of evaluation order (it is a latched port
+        # and deliberately excluded from the topological constraints).
+        # ALL_INPUT modules re-arm entry every cycle.
+        for module_id, module in self.modules.items():
+            state = self.module_state[module_id]
+            pre = (
+                port_signals[(module_id, "pre")]
+                or module.start is StartType.ALL_INPUT
+            )
+            state.prev_pre = pre
+            if pre and isinstance(module, BitVectorNode):
+                # entry next cycle: make sure the body STE is enabled
+                for target in self.module_out_to_stes[(module_id, "en_body")]:
+                    next_enabled.add(target)
+
+        self.enabled = next_enabled
+        self.cycle += 1
+        self.stats.cycles += 1
+        self.stats.reports += len(events)
+        self.reports.extend(events)
+        return events
+
+    def run(self, data: bytes | str) -> list[ReportEvent]:
+        if isinstance(data, str):
+            data = data.encode("latin-1")
+        for byte in data:
+            self.step(byte)
+        return self.reports
+
+    def match_ends(self, data: bytes | str) -> list[int]:
+        """Distinct report positions, for differential testing."""
+        self.reset()
+        self.run(data)
+        return sorted({event.position for event in self.reports})
+
+    def distinct_reports(self) -> set[tuple[int, Optional[str]]]:
+        """Distinct ``(position, report_id)`` pairs of the current run.
+
+        Unfolded repetitions have one reporting STE per optional copy,
+        so raw event counts inflate with the unfolding depth; distinct
+        pairs are the threshold-invariant "matches found" figure.
+        """
+        return {(event.position, event.report_id) for event in self.reports}
+
+
+def simulate(network: Network, data: bytes | str) -> tuple[list[ReportEvent], ActivityStats]:
+    """One-shot convenience: run ``data`` through ``network``."""
+    sim = NetworkSimulator(network)
+    reports = sim.run(data)
+    return reports, sim.stats

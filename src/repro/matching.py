@@ -1,0 +1,197 @@
+"""High-level matching facade: compile once, scan many streams.
+
+This is the downstream-user entry point: hand it a rule set, get back
+per-rule match results plus the hardware resource/energy story, without
+touching the compiler, mapping, or simulator layers directly.
+
+Example::
+
+    matcher = RulesetMatcher([
+        ("overlong-header", r"\\n[^\\r\\n]{256,1024}"),
+        ("shellcode-nop",  r"\\x90{16,64}"),
+    ])
+    result = matcher.scan(payload)
+    result.matched_rules()           # {'overlong-header'}
+    result.matches["overlong-header"]  # [match end offsets]
+    matcher.resources().cam_arrays   # hardware footprint
+    result.energy_nj_per_byte        # Table 2-based estimate
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from .analysis.result import Method
+from .compiler.mapping import NetworkMapping, map_network
+from .compiler.pipeline import CompiledRuleset, compile_ruleset
+from .hardware.cost import AreaReport, area_of_mapping, energy_of_run
+from .hardware.simulator import NetworkSimulator
+
+__all__ = ["RulesetMatcher", "PatternMatcher", "ScanResult", "ResourceSummary"]
+
+
+@dataclass
+class ScanResult:
+    """Outcome of scanning one input stream."""
+
+    bytes_scanned: int
+    #: rule id -> sorted distinct match end offsets (1-based)
+    matches: dict[str, list[int]] = field(default_factory=dict)
+    energy_nj_per_byte: float = 0.0
+
+    def matched_rules(self) -> set[str]:
+        return set(self.matches)
+
+    def total_matches(self) -> int:
+        return sum(len(ends) for ends in self.matches.values())
+
+
+@dataclass(frozen=True)
+class ResourceSummary:
+    """Static hardware footprint of the compiled rule set."""
+
+    rules_compiled: int
+    rules_skipped: int
+    stes: int
+    counters: int
+    bit_vectors: int
+    cam_arrays: int
+    pes: int
+    area_mm2: float
+    waste_mm2: float
+
+
+class RulesetMatcher:
+    """Compile a rule set to augmented-CAMA form and scan streams.
+
+    Args:
+        rules: pattern strings or ``(rule_id, pattern)`` pairs; rules
+            with unsupported features are skipped and listed in
+            :attr:`skipped`.
+        unfold_threshold: Figure 9/10 knob (0 = maximal module use).
+        method: which static analysis drives module selection.
+        strict_modules: keep the body-level single-token gate on
+            (recommended; see ``repro.analysis.module_safety``).
+    """
+
+    def __init__(
+        self,
+        rules: Iterable[str] | Sequence[tuple[str, str]],
+        unfold_threshold: float = 0,
+        method: Method | str = Method.HYBRID,
+        strict_modules: bool = True,
+        max_pairs: Optional[int] = 2_000_000,
+    ):
+        self.ruleset: CompiledRuleset = compile_ruleset(
+            rules,
+            unfold_threshold=unfold_threshold,
+            method=method,
+            strict_modules=strict_modules,
+            max_pairs=max_pairs,
+        )
+        self.mapping: NetworkMapping = map_network(self.ruleset.network)
+        self._area: AreaReport = area_of_mapping(self.mapping)
+        # `$`-anchored rules match only when the report position is the
+        # final byte of the stream; the hardware reports every prefix
+        # end, so the facade filters (real deployments gate the report
+        # vector with an end-of-data strobe the same way)
+        self._end_anchored: set[str] = {
+            compiled.report_id
+            for compiled in self.ruleset.patterns
+            if compiled.pattern.anchored_end
+        }
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def skipped(self) -> list[tuple[str, str]]:
+        return self.ruleset.skipped
+
+    def resources(self) -> ResourceSummary:
+        bank = self.mapping.bank
+        return ResourceSummary(
+            rules_compiled=len(self.ruleset.patterns),
+            rules_skipped=len(self.ruleset.skipped),
+            stes=self.ruleset.network.ste_count(),
+            counters=self.ruleset.network.counter_count(),
+            bit_vectors=self.ruleset.network.bit_vector_count(),
+            cam_arrays=bank.cam_arrays_used,
+            pes=bank.pes_used,
+            area_mm2=self._area.total_mm2,
+            waste_mm2=self._area.waste_mm2,
+        )
+
+    def empty_match_rules(self) -> set[str]:
+        """Rules that match the empty string (they trivially match at
+        every offset; the hardware does not report those)."""
+        return {
+            compiled.report_id
+            for compiled in self.ruleset.patterns
+            if compiled.matches_empty
+        }
+
+    # -- scanning ------------------------------------------------------------
+    def scan(self, data: bytes | str) -> ScanResult:
+        """Run one stream through the simulated hardware."""
+        if isinstance(data, str):
+            data = data.encode("latin-1")
+        sim = NetworkSimulator(self.ruleset.network)
+        sim.run(data)
+        matches: dict[str, set[int]] = {}
+        for position, rule_id in sim.distinct_reports():
+            rule = rule_id or "?"
+            if rule in self._end_anchored and position != len(data):
+                continue
+            matches.setdefault(rule, set()).add(position)
+        energy = energy_of_run(sim.stats, self.mapping)
+        return ScanResult(
+            bytes_scanned=len(data),
+            matches={rule: sorted(ends) for rule, ends in matches.items()},
+            energy_nj_per_byte=energy.nj_per_byte,
+        )
+
+    def matched_rules(self, data: bytes | str) -> set[str]:
+        """Convenience: just the ids of rules that matched."""
+        return self.scan(data).matched_rules()
+
+
+class PatternMatcher:
+    """Single-pattern matcher with full anchor semantics.
+
+    Wraps the compiled hardware for one pattern and answers the two
+    standard questions:
+
+    * :meth:`search` -- streaming match ends anywhere in the data
+      (``^``/``$`` respected);
+    * :meth:`matches` -- whole-string membership, i.e. the pattern
+      matched somewhere with its anchors satisfied (for a ``^...$``
+      pattern this is exact-string matching).
+    """
+
+    def __init__(self, pattern: str, **kwargs):
+        from .compiler.pipeline import compile_pattern
+
+        self.compiled = compile_pattern(pattern, report_id="p", **kwargs)
+        self._sim = NetworkSimulator(self.compiled.network)
+
+    def search(self, data: bytes | str) -> list[int]:
+        """Distinct *nonempty* match-end offsets (1-based), anchors
+        respected.  Empty matches (nullable patterns) are not listed --
+        consult :meth:`matches` / ``compiled.matches_empty`` for those.
+        """
+        if isinstance(data, str):
+            data = data.encode("latin-1")
+        ends = self._sim.match_ends(data)
+        if self.compiled.pattern.anchored_end:
+            ends = [e for e in ends if e == len(data)]
+        return ends
+
+    def matches(self, data: bytes | str) -> bool:
+        """True iff the pattern matches within ``data`` (anchors kept).
+
+        Nullable patterns match trivially (the empty match is available
+        at every offset, or at end-of-data for ``$``-anchored ones).
+        """
+        if self.compiled.matches_empty:
+            return True
+        return bool(self.search(data))

@@ -1,0 +1,33 @@
+"""MNRL-style automaton networks, extended with counter/bit-vector nodes."""
+
+from .network import Connection, Network
+from .nodes import (
+    BitVectorNode,
+    CounterNode,
+    INPUT_PORTS,
+    Node,
+    OUTPUT_PORTS,
+    PortDirection,
+    STE,
+    StartType,
+)
+from .serialize import dumps, load, loads, network_from_dict, network_to_dict, save
+
+__all__ = [
+    "Network",
+    "Connection",
+    "STE",
+    "CounterNode",
+    "BitVectorNode",
+    "Node",
+    "StartType",
+    "PortDirection",
+    "INPUT_PORTS",
+    "OUTPUT_PORTS",
+    "network_to_dict",
+    "network_from_dict",
+    "dumps",
+    "loads",
+    "save",
+    "load",
+]

@@ -1,0 +1,185 @@
+"""MNRL-style node types, extended with counter and bit-vector elements.
+
+MNRL [Angstadt et al. 2017] is the open JSON interchange format for
+automata processors; the paper's compiler emits MNRL and "extend[s] the
+MNRL format by adding syntax for counters and bit vectors" because the
+stock ``upCounter`` cannot distinguish counter-ambiguous from
+counter-unambiguous repetition (Section 4.2).
+
+Node types:
+
+* :class:`STE` -- a state transition element: one character class, an
+  enable input, an activate output (MNRL ``hState``);
+* :class:`CounterNode` -- the paper's counter module (Fig. 6): inputs
+  ``pre``/``fst``/``lst``, outputs ``en_fst``/``en_out``, programmed
+  with the repetition bounds ``[lo, hi]``;
+* :class:`BitVectorNode` -- the paper's bit-vector module (Fig. 7):
+  inputs ``pre``/``body``, outputs ``en_body``/``en_out``, a
+  serial-in-parallel-out shift register of ``hi`` live bits supporting
+  reset / setFirst / shift / disjunct.
+
+Port timing convention (matches the hardware, Section 4.3: "state
+matching and counter/bit-vector operations can be performed within a
+single clock cycle"): ``fst``/``lst``/``body`` are same-cycle signals,
+``pre`` is latched (the module reacts to ``pre`` one cycle later), and
+``en_*`` outputs enable downstream STEs for the *next* cycle while
+feeding nested modules' same-cycle inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from ..regex.charclass import CharClass
+
+__all__ = [
+    "StartType",
+    "PortDirection",
+    "STE",
+    "CounterNode",
+    "BitVectorNode",
+    "Node",
+    "INPUT_PORTS",
+    "OUTPUT_PORTS",
+]
+
+
+class StartType(Enum):
+    """STE/module start behaviour (AP terminology).
+
+    ``NONE``: enabled only by incoming signals.  ``START_OF_DATA``:
+    additionally enabled on the first symbol (anchored ``^``).
+    ``ALL_INPUT``: enabled on every symbol (the implicit ``Sigma*``
+    prefix of unanchored search patterns, without wasting an STE on a
+    Sigma self-loop).
+    """
+
+    NONE = "none"
+    START_OF_DATA = "start-of-data"
+    ALL_INPUT = "all-input"
+
+
+class PortDirection(Enum):
+    IN = "in"
+    OUT = "out"
+
+
+@dataclass
+class STE:
+    """State transition element: a homogeneous NFA state in memory.
+
+    ``symbol_set`` is the predicate stored in the CAM/RAM column;
+    ``report`` marks accepting STEs (reports fire on activation).
+    """
+
+    id: str
+    symbol_set: CharClass
+    start: StartType = StartType.NONE
+    report: bool = False
+    report_id: Optional[str] = None
+
+    kind = "hState"
+
+
+@dataclass
+class CounterNode:
+    """Counter module for counter-unambiguous repetition (Fig. 6).
+
+    Semantics per processing cycle (1-based iteration count ``c``):
+
+    * ``fst`` active and ``pre`` was active last cycle -> ``c := 1``
+      (a new pass begins; reset-wins, as in the paper's constraint 1);
+    * ``fst`` active and ``pre`` was not active last cycle -> ``c++``
+      (a loop-back completed one pass; constraint 2);
+    * ``en_out`` fires iff ``lst`` is active and ``lo <= c <= hi``
+      (constraint 3);
+    * ``en_fst`` fires iff ``lst`` is active and ``c < hi``
+      (constraint 4 -- another pass is still allowed).
+
+    The paper words constraints 3-4 on a 0-based completed-loop count;
+    holding the 1-based pass index instead is the same circuit with
+    shifted comparator constants (see DESIGN.md, decision 5).
+    ``start`` plays the role of an always/at-start ``pre`` for
+    repetitions at the beginning of the pattern.
+    """
+
+    id: str
+    lo: int
+    hi: int
+    start: StartType = StartType.NONE
+    report: bool = False
+    report_id: Optional[str] = None
+    #: physical register width in bits (Table 2 uses 17-bit counters)
+    width: int = 17
+
+    kind = "counter"
+
+    def __post_init__(self):
+        if not (0 <= self.lo <= self.hi):
+            raise ValueError(f"bad counter bounds [{self.lo}, {self.hi}]")
+        if self.hi >= (1 << self.width):
+            raise ValueError(
+                f"bound {self.hi} does not fit in a {self.width}-bit counter"
+            )
+
+
+@dataclass
+class BitVectorNode:
+    """Bit-vector module for counter-ambiguous repetition (Fig. 7).
+
+    Holds a shift register ``v`` with ``hi`` live bits; bit ``i``
+    (1-based) says "a token with count ``i`` is present".  Per cycle:
+
+    * body STE active: ``v := shift(v)``, then ``setFirst`` if ``pre``
+      was active last cycle (a new token entered with count 1);
+    * body STE inactive: ``reset`` (all in-flight tokens died);
+    * ``en_out`` = disjunct of bits ``lo..hi`` (exit allowed);
+    * ``en_body`` = ``pre`` active now, or disjunct of bits
+      ``1..hi-1`` (some token may still iterate).
+
+    ``size`` is the *allocated* physical length (the hardware provides
+    2000-bit modules that "can be broken down to segments"; unused bits
+    are the "waste" series of Fig. 10).
+    """
+
+    id: str
+    lo: int
+    hi: int
+    start: StartType = StartType.NONE
+    report: bool = False
+    report_id: Optional[str] = None
+    #: physical bits reserved for this node (>= hi)
+    size: Optional[int] = None
+
+    kind = "boundedBitVector"
+
+    def __post_init__(self):
+        if not (0 <= self.lo <= self.hi):
+            raise ValueError(f"bad bit-vector bounds [{self.lo}, {self.hi}]")
+        if self.size is None:
+            self.size = self.hi
+        if self.size < self.hi:
+            raise ValueError(f"bit-vector size {self.size} below bound {self.hi}")
+
+
+Node = STE | CounterNode | BitVectorNode
+
+#: Legal input ports per node kind.
+INPUT_PORTS = {
+    "hState": ("i",),
+    "counter": ("pre", "fst", "lst"),
+    "boundedBitVector": ("pre", "body"),
+}
+
+#: Legal output ports per node kind.
+OUTPUT_PORTS = {
+    "hState": ("o",),
+    "counter": ("en_fst", "en_out"),
+    "boundedBitVector": ("en_body", "en_out"),
+}
+
+#: Module input ports whose signal is latched one cycle (see module
+#: docstrings); all other ports are same-cycle.
+LATCHED_PORTS = {"pre"}

@@ -1,0 +1,148 @@
+"""JSON serialization of networks (MNRL-compatible schema shape).
+
+The layout follows MNRL's published JSON schema -- a top-level ``id``
+plus a ``nodes`` array where each node carries ``id``, ``type``,
+``enable``/``report`` attributes, type-specific ``attributes`` and an
+``outputDefs`` list with per-port ``activate`` targets -- so that the
+files are recognizable to anyone who has used MNCaRT tooling.  The two
+extension node types (``counter`` and ``boundedBitVector``) carry their
+bounds in ``attributes``, which is where the paper's extended syntax
+lives.
+
+Character classes serialize as their pattern text (e.g. ``[a-f]``),
+which round-trips through the project parser.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..regex.charclass import CharClass
+from ..regex.errors import RegexSyntaxError
+from ..regex.parser import parse_to_ast
+from ..regex.ast import Sym
+from .network import Connection, Network
+from .nodes import BitVectorNode, CounterNode, OUTPUT_PORTS, STE, StartType
+
+__all__ = ["network_to_dict", "network_from_dict", "dumps", "loads", "save", "load"]
+
+
+def _symbol_set_to_text(cls: CharClass) -> str:
+    return cls.to_pattern()
+
+
+def _symbol_set_from_text(text: str) -> CharClass:
+    ast = parse_to_ast(text)
+    if not isinstance(ast, Sym):
+        raise RegexSyntaxError(f"symbol set {text!r} is not a single class")
+    return ast.cls
+
+
+def network_to_dict(network: Network) -> dict[str, Any]:
+    """Serialize to a JSON-ready dict."""
+    outgoing: dict[str, dict[str, list[list[str]]]] = {}
+    for conn in network.connections:
+        ports = outgoing.setdefault(conn.source, {})
+        ports.setdefault(conn.source_port, []).append(
+            [conn.target, conn.target_port]
+        )
+    nodes = []
+    for node in network.nodes.values():
+        entry: dict[str, Any] = {
+            "id": node.id,
+            "type": node.kind,
+            "enable": node.start.value,
+            "report": node.report,
+        }
+        if node.report_id is not None:
+            entry["reportId"] = node.report_id
+        if isinstance(node, STE):
+            entry["attributes"] = {"symbolSet": _symbol_set_to_text(node.symbol_set)}
+        elif isinstance(node, CounterNode):
+            entry["attributes"] = {
+                "low": node.lo,
+                "high": node.hi,
+                "width": node.width,
+            }
+        elif isinstance(node, BitVectorNode):
+            entry["attributes"] = {
+                "low": node.lo,
+                "high": node.hi,
+                "size": node.size,
+            }
+        entry["outputDefs"] = [
+            {"portId": port, "activate": outgoing.get(node.id, {}).get(port, [])}
+            for port in OUTPUT_PORTS[node.kind]
+        ]
+        nodes.append(entry)
+    return {"id": network.id, "nodes": nodes}
+
+
+def network_from_dict(data: dict[str, Any]) -> Network:
+    """Deserialize a dict produced by :func:`network_to_dict`."""
+    network = Network(data.get("id", "network"))
+    pending: list[Connection] = []
+    for entry in data["nodes"]:
+        kind = entry["type"]
+        start = StartType(entry.get("enable", "none"))
+        report = bool(entry.get("report", False))
+        report_id = entry.get("reportId")
+        attrs = entry.get("attributes", {})
+        if kind == "hState":
+            node = STE(
+                entry["id"],
+                _symbol_set_from_text(attrs["symbolSet"]),
+                start,
+                report,
+                report_id,
+            )
+        elif kind == "counter":
+            node = CounterNode(
+                entry["id"],
+                attrs["low"],
+                attrs["high"],
+                start,
+                report,
+                report_id,
+                attrs.get("width", 17),
+            )
+        elif kind == "boundedBitVector":
+            node = BitVectorNode(
+                entry["id"],
+                attrs["low"],
+                attrs["high"],
+                start,
+                report,
+                report_id,
+                attrs.get("size"),
+            )
+        else:
+            raise ValueError(f"unknown node type {kind!r}")
+        network.add(node)
+        for port_def in entry.get("outputDefs", []):
+            for target, target_port in port_def.get("activate", []):
+                pending.append(
+                    Connection(entry["id"], port_def["portId"], target, target_port)
+                )
+    for conn in pending:
+        network.connect(conn.source, conn.source_port, conn.target, conn.target_port)
+    return network
+
+
+def dumps(network: Network, indent: int | None = 2) -> str:
+    return json.dumps(network_to_dict(network), indent=indent)
+
+
+def loads(text: str) -> Network:
+    return network_from_dict(json.loads(text))
+
+
+def save(network: Network, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dumps(network))
+
+
+def load(path: str) -> Network:
+    with open(path, "r", encoding="utf-8") as handle:
+        return loads(handle.read())

@@ -1,0 +1,48 @@
+"""Nondeterministic counter automata: model, construction, execution."""
+
+from .automaton import (
+    INITIAL_COUNTER_VALUE,
+    Action,
+    Guard,
+    IncAction,
+    InstanceInfo,
+    NCA,
+    SetAction,
+    Token,
+    Transition,
+    Valuation,
+)
+from .counting_sets import (
+    AmbiguityViolationError,
+    CountingSetExecutor,
+    StorageKind,
+    classify_states,
+    counting_accepts,
+    counting_match_ends,
+)
+from .execution import ExecutionStats, NCAExecutor, nca_accepts, nca_match_ends
+from .glushkov import build_nca
+
+__all__ = [
+    "NCA",
+    "Guard",
+    "SetAction",
+    "IncAction",
+    "Action",
+    "Transition",
+    "InstanceInfo",
+    "Token",
+    "Valuation",
+    "INITIAL_COUNTER_VALUE",
+    "build_nca",
+    "NCAExecutor",
+    "ExecutionStats",
+    "nca_accepts",
+    "nca_match_ends",
+    "CountingSetExecutor",
+    "StorageKind",
+    "AmbiguityViolationError",
+    "classify_states",
+    "counting_accepts",
+    "counting_match_ends",
+]

@@ -1,0 +1,327 @@
+"""Nondeterministic counter automata (Definition 2.1).
+
+An NCA is a tuple ``(Q, R, Delta, I, F)`` where each state has its own
+finite set of counters, transitions carry a predicate over the
+alphabet, a guard over source-counter valuations and an action mapping
+source valuations to target valuations, ``I`` assigns initial
+valuations and ``F`` assigns acceptance predicates over valuations.
+
+This module implements the paper's model with two structural
+restrictions that its Glushkov construction guarantees (Section 2):
+
+* the automaton is *homogeneous* -- all transitions entering a state
+  carry the same alphabet predicate, so the predicate is stored on the
+  target state (this is what makes states map 1:1 onto STEs, Fig. 4);
+* guards are conjunctions of interval constraints ``lo <= x <= hi`` and
+  actions are parallel assignments of either constants (``x := 1``) or
+  increments (``x++``), which is exactly the guard/action vocabulary
+  generated from bounded repetition.
+
+Tokens (state + valuation) and their transition relation, the
+configuration semantics ``delta(S, a)``, and boundedness checks all
+live here; Section 3's analyses build on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence
+
+from ..regex.charclass import CharClass
+
+__all__ = [
+    "Guard",
+    "SetAction",
+    "IncAction",
+    "Action",
+    "Transition",
+    "InstanceInfo",
+    "NCA",
+    "Valuation",
+    "Token",
+    "INITIAL_COUNTER_VALUE",
+]
+
+#: Counters are set to 1 on entry to a repetition (Example 2.2: x := 1).
+INITIAL_COUNTER_VALUE = 1
+
+#: A valuation is a sorted tuple of (counter id, value) pairs -- the
+#: explicit form of "beta : R(q) -> N" restricted to the state's counters.
+Valuation = tuple[tuple[int, int], ...]
+
+#: A token is a (state, valuation) pair (Section 2, "tokens").
+Token = tuple[int, Valuation]
+
+EMPTY_VALUATION: Valuation = ()
+
+
+@dataclass(frozen=True)
+class Guard:
+    """Interval constraint ``lo <= counter <= hi`` (inclusive).
+
+    The paper's guards are ``x < n`` (loop-back, here ``lo=1, hi=n-1``),
+    ``m <= x <= n`` (exit), and ``x = n`` (exact exit, ``lo=hi=n``).
+    """
+
+    counter: int
+    lo: int
+    hi: int
+
+    def satisfied(self, valuation: Valuation) -> bool:
+        for counter, value in valuation:
+            if counter == self.counter:
+                return self.lo <= value <= self.hi
+        raise KeyError(f"guard on counter {self.counter} not in valuation {valuation}")
+
+    def describe(self) -> str:
+        if self.lo == self.hi:
+            return f"x{self.counter} = {self.lo}"
+        return f"{self.lo} <= x{self.counter} <= {self.hi}"
+
+
+@dataclass(frozen=True)
+class SetAction:
+    """``counter := value`` on the target state."""
+
+    counter: int
+    value: int
+
+
+@dataclass(frozen=True)
+class IncAction:
+    """``counter++`` (target value = source value + 1)."""
+
+    counter: int
+
+
+Action = SetAction | IncAction
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One NCA transition ``(p, sigma, phi, q, theta)``.
+
+    The alphabet predicate ``sigma`` is *not* stored here: homogeneity
+    means it equals the target state's predicate (see :class:`NCA`).
+    ``guard`` is a conjunction; ``actions`` is a parallel assignment for
+    the target counters not simply inherited from the source.
+    """
+
+    source: int
+    target: int
+    guard: tuple[Guard, ...] = ()
+    actions: tuple[Action, ...] = ()
+
+    def describe(self, nca: "NCA") -> str:
+        pred = nca.predicate_of(self.target)
+        bits = [pred.to_pattern() if pred is not None else "eps"]
+        bits.extend(g.describe() for g in self.guard)
+        acts = []
+        for act in self.actions:
+            if isinstance(act, SetAction):
+                acts.append(f"x{act.counter} := {act.value}")
+            else:
+                acts.append(f"x{act.counter}++")
+        label = ", ".join(bits)
+        if acts:
+            label += " / " + ", ".join(acts)
+        return f"q{self.source} -[{label}]-> q{self.target}"
+
+
+@dataclass(frozen=True)
+class InstanceInfo:
+    """Metadata tying a counter back to its bounded-repetition occurrence.
+
+    ``first``/``last`` are the body's Glushkov entry/exit positions;
+    ``single_class_body`` is True when the body is one character class
+    (``sigma{m,n}``), the shape eligible for a hardware bit-vector
+    module (Section 4.1, "Software-Hardware Codesign" paragraph).
+    """
+
+    instance: int
+    counter: int
+    lo: int
+    hi: int
+    body: frozenset[int]
+    first: frozenset[int]
+    last: frozenset[int]
+    single_class_body: bool
+
+
+class NCA:
+    """A homogeneous nondeterministic counter automaton.
+
+    States are dense integers; state 0 is the unique initial state
+    ``q0`` (pure, no predicate -- Glushkov's extra state).  Counters
+    are dense integers with inclusive value domain ``[1, bound]``.
+    """
+
+    def __init__(
+        self,
+        predicates: Sequence[Optional[CharClass]],
+        counters_of: Sequence[frozenset[int]],
+        transitions: Iterable[Transition],
+        finals: dict[int, tuple[Guard, ...]],
+        counter_bounds: dict[int, int],
+        instances: Sequence[InstanceInfo] = (),
+        initial: int = 0,
+    ):
+        self._predicates = list(predicates)
+        self._counters_of = list(counters_of)
+        self.transitions = list(transitions)
+        self.finals = dict(finals)
+        self.counter_bounds = dict(counter_bounds)
+        self.instances = list(instances)
+        self.initial = initial
+        self._out: list[list[Transition]] = [[] for _ in self._predicates]
+        for t in self.transitions:
+            self._out[t.source].append(t)
+        self._validate()
+
+    # -- structure ---------------------------------------------------------
+    @property
+    def num_states(self) -> int:
+        return len(self._predicates)
+
+    @property
+    def states(self) -> range:
+        return range(self.num_states)
+
+    def predicate_of(self, state: int) -> Optional[CharClass]:
+        """Alphabet predicate of the state (None only for ``q0``)."""
+        return self._predicates[state]
+
+    def counters_of(self, state: int) -> frozenset[int]:
+        """``R(q)``: the counters attached to the state."""
+        return self._counters_of[state]
+
+    def is_pure(self, state: int) -> bool:
+        """A pure state has no counters (Definition 2.1)."""
+        return not self._counters_of[state]
+
+    def out_transitions(self, state: int) -> list[Transition]:
+        return self._out[state]
+
+    def counter_values(self, counter: int) -> range:
+        """Value domain of a counter: ``1 .. bound`` inclusive."""
+        return range(INITIAL_COUNTER_VALUE, self.counter_bounds[counter] + 1)
+
+    def instance_of_counter(self, counter: int) -> InstanceInfo:
+        for info in self.instances:
+            if info.counter == counter:
+                return info
+        raise KeyError(f"no instance owns counter {counter}")
+
+    def _validate(self) -> None:
+        for t in self.transitions:
+            if not (0 <= t.source < self.num_states and 0 <= t.target < self.num_states):
+                raise ValueError(f"transition out of range: {t}")
+            if self._predicates[t.target] is None:
+                raise ValueError(f"transition into predicate-less state: {t}")
+            src = self._counters_of[t.source]
+            tgt = self._counters_of[t.target]
+            assigned = {a.counter for a in t.actions}
+            for g in t.guard:
+                if g.counter not in src:
+                    raise ValueError(f"guard on foreign counter in {t}")
+            for a in t.actions:
+                if a.counter not in tgt:
+                    raise ValueError(f"action on foreign counter in {t}")
+                if isinstance(a, IncAction) and a.counter not in src:
+                    raise ValueError(f"increment of counter absent at source in {t}")
+            for c in tgt - assigned:
+                if c not in src:
+                    raise ValueError(
+                        f"target counter x{c} neither assigned nor inherited in {t}"
+                    )
+        for state, guards in self.finals.items():
+            for g in guards:
+                if g.counter not in self._counters_of[state]:
+                    raise ValueError(f"final guard on foreign counter at q{state}")
+
+    # -- token semantics ----------------------------------------------------
+    def initial_token(self) -> Token:
+        if self._counters_of[self.initial]:
+            raise ValueError("initial state must be pure in Glushkov NCAs")
+        return (self.initial, EMPTY_VALUATION)
+
+    def valuation_value(self, valuation: Valuation, counter: int) -> int:
+        for c, v in valuation:
+            if c == counter:
+                return v
+        raise KeyError(f"counter {counter} not in valuation")
+
+    def apply_transition(self, token: Token, t: Transition) -> Optional[Token]:
+        """Fire ``t`` from ``token`` if the guard allows; None otherwise.
+
+        Implements the token transition relation ``(p, beta) ->a (q,
+        theta(beta))`` of Section 2 (the alphabet letter is checked by
+        the caller against the target predicate).
+        """
+        state, valuation = token
+        assert state == t.source
+        for g in t.guard:
+            if not g.satisfied(valuation):
+                return None
+        source_values = dict(valuation)
+        target_values: list[tuple[int, int]] = []
+        actions = {a.counter: a for a in t.actions}
+        for counter in sorted(self._counters_of[t.target]):
+            action = actions.get(counter)
+            if action is None:
+                value = source_values[counter]
+            elif isinstance(action, SetAction):
+                value = action.value
+            else:
+                value = source_values[counter] + 1
+            target_values.append((counter, value))
+        return (t.target, tuple(target_values))
+
+    def token_successors(self, token: Token, byte: int) -> Iterator[Token]:
+        """All ``->byte`` successors of a token."""
+        for t in self._out[token[0]]:
+            pred = self._predicates[t.target]
+            if byte not in pred:
+                continue
+            nxt = self.apply_transition(token, t)
+            if nxt is not None:
+                yield nxt
+
+    def is_final_token(self, token: Token) -> bool:
+        state, valuation = token
+        guards = self.finals.get(state)
+        if guards is None:
+            return False
+        return all(g.satisfied(valuation) for g in guards)
+
+    def is_token_bounded(self, token: Token) -> bool:
+        """``n``-boundedness check against the declared counter bounds."""
+        return all(v <= self.counter_bounds[c] for c, v in token[1])
+
+    # -- reporting ------------------------------------------------------------
+    def describe(self) -> str:
+        """Multi-line human-readable dump (used by examples and docs)."""
+        lines = [f"NCA with {self.num_states} states, "
+                 f"{len(self.counter_bounds)} counters, "
+                 f"{len(self.transitions)} transitions"]
+        for q in self.states:
+            pred = self._predicates[q]
+            tags = []
+            if q == self.initial:
+                tags.append("initial")
+            if q in self.finals:
+                guards = self.finals[q]
+                suffix = " if " + " and ".join(g.describe() for g in guards) if guards else ""
+                tags.append("final" + suffix)
+            counters = ",".join(f"x{c}" for c in sorted(self._counters_of[q]))
+            header = f"  q{q}"
+            if counters:
+                header += f" : {counters}"
+            if pred is not None:
+                header += f" on {pred.to_pattern()}"
+            if tags:
+                header += f"  ({'; '.join(tags)})"
+            lines.append(header)
+            for t in self._out[q]:
+                lines.append("    " + t.describe(self))
+        return "\n".join(lines)

@@ -1,0 +1,364 @@
+"""Compiled NCA execution with counters and bit vectors (Section 3.2.1).
+
+This is the software twin of the paper's hardware: per NCA state the
+configuration is stored as
+
+* ``PURE``      -- one activity bit (plain NFA state);
+* ``SCALAR``    -- at most one counter valuation, O(log M) bits
+                   (justified only for *counter-unambiguous* states);
+* ``BITVECTOR`` -- a length-M bit vector for a single counter, where
+                   bit ``i`` says "a token with counter value ``i`` is
+                   present" (counter-ambiguous states);
+* ``GENERAL``   -- an explicit valuation set (multi-counter ambiguous
+                   states; the hardware unfolds these instead).
+
+The bit-vector transition rules are exactly the four cases of
+Section 3.2.1: entering sets the least significant bit, staying shifts,
+inheriting copies, and exiting computes the disjunction ``v[m] | ... |
+v[n]``.
+
+If a state classified ``SCALAR`` ever receives two distinct valuations,
+the executor raises :class:`AmbiguityViolationError`; property tests
+use this as a *runtime soundness check* of the static analysis: a
+state declared counter-unambiguous must never trip it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Optional
+
+from .automaton import (
+    INITIAL_COUNTER_VALUE,
+    Guard,
+    IncAction,
+    NCA,
+    SetAction,
+    Transition,
+    Valuation,
+)
+
+__all__ = [
+    "StorageKind",
+    "AmbiguityViolationError",
+    "classify_states",
+    "CountingSetExecutor",
+    "counting_accepts",
+    "counting_match_ends",
+]
+
+
+class StorageKind(Enum):
+    PURE = "pure"
+    SCALAR = "scalar"
+    BITVECTOR = "bitvector"
+    GENERAL = "general"
+
+
+class AmbiguityViolationError(RuntimeError):
+    """A SCALAR-classified state received two distinct valuations.
+
+    Raised only when the static analysis that justified the scalar
+    storage was wrong -- i.e. never, if the analysis is sound.
+    """
+
+
+def classify_states(
+    nca: NCA, unambiguous_states: Optional[Iterable[int]] = None
+) -> dict[int, StorageKind]:
+    """Pick a storage kind per state.
+
+    ``unambiguous_states`` lists states proven counter-unambiguous by
+    the static analysis; they get ``SCALAR`` storage.  Without analysis
+    results (``None``) every counter state is treated conservatively as
+    ambiguous: single-counter states get ``BITVECTOR``, multi-counter
+    states ``GENERAL``.  This mirrors the compiler's module-selection
+    policy (Section 4.2 step 3).
+    """
+    proven = set(unambiguous_states) if unambiguous_states is not None else set()
+    kinds: dict[int, StorageKind] = {}
+    for state in nca.states:
+        counters = nca.counters_of(state)
+        if not counters:
+            kinds[state] = StorageKind.PURE
+        elif state in proven:
+            kinds[state] = StorageKind.SCALAR
+        elif len(counters) == 1:
+            kinds[state] = StorageKind.BITVECTOR
+        else:
+            kinds[state] = StorageKind.GENERAL
+    return kinds
+
+
+def _range_mask(lo: int, hi: int) -> int:
+    """Bit mask selecting counter values ``lo..hi`` (bit v-1 = value v)."""
+    lo = max(lo, INITIAL_COUNTER_VALUE)
+    if hi < lo:
+        return 0
+    width = hi - lo + 1
+    return ((1 << width) - 1) << (lo - INITIAL_COUNTER_VALUE)
+
+
+@dataclass
+class _StateStore:
+    kind: StorageKind
+    active: bool = False                 # PURE
+    valuation: Optional[Valuation] = None  # SCALAR
+    mask: int = 0                        # BITVECTOR
+    values: set[Valuation] | None = None  # GENERAL
+
+    def clear(self) -> "_StateStore":
+        return _StateStore(self.kind, False, None, 0, set() if self.kind is StorageKind.GENERAL else None)
+
+    def is_empty(self) -> bool:
+        if self.kind is StorageKind.PURE:
+            return not self.active
+        if self.kind is StorageKind.SCALAR:
+            return self.valuation is None
+        if self.kind is StorageKind.BITVECTOR:
+            return self.mask == 0
+        return not self.values
+
+    def iter_valuations(self, counter: Optional[int]) -> Iterable[Valuation]:
+        """Explicit valuations (slow path; bit vectors expand lazily)."""
+        if self.kind is StorageKind.PURE:
+            if self.active:
+                yield ()
+        elif self.kind is StorageKind.SCALAR:
+            if self.valuation is not None:
+                yield self.valuation
+        elif self.kind is StorageKind.BITVECTOR:
+            mask = self.mask
+            value = INITIAL_COUNTER_VALUE
+            while mask:
+                if mask & 1:
+                    yield ((counter, value),)
+                mask >>= 1
+                value += 1
+        else:
+            yield from self.values or ()
+
+
+class CountingSetExecutor:
+    """Streaming matcher over counter/bit-vector/scalar state storage."""
+
+    def __init__(
+        self,
+        nca: NCA,
+        unambiguous_states: Optional[Iterable[int]] = None,
+        strict: bool = True,
+    ):
+        self.nca = nca
+        self.strict = strict
+        self.kinds = classify_states(nca, unambiguous_states)
+        self._bv_counter: dict[int, int] = {}
+        for state in nca.states:
+            if self.kinds[state] is StorageKind.BITVECTOR:
+                (counter,) = nca.counters_of(state)
+                self._bv_counter[state] = counter
+        self.stores: dict[int, _StateStore] = {}
+        self.reset()
+
+    def reset(self) -> None:
+        self.stores = {
+            state: _StateStore(
+                self.kinds[state],
+                values=set() if self.kinds[state] is StorageKind.GENERAL else None,
+            )
+            for state in self.nca.states
+        }
+        init = self.stores[self.nca.initial]
+        if init.kind is not StorageKind.PURE:
+            raise ValueError("initial state must be pure")
+        init.active = True
+
+    # -- the step function --------------------------------------------------
+    def step(self, byte: int) -> None:
+        nxt = {
+            state: store.clear() for state, store in self.stores.items()
+        }
+        for state, store in self.stores.items():
+            if store.is_empty():
+                continue
+            for t in self.nca.out_transitions(state):
+                pred = self.nca.predicate_of(t.target)
+                if byte not in pred:
+                    continue
+                self._fire(store, t, nxt[t.target])
+        self.stores = nxt
+
+    def _fire(self, src: _StateStore, t: Transition, dst: _StateStore) -> None:
+        src_counter = self._bv_counter.get(t.source)
+        # Fast path: bit-vector source.
+        if src.kind is StorageKind.BITVECTOR:
+            mask = src.mask
+            for g in t.guard:
+                if g.counter != src_counter:
+                    raise AssertionError("guard on foreign counter")
+                mask &= _range_mask(g.lo, g.hi)
+            if mask == 0:
+                return
+            if dst.kind is StorageKind.PURE:
+                dst.active = True  # case (4): disjunction fired
+                return
+            if dst.kind is StorageKind.BITVECTOR:
+                dst_counter = self._bv_counter[t.target]
+                out = self._bv_to_bv(mask, src_counter, dst_counter, t)
+                dst.mask |= out
+                return
+            # SCALAR/GENERAL destination from a bit vector: expand.
+            for valuation in _StateStore(StorageKind.BITVECTOR, mask=mask).iter_valuations(src_counter):
+                self._deposit(self._apply(valuation, t), dst)
+            return
+        # Slow path: explicit valuations (pure/scalar/general sources).
+        for valuation in src.iter_valuations(src_counter):
+            if not all(g.satisfied(valuation) for g in t.guard):
+                continue
+            self._deposit(self._apply(valuation, t), dst)
+
+    def _bv_to_bv(self, mask: int, src_counter: int, dst_counter: int, t: Transition) -> int:
+        """Bit-vector to bit-vector transfer (cases 1-3 of Section 3.2.1)."""
+        action = None
+        for a in t.actions:
+            if a.counter == dst_counter:
+                action = a
+        if action is None:
+            if src_counter != dst_counter:
+                raise AssertionError("inheriting across different counters")
+            return mask  # case (2): pass along unchanged
+        if isinstance(action, SetAction):
+            # case (1): any surviving token creates value `action.value`
+            return 1 << (action.value - INITIAL_COUNTER_VALUE)
+        # case (3): shift; the x < n loop guard already pruned bit n
+        if src_counter != dst_counter:
+            raise AssertionError("increment across different counters")
+        bound = self.nca.counter_bounds[dst_counter]
+        shifted = mask << 1
+        return shifted & _range_mask(INITIAL_COUNTER_VALUE, bound)
+
+    def _apply(self, valuation: Valuation, t: Transition) -> Valuation:
+        source_values = dict(valuation)
+        actions = {a.counter: a for a in t.actions}
+        out: list[tuple[int, int]] = []
+        for counter in sorted(self.nca.counters_of(t.target)):
+            action = actions.get(counter)
+            if action is None:
+                value = source_values[counter]
+            elif isinstance(action, SetAction):
+                value = action.value
+            else:
+                value = source_values[counter] + 1
+            out.append((counter, value))
+        return tuple(out)
+
+    def _deposit(self, valuation: Valuation, dst: _StateStore) -> None:
+        if dst.kind is StorageKind.PURE:
+            dst.active = True
+        elif dst.kind is StorageKind.SCALAR:
+            if dst.valuation is None or dst.valuation == valuation:
+                dst.valuation = valuation
+            elif self.strict:
+                raise AmbiguityViolationError(
+                    f"scalar state received {dst.valuation} and {valuation}"
+                )
+            else:
+                # Non-strict mode keeps the newest valuation (hardware
+                # counter reset-wins behaviour); only reachable when the
+                # caller knowingly classified an ambiguous state SCALAR.
+                dst.valuation = valuation
+        elif dst.kind is StorageKind.BITVECTOR:
+            ((_, value),) = valuation
+            dst.mask |= 1 << (value - INITIAL_COUNTER_VALUE)
+        else:
+            assert dst.values is not None
+            dst.values.add(valuation)
+
+    # -- observers ------------------------------------------------------------
+    @property
+    def accepting(self) -> bool:
+        for state, guards in self.nca.finals.items():
+            store = self.stores[state]
+            if store.is_empty():
+                continue
+            if store.kind is StorageKind.PURE:
+                return True
+            if store.kind is StorageKind.BITVECTOR:
+                mask = store.mask
+                counter = self._bv_counter[state]
+                for g in guards:
+                    assert g.counter == counter
+                    mask &= _range_mask(g.lo, g.hi)
+                if mask:
+                    return True
+                continue
+            counter = self._bv_counter.get(state)
+            for valuation in store.iter_valuations(counter):
+                if all(g.satisfied(valuation) for g in guards):
+                    return True
+        return False
+
+    @property
+    def dead(self) -> bool:
+        return all(store.is_empty() for store in self.stores.values())
+
+    def memory_bits(self) -> int:
+        """Bits of *reserved* state memory under the chosen storage plan.
+
+        This is the quantity the paper's static analysis shrinks from
+        O(M) to O(log M) per unambiguous state: scalars cost
+        ceil(log2(bound+1)) bits per counter, bit vectors cost their
+        bound, pure states one bit.  GENERAL states are charged like a
+        bit vector per counter (worst-case reservation).
+        """
+        total = 0
+        for state in self.nca.states:
+            kind = self.kinds[state]
+            if kind is StorageKind.PURE:
+                total += 1
+                continue
+            counters = self.nca.counters_of(state)
+            if kind is StorageKind.SCALAR:
+                total += 1 + sum(
+                    (self.nca.counter_bounds[c] + 1).bit_length() for c in counters
+                )
+            else:
+                total += 1 + sum(self.nca.counter_bounds[c] for c in counters)
+        return total
+
+
+def counting_accepts(
+    nca: NCA,
+    data: bytes | str,
+    unambiguous_states: Optional[Iterable[int]] = None,
+) -> bool:
+    """Whole-string membership via the counting-set executor."""
+    if isinstance(data, str):
+        data = data.encode("latin-1")
+    executor = CountingSetExecutor(nca, unambiguous_states)
+    for byte in data:
+        executor.step(byte)
+        if executor.dead:
+            return False
+    return executor.accepting
+
+
+def counting_match_ends(
+    nca: NCA,
+    data: bytes | str,
+    unambiguous_states: Optional[Iterable[int]] = None,
+) -> list[int]:
+    """Streaming report positions via the counting-set executor."""
+    if isinstance(data, str):
+        data = data.encode("latin-1")
+    executor = CountingSetExecutor(nca, unambiguous_states)
+    ends: list[int] = []
+    if executor.accepting:
+        ends.append(0)
+    for index, byte in enumerate(data, start=1):
+        executor.step(byte)
+        if executor.accepting:
+            ends.append(index)
+        if executor.dead:
+            break
+    return ends

@@ -1,0 +1,110 @@
+"""NCA execution: token-set (configuration) semantics.
+
+Implements the configuration semantics of Section 2: a configuration is
+a set of tokens, and ``delta(S, a)`` maps it through the token
+transition relation.  The executor also tracks, per state, the maximum
+number of simultaneous tokens observed -- the *empirical* degree of
+counter-ambiguity -- which the test suite uses to validate the static
+analysis of Section 3 (an unambiguous state must never empirically
+exceed one token).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .automaton import NCA, Token
+
+__all__ = ["NCAExecutor", "nca_accepts", "nca_match_ends", "ExecutionStats"]
+
+
+@dataclass
+class ExecutionStats:
+    """Aggregate statistics of one execution run."""
+
+    steps: int = 0
+    max_tokens: int = 0
+    max_tokens_per_state: dict[int, int] = field(default_factory=dict)
+
+    def degree(self, state: int) -> int:
+        """Empirical counter-ambiguity degree of ``state`` (Def. 3.1)."""
+        return self.max_tokens_per_state.get(state, 0)
+
+
+class NCAExecutor:
+    """Streaming interpreter maintaining the set of active tokens."""
+
+    def __init__(self, nca: NCA):
+        self.nca = nca
+        self.stats = ExecutionStats()
+        self.tokens: set[Token] = set()
+        self.reset()
+
+    def reset(self) -> None:
+        self.tokens = {self.nca.initial_token()}
+        self.stats = ExecutionStats()
+        self._record()
+
+    def _record(self) -> None:
+        self.stats.max_tokens = max(self.stats.max_tokens, len(self.tokens))
+        per_state: dict[int, int] = {}
+        for state, _ in self.tokens:
+            per_state[state] = per_state.get(state, 0) + 1
+        for state, count in per_state.items():
+            prev = self.stats.max_tokens_per_state.get(state, 0)
+            if count > prev:
+                self.stats.max_tokens_per_state[state] = count
+
+    def step(self, byte: int) -> None:
+        """One application of the configuration transition function."""
+        nxt: set[Token] = set()
+        for token in self.tokens:
+            nxt.update(self.nca.token_successors(token, byte))
+        self.tokens = nxt
+        self.stats.steps += 1
+        self._record()
+
+    def run(self, data: bytes | str) -> None:
+        if isinstance(data, str):
+            data = data.encode("latin-1")
+        for byte in data:
+            self.step(byte)
+            if not self.tokens:
+                break
+
+    @property
+    def accepting(self) -> bool:
+        return any(self.nca.is_final_token(t) for t in self.tokens)
+
+    @property
+    def dead(self) -> bool:
+        return not self.tokens
+
+
+def nca_accepts(nca: NCA, data: bytes | str) -> bool:
+    """Whole-string membership under the configuration semantics."""
+    if isinstance(data, str):
+        data = data.encode("latin-1")
+    executor = NCAExecutor(nca)
+    for byte in data:
+        executor.step(byte)
+        if executor.dead:
+            return False
+    return executor.accepting
+
+
+def nca_match_ends(nca: NCA, data: bytes | str) -> list[int]:
+    """Streaming report positions (bytes consumed when accepting)."""
+    if isinstance(data, str):
+        data = data.encode("latin-1")
+    executor = NCAExecutor(nca)
+    ends: list[int] = []
+    if executor.accepting:
+        ends.append(0)
+    for index, byte in enumerate(data, start=1):
+        executor.step(byte)
+        if executor.accepting:
+            ends.append(index)
+        if executor.dead:
+            break
+    return ends

@@ -1,0 +1,251 @@
+"""Glushkov construction: regex with counting -> homogeneous NCA.
+
+The paper converts regexes to NCAs "using a variant of the Glushkov
+construction" (Section 2): epsilon-free, homogeneous (every transition
+into a state carries the state's own predicate), one position per
+character-class occurrence, and one counter register per surviving
+bounded-repetition occurrence.
+
+The construction is the classical ``(nullable, first, last, follow)``
+scheme enriched with counter bookkeeping:
+
+* ``first`` entries carry the *entry actions* accumulated from
+  enclosing repetitions (``x := 1`` per Repeat entered);
+* ``last`` entries carry the *exit guards* (``m <= x <= n``);
+* a ``Repeat`` contributes loop-back edges ``last x first`` guarded by
+  ``x < n`` with action ``x++``, and attaches its counter to every body
+  position.
+
+Worked against the paper: building ``Sigma* s1 (s2 (s3 s4){m,n} s5){k}
+s6`` reproduces Figure 1 transition-for-transition (see
+``tests/nca/test_glushkov.py``).
+
+Nullable bodies: for ``B{m,n}`` with nullable ``B`` the language equals
+``(B restricted to nonempty passes){0,n}`` -- any shortfall against the
+lower bound can be padded with empty passes -- so the construction
+makes the Repeat nullable and drops the lower-bound exit guard.  This
+matches the derivative oracle (differentially tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..regex.ast import Alt, Concat, Empty, Epsilon, Regex, Repeat, Star, Sym
+from ..regex.charclass import CharClass
+from .automaton import (
+    INITIAL_COUNTER_VALUE,
+    Action,
+    Guard,
+    IncAction,
+    InstanceInfo,
+    NCA,
+    SetAction,
+    Transition,
+)
+
+__all__ = ["build_nca"]
+
+
+@dataclass(frozen=True)
+class _Entry:
+    """A first-position with its accumulated entry actions."""
+
+    position: int
+    actions: tuple[Action, ...]
+
+
+@dataclass(frozen=True)
+class _Exit:
+    """A last-position with its accumulated exit guards."""
+
+    position: int
+    guards: tuple[Guard, ...]
+
+
+@dataclass(frozen=True)
+class _Fragment:
+    nullable: bool
+    firsts: tuple[_Entry, ...]
+    lasts: tuple[_Exit, ...]
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.predicates: list[CharClass | None] = [None]  # state 0 = q0
+        self.counters: list[set[int]] = [set()]
+        self.edges: dict[tuple, Transition] = {}
+        self.instances: list[InstanceInfo] = []
+        self.counter_bounds: dict[int, int] = {}
+        self.next_instance = 0
+
+    # -- state/edge helpers -------------------------------------------------
+    def new_position(self, cls: CharClass) -> int:
+        self.predicates.append(cls)
+        self.counters.append(set())
+        return len(self.predicates) - 1
+
+    def add_edge(
+        self,
+        source: int,
+        target: int,
+        guards: tuple[Guard, ...],
+        actions: tuple[Action, ...],
+    ) -> None:
+        t = Transition(source, target, guards, actions)
+        self.edges[(source, target, guards, actions)] = t
+
+    def connect(self, lasts: tuple[_Exit, ...], firsts: tuple[_Entry, ...]) -> None:
+        for exit_ in lasts:
+            for entry in firsts:
+                self.add_edge(exit_.position, entry.position, exit_.guards, entry.actions)
+
+    # -- recursive construction ----------------------------------------------
+    def visit(self, node: Regex) -> _Fragment:
+        if isinstance(node, Empty):
+            return _Fragment(False, (), ())
+        if isinstance(node, Epsilon):
+            return _Fragment(True, (), ())
+        if isinstance(node, Sym):
+            pos = self.new_position(node.cls)
+            return _Fragment(False, (_Entry(pos, ()),), (_Exit(pos, ()),))
+        if isinstance(node, Concat):
+            return self._visit_concat(node)
+        if isinstance(node, Alt):
+            return self._visit_alt(node)
+        if isinstance(node, Star):
+            return self._visit_star(node)
+        if isinstance(node, Repeat):
+            return self._visit_repeat(node)
+        raise TypeError(f"unknown regex node {type(node).__name__}")
+
+    def _visit_concat(self, node: Concat) -> _Fragment:
+        fragments = []
+        for part in node.parts:
+            fragments.append(self.visit(part))
+        nullable = all(f.nullable for f in fragments)
+        # follow edges between adjacent factors, skipping nullable gaps
+        for i in range(len(fragments) - 1):
+            reachable_firsts: list[_Entry] = []
+            for j in range(i + 1, len(fragments)):
+                reachable_firsts.extend(fragments[j].firsts)
+                if not fragments[j].nullable:
+                    break
+            self.connect(fragments[i].lasts, tuple(reachable_firsts))
+        firsts: list[_Entry] = []
+        for f in fragments:
+            firsts.extend(f.firsts)
+            if not f.nullable:
+                break
+        lasts: list[_Exit] = []
+        for f in reversed(fragments):
+            lasts.extend(f.lasts)
+            if not f.nullable:
+                break
+        return _Fragment(nullable, tuple(firsts), tuple(lasts))
+
+    def _visit_alt(self, node: Alt) -> _Fragment:
+        firsts: list[_Entry] = []
+        lasts: list[_Exit] = []
+        nullable = False
+        for part in node.parts:
+            frag = self.visit(part)
+            firsts.extend(frag.firsts)
+            lasts.extend(frag.lasts)
+            nullable = nullable or frag.nullable
+        return _Fragment(nullable, tuple(firsts), tuple(lasts))
+
+    def _visit_star(self, node: Star) -> _Fragment:
+        frag = self.visit(node.inner)
+        self.connect(frag.lasts, frag.firsts)
+        return _Fragment(True, frag.firsts, frag.lasts)
+
+    def _visit_repeat(self, node: Repeat) -> _Fragment:
+        if node.hi is None:
+            raise ValueError(
+                "unbounded repetition must be lowered before Glushkov "
+                "construction (run repro.regex.rewrite.simplify)"
+            )
+        if node.hi < 2:
+            raise ValueError(
+                "repetitions with upper bound < 2 must be unfolded before "
+                "Glushkov construction (run repro.regex.rewrite.simplify)"
+            )
+        instance = self.next_instance
+        self.next_instance += 1
+        counter = instance  # one counter per surviving occurrence
+
+        before = len(self.predicates)
+        frag = self.visit(node.inner)
+        body = frozenset(range(before, len(self.predicates)))
+
+        self.counter_bounds[counter] = node.hi
+        for pos in body:
+            self.counters[pos].add(counter)
+
+        enter = SetAction(counter, INITIAL_COUNTER_VALUE)
+        firsts = tuple(
+            _Entry(e.position, e.actions + (enter,)) for e in frag.firsts
+        )
+        # loop-back: guard x < n (domain [1, n]), action x++
+        loop_guard = Guard(counter, INITIAL_COUNTER_VALUE, node.hi - 1)
+        for exit_ in frag.lasts:
+            for entry in frag.firsts:
+                self.add_edge(
+                    exit_.position,
+                    entry.position,
+                    exit_.guards + (loop_guard,),
+                    entry.actions + (IncAction(counter),),
+                )
+        # exit guard m <= x <= n; trivial when m <= 1 or the body is
+        # nullable (empty passes pad out the count), so omitted then.
+        if node.lo > 1 and not frag.nullable:
+            exit_guard = (Guard(counter, node.lo, node.hi),)
+        else:
+            exit_guard = ()
+        lasts = tuple(_Exit(e.position, e.guards + exit_guard) for e in frag.lasts)
+        nullable = frag.nullable or node.lo == 0
+
+        self.instances.append(
+            InstanceInfo(
+                instance=instance,
+                counter=counter,
+                lo=node.lo,
+                hi=node.hi,
+                body=body,
+                first=frozenset(e.position for e in frag.firsts),
+                last=frozenset(e.position for e in frag.lasts),
+                single_class_body=isinstance(node.inner, Sym),
+            )
+        )
+        return _Fragment(nullable, firsts, lasts)
+
+
+def build_nca(root: Regex) -> NCA:
+    """Build the Glushkov NCA for a (simplified) regex.
+
+    The input must already be in the rewrite pass's normal form: no
+    unbounded ``{m,}`` and no ``Repeat`` with upper bound < 2.  The
+    result has state 0 as the pure initial state and one counter per
+    counting occurrence (counter id = preorder instance id).
+    """
+    builder = _Builder()
+    frag = builder.visit(root)
+    for entry in frag.firsts:
+        builder.add_edge(0, entry.position, (), entry.actions)
+    finals: dict[int, tuple[Guard, ...]] = {
+        exit_.position: exit_.guards for exit_ in frag.lasts
+    }
+    if frag.nullable:
+        finals[0] = ()
+    return NCA(
+        predicates=builder.predicates,
+        counters_of=[frozenset(c) for c in builder.counters],
+        transitions=builder.edges.values(),
+        finals=finals,
+        counter_bounds=builder.counter_bounds,
+        # instance ids are assigned in preorder but appended in
+        # postorder (the body is visited before the metadata exists);
+        # sort so that instances[i].instance == i holds for indexing
+        instances=sorted(builder.instances, key=lambda info: info.instance),
+    )

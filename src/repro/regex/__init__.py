@@ -1,0 +1,77 @@
+"""Regex frontend: classes, AST, parser, rewrites, metrics, oracle."""
+
+from .ast import (
+    EMPTY,
+    EPSILON,
+    Alt,
+    Concat,
+    Empty,
+    Epsilon,
+    Regex,
+    Repeat,
+    RepeatInstance,
+    Star,
+    Sym,
+    alternation,
+    collect_repeats,
+    concat,
+    literal,
+    repeat,
+    star,
+    sym,
+)
+from .charclass import ALPHABET_SIZE, DOT_NO_NEWLINE, EMPTY as EMPTY_CLASS, SIGMA, CharClass
+from .equivalence import distinguishing_string, equivalent
+from .errors import RegexError, RegexSyntaxError, UnsupportedFeatureError
+from .metrics import RegexShape, count_instances, has_counting, mu, shape_of
+from .oracle import DerivativeMatcher, accepts, derivative, match_ends
+from .parser import Pattern, parse, parse_to_ast
+from .rewrite import simplify
+from .unfold import unfold_all, unfold_repeat, unfold_up_to
+
+__all__ = [
+    "ALPHABET_SIZE",
+    "CharClass",
+    "SIGMA",
+    "DOT_NO_NEWLINE",
+    "EMPTY_CLASS",
+    "Regex",
+    "Empty",
+    "Epsilon",
+    "Sym",
+    "Concat",
+    "Alt",
+    "Star",
+    "Repeat",
+    "EMPTY",
+    "EPSILON",
+    "sym",
+    "concat",
+    "alternation",
+    "star",
+    "repeat",
+    "literal",
+    "RepeatInstance",
+    "collect_repeats",
+    "RegexError",
+    "RegexSyntaxError",
+    "UnsupportedFeatureError",
+    "Pattern",
+    "parse",
+    "parse_to_ast",
+    "simplify",
+    "mu",
+    "has_counting",
+    "count_instances",
+    "RegexShape",
+    "shape_of",
+    "unfold_repeat",
+    "unfold_all",
+    "unfold_up_to",
+    "equivalent",
+    "distinguishing_string",
+    "DerivativeMatcher",
+    "accepts",
+    "derivative",
+    "match_ends",
+]

@@ -1,0 +1,403 @@
+"""Abstract syntax trees for regexes with counting.
+
+The grammar is the one from Section 2 of the paper::
+
+    r ::= epsilon | sigma | r . r | r + r | r* | r{m,n}
+
+plus an explicit empty language ``Empty`` (useful for the derivative
+oracle) and an unbounded upper limit in ``Repeat`` (``r{m,}``), which the
+rewrite pass lowers to ``r{m}; r*`` before any analysis.
+
+Nodes are immutable and hash-consed only through structural equality;
+they can be freely shared.  Every combinator validates its children, so
+an AST constructed through this module is well-formed by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional, Sequence
+
+from .charclass import CharClass
+
+__all__ = [
+    "Regex",
+    "Empty",
+    "Epsilon",
+    "Sym",
+    "Concat",
+    "Alt",
+    "Star",
+    "Repeat",
+    "EMPTY",
+    "EPSILON",
+    "sym",
+    "concat",
+    "alternation",
+    "star",
+    "repeat",
+    "literal",
+    "RepeatInstance",
+    "collect_repeats",
+]
+
+
+@dataclass(frozen=True)
+class Regex:
+    """Base class for regex AST nodes."""
+
+    def children(self) -> tuple["Regex", ...]:
+        return ()
+
+    # -- structural helpers ------------------------------------------------
+    def size(self) -> int:
+        """Number of AST nodes (repetition bounds count as 1)."""
+        return 1 + sum(child.size() for child in self.children())
+
+    def walk(self) -> Iterator["Regex"]:
+        """Preorder traversal of the tree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def nullable(self) -> bool:
+        """True iff the empty string is in the language."""
+        raise NotImplementedError
+
+    def to_pattern(self) -> str:
+        """Render back to POSIX-style pattern text (parse round-trips)."""
+        raise NotImplementedError
+
+    def _precedence(self) -> int:
+        """Printing precedence: 0 alt, 1 concat, 2 postfix, 3 atom."""
+        raise NotImplementedError
+
+    def _wrap(self, parent_prec: int) -> str:
+        text = self.to_pattern()
+        if self._precedence() < parent_prec:
+            return f"(?:{text})"
+        return text
+
+    def __str__(self) -> str:
+        return self.to_pattern()
+
+
+@dataclass(frozen=True)
+class Empty(Regex):
+    """The empty language (matches nothing)."""
+
+    def nullable(self) -> bool:
+        return False
+
+    def to_pattern(self) -> str:
+        return "[]"
+
+    def _precedence(self) -> int:
+        return 3
+
+
+@dataclass(frozen=True)
+class Epsilon(Regex):
+    """The empty string."""
+
+    def nullable(self) -> bool:
+        return True
+
+    def to_pattern(self) -> str:
+        return "(?:)"
+
+    def _precedence(self) -> int:
+        return 3
+
+
+@dataclass(frozen=True)
+class Sym(Regex):
+    """A single-symbol predicate (character class) over the alphabet."""
+
+    cls: CharClass
+
+    def __post_init__(self):
+        if not isinstance(self.cls, CharClass):
+            raise TypeError("Sym expects a CharClass")
+
+    def nullable(self) -> bool:
+        return False
+
+    def to_pattern(self) -> str:
+        return self.cls.to_pattern()
+
+    def _precedence(self) -> int:
+        return 3
+
+
+@dataclass(frozen=True)
+class Concat(Regex):
+    """Concatenation of two or more factors."""
+
+    parts: tuple[Regex, ...]
+
+    def __post_init__(self):
+        if len(self.parts) < 2:
+            raise ValueError("Concat needs at least two parts")
+
+    def children(self) -> tuple[Regex, ...]:
+        return self.parts
+
+    def nullable(self) -> bool:
+        return all(part.nullable() for part in self.parts)
+
+    def to_pattern(self) -> str:
+        return "".join(part._wrap(2) for part in self.parts)
+
+    def _precedence(self) -> int:
+        return 1
+
+
+@dataclass(frozen=True)
+class Alt(Regex):
+    """Nondeterministic choice between two or more alternatives."""
+
+    parts: tuple[Regex, ...]
+
+    def __post_init__(self):
+        if len(self.parts) < 2:
+            raise ValueError("Alt needs at least two parts")
+
+    def children(self) -> tuple[Regex, ...]:
+        return self.parts
+
+    def nullable(self) -> bool:
+        return any(part.nullable() for part in self.parts)
+
+    def to_pattern(self) -> str:
+        return "|".join(part._wrap(1) for part in self.parts)
+
+    def _precedence(self) -> int:
+        return 0
+
+
+@dataclass(frozen=True)
+class Star(Regex):
+    """Kleene iteration ``r*``."""
+
+    inner: Regex
+
+    def children(self) -> tuple[Regex, ...]:
+        return (self.inner,)
+
+    def nullable(self) -> bool:
+        return True
+
+    def to_pattern(self) -> str:
+        return f"{self.inner._wrap(3)}*"
+
+    def _precedence(self) -> int:
+        return 2
+
+
+@dataclass(frozen=True)
+class Repeat(Regex):
+    """Bounded repetition ``r{lo,hi}`` (``hi is None`` means ``r{lo,}``).
+
+    This is the *counting* construct the paper is about.  Invariants:
+    ``lo >= 0`` and, when bounded, ``lo <= hi``.
+    """
+
+    inner: Regex
+    lo: int
+    hi: Optional[int]
+
+    def __post_init__(self):
+        if self.lo < 0:
+            raise ValueError("repetition lower bound must be >= 0")
+        if self.hi is not None and self.hi < self.lo:
+            raise ValueError("repetition upper bound below lower bound")
+
+    def children(self) -> tuple[Regex, ...]:
+        return (self.inner,)
+
+    def nullable(self) -> bool:
+        return self.lo == 0 or self.inner.nullable()
+
+    def bounds_pattern(self) -> str:
+        if self.hi is None:
+            return f"{{{self.lo},}}"
+        if self.lo == self.hi:
+            return f"{{{self.lo}}}"
+        return f"{{{self.lo},{self.hi}}}"
+
+    def to_pattern(self) -> str:
+        return f"{self.inner._wrap(3)}{self.bounds_pattern()}"
+
+    def _precedence(self) -> int:
+        return 2
+
+
+# ----------------------------------------------------------------------
+# Smart constructors.  These do the *cheap, always-safe* normalizations
+# (identity elements, flattening); the deliberate paper rewrites from
+# Section 4.2 live in ``repro.regex.rewrite``.
+# ----------------------------------------------------------------------
+EMPTY = Empty()
+EPSILON = Epsilon()
+
+
+def sym(cls: CharClass) -> Regex:
+    """Symbol node; the empty class collapses to the empty language."""
+    if cls.is_empty():
+        return EMPTY
+    return Sym(cls)
+
+
+def concat(*parts: Regex) -> Regex:
+    """N-ary concatenation with flattening and identity/zero laws."""
+    flat: list[Regex] = []
+    for part in parts:
+        if isinstance(part, Empty):
+            return EMPTY
+        if isinstance(part, Epsilon):
+            continue
+        if isinstance(part, Concat):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return EPSILON
+    if len(flat) == 1:
+        return flat[0]
+    return Concat(tuple(flat))
+
+
+def alternation(*parts: Regex) -> Regex:
+    """N-ary alternation with flattening, dedup, and zero laws."""
+    flat: list[Regex] = []
+    seen: set[Regex] = set()
+    for part in parts:
+        if isinstance(part, Empty):
+            continue
+        candidates = part.parts if isinstance(part, Alt) else (part,)
+        for cand in candidates:
+            if cand not in seen:
+                seen.add(cand)
+                flat.append(cand)
+    if not flat:
+        return EMPTY
+    if len(flat) == 1:
+        return flat[0]
+    return Alt(tuple(flat))
+
+
+def star(inner: Regex) -> Regex:
+    """Kleene star with ``Empty* = Epsilon* = Epsilon`` and ``r** = r*``."""
+    if isinstance(inner, (Empty, Epsilon)):
+        return EPSILON
+    if isinstance(inner, Star):
+        return inner
+    return Star(inner)
+
+
+def repeat(inner: Regex, lo: int, hi: Optional[int]) -> Regex:
+    """Bounded repetition; degenerate bounds collapse immediately.
+
+    ``r{0,0}`` is epsilon, ``r{1,1}`` is ``r`` and ``r{0,}`` is ``r*``;
+    repeating epsilon or the empty language also collapses.  All other
+    shapes (including ``{0,1}``) are kept as ``Repeat`` so that the
+    rewrite pass can report/unfold them uniformly.
+    """
+    if isinstance(inner, Epsilon):
+        return EPSILON
+    if isinstance(inner, Empty):
+        return EPSILON if lo == 0 else EMPTY
+    if hi == 0:
+        return EPSILON
+    if lo == 1 and hi == 1:
+        return inner
+    if lo == 0 and hi is None:
+        return star(inner)
+    return Repeat(inner, lo, hi)
+
+
+def literal(text: str | bytes) -> Regex:
+    """Concatenation of singleton classes spelling out ``text``."""
+    if isinstance(text, str):
+        text = text.encode("latin-1")
+    return concat(*(Sym(CharClass.of_byte(b)) for b in text))
+
+
+# ----------------------------------------------------------------------
+# Repeat-instance bookkeeping
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RepeatInstance:
+    """A specific occurrence of bounded repetition inside a regex.
+
+    The static analysis of Section 3 is performed *per occurrence*
+    ("the checker supports the analysis of counter-ambiguity for each
+    instance of bounded repetition inside a regex").  Instances are
+    identified by their preorder index among ``Repeat`` nodes and by
+    their tree path (sequence of child indices from the root), which
+    survives reconstruction of equal trees.
+    """
+
+    index: int
+    path: tuple[int, ...]
+    node: Repeat = field(compare=False)
+
+    @property
+    def lo(self) -> int:
+        return self.node.lo
+
+    @property
+    def hi(self) -> Optional[int]:
+        return self.node.hi
+
+    def describe(self) -> str:
+        return f"#{self.index}:{self.node.inner._wrap(3)}{self.node.bounds_pattern()}"
+
+
+def collect_repeats(root: Regex) -> list[RepeatInstance]:
+    """All Repeat occurrences in preorder, with paths from the root."""
+    found: list[RepeatInstance] = []
+
+    def visit(node: Regex, path: tuple[int, ...]) -> None:
+        if isinstance(node, Repeat):
+            found.append(RepeatInstance(len(found), path, node))
+        for i, child in enumerate(node.children()):
+            visit(child, path + (i,))
+
+    visit(root, ())
+    return found
+
+
+def replace_at_path(root: Regex, path: Sequence[int], replacement: Regex) -> Regex:
+    """Rebuild ``root`` with the node at ``path`` swapped for ``replacement``.
+
+    Used by the over-approximate analysis (Section 3.2) to replace every
+    counting occurrence *except one* with a Kleene star.
+    """
+    if not path:
+        return replacement
+    head, rest = path[0], path[1:]
+    kids = list(root.children())
+    kids[head] = replace_at_path(kids[head], rest, replacement)
+    return _rebuild(root, tuple(kids))
+
+
+def map_children(node: Regex, fn: Callable[[Regex], Regex]) -> Regex:
+    """Rebuild ``node`` with ``fn`` applied to each direct child."""
+    kids = node.children()
+    if not kids:
+        return node
+    return _rebuild(node, tuple(fn(kid) for kid in kids))
+
+
+def _rebuild(node: Regex, kids: tuple[Regex, ...]) -> Regex:
+    if isinstance(node, Concat):
+        return Concat(kids)
+    if isinstance(node, Alt):
+        return Alt(kids)
+    if isinstance(node, Star):
+        return Star(kids[0])
+    if isinstance(node, Repeat):
+        return Repeat(kids[0], node.lo, node.hi)
+    raise TypeError(f"cannot rebuild {type(node).__name__}")

@@ -1,0 +1,284 @@
+"""Character classes: predicates over the 8-bit byte alphabet.
+
+The hardware processes 8-bit symbols (Section 4.1: a 256-entry one-hot
+encoding addresses the state-matching memory), so the alphabet is fixed
+to the 256 byte values.  A :class:`CharClass` is an immutable 256-bit
+mask with full set algebra.  It plays the role of the predicates
+``sigma`` over the alphabet from Definition 2.1, and of the per-STE
+symbol sets stored in the CAM arrays.
+
+Design notes
+------------
+* The mask is a plain Python ``int`` used as a bitset; bit ``i`` is set
+  iff byte value ``i`` is in the class.  Python integers give us cheap
+  union/intersection/complement and hashing.
+* Instances are interned for the handful of very common classes (empty,
+  Sigma, dot) to keep allocation down during Glushkov construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+__all__ = [
+    "ALPHABET_SIZE",
+    "CharClass",
+    "EMPTY",
+    "SIGMA",
+    "DOT_NO_NEWLINE",
+]
+
+ALPHABET_SIZE = 256
+_FULL_MASK = (1 << ALPHABET_SIZE) - 1
+
+_PRINTABLE_ESCAPES = {
+    0x09: "\\t",
+    0x0A: "\\n",
+    0x0D: "\\r",
+}
+# Characters that need escaping when printed inside a class.
+_CLASS_SPECIALS = frozenset(b"]\\^-")
+# Characters that need escaping when printed as a bare literal.
+_LITERAL_SPECIALS = frozenset(b".*+?()[]{}|^$\\")
+
+
+class CharClass:
+    """An immutable predicate over the 256-symbol byte alphabet.
+
+    Supports set algebra (``|``, ``&``, ``~``, ``-``), containment
+    tests, iteration over members, and parsing/printing helpers.  Equal
+    masks compare and hash equal, so classes can key dictionaries (used
+    heavily by the product construction of Section 3.1, which labels
+    product edges with predicate intersections).
+    """
+
+    __slots__ = ("mask",)
+
+    def __init__(self, mask: int):
+        if not 0 <= mask <= _FULL_MASK:
+            raise ValueError(f"mask out of range: {mask:#x}")
+        object.__setattr__(self, "mask", mask)
+
+    def __setattr__(self, name, value):  # pragma: no cover - guard
+        raise AttributeError("CharClass is immutable")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def empty() -> "CharClass":
+        return EMPTY
+
+    @staticmethod
+    def sigma() -> "CharClass":
+        return SIGMA
+
+    @staticmethod
+    def of_byte(value: int) -> "CharClass":
+        """Singleton class ``{value}``."""
+        if not 0 <= value < ALPHABET_SIZE:
+            raise ValueError(f"byte value out of range: {value}")
+        return CharClass(1 << value)
+
+    @staticmethod
+    def of_char(char: str) -> "CharClass":
+        """Singleton class for a one-character string (must be Latin-1)."""
+        if len(char) != 1:
+            raise ValueError("of_char expects a single character")
+        code = ord(char)
+        if code >= ALPHABET_SIZE:
+            raise ValueError(f"character {char!r} outside byte alphabet")
+        return CharClass.of_byte(code)
+
+    @staticmethod
+    def of_bytes(values: Iterable[int]) -> "CharClass":
+        """Class containing exactly the given byte values."""
+        mask = 0
+        for value in values:
+            if not 0 <= value < ALPHABET_SIZE:
+                raise ValueError(f"byte value out of range: {value}")
+            mask |= 1 << value
+        return CharClass(mask)
+
+    @staticmethod
+    def of_string(chars: str | bytes) -> "CharClass":
+        """Class containing every character of ``chars``."""
+        if isinstance(chars, str):
+            chars = chars.encode("latin-1")
+        return CharClass.of_bytes(chars)
+
+    @staticmethod
+    def of_range(lo: int, hi: int) -> "CharClass":
+        """Class for the inclusive byte range ``[lo, hi]``."""
+        if not (0 <= lo <= hi < ALPHABET_SIZE):
+            raise ValueError(f"bad range: {lo}-{hi}")
+        width = hi - lo + 1
+        return CharClass(((1 << width) - 1) << lo)
+
+    # ------------------------------------------------------------------
+    # Set algebra
+    # ------------------------------------------------------------------
+    def union(self, other: "CharClass") -> "CharClass":
+        return CharClass(self.mask | other.mask)
+
+    def intersect(self, other: "CharClass") -> "CharClass":
+        return CharClass(self.mask & other.mask)
+
+    def complement(self) -> "CharClass":
+        return CharClass(self.mask ^ _FULL_MASK)
+
+    def difference(self, other: "CharClass") -> "CharClass":
+        return CharClass(self.mask & ~other.mask)
+
+    __or__ = union
+    __and__ = intersect
+    __invert__ = complement
+    __sub__ = difference
+
+    def is_empty(self) -> bool:
+        return self.mask == 0
+
+    def is_sigma(self) -> bool:
+        return self.mask == _FULL_MASK
+
+    def overlaps(self, other: "CharClass") -> bool:
+        """True iff the intersection is non-empty.
+
+        This is the emptiness test used when building product-system
+        edges (Section 3.1: add an edge labeled ``sigma1 & sigma2`` only
+        when that intersection is non-empty).
+        """
+        return (self.mask & other.mask) != 0
+
+    def is_subset(self, other: "CharClass") -> bool:
+        return (self.mask & ~other.mask) == 0
+
+    # ------------------------------------------------------------------
+    # Membership and enumeration
+    # ------------------------------------------------------------------
+    def contains(self, value: int) -> bool:
+        return 0 <= value < ALPHABET_SIZE and bool((self.mask >> value) & 1)
+
+    __contains__ = contains
+
+    def __iter__(self) -> Iterator[int]:
+        mask = self.mask
+        value = 0
+        while mask:
+            if mask & 1:
+                yield value
+            mask >>= 1
+            value += 1
+
+    def __len__(self) -> int:
+        return self.mask.bit_count()
+
+    def count(self) -> int:
+        """Number of byte values in the class."""
+        return self.mask.bit_count()
+
+    def sample(self) -> int:
+        """Smallest member; used to materialize witness strings (§3.3).
+
+        Prefers a printable ASCII member when one exists so that
+        reported witnesses are human-readable.
+        """
+        if self.mask == 0:
+            raise ValueError("cannot sample from the empty class")
+        printable = self.mask & (((1 << (0x7F - 0x20)) - 1) << 0x20)
+        mask = printable if printable else self.mask
+        return (mask & -mask).bit_length() - 1
+
+    def sample_char(self) -> str:
+        return chr(self.sample())
+
+    # ------------------------------------------------------------------
+    # Hashing / equality / printing
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        return isinstance(other, CharClass) and self.mask == other.mask
+
+    def __hash__(self) -> int:
+        return hash(("CharClass", self.mask))
+
+    def __repr__(self) -> str:
+        return f"CharClass({self.to_pattern()!r})"
+
+    def ranges(self) -> list[tuple[int, int]]:
+        """Maximal inclusive ranges of member bytes, ascending."""
+        result: list[tuple[int, int]] = []
+        start = None
+        prev = None
+        for value in self:
+            if start is None:
+                start = prev = value
+            elif value == prev + 1:
+                prev = value
+            else:
+                result.append((start, prev))
+                start = prev = value
+        if start is not None:
+            result.append((start, prev))
+        return result
+
+    def to_pattern(self) -> str:
+        """Render as POSIX-ish regex source text.
+
+        Produces ``.`` for Sigma, a bare (escaped) literal for
+        singletons, and a ``[...]`` class otherwise, negated when that
+        is shorter.  ``parse_pattern(to_pattern())`` round-trips.
+        """
+        if self.is_sigma():
+            return "(.|\\n)" if False else "[\\x00-\\xff]"
+        if self.mask == DOT_NO_NEWLINE.mask:
+            return "."
+        if self.is_empty():
+            return "[]"
+        if self.count() == 1:
+            return _escape_literal(next(iter(self)))
+        negated = self.count() > ALPHABET_SIZE // 2
+        body_cc = self.complement() if negated else self
+        parts = []
+        for lo, hi in body_cc.ranges():
+            if hi - lo >= 2:
+                parts.append(f"{_escape_in_class(lo)}-{_escape_in_class(hi)}")
+            else:
+                parts.extend(_escape_in_class(v) for v in range(lo, hi + 1))
+        prefix = "^" if negated else ""
+        return f"[{prefix}{''.join(parts)}]"
+
+
+def _escape_in_class(value: int) -> str:
+    if value in _PRINTABLE_ESCAPES:
+        return _PRINTABLE_ESCAPES[value]
+    if value in _CLASS_SPECIALS:
+        return "\\" + chr(value)
+    if 0x20 <= value < 0x7F:
+        return chr(value)
+    return f"\\x{value:02x}"
+
+
+def _escape_literal(value: int) -> str:
+    if value in _PRINTABLE_ESCAPES:
+        return _PRINTABLE_ESCAPES[value]
+    if value in _LITERAL_SPECIALS:
+        return "\\" + chr(value)
+    if 0x20 <= value < 0x7F:
+        return chr(value)
+    return f"\\x{value:02x}"
+
+
+EMPTY = CharClass(0)
+SIGMA = CharClass(_FULL_MASK)
+#: POSIX ``.``: every byte except newline.
+DOT_NO_NEWLINE = CharClass(_FULL_MASK ^ (1 << 0x0A))
+
+# Named classes used by escape sequences (PCRE/POSIX-compatible subsets).
+DIGITS = CharClass.of_range(ord("0"), ord("9"))
+WORD = (
+    CharClass.of_range(ord("a"), ord("z"))
+    | CharClass.of_range(ord("A"), ord("Z"))
+    | DIGITS
+    | CharClass.of_char("_")
+)
+SPACE = CharClass.of_string(" \t\n\r\x0b\x0c")

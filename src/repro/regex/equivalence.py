@@ -1,0 +1,90 @@
+"""Decision procedure for regex language equivalence.
+
+A Brzozowski/Antimirov-style bisimulation: two regexes are equivalent
+iff no reachable derivative pair disagrees on nullability.  Since
+derivatives of counted regexes stay counted (no unfolding), this
+decides equivalence of ``r{m,n}`` patterns without materializing the
+bounds -- the same succinctness argument the paper makes for NCAs.
+
+Used by the test suite to verify that the Section 4.2 rewrites and the
+unfolding transformations are exactly language-preserving (stronger
+than the sampled differential checks), and exposed as public API
+because a regex toolchain without an equivalence oracle is hard to
+trust.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .ast import Regex
+from .charclass import CharClass
+from .oracle import derivative
+
+__all__ = ["equivalent", "distinguishing_string", "EquivalenceBudgetError"]
+
+
+class EquivalenceBudgetError(Exception):
+    """The bisimulation exceeded its derivative-pair budget."""
+
+
+def _alphabet_atoms(*nodes: Regex) -> list[CharClass]:
+    """Coarsest byte-class partition the regexes can distinguish."""
+    from .ast import Sym
+
+    predicates: list[CharClass] = []
+    seen: set[int] = set()
+    for node in nodes:
+        for sub in node.walk():
+            if isinstance(sub, Sym) and sub.cls.mask not in seen:
+                seen.add(sub.cls.mask)
+                predicates.append(sub.cls)
+    atoms = [CharClass.sigma()]
+    for pred in predicates:
+        refined: list[CharClass] = []
+        for atom in atoms:
+            inside = atom & pred
+            outside = atom - pred
+            if not inside.is_empty():
+                refined.append(inside)
+            if not outside.is_empty():
+                refined.append(outside)
+        atoms = refined
+    return atoms
+
+
+def distinguishing_string(
+    left: Regex, right: Regex, max_pairs: int = 50_000
+) -> Optional[bytes]:
+    """A shortest-ish string in exactly one of the two languages.
+
+    Returns None when the regexes are equivalent.  BFS over derivative
+    pairs with the alphabet partitioned into atoms, so each step tries
+    one representative byte per distinguishable class.
+    """
+    start = (left, right)
+    visited = {start}
+    queue: list[tuple[tuple[Regex, Regex], bytes]] = [(start, b"")]
+    count = 0
+    while queue:
+        (l, r), prefix = queue.pop(0)
+        if l.nullable() != r.nullable():
+            return prefix
+        for atom in _alphabet_atoms(l, r):
+            byte = atom.sample()
+            pair = (derivative(l, byte), derivative(r, byte))
+            if pair in visited:
+                continue
+            visited.add(pair)
+            count += 1
+            if count > max_pairs:
+                raise EquivalenceBudgetError(
+                    f"equivalence check exceeded {max_pairs} derivative pairs"
+                )
+            queue.append((pair, prefix + bytes([byte])))
+    return None
+
+
+def equivalent(left: Regex, right: Regex, max_pairs: int = 50_000) -> bool:
+    """True iff the two regexes denote the same language."""
+    return distinguishing_string(left, right, max_pairs) is None

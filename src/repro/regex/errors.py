@@ -1,0 +1,55 @@
+"""Exception hierarchy for the regex frontend.
+
+The paper (Section 3.3) distinguishes *supported* regexes (the regular
+fragment with counting) from unsupported ones (backreferences and other
+non-regular features found in Snort/Suricata/SpamAssassin rules).  The
+parser raises :class:`UnsupportedFeatureError` for the latter so that
+workload censuses can count them, mirroring the "# supported" column of
+Table 1.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "RegexError",
+    "RegexSyntaxError",
+    "UnsupportedFeatureError",
+]
+
+
+class RegexError(Exception):
+    """Base class for all errors raised by the regex frontend."""
+
+
+class RegexSyntaxError(RegexError):
+    """The pattern is not well-formed (unbalanced groups, bad ranges...).
+
+    Attributes:
+        pattern: the offending pattern text.
+        position: index into ``pattern`` where the error was detected.
+    """
+
+    def __init__(self, message: str, pattern: str = "", position: int = -1):
+        self.pattern = pattern
+        self.position = position
+        if position >= 0:
+            message = f"{message} (at position {position} in {pattern!r})"
+        super().__init__(message)
+
+
+class UnsupportedFeatureError(RegexError):
+    """The pattern uses a feature outside the supported regular fragment.
+
+    Examples: backreferences ``\\1``, lookaround ``(?=...)``, word
+    boundaries ``\\b`` used mid-pattern.  These correspond to the rows
+    filtered out between "# total" and "# supported" in Table 1.
+    """
+
+    def __init__(self, feature: str, pattern: str = "", position: int = -1):
+        self.feature = feature
+        self.pattern = pattern
+        self.position = position
+        message = f"unsupported feature: {feature}"
+        if position >= 0:
+            message = f"{message} (at position {position} in {pattern!r})"
+        super().__init__(message)

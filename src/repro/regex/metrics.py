@@ -1,0 +1,117 @@
+"""Structural metrics over regexes.
+
+Provides the "measure of complexity" from Section 3.3 (``mu(r)``, the
+maximum repetition upper bound over all occurrences of counting) plus
+the censuses needed for Table 1 and the node-count predictions that
+drive Figure 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ast import Alt, Concat, Regex, Repeat, Star, Sym
+
+__all__ = [
+    "mu",
+    "has_counting",
+    "count_instances",
+    "counting_depth",
+    "position_count",
+    "unfolded_position_count",
+    "RegexShape",
+    "shape_of",
+]
+
+
+def mu(root: Regex) -> int:
+    """Maximum repetition upper bound over all counting occurrences.
+
+    ``mu(sigma1{1,5} sigma2 sigma3{4}) = 5`` (the paper's example).
+    Regexes without counting have ``mu = 0``.  Unbounded repetitions
+    contribute their lower bound (they are lowered to ``r{m} r*`` before
+    analysis anyway).
+    """
+    best = 0
+    for node in root.walk():
+        if isinstance(node, Repeat):
+            bound = node.hi if node.hi is not None else node.lo
+            best = max(best, bound)
+    return best
+
+
+def has_counting(root: Regex) -> bool:
+    """True iff at least one ``Repeat`` occurs (Table 1 "# counting")."""
+    return any(isinstance(node, Repeat) for node in root.walk())
+
+
+def count_instances(root: Regex) -> int:
+    """Number of ``Repeat`` occurrences."""
+    return sum(1 for node in root.walk() if isinstance(node, Repeat))
+
+
+def counting_depth(root: Regex) -> int:
+    """Maximum nesting depth of ``Repeat`` nodes (Fig. 1 has depth 2)."""
+
+    def depth(node: Regex) -> int:
+        inner = max((depth(child) for child in node.children()), default=0)
+        return inner + 1 if isinstance(node, Repeat) else inner
+
+    return depth(root)
+
+
+def position_count(root: Regex) -> int:
+    """Number of Glushkov positions (Sym leaves) without unfolding."""
+    return sum(1 for node in root.walk() if isinstance(node, Sym))
+
+
+def unfolded_position_count(root: Regex, threshold: int | None = None) -> int:
+    """Positions after unfolding counting occurrences up to ``threshold``.
+
+    ``threshold=None`` means *unfold everything* (the pure-NFA baseline);
+    otherwise only occurrences with upper bound <= threshold unfold and
+    the rest contribute their body once (they will be implemented by a
+    counter or bit-vector module).  This predicts the STE demand that
+    Figure 9 plots as "# of MNRL nodes".
+    """
+
+    def count(node: Regex) -> int:
+        if isinstance(node, Sym):
+            return 1
+        if isinstance(node, Repeat):
+            body = count(node.inner)
+            hi = node.hi if node.hi is not None else node.lo
+            if threshold is None or hi <= threshold:
+                return body * max(hi, 1)
+            return body
+        if isinstance(node, Star):
+            return count(node.inner)
+        return sum(count(child) for child in node.children())
+
+    return count(root)
+
+
+@dataclass(frozen=True)
+class RegexShape:
+    """Summary record used by workload statistics and experiment tables."""
+
+    size: int
+    positions: int
+    mu: int
+    instances: int
+    depth: int
+
+    @staticmethod
+    def of(root: Regex) -> "RegexShape":
+        return RegexShape(
+            size=root.size(),
+            positions=position_count(root),
+            mu=mu(root),
+            instances=count_instances(root),
+            depth=counting_depth(root),
+        )
+
+
+def shape_of(root: Regex) -> RegexShape:
+    """Convenience alias for :meth:`RegexShape.of`."""
+    return RegexShape.of(root)

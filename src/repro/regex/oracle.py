@@ -1,0 +1,131 @@
+"""Reference matcher based on Brzozowski derivatives.
+
+This is the project's ground-truth semantics.  Every other execution
+path -- NCA token interpretation, the compiled counting-set matcher,
+the unfolded NFA, and the MNRL/hardware functional simulator -- is
+differentially tested against this oracle on randomized regexes and
+inputs.  Derivatives extend naturally to counting::
+
+    D_a(r{m,n}) = D_a(r) . r{max(m-1,0), n-1}
+
+which avoids any unfolding, so the oracle stays small even for large
+bounds.  Smart constructors keep terms in a weak normal form (ACI for
+alternation) so that repeated differentiation does not blow up.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    EMPTY,
+    EPSILON,
+    Alt,
+    Concat,
+    Empty,
+    Epsilon,
+    Regex,
+    Repeat,
+    Star,
+    Sym,
+    alternation,
+    concat,
+    repeat,
+    star,
+)
+
+__all__ = ["derivative", "accepts", "match_ends", "DerivativeMatcher"]
+
+
+def derivative(node: Regex, byte: int) -> Regex:
+    """Brzozowski derivative of ``node`` with respect to one byte."""
+    if isinstance(node, (Empty, Epsilon)):
+        return EMPTY
+    if isinstance(node, Sym):
+        return EPSILON if byte in node.cls else EMPTY
+    if isinstance(node, Alt):
+        return alternation(*(derivative(p, byte) for p in node.parts))
+    if isinstance(node, Concat):
+        head, tail = node.parts[0], node.parts[1:]
+        rest = tail[0] if len(tail) == 1 else Concat(tail)
+        result = concat(derivative(head, byte), rest)
+        if head.nullable():
+            result = alternation(result, derivative(rest, byte))
+        return result
+    if isinstance(node, Star):
+        return concat(derivative(node.inner, byte), node)
+    if isinstance(node, Repeat):
+        if node.hi == 0:
+            return EMPTY
+        hi = None if node.hi is None else node.hi - 1
+        remainder = repeat(node.inner, max(node.lo - 1, 0), hi)
+        return concat(derivative(node.inner, byte), remainder)
+    raise TypeError(f"unknown node {type(node).__name__}")
+
+
+class DerivativeMatcher:
+    """Stateful streaming oracle with derivative memoization.
+
+    Feeding bytes advances the current derivative; :attr:`accepting`
+    tells whether the prefix consumed so far is in the language.
+    Memoization is shared per matcher, keyed on (regex, byte); this
+    keeps property tests fast when many inputs hit the same states.
+    """
+
+    def __init__(self, root: Regex):
+        self.root = root
+        self.current = root
+        self._memo: dict[tuple[Regex, int], Regex] = {}
+
+    def reset(self) -> None:
+        self.current = self.root
+
+    def feed(self, byte: int) -> None:
+        key = (self.current, byte)
+        nxt = self._memo.get(key)
+        if nxt is None:
+            nxt = derivative(self.current, byte)
+            self._memo[key] = nxt
+        self.current = nxt
+
+    @property
+    def accepting(self) -> bool:
+        return self.current.nullable()
+
+    @property
+    def dead(self) -> bool:
+        """True when no extension of the input can ever match."""
+        return isinstance(self.current, Empty)
+
+
+def accepts(root: Regex, data: bytes | str) -> bool:
+    """Whole-string membership test: ``data in [[root]]``."""
+    if isinstance(data, str):
+        data = data.encode("latin-1")
+    matcher = DerivativeMatcher(root)
+    for byte in data:
+        matcher.feed(byte)
+        if matcher.dead:
+            return False
+    return matcher.accepting
+
+
+def match_ends(root: Regex, data: bytes | str) -> list[int]:
+    """End positions (1-based, i.e. #bytes consumed) of matching prefixes.
+
+    This is the streaming-report semantics the hardware implements: a
+    report fires on every cycle where a final STE/token is active.  For
+    unanchored search semantics, pass an AST already prefixed with
+    ``Sigma*`` (see :meth:`repro.regex.parser.Pattern.search_ast`).
+    """
+    if isinstance(data, str):
+        data = data.encode("latin-1")
+    matcher = DerivativeMatcher(root)
+    ends: list[int] = []
+    if matcher.accepting:
+        ends.append(0)
+    for index, byte in enumerate(data, start=1):
+        matcher.feed(byte)
+        if matcher.accepting:
+            ends.append(index)
+        if matcher.dead:
+            break
+    return ends

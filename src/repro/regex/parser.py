@@ -1,0 +1,475 @@
+"""POSIX/PCRE-style regex parser for the supported regular fragment.
+
+Produces :class:`Pattern` values wrapping a ``repro.regex.ast`` tree
+plus anchoring information.  The supported syntax mirrors what the
+paper's benchmarks need (Section 3.3): literals, ``.``, character
+classes with ranges and negation, escapes (including ``\\xHH`` bytes,
+ubiquitous in Snort/ClamAV rules), groups, alternation, ``* + ?`` and
+counting ``{m} {m,} {m,n}``, the ``(?i)`` case-insensitivity flag, and
+edge anchors ``^``/``$``.
+
+Non-regular or out-of-scope features raise
+:class:`~repro.regex.errors.UnsupportedFeatureError`: backreferences,
+lookaround, word boundaries, and mid-pattern anchors.  Workload
+censuses catch this error to populate the "# supported" column of
+Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import charclass as cc
+from .ast import (
+    EPSILON,
+    Regex,
+    Sym,
+    alternation,
+    concat,
+    repeat,
+    star,
+    sym,
+)
+from .charclass import CharClass
+from .errors import RegexSyntaxError, UnsupportedFeatureError
+
+__all__ = ["Pattern", "parse", "parse_to_ast"]
+
+_ESCAPE_CLASSES = {
+    "d": cc.DIGITS,
+    "D": cc.DIGITS.complement(),
+    "w": cc.WORD,
+    "W": cc.WORD.complement(),
+    "s": cc.SPACE,
+    "S": cc.SPACE.complement(),
+}
+
+_ESCAPE_CHARS = {
+    "n": 0x0A,
+    "r": 0x0D,
+    "t": 0x09,
+    "f": 0x0C,
+    "v": 0x0B,
+    "a": 0x07,
+    "e": 0x1B,
+    "0": 0x00,
+}
+
+_POSIX_CLASSES = {
+    "alpha": CharClass.of_range(65, 90) | CharClass.of_range(97, 122),
+    "digit": cc.DIGITS,
+    "alnum": cc.DIGITS | CharClass.of_range(65, 90) | CharClass.of_range(97, 122),
+    "space": cc.SPACE,
+    "upper": CharClass.of_range(65, 90),
+    "lower": CharClass.of_range(97, 122),
+    "punct": CharClass.of_bytes(
+        v for v in range(0x21, 0x7F) if not (48 <= v <= 57 or 65 <= v <= 90 or 97 <= v <= 122)
+    ),
+    "xdigit": cc.DIGITS | CharClass.of_range(65, 70) | CharClass.of_range(97, 102),
+    "print": CharClass.of_range(0x20, 0x7E),
+    "graph": CharClass.of_range(0x21, 0x7E),
+    "cntrl": CharClass.of_range(0x00, 0x1F) | CharClass.of_byte(0x7F),
+    "blank": CharClass.of_string(" \t"),
+}
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A parsed pattern: AST plus anchoring and provenance.
+
+    ``anchored_start``/``anchored_end`` record whether the pattern was
+    written with ``^``/``$``.  The hardware always *searches* a stream,
+    so unanchored patterns are compiled with an implicit ``Sigma*``
+    prefix (an always-on start STE in AP terminology); helper methods
+    materialize that convention.
+    """
+
+    ast: Regex
+    anchored_start: bool = False
+    anchored_end: bool = False
+    source: str = ""
+
+    def search_ast(self) -> Regex:
+        """AST for streaming search: ``Sigma* r`` unless ``^``-anchored."""
+        if self.anchored_start:
+            return self.ast
+        return concat(star(Sym(cc.SIGMA)), self.ast)
+
+    def membership_ast(self) -> Regex:
+        """AST whose language is exactly the set of *whole* strings matched.
+
+        Adds ``Sigma*`` on unanchored sides, so membership of a string
+        coincides with "a match is found somewhere in the string".
+        """
+        result = self.ast
+        if not self.anchored_start:
+            result = concat(star(Sym(cc.SIGMA)), result)
+        if not self.anchored_end:
+            result = concat(result, star(Sym(cc.SIGMA)))
+        return result
+
+
+def parse(pattern: str, max_bound: int | None = None) -> Pattern:
+    """Parse ``pattern`` into a :class:`Pattern`.
+
+    Args:
+        pattern: the POSIX/PCRE-style source text.
+        max_bound: optional cap on repetition bounds; exceeding it raises
+            :class:`RegexSyntaxError` (guards against pathological rules).
+    """
+    return _Parser(pattern, max_bound).parse()
+
+
+def parse_to_ast(pattern: str, max_bound: int | None = None) -> Regex:
+    """Convenience: parse and return just the AST (anchors rejected)."""
+    parsed = parse(pattern, max_bound)
+    if parsed.anchored_start or parsed.anchored_end:
+        raise RegexSyntaxError("anchors not allowed here", pattern)
+    return parsed.ast
+
+
+class _Parser:
+    """Recursive-descent parser over the pattern text."""
+
+    def __init__(self, pattern: str, max_bound: int | None = None):
+        self.text = pattern
+        self.pos = 0
+        self.max_bound = max_bound
+        self.case_insensitive = False
+        self.anchored_start = False
+        self.anchored_end = False
+
+    # -- character-level helpers ------------------------------------------
+    def _peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def _next(self) -> str:
+        ch = self._peek()
+        self.pos += 1
+        return ch
+
+    def _eat(self, expected: str) -> None:
+        if self._peek() != expected:
+            raise RegexSyntaxError(f"expected {expected!r}", self.text, self.pos)
+        self.pos += 1
+
+    def _error(self, message: str) -> RegexSyntaxError:
+        return RegexSyntaxError(message, self.text, self.pos)
+
+    def _unsupported(self, feature: str) -> UnsupportedFeatureError:
+        return UnsupportedFeatureError(feature, self.text, self.pos)
+
+    # -- grammar -----------------------------------------------------------
+    def parse(self) -> Pattern:
+        if self._peek() == "^":
+            self.anchored_start = True
+            self.pos += 1
+        body = self._parse_alternation(depth=0)
+        if self.pos < len(self.text):
+            raise self._error(f"unexpected {self._peek()!r}")
+        return Pattern(
+            ast=body,
+            anchored_start=self.anchored_start,
+            anchored_end=self.anchored_end,
+            source=self.text,
+        )
+
+    def _parse_alternation(self, depth: int) -> Regex:
+        branches = [self._parse_concat(depth)]
+        while self._peek() == "|":
+            self.pos += 1
+            branches.append(self._parse_concat(depth))
+        return alternation(*branches) if len(branches) > 1 else branches[0]
+
+    def _parse_concat(self, depth: int) -> Regex:
+        factors: list[Regex] = []
+        while True:
+            ch = self._peek()
+            if ch in ("", "|", ")"):
+                break
+            if ch == "$":
+                # Valid only at the very end of the whole pattern.
+                if self.pos == len(self.text) - 1 and depth == 0:
+                    self.anchored_end = True
+                    self.pos += 1
+                    break
+                raise self._unsupported("mid-pattern anchor '$'")
+            if ch == "^":
+                raise self._unsupported("mid-pattern anchor '^'")
+            factors.append(self._parse_quantified(depth))
+        return concat(*factors) if factors else EPSILON
+
+    def _parse_quantified(self, depth: int) -> Regex:
+        atom = self._parse_atom(depth)
+        while True:
+            ch = self._peek()
+            if ch == "*":
+                self.pos += 1
+                atom = star(atom)
+            elif ch == "+":
+                self.pos += 1
+                atom = concat(atom, star(atom))
+            elif ch == "?":
+                self.pos += 1
+                atom = repeat(atom, 0, 1)
+            elif ch == "{":
+                bounds = self._try_parse_bounds()
+                if bounds is None:
+                    break  # literal '{'
+                lo, hi = bounds
+                atom = repeat(atom, lo, hi)
+            else:
+                break
+            # A '?' directly after a quantifier is PCRE laziness; it does
+            # not change the matched language, so it is consumed silently.
+            if self._peek() == "?":
+                self.pos += 1
+        return atom
+
+    def _try_parse_bounds(self) -> tuple[int, int | None] | None:
+        """Parse ``{m}``, ``{m,}`` or ``{m,n}``; None if '{' is literal."""
+        start = self.pos
+        self.pos += 1  # consume '{'
+        lo_digits = self._take_digits()
+        if lo_digits is None:
+            self.pos = start
+            return None
+        lo = int(lo_digits)
+        hi: int | None
+        if self._peek() == ",":
+            self.pos += 1
+            hi_digits = self._take_digits()
+            if hi_digits is None:
+                hi = None
+            else:
+                hi = int(hi_digits)
+        else:
+            hi = lo
+        if self._peek() != "}":
+            self.pos = start
+            return None
+        self.pos += 1
+        if hi is not None and hi < lo:
+            raise RegexSyntaxError(
+                f"bad repetition bounds {{{lo},{hi}}}", self.text, start
+            )
+        if self.max_bound is not None:
+            for bound in (lo, hi):
+                if bound is not None and bound > self.max_bound:
+                    raise RegexSyntaxError(
+                        f"repetition bound {bound} exceeds limit {self.max_bound}",
+                        self.text,
+                        start,
+                    )
+        return lo, hi
+
+    def _take_digits(self) -> str | None:
+        start = self.pos
+        while self._peek().isdigit():
+            self.pos += 1
+        return self.text[start : self.pos] if self.pos > start else None
+
+    def _parse_atom(self, depth: int) -> Regex:
+        ch = self._peek()
+        if ch == "(":
+            return self._parse_group(depth)
+        if ch == "[":
+            return sym(self._parse_class())
+        if ch == ".":
+            self.pos += 1
+            return Sym(cc.DOT_NO_NEWLINE)
+        if ch == "\\":
+            return self._parse_escape_atom()
+        if ch in "*+?":
+            raise self._error(f"quantifier {ch!r} with nothing to repeat")
+        if ch == "{":
+            bounds_probe = self._try_parse_bounds()
+            if bounds_probe is not None:
+                raise self._error("counting with nothing to repeat")
+        self.pos += 1
+        return Sym(self._fold_case(CharClass.of_char(ch)))
+
+    def _parse_group(self, depth: int) -> Regex:
+        self._eat("(")
+        restore_flags: bool | None = None
+        if self._peek() == "?":
+            self.pos += 1
+            mod = self._peek()
+            if mod == ":":
+                self.pos += 1
+            elif mod in "=!":
+                raise self._unsupported("lookahead group")
+            elif mod == "<":
+                nxt = self.text[self.pos + 1] if self.pos + 1 < len(self.text) else ""
+                if nxt in "=!":
+                    raise self._unsupported("lookbehind group")
+                raise self._unsupported("named group")
+            elif mod in "iIsmx-":
+                saved = self.case_insensitive
+                self._parse_inline_flags()
+                if self._peek() == ")":
+                    # (?i) applies to the rest of the pattern
+                    self.pos += 1
+                    return EPSILON
+                # (?i:...) scopes the flags to the group body
+                restore_flags = saved
+                self._eat(":")
+            elif mod == "P":
+                raise self._unsupported("named group")
+            elif mod == ">":
+                raise self._unsupported("atomic group")
+            else:
+                raise self._error(f"unknown group modifier (?{mod}")
+        body = self._parse_alternation(depth + 1)
+        self._eat(")")
+        if restore_flags is not None:
+            self.case_insensitive = restore_flags
+        return body
+
+    def _parse_inline_flags(self) -> None:
+        """Consume inline flags like ``i``, ``s``, ``m`` (case folding only).
+
+        ``(?i)`` toggles case-insensitivity for the rest of the pattern;
+        the other flags are accepted and ignored because they do not
+        change byte-level language under our conventions.
+        """
+        negate = False
+        while self._peek() and self._peek() not in ":)":
+            flag = self._next()
+            if flag == "-":
+                negate = True
+            elif flag in "iI":
+                self.case_insensitive = not negate
+            elif flag in "smx":
+                pass
+            else:
+                raise self._error(f"unknown inline flag {flag!r}")
+
+    # -- escapes -------------------------------------------------------
+    def _parse_escape_atom(self) -> Regex:
+        value = self._parse_escape(in_class=False)
+        if isinstance(value, CharClass):
+            return sym(self._fold_case(value))
+        return sym(self._fold_case(CharClass.of_byte(value)))
+
+    def _parse_escape(self, in_class: bool) -> CharClass | int:
+        r"""Parse one escape sequence after the backslash.
+
+        Returns either a full :class:`CharClass` (e.g. ``\d``) or a
+        single byte value (e.g. ``\x2f``).  Raising for the non-regular
+        escapes keeps Table 1's supported/unsupported split honest.
+        """
+        self._eat("\\")
+        ch = self._peek()
+        if ch == "":
+            raise self._error("dangling backslash")
+        self.pos += 1
+        if ch in _ESCAPE_CLASSES:
+            return _ESCAPE_CLASSES[ch]
+        if ch in _ESCAPE_CHARS and not (ch == "0" and self._peek().isdigit()):
+            return _ESCAPE_CHARS[ch]
+        if ch == "x":
+            return self._parse_hex_escape()
+        if ch.isdigit():
+            raise self._unsupported(f"backreference \\{ch}")
+        if ch in "bB" and not in_class:
+            raise self._unsupported(f"word boundary \\{ch}")
+        if ch == "b" and in_class:
+            return 0x08  # backspace inside a class, as in POSIX
+        if ch in "AzZ":
+            raise self._unsupported(f"anchor escape \\{ch}")
+        if ch in "kgK":
+            raise self._unsupported(f"escape \\{ch}")
+        code = ord(ch)
+        if code >= cc.ALPHABET_SIZE:
+            raise self._error(f"escaped character {ch!r} outside byte alphabet")
+        return code
+
+    def _parse_hex_escape(self) -> int:
+        digits = ""
+        if self._peek() == "{":
+            self.pos += 1
+            while self._peek() not in ("", "}"):
+                digits += self._next()
+            self._eat("}")
+        else:
+            for _ in range(2):
+                if self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                    digits += self._next()
+        if not digits:
+            raise self._error("empty \\x escape")
+        value = int(digits, 16)
+        if value >= cc.ALPHABET_SIZE:
+            raise self._error(f"\\x{{{digits}}} outside byte alphabet")
+        return value
+
+    # -- character classes ----------------------------------------------
+    def _parse_class(self) -> CharClass:
+        self._eat("[")
+        negated = False
+        if self._peek() == "^":
+            negated = True
+            self.pos += 1
+        result = cc.EMPTY
+        first = True
+        while True:
+            ch = self._peek()
+            if ch == "":
+                raise self._error("unterminated character class")
+            if ch == "]" and not first:
+                self.pos += 1
+                break
+            first = False
+            if ch == "[" and self.text.startswith("[:", self.pos):
+                result = result | self._parse_posix_class()
+                continue
+            item = self._parse_class_item()
+            if isinstance(item, CharClass):
+                result = result | item
+                continue
+            # Possibly a range a-z.
+            if self._peek() == "-" and self.pos + 1 < len(self.text) and self.text[self.pos + 1] != "]":
+                self.pos += 1
+                upper = self._parse_class_item()
+                if isinstance(upper, CharClass):
+                    raise self._error("character class range with class endpoint")
+                if upper < item:
+                    raise self._error(f"reversed range {chr(item)}-{chr(upper)}")
+                result = result | CharClass.of_range(item, upper)
+            else:
+                result = result | CharClass.of_byte(item)
+        if negated:
+            result = result.complement()
+        return self._fold_case(result)
+
+    def _parse_class_item(self) -> CharClass | int:
+        ch = self._peek()
+        if ch == "\\":
+            return self._parse_escape(in_class=True)
+        self.pos += 1
+        code = ord(ch)
+        if code >= cc.ALPHABET_SIZE:
+            raise self._error(f"character {ch!r} outside byte alphabet")
+        return code
+
+    def _parse_posix_class(self) -> CharClass:
+        end = self.text.find(":]", self.pos + 2)
+        if end < 0:
+            raise self._error("unterminated POSIX class")
+        name = self.text[self.pos + 2 : end]
+        if name not in _POSIX_CLASSES:
+            raise self._error(f"unknown POSIX class [:{name}:]")
+        self.pos = end + 2
+        return _POSIX_CLASSES[name]
+
+    # -- case folding -----------------------------------------------------
+    def _fold_case(self, klass: CharClass) -> CharClass:
+        if not self.case_insensitive:
+            return klass
+        folded = klass
+        for value in klass:
+            if 65 <= value <= 90:
+                folded = folded | CharClass.of_byte(value + 32)
+            elif 97 <= value <= 122:
+                folded = folded | CharClass.of_byte(value - 32)
+        return folded

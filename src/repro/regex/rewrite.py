@@ -1,0 +1,93 @@
+"""Regex simplification pass (Section 4.2, compiler step 1).
+
+The paper's compiler "parses the regex and simplifies it with certain
+rewrite rules, including the unfolding of repetitions with upper bound
+< 2 and the merging of character classes inside simple alternations
+(e.g., ``[a]|[b]`` is rewritten to ``[ab]``)".  This module implements
+exactly those rules plus the language-preserving normalizations they
+rely on:
+
+* ``r{0,0}`` -> epsilon, ``r{1,1}`` -> ``r``, ``r{0,1}`` -> ``r + eps``
+  (so every surviving ``Repeat`` has upper bound >= 2 and is a genuine
+  counting instance);
+* ``r{m,}`` -> ``r{m} r*`` (unbounded upper limits are lowered so that
+  every surviving counter is bounded, as required for NCAs with bounded
+  counters, Section 2);
+* ``[a]|[b]`` -> ``[ab]`` (merging classes in simple alternations);
+* flattening of nested concatenations/alternations, epsilon and empty
+  propagation, ``(r*)* -> r*`` (done by the smart constructors).
+
+The pass is idempotent and language-preserving; both properties are
+checked by the test suite (the latter differentially against the
+derivative oracle).
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    EPSILON,
+    Alt,
+    Concat,
+    Regex,
+    Repeat,
+    Star,
+    Sym,
+    alternation,
+    concat,
+    repeat,
+    star,
+    sym,
+)
+
+__all__ = ["simplify"]
+
+
+def simplify(root: Regex) -> Regex:
+    """Apply the Section 4.2 rewrite rules bottom-up."""
+    if isinstance(root, Concat):
+        return concat(*(simplify(p) for p in root.parts))
+    if isinstance(root, Alt):
+        return _simplify_alt([simplify(p) for p in root.parts])
+    if isinstance(root, Star):
+        return star(simplify(root.inner))
+    if isinstance(root, Repeat):
+        return _simplify_repeat(simplify(root.inner), root.lo, root.hi)
+    return root
+
+
+def _simplify_alt(parts: list[Regex]) -> Regex:
+    """Alternation with character-class merging.
+
+    All ``Sym`` alternatives fuse into a single ``Sym`` whose class is
+    the union: this is the ``[a]|[b] -> [ab]`` rule.  The merged class
+    is placed where the first ``Sym`` alternative appeared.
+    """
+    merged: list[Regex] = []
+    class_slot = -1
+    for part in parts:
+        if isinstance(part, Sym):
+            if class_slot < 0:
+                class_slot = len(merged)
+                merged.append(part)
+            else:
+                merged[class_slot] = Sym(merged[class_slot].cls | part.cls)
+        else:
+            merged.append(part)
+    return alternation(*merged)
+
+
+def _simplify_repeat(inner: Regex, lo: int, hi: int | None) -> Regex:
+    """Repetition lowering: small upper bounds unfold, ``{m,}`` splits."""
+    if hi is None:
+        # r{m,} == r{m} r*  (bounded counting followed by free iteration)
+        if lo == 0:
+            return star(inner)
+        return concat(_simplify_repeat(inner, lo, lo), star(inner))
+    if hi == 0:
+        return EPSILON
+    if hi == 1:
+        # Upper bound < 2: unfold rather than spend a counter.
+        if lo == 1:
+            return inner
+        return alternation(inner, EPSILON)
+    return repeat(inner, lo, hi)

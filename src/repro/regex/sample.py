@@ -1,0 +1,88 @@
+"""Sampling random members of a regex's language.
+
+Used by the workload generators to plant true matches inside synthetic
+input streams (so that the simulated hardware actually exercises its
+counters, bit vectors and report paths), and by tests as a source of
+guaranteed-accepting inputs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .ast import Alt, Concat, Empty, Epsilon, Regex, Repeat, Star, Sym
+
+__all__ = ["sample_match", "CannotSampleError"]
+
+
+class CannotSampleError(Exception):
+    """The regex denotes the empty language."""
+
+
+def sample_match(
+    node: Regex,
+    rng: random.Random,
+    star_mean: float = 1.5,
+    repeat_cap: Optional[int] = 8,
+) -> bytes:
+    """Draw one string from the language of ``node``.
+
+    Args:
+        node: the regex (rewrite normal form not required).
+        rng: seeded random source (determinism is on the caller).
+        star_mean: mean number of iterations sampled for ``r*``.
+        repeat_cap: cap on how far above ``lo`` a ``Repeat`` iterates
+            (keeps planted matches short even for ``{0,1024}`` bounds);
+            ``None`` samples uniformly from the full range.
+    """
+    if isinstance(node, Empty):
+        raise CannotSampleError("empty language")
+    if isinstance(node, Epsilon):
+        return b""
+    if isinstance(node, Sym):
+        members = list(node.cls)
+        if not members:
+            raise CannotSampleError("empty character class")
+        printable = [b for b in members if 0x20 <= b < 0x7F]
+        pool = printable if printable else members
+        return bytes([rng.choice(pool)])
+    if isinstance(node, Concat):
+        return b"".join(sample_match(p, rng, star_mean, repeat_cap) for p in node.parts)
+    if isinstance(node, Alt):
+        order = list(node.parts)
+        rng.shuffle(order)
+        last_error: Optional[CannotSampleError] = None
+        for part in order:
+            try:
+                return sample_match(part, rng, star_mean, repeat_cap)
+            except CannotSampleError as err:
+                last_error = err
+        raise last_error or CannotSampleError("no viable alternative")
+    if isinstance(node, Star):
+        count = 0
+        while rng.random() < star_mean / (star_mean + 1):
+            count += 1
+            if count > 16:
+                break
+        try:
+            return b"".join(
+                sample_match(node.inner, rng, star_mean, repeat_cap)
+                for _ in range(count)
+            )
+        except CannotSampleError:
+            return b""
+    if isinstance(node, Repeat):
+        lo = node.lo
+        hi = node.hi if node.hi is not None else lo + (repeat_cap or 8)
+        if repeat_cap is not None:
+            hi = min(hi, lo + repeat_cap)
+        hi = max(hi, lo)
+        count = rng.randint(lo, hi)
+        if count == 0:
+            return b""
+        return b"".join(
+            sample_match(node.inner, rng, star_mean, repeat_cap)
+            for _ in range(count)
+        )
+    raise TypeError(f"unknown node {type(node).__name__}")

@@ -1,0 +1,84 @@
+"""Unfolding of bounded repetition (the baseline the paper beats).
+
+"The naive approach for dealing with counting operators is to rewrite
+them by unfolding.  For example, ``r{n,n}`` is unfolded into
+``r . r ... r`` (n-fold concatenation)" (Section 1).  Existing
+in-memory architectures (AP, CA, Impala, CAMA) only support counting
+through this rewriting, which costs Theta(n) STEs per occurrence.
+
+This module implements:
+
+* :func:`unfold_repeat` -- one occurrence, ``r{m,n} -> r^m (r|eps)^(n-m)``;
+* :func:`unfold_all` -- the full-unfolding baseline ("unfold all" in
+  Figures 9/10);
+* :func:`unfold_up_to` -- threshold-k partial unfolding (the x-axis of
+  Figures 9/10): occurrences with upper bound <= k unfold, larger ones
+  survive for counter/bit-vector implementation.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    EPSILON,
+    Alt,
+    Concat,
+    Regex,
+    Repeat,
+    Star,
+    alternation,
+    concat,
+    star,
+)
+
+__all__ = ["unfold_repeat", "unfold_all", "unfold_up_to"]
+
+
+def unfold_repeat(inner: Regex, lo: int, hi: int | None) -> Regex:
+    """Unfold one occurrence: ``r{m,n} -> r^m . (r + eps)^(n-m)``.
+
+    The optional tail uses the *flat* form (a chain of ``r + eps``
+    factors) rather than nested optionals; both have Theta(n) Glushkov
+    positions and the flat form mirrors how AP-style toolchains lay out
+    unfolded repetitions as STE chains with skip edges.
+    """
+    if hi is None:
+        # r{m,} -> r^m . r*
+        return concat(*([inner] * lo), star(inner))
+    optional = alternation(inner, EPSILON)
+    return concat(*([inner] * lo), *([optional] * (hi - lo)))
+
+
+def unfold_all(root: Regex) -> Regex:
+    """Replace every counting occurrence by its unfolding (pure NFA)."""
+    return unfold_up_to(root, None)
+
+
+def unfold_up_to(root: Regex, threshold: int | None) -> Regex:
+    """Unfold occurrences with upper bound <= ``threshold``.
+
+    ``threshold=None`` unfolds everything; ``threshold=0`` unfolds
+    nothing bounded (unbounded ``{m,}`` always unfolds since no bounded
+    counter can implement it).  Processing is bottom-up, so a nested
+    occurrence that unfolds inside a surviving outer occurrence is
+    duplicated correctly, and an unfolded outer occurrence duplicates
+    its surviving inner occurrences (each copy later receives its own
+    counter).
+    """
+
+    def rewrite(node: Regex) -> Regex:
+        if isinstance(node, Concat):
+            return concat(*(rewrite(p) for p in node.parts))
+        if isinstance(node, Alt):
+            return alternation(*(rewrite(p) for p in node.parts))
+        if isinstance(node, Star):
+            return star(rewrite(node.inner))
+        if isinstance(node, Repeat):
+            inner = rewrite(node.inner)
+            if node.hi is None:
+                return unfold_repeat(inner, node.lo, None)
+            if threshold is None or node.hi <= threshold:
+                return unfold_repeat(inner, node.lo, node.hi)
+            return Repeat(inner, node.lo, node.hi)
+        return node
+
+    return rewrite(root)

@@ -1,0 +1,92 @@
+"""Graphviz/DOT export for NCAs and MNRL networks.
+
+Debugging and documentation aid: render the automata the way the
+paper's figures draw them (state circles annotated with counters,
+edges labeled ``sigma, guard / action``; module nodes as boxes with
+their ports).  Output is plain DOT text; no graphviz dependency.
+"""
+
+from __future__ import annotations
+
+from .mnrl.network import Network
+from .mnrl.nodes import BitVectorNode, CounterNode, STE
+from .nca.automaton import NCA, SetAction
+
+__all__ = ["nca_to_dot", "network_to_dot"]
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def nca_to_dot(nca: NCA, name: str = "nca") -> str:
+    """Render an NCA in the style of the paper's Figures 1/4(a)."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;", '  node [shape=circle];']
+    for q in nca.states:
+        label = f"q{q}"
+        counters = sorted(nca.counters_of(q))
+        if counters:
+            label += " : " + ",".join(f"x{c}" for c in counters)
+        shape_bits = []
+        if q in nca.finals:
+            shape_bits.append("shape=doublecircle")
+            guards = nca.finals[q]
+            if guards:
+                label += "\\n" + " & ".join(g.describe() for g in guards)
+        if q == nca.initial:
+            shape_bits.append("style=bold")
+        attrs = ", ".join([f'label="{_escape(label)}"'] + shape_bits)
+        lines.append(f"  q{q} [{attrs}];")
+    for t in nca.transitions:
+        pred = nca.predicate_of(t.target)
+        parts = [pred.to_pattern() if pred is not None else "eps"]
+        parts.extend(g.describe() for g in t.guard)
+        label = ", ".join(parts)
+        actions = []
+        for action in t.actions:
+            if isinstance(action, SetAction):
+                actions.append(f"x{action.counter} := {action.value}")
+            else:
+                actions.append(f"x{action.counter}++")
+        if actions:
+            label += " / " + ", ".join(actions)
+        lines.append(f'  q{t.source} -> q{t.target} [label="{_escape(label)}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def network_to_dot(network: Network, name: str = "network") -> str:
+    """Render a compiled network in the style of Figures 4(d)/6/7."""
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    for node in network.nodes.values():
+        nid = node.id.replace(".", "_").replace("-", "_")
+        if isinstance(node, STE):
+            label = node.symbol_set.to_pattern()
+            attrs = [f'label="{_escape(label)}"', "shape=circle"]
+            if node.report:
+                attrs.append("shape=doublecircle")
+            if node.start.value != "none":
+                attrs.append('style=bold')
+                attrs[0] = f'label="{_escape(label)}\\n({node.start.value})"'
+        elif isinstance(node, CounterNode):
+            attrs = [
+                f'label="ctr [{node.lo},{node.hi}]"',
+                "shape=box",
+                "style=rounded",
+            ]
+        else:
+            assert isinstance(node, BitVectorNode)
+            attrs = [
+                f'label="bitvec [{node.lo},{node.hi}] ({node.size}b)"',
+                "shape=box3d",
+            ]
+        lines.append(f"  {nid} [{', '.join(attrs)}];")
+    for conn in network.connections:
+        src = conn.source.replace(".", "_").replace("-", "_")
+        dst = conn.target.replace(".", "_").replace("-", "_")
+        label = ""
+        if conn.source_port != "o" or conn.target_port != "i":
+            label = f' [label="{conn.source_port}->{conn.target_port}", fontsize=9]'
+        lines.append(f"  {src} -> {dst}{label};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""Synthetic benchmark suites, input streams, and censuses."""
+
+from .inputs import (
+    ascii_text,
+    binary_stream,
+    mail_stream,
+    network_stream,
+    plant_matches,
+    protein_stream,
+    random_bytes,
+    stream_for_style,
+)
+from .stats import CensusRow, RegexRecord, census
+from .synth import (
+    APPLICATION_SUITES,
+    PAPER_TABLE1,
+    Rule,
+    Suite,
+    all_suites,
+    clamav_like,
+    protomata_like,
+    snort_like,
+    spamassassin_like,
+    suite_by_name,
+    suricata_like,
+)
+
+__all__ = [
+    "Rule",
+    "Suite",
+    "PAPER_TABLE1",
+    "APPLICATION_SUITES",
+    "snort_like",
+    "suricata_like",
+    "protomata_like",
+    "spamassassin_like",
+    "clamav_like",
+    "suite_by_name",
+    "all_suites",
+    "census",
+    "CensusRow",
+    "RegexRecord",
+    "random_bytes",
+    "ascii_text",
+    "protein_stream",
+    "network_stream",
+    "mail_stream",
+    "binary_stream",
+    "stream_for_style",
+    "plant_matches",
+]

@@ -1,0 +1,163 @@
+"""Input-stream generators matched to the benchmark suites.
+
+The paper feeds each benchmark its natural traffic (network payloads,
+protein sequences, mail bodies, binary blobs).  These generators build
+deterministic synthetic streams in those styles and can *plant* true
+matches for a set of patterns, so simulations exercise the counter and
+bit-vector modules' full life cycle (enter, iterate, exit, report)
+rather than idling on random bytes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from ..regex.ast import Regex
+from ..regex.parser import parse
+from ..regex.rewrite import simplify
+from ..regex.sample import CannotSampleError, sample_match
+
+__all__ = [
+    "random_bytes",
+    "ascii_text",
+    "protein_stream",
+    "network_stream",
+    "mail_stream",
+    "binary_stream",
+    "stream_for_style",
+    "plant_matches",
+]
+
+_AMINO = b"ACDEFGHIKLMNPQRSTVWY"
+_WORDS = (
+    b"the quick brown fox jumps over lazy dog alpha beta gamma delta "
+    b"request response header content agent host index search token"
+).split()
+
+
+def random_bytes(length: int, seed: int = 0) -> bytes:
+    rng = random.Random(seed)
+    return bytes(rng.randrange(256) for _ in range(length))
+
+
+def ascii_text(length: int, seed: int = 0) -> bytes:
+    rng = random.Random(seed)
+    out = bytearray()
+    while len(out) < length:
+        out += rng.choice(_WORDS) + b" "
+        if rng.random() < 0.08:
+            out += b"\r\n"
+    return bytes(out[:length])
+
+
+def protein_stream(length: int, seed: int = 0) -> bytes:
+    """Uniform amino-acid sequence (Protomata-style input)."""
+    rng = random.Random(seed)
+    return bytes(rng.choice(_AMINO) for _ in range(length))
+
+
+def network_stream(length: int, seed: int = 0) -> bytes:
+    """HTTP-flavoured traffic: request lines, headers, opaque bodies."""
+    rng = random.Random(seed)
+    out = bytearray()
+    methods = (b"GET", b"POST", b"HEAD")
+    paths = (b"/index.html", b"/api/v1/search", b"/login", b"/upload")
+    headers = (b"User-Agent", b"Host", b"Content-Type", b"Cookie", b"Referer")
+    while len(out) < length:
+        out += rng.choice(methods) + b" " + rng.choice(paths) + b" HTTP/1.1\r\n"
+        for _ in range(rng.randint(1, 4)):
+            value = bytes(rng.randrange(0x20, 0x7F) for _ in range(rng.randint(4, 40)))
+            out += rng.choice(headers) + b": " + value + b"\r\n"
+        out += b"\r\n"
+        body_len = rng.randint(0, 60)
+        out += bytes(rng.randrange(256) for _ in range(body_len))
+    return bytes(out[:length])
+
+
+def mail_stream(length: int, seed: int = 0) -> bytes:
+    """Mail-ish text with occasional spam-flavoured phrases."""
+    rng = random.Random(seed)
+    spam = (b"free", b"offer", b"click", b"winner", b"prize", b"money")
+    out = bytearray()
+    while len(out) < length:
+        if rng.random() < 0.12:
+            out += rng.choice(spam) + b"!" * rng.randint(0, 2) + b" "
+        else:
+            out += rng.choice(_WORDS) + b" "
+        if rng.random() < 0.06:
+            out += b"\n"
+    return bytes(out[:length])
+
+
+def binary_stream(length: int, seed: int = 0) -> bytes:
+    """Executable-flavoured bytes: runs of zeros, text islands, noise."""
+    rng = random.Random(seed)
+    out = bytearray()
+    while len(out) < length:
+        roll = rng.random()
+        if roll < 0.3:
+            out += b"\x00" * rng.randint(2, 24)
+        elif roll < 0.5:
+            out += bytes(rng.choice(_WORDS))
+        else:
+            out += bytes(rng.randrange(256) for _ in range(rng.randint(4, 32)))
+    return bytes(out[:length])
+
+
+_STYLES = {
+    "network": network_stream,
+    "protein": protein_stream,
+    "mail": mail_stream,
+    "binary": binary_stream,
+    "ascii": ascii_text,
+    "random": random_bytes,
+}
+
+
+def stream_for_style(style: str, length: int, seed: int = 0) -> bytes:
+    """Background stream for a suite's ``input_style``."""
+    return _STYLES[style](length, seed)
+
+
+def plant_matches(
+    background: bytes,
+    patterns: Iterable[str | Regex],
+    seed: int = 0,
+    density: float = 0.02,
+) -> bytes:
+    """Splice strings matching ``patterns`` into ``background``.
+
+    ``density`` is the approximate fraction of output bytes devoted to
+    planted matches.  Patterns that cannot be sampled (empty language
+    after a malformed class, say) are skipped silently -- the planting
+    is best-effort colour, not a correctness mechanism.
+    """
+    rng = random.Random(seed)
+    asts: list[Regex] = []
+    for pattern in patterns:
+        if isinstance(pattern, Regex):
+            asts.append(pattern)
+            continue
+        try:
+            asts.append(simplify(parse(pattern).ast))
+        except Exception:
+            continue
+    if not asts:
+        return background
+    budget = int(len(background) * density)
+    out = bytearray(background)
+    while budget > 0:
+        ast = rng.choice(asts)
+        try:
+            needle = sample_match(ast, rng)
+        except CannotSampleError:
+            budget -= 1
+            continue
+        if not needle:
+            budget -= 1
+            continue
+        pos = rng.randrange(max(1, len(out)))
+        out[pos:pos] = needle
+        budget -= len(needle)
+    return bytes(out)

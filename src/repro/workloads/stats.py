@@ -1,0 +1,97 @@
+"""Benchmark censuses: the Table 1 computation.
+
+For a suite, counts how many rules parse into the supported fragment,
+how many contain counting, and how many are counter-ambiguous
+according to the chosen analysis -- the four columns of Table 1.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..analysis.hybrid import analyze_pattern
+from ..analysis.result import Method
+from ..regex.errors import RegexError, UnsupportedFeatureError
+from ..regex.metrics import mu
+from ..regex.parser import parse
+from ..regex.rewrite import simplify
+from .synth import Suite
+
+__all__ = ["CensusRow", "census", "RegexRecord"]
+
+
+@dataclass
+class RegexRecord:
+    """Per-rule analysis record (feeds the Fig. 2/3 scatter data)."""
+
+    rule_id: str
+    pattern: str
+    supported: bool
+    has_counting: bool = False
+    ambiguous: bool = False
+    mu: int = 0
+    pairs_created: int = 0
+    elapsed_s: float = 0.0
+    skip_reason: str = ""
+
+
+@dataclass
+class CensusRow:
+    """One row of Table 1."""
+
+    name: str
+    total: int
+    supported: int
+    counting: int
+    ambiguous: int
+    records: list[RegexRecord] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    def as_tuple(self) -> tuple[int, int, int, int]:
+        return (self.total, self.supported, self.counting, self.ambiguous)
+
+
+def census(
+    suite: Suite,
+    method: Method | str = Method.HYBRID,
+    max_pairs: int | None = 2_000_000,
+) -> CensusRow:
+    """Analyze every rule of a suite and tally the Table 1 columns."""
+    started = time.perf_counter()
+    row = CensusRow(suite.name, total=len(suite.rules), supported=0, counting=0, ambiguous=0)
+    for rule in suite.rules:
+        record = RegexRecord(rule.rule_id, rule.pattern, supported=False)
+        row.records.append(record)
+        try:
+            parsed = parse(rule.pattern)
+        except UnsupportedFeatureError as err:
+            record.skip_reason = f"unsupported: {err.feature}"
+            continue
+        except RegexError as err:
+            record.skip_reason = str(err)
+            continue
+        record.supported = True
+        row.supported += 1
+        simplified = simplify(parsed.ast)
+        record.mu = mu(simplified)
+        t0 = time.perf_counter()
+        try:
+            result = analyze_pattern(rule.pattern, method=method, max_pairs=max_pairs)
+        except RuntimeError as err:  # pair-limit safety valve
+            record.skip_reason = f"analysis aborted: {err}"
+            record.has_counting = True
+            record.ambiguous = True  # conservative
+            row.counting += 1
+            row.ambiguous += 1
+            continue
+        record.elapsed_s = time.perf_counter() - t0
+        record.pairs_created = result.pairs_created
+        if result.has_counting:
+            record.has_counting = True
+            row.counting += 1
+            if result.ambiguous:
+                record.ambiguous = True
+                row.ambiguous += 1
+    row.elapsed_s = time.perf_counter() - started
+    return row

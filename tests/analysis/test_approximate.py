@@ -1,0 +1,101 @@
+"""Tests for the over-approximate analysis (Section 3.2)."""
+
+from repro.analysis.approximate import (
+    analyze_approximate,
+    check_instance_approximate,
+    star_all_but,
+)
+from repro.regex.ast import Repeat, Star, collect_repeats
+from repro.regex.parser import parse, parse_to_ast
+from repro.regex.rewrite import simplify
+
+
+class TestStarAllBut:
+    def test_keeps_only_target(self):
+        ast = simplify(parse_to_ast("a{2,3}b{4,5}c{6,7}"))
+        instances = collect_repeats(ast)
+        approx = star_all_but(ast, instances[1].path)
+        survivors = [n for n in approx.walk() if isinstance(n, Repeat)]
+        assert len(survivors) == 1
+        assert (survivors[0].lo, survivors[0].hi) == (4, 5)
+        stars = [n for n in approx.walk() if isinstance(n, Star)]
+        assert len(stars) == 2
+
+    def test_nested_target_keeps_path(self):
+        ast = simplify(parse_to_ast("(a{2,3}b){4,5}"))
+        instances = collect_repeats(ast)
+        inner = next(i for i in instances if i.hi == 3)
+        approx = star_all_but(ast, inner.path)
+        survivors = [n for n in approx.walk() if isinstance(n, Repeat)]
+        assert [s.hi for s in survivors] == [3]
+
+    def test_language_superset_spot_check(self):
+        from repro.regex.oracle import accepts
+
+        ast = simplify(parse_to_ast("a{2,3}b{2,3}"))
+        instances = collect_repeats(ast)
+        approx = star_all_but(ast, instances[0].path)
+        # everything the original accepts, the approximation accepts
+        for text in ["aabb", "aaabbb", "aabbb", "aaabb"]:
+            if accepts(ast, text):
+                assert accepts(approx, text)
+        # and strictly more
+        assert accepts(approx, "aa")  # b* allows zero bs
+
+
+class TestApproximateVerdicts:
+    def search(self, pattern):
+        return simplify(parse(pattern).search_ast())
+
+    def test_certifies_example_34(self):
+        ast = self.search(r"[^a]a{5}|[^b]b{5}")
+        result = analyze_approximate(ast)
+        assert result.conclusive
+        assert not result.ambiguous
+
+    def test_inconclusive_on_ambiguous(self):
+        ast = self.search(r"x{2}")
+        result = analyze_approximate(ast)
+        assert not result.conclusive
+        assert result.ambiguous  # treated conservatively
+
+    def test_inconclusive_is_conservative_not_wrong(self):
+        """Approximation may be inconclusive on an actually-unambiguous
+        regex (never the other way around): interaction between
+        instances can vanish under starring."""
+        # a{3} guarded by a disjoint class stays conclusive
+        certain, _ = check_instance_approximate(
+            self.search(r"[^a]a{3}"), collect_repeats(self.search(r"[^a]a{3}"))[0].path
+        )
+        assert certain
+
+    def test_cheaper_than_exact_on_example_34(self):
+        from repro.analysis.exact import analyze_exact
+
+        # overlapping classes make the exact search quadratic
+        ast = self.search(r"[^a-m][a-m]{30}|[^g-z][g-z]{30}")
+        exact = analyze_exact(ast)
+        approx = analyze_approximate(ast)
+        assert not exact.ambiguous and not approx.ambiguous
+        assert approx.pairs_created < exact.pairs_created / 3
+
+    def test_soundness_vs_exact(self):
+        """Whenever the approximation certifies unambiguity, the exact
+        analysis agrees (the defining property of over-approximation)."""
+        from repro.analysis.exact import analyze_exact
+
+        patterns = [
+            r"[^a]a{4}",
+            r"[^a]a{3}|[^b]b{3}",
+            r"a{2}b{3}",
+            r"foo[^x]{2,8}",
+            r"x{2}",
+            r".{3,9}end",
+        ]
+        for pattern in patterns:
+            ast = self.search(pattern)
+            approx = analyze_approximate(ast)
+            exact = analyze_exact(ast)
+            for a_inst, e_inst in zip(approx.instances, exact.instances):
+                if a_inst.conclusive:
+                    assert not e_inst.ambiguous, pattern

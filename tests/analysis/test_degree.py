@@ -1,0 +1,93 @@
+"""Tests for degree-d counter-ambiguity (the G^d extension)."""
+
+import pytest
+
+from repro.analysis.degree import exact_degree, has_degree_at_least
+from repro.nca.execution import NCAExecutor
+from repro.nca.glushkov import build_nca
+from repro.regex.parser import parse
+from repro.regex.rewrite import simplify
+
+
+def build(pattern: str):
+    return build_nca(simplify(parse(pattern).search_ast()))
+
+
+def counting_state(nca):
+    return next(q for q in nca.states if not nca.is_pure(q))
+
+
+class TestDegrees:
+    def test_anchored_counting_degree_one(self):
+        nca = build("^a{5}")
+        state = counting_state(nca)
+        assert exact_degree(nca, state, max_d=3) == 1
+
+    def test_sigma_star_run_degree_saturates_at_bound(self):
+        # Sigma* a{3}: entries every cycle -> up to 3 distinct values
+        nca = build("a{3}")
+        state = counting_state(nca)
+        assert has_degree_at_least(nca, state, 2)
+        assert has_degree_at_least(nca, state, 3)
+        # only 3 counter values exist, so degree 4 is impossible
+        assert not has_degree_at_least(nca, state, 4)
+        assert exact_degree(nca, state, max_d=4) == 3
+
+    def test_guarded_run_degree_one(self):
+        nca = build("[^a]a{6}")
+        state = max(q for q in nca.states if not nca.is_pure(q))
+        assert exact_degree(nca, state, max_d=3) == 1
+
+    def test_unreachable_state_degree_zero(self):
+        # a counter state that no input reaches: guard demands value 5
+        # of a counter bounded by 3
+        from repro.nca.automaton import Guard, NCA, SetAction, Transition
+        from repro.regex.charclass import CharClass
+
+        nca = NCA(
+            predicates=[None, CharClass.of_char("a"), CharClass.of_char("b")],
+            counters_of=[frozenset(), frozenset({0}), frozenset()],
+            transitions=[
+                Transition(0, 1, actions=(SetAction(0, 1),)),
+                Transition(1, 2, guard=(Guard(0, 5, 5),)),
+            ],
+            finals={2: ()},
+            counter_bounds={0: 3},
+        )
+        assert exact_degree(nca, 2, max_d=2) == 0
+
+    def test_degree_zero_or_more_trivial(self):
+        nca = build("^a{2}")
+        state = counting_state(nca)
+        assert has_degree_at_least(nca, state, 0)
+
+
+class TestAgainstExecution:
+    """Static degrees vs empirically observed token counts."""
+
+    @pytest.mark.parametrize(
+        "pattern, probe",
+        [("a{3}", "aaaa"), ("x{2}", "xxx"), ("[ab]{2,4}", "abab")],
+    )
+    def test_empirical_degree_never_exceeds_static(self, pattern, probe):
+        nca = build(pattern)
+        state = counting_state(nca)
+        executor = NCAExecutor(nca)
+        executor.run(probe)
+        observed = executor.stats.degree(state)
+        assert has_degree_at_least(nca, state, observed)
+
+    def test_static_degree_witnessed_dynamically(self):
+        # Sigma* a{2}: degree 2 is achieved on input 'aa...'
+        nca = build("a{2}")
+        state = counting_state(nca)
+        assert exact_degree(nca, state, max_d=3) == 2
+        executor = NCAExecutor(nca)
+        executor.run("aaa")
+        assert executor.stats.degree(state) == 2
+
+    def test_tuple_cap(self):
+        nca = build("a{40}")
+        state = counting_state(nca)
+        with pytest.raises(RuntimeError):
+            has_degree_at_least(nca, state, 4, max_tuples=50)

@@ -1,0 +1,94 @@
+"""Tests for the exact counter-ambiguity analysis on paper examples."""
+
+from repro.analysis.exact import analyze_exact, check_instance_exact
+from repro.analysis.result import Method
+from repro.regex.parser import parse
+from repro.regex.parser import parse_to_ast
+from repro.regex.rewrite import simplify
+
+
+def analyze(pattern: str, **kwargs):
+    parsed = parse(pattern)
+    return analyze_exact(simplify(parsed.search_ast()), **kwargs)
+
+
+class TestPaperExamples:
+    def test_example_22_r1(self):
+        """r1 = Sigma* s1 s2{n}: the trailing run after Sigma* is
+        ambiguous when s1 overlaps s2 (paper: s1=[ab], s2=[^a])."""
+        result = analyze(r"[ab][^a]{4}")
+        assert result.ambiguous
+
+    def test_example_22_r3_split_verdicts(self):
+        """r3 = s1{m} Sigma* s2{n}: anchored first instance is
+        unambiguous, second is ambiguous (Section 3.3's example)."""
+        parsed = parse(r"^a{4}.*b{5}")
+        result = analyze_exact(simplify(parsed.search_ast()))
+        first, second = result.instances
+        assert not first.ambiguous
+        assert second.ambiguous
+
+    def test_example_32(self):
+        """Sigma* s{2} is counter-ambiguous (Example 3.2)."""
+        result = analyze(r"x{2}")
+        assert result.ambiguous
+
+    def test_example_34_family_unambiguous(self):
+        """Sigma*(~s1 s1{n} + ~s2 s2{n}) is counter-unambiguous."""
+        result = analyze(r"[^a]a{6}|[^b]b{6}")
+        assert not result.ambiguous
+
+    def test_anchored_counting_unambiguous(self):
+        result = analyze(r"^(ab){3,7}c")
+        assert not result.ambiguous
+
+    def test_no_counting_trivial(self):
+        result = analyze("abc")
+        assert not result.has_counting
+        assert not result.ambiguous
+        assert result.pairs_created == 0
+
+
+class TestPerInstance:
+    def test_check_single_instance(self):
+        ast = simplify(parse(r"^a{4}.*b{5}").search_ast())
+        first = check_instance_exact(ast, 0)
+        second = check_instance_exact(ast, 1)
+        assert not first.ambiguous
+        assert second.ambiguous
+        assert first.method is Method.EXACT
+
+    def test_witness_recorded_on_demand(self):
+        ast = simplify(parse(r".*x{3}").search_ast())
+        without = check_instance_exact(ast, 0)
+        with_w = check_instance_exact(ast, 0, record_witness=True)
+        assert without.witness is None
+        assert with_w.witness is not None
+
+    def test_elapsed_and_pairs_populated(self):
+        result = analyze(r"[^a]a{10}")
+        (inst,) = result.instances
+        assert inst.pairs_created > 0
+        assert inst.elapsed_s >= 0
+
+
+class TestOverlapSensitivity:
+    """Ambiguity hinges on predicate overlaps, not bounds."""
+
+    def test_disjoint_guard_saves_it(self):
+        assert not analyze(r"[^a]a{8}").ambiguous
+
+    def test_overlapping_guard_breaks_it(self):
+        assert analyze(r"[ab]a{8}").ambiguous
+
+    def test_wildcard_gap_ambiguous(self):
+        assert analyze(r"foo.{4,12}bar").ambiguous
+
+    def test_long_literal_prefix_with_narrow_gap(self):
+        """A gap narrower than its non-self-overlapping prefix is
+        genuinely unambiguous (two entries cannot coexist in it)."""
+        assert not analyze(r"wxyz.{2}").ambiguous
+
+    def test_long_literal_prefix_with_wide_gap(self):
+        """Widening the same gap beyond the prefix length flips it."""
+        assert analyze(r"wxyz.{2,12}").ambiguous

@@ -1,0 +1,121 @@
+"""Tests for the body-level single-token (module-safety) analysis.
+
+These regression patterns were found by randomized search: each is
+counter-unambiguous at every state yet can hold two interleaved tokens
+inside the repetition body, so a single hardware count register
+mis-tracks one of them.  The strict compiler policy must refuse the
+counter module for them; the naive (unambiguity-only) policy provably
+diverges from the oracle on concrete inputs.
+"""
+
+import pytest
+
+from repro.analysis.exact import analyze_exact
+from repro.analysis.module_safety import check_module_safety, module_safety_map
+from repro.compiler.emit import Decision
+from repro.compiler.pipeline import compile_pattern
+from repro.hardware.simulator import NetworkSimulator
+from repro.nca.execution import NCAExecutor
+from repro.regex.oracle import match_ends
+from repro.regex.parser import parse
+from repro.regex.rewrite import simplify
+
+from tests.helpers import random_strings
+
+#: unambiguous-per-state but NOT module-safe (search-found witnesses)
+UNSAFE_PATTERNS = [
+    r"b([bc]bc){2,4}[bc]",
+    r"[ac]([abc][abc]b){3,5}c",
+    r"b([ab]a){1,2}b",
+    r"b([bc]c){2,3}[ab]",
+    r"c([bc]b){1,2}c",
+]
+
+#: unambiguous AND module-safe (the common benchmark shapes)
+SAFE_PATTERNS = [
+    r"a(bc){2,4}d",
+    r"x([^x]y){2,3}z",
+    r"^((ab)|(cd)){2,3}e",
+    r"q(rs){3}t",
+]
+
+
+class TestSafetyVerdicts:
+    @pytest.mark.parametrize("pattern", UNSAFE_PATTERNS)
+    def test_unsafe_detected(self, pattern):
+        ast = simplify(parse(pattern).search_ast())
+        analysis = analyze_exact(ast)
+        assert not analysis.ambiguous, "precondition: per-state unambiguous"
+        outcome = check_module_safety(analysis.nca, 0, record_witness=True)
+        assert outcome.ambiguous  # = unsafe
+        assert outcome.witness is not None
+
+    @pytest.mark.parametrize("pattern", SAFE_PATTERNS)
+    def test_safe_confirmed(self, pattern):
+        ast = simplify(parse(pattern).search_ast())
+        analysis = analyze_exact(ast)
+        assert not analysis.ambiguous
+        safety = module_safety_map(analysis.nca)
+        assert all(safety.values()), pattern
+
+    @pytest.mark.parametrize("pattern", UNSAFE_PATTERNS[:2])
+    def test_witness_drives_two_body_tokens(self, pattern):
+        ast = simplify(parse(pattern).search_ast())
+        analysis = analyze_exact(ast)
+        nca = analysis.nca
+        outcome = check_module_safety(nca, 0, record_witness=True)
+        executor = NCAExecutor(nca)
+        body = nca.instances[0].body
+        max_simultaneous = 0
+        executor.reset()
+        for byte in outcome.witness:
+            executor.step(byte)
+            in_body = sum(1 for state, _ in executor.tokens if state in body)
+            max_simultaneous = max(max_simultaneous, in_body)
+        assert max_simultaneous >= 2
+
+    def test_single_class_bodies_trivially_safe(self):
+        ast = simplify(parse(r"[^a]a{3,9}").search_ast())
+        analysis = analyze_exact(ast)
+        safety = module_safety_map(analysis.nca)
+        assert safety == {0: True}
+
+
+class TestCompilerGate:
+    @pytest.mark.parametrize("pattern", UNSAFE_PATTERNS)
+    def test_strict_policy_refuses_counter(self, pattern):
+        compiled = compile_pattern(pattern)  # strict by default
+        assert compiled.decisions[0] is not Decision.COUNTER
+
+    @pytest.mark.parametrize("pattern", SAFE_PATTERNS)
+    def test_strict_policy_keeps_counter_when_safe(self, pattern):
+        compiled = compile_pattern(pattern)
+        assert compiled.decisions[0] is Decision.COUNTER
+
+    @pytest.mark.parametrize("pattern", UNSAFE_PATTERNS)
+    def test_strict_networks_match_oracle(self, pattern):
+        compiled = compile_pattern(pattern)
+        sim = NetworkSimulator(compiled.network)
+        search = simplify(parse(pattern).search_ast())
+        for text in random_strings("abc", 60, 16, seed=hash(pattern) & 0xFFFF):
+            want = [e for e in match_ends(search, text) if e >= 1]
+            assert sim.match_ends(text) == want, (pattern, text)
+
+    def test_naive_policy_demonstrably_diverges(self):
+        """The ablation mode shows why the gate exists: with
+        strict_modules=False at least one unsafe pattern mis-matches."""
+        diverged = False
+        for pattern in UNSAFE_PATTERNS:
+            compiled = compile_pattern(pattern, strict_modules=False)
+            if compiled.decisions[0] is not Decision.COUNTER:
+                continue
+            sim = NetworkSimulator(compiled.network)
+            search = simplify(parse(pattern).search_ast())
+            for text in random_strings("abc", 200, 16, seed=1234):
+                want = [e for e in match_ends(search, text) if e >= 1]
+                if sim.match_ends(text) != want:
+                    diverged = True
+                    break
+            if diverged:
+                break
+        assert diverged

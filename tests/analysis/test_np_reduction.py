@@ -1,0 +1,69 @@
+"""Lemma 3.3: the subset-sum reduction to counter-ambiguity.
+
+The paper proves CAmbiguity NP-hard by mapping a subset-sum instance
+(S, T) to the regex::
+
+    (((a{n1}+eps) ... (a{nm}+eps) # b) + (a{T} # b b)) b{2}
+
+whose rightmost ``b{2}`` occurrence is counter-ambiguous iff some
+subset of S sums to T.  Running our exact analysis on both satisfiable
+and unsatisfiable instances checks the reduction end to end -- and
+doubles as a stress test on alternation-heavy NCAs.
+"""
+
+import pytest
+
+from repro.analysis.exact import analyze_exact
+from repro.regex.ast import (
+    EPSILON,
+    Regex,
+    alternation,
+    collect_repeats,
+    concat,
+    literal,
+    repeat,
+)
+from repro.regex.rewrite import simplify
+
+
+def subset_sum_regex(numbers: list[int], target: int) -> Regex:
+    a = lambda n: repeat(literal("a"), n, n)
+    left = concat(
+        *(alternation(a(n), EPSILON) for n in numbers),
+        literal("#b"),
+    )
+    right = concat(a(target), literal("#bb"))
+    return simplify(concat(alternation(left, right), repeat(literal("b"), 2, 2)))
+
+
+def last_instance_ambiguous(numbers: list[int], target: int) -> bool:
+    ast = subset_sum_regex(numbers, target)
+    instances = collect_repeats(ast)
+    # the rightmost occurrence is the final b{2}
+    last = max(instances, key=lambda i: i.path)
+    assert (last.lo, last.hi) == (2, 2)
+    result = analyze_exact(ast)
+    return result.result_for(last.index).ambiguous
+
+
+@pytest.mark.parametrize(
+    "numbers, target, satisfiable",
+    [
+        ([2, 3], 5, True),       # 2 + 3
+        ([2, 3], 4, False),
+        ([1, 2, 4], 7, True),    # all
+        ([1, 2, 4], 6, True),    # 2 + 4
+        ([5, 7], 3, False),
+        ([3], 3, True),
+        ([3], 2, False),
+        ([2, 2], 4, True),
+        ([4, 5], 10, False),
+    ],
+)
+def test_reduction(numbers, target, satisfiable):
+    assert last_instance_ambiguous(numbers, target) == satisfiable
+
+
+def test_zero_target_trivially_satisfiable():
+    # the empty subset sums to 0: a{0} branch == eps branch
+    assert last_instance_ambiguous([1, 2], 0)

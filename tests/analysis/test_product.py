@@ -1,0 +1,88 @@
+"""Tests for the product-system pair search."""
+
+from repro.analysis.product import PairSearch
+from repro.analysis.transition_system import TokenTransitionSystem
+from repro.nca.execution import NCAExecutor
+from repro.nca.glushkov import build_nca
+from repro.regex.parser import parse_to_ast
+from repro.regex.rewrite import simplify
+
+
+def search_for(pattern: str, **kwargs) -> tuple:
+    nca = build_nca(simplify(parse_to_ast(pattern)))
+    system = TokenTransitionSystem(nca)
+    return nca, PairSearch(system, **kwargs)
+
+
+class TestVerdicts:
+    def test_example_32_ambiguous(self):
+        nca, search = search_for(".*x{2}")
+        outcome = search.run()
+        assert outcome.ambiguous
+        assert outcome.valuations is not None
+        v1, v2 = outcome.valuations
+        assert v1 != v2
+
+    def test_anchored_unambiguous(self):
+        nca, search = search_for("a{3}")
+        outcome = search.run()
+        assert not outcome.ambiguous
+        assert outcome.state is None
+
+    def test_guarded_run_unambiguous(self):
+        nca, search = search_for(".*[^a]a{5}")
+        assert not search.run().ambiguous
+
+    def test_pair_accounting(self):
+        nca, search = search_for(".*[^a]a{5}")
+        outcome = search.run()
+        assert outcome.pairs_created > 0
+        assert outcome.pairs_expanded <= outcome.pairs_created + 1
+
+    def test_pairs_scale_linearly_for_guarded_runs(self):
+        _, s1 = search_for(".*[^a]a{20}")
+        _, s2 = search_for(".*[^a]a{40}")
+        p1, p2 = s1.run().pairs_created, s2.run().pairs_created
+        # Theta(n): doubling the bound roughly doubles the pairs
+        assert 1.5 < p2 / p1 < 2.5
+
+    def test_target_restriction(self):
+        # instance 0 (a{2}, guarded) unambiguous; instance 1 (x{2} after
+        # Sigma*) ambiguous -- target sets isolate the verdicts
+        nca, _ = search_for(".*[^a]a{2}.*x{2}")
+        system = TokenTransitionSystem(nca)
+        first = nca.instances[0]
+        second = nca.instances[1]
+        assert not PairSearch(system, target_states=first.body).run().ambiguous
+        assert PairSearch(system, target_states=second.body).run().ambiguous
+
+    def test_max_pairs_guard(self):
+        import pytest
+
+        nca, search = search_for(".*x{30}", max_pairs=5)
+        with pytest.raises(RuntimeError):
+            search.run()
+
+
+class TestWitness:
+    def witness_drives_degree_two(self, pattern: str):
+        nca = build_nca(simplify(parse_to_ast(pattern)))
+        system = TokenTransitionSystem(nca)
+        outcome = PairSearch(system, record_witness=True).run()
+        assert outcome.ambiguous and outcome.witness is not None
+        executor = NCAExecutor(nca)
+        executor.run(outcome.witness)
+        assert any(
+            executor.stats.degree(q) >= 2
+            for q in nca.states
+            if not nca.is_pure(q)
+        )
+        return outcome.witness
+
+    def test_witness_is_executable_evidence(self):
+        for pattern in [".*x{2}", ".*a{3,5}", ".*ab.{2,6}cd"]:
+            self.witness_drives_degree_two(pattern)
+
+    def test_no_witness_without_recording(self):
+        _, search = search_for(".*x{2}", record_witness=False)
+        assert search.run().witness is None

@@ -1,0 +1,65 @@
+"""Property-based soundness tests for the static analysis.
+
+Two empirically checkable directions of Definition 3.1:
+
+* *soundness of "unambiguous"*: if the analysis says every instance is
+  unambiguous, no execution on any input may ever place two tokens on
+  one state.  We check this on random inputs and on the ambiguity
+  witnesses of other regexes (adversarial-ish inputs).
+* *witness validity*: every reported witness, when executed, really
+  does place two distinct tokens on some state of the flagged
+  instance.
+"""
+
+from hypothesis import given, settings
+
+from repro.analysis.exact import analyze_exact
+from repro.nca.execution import NCAExecutor
+from repro.regex.rewrite import simplify
+
+from tests.helpers import inputs, regexes
+
+
+@settings(max_examples=120, deadline=None)
+@given(regexes(max_bound=4), inputs(max_len=12))
+def test_unambiguous_verdicts_are_sound(ast, data):
+    simplified = simplify(ast)
+    result = analyze_exact(simplified)
+    if result.nca is None or result.ambiguous:
+        return
+    executor = NCAExecutor(result.nca)
+    executor.run(data)
+    for instance in result.nca.instances:
+        for state in instance.body:
+            assert executor.stats.degree(state) <= 1
+
+
+@settings(max_examples=120, deadline=None)
+@given(regexes(max_bound=4))
+def test_witnesses_are_valid(ast):
+    simplified = simplify(ast)
+    result = analyze_exact(simplified, record_witness=True)
+    if result.nca is None:
+        return
+    for inst in result.instances:
+        if not inst.ambiguous:
+            continue
+        assert inst.witness is not None
+        executor = NCAExecutor(result.nca)
+        executor.run(inst.witness)
+        body = result.nca.instances[inst.instance].body
+        assert any(executor.stats.degree(q) >= 2 for q in body)
+
+
+@settings(max_examples=80, deadline=None)
+@given(regexes(max_bound=4))
+def test_hybrid_agrees_with_exact(ast):
+    from repro.analysis.hybrid import analyze_hybrid
+
+    simplified = simplify(ast)
+    exact = analyze_exact(simplified)
+    hybrid = analyze_hybrid(simplified)
+    assert exact.ambiguous == hybrid.ambiguous
+    per_e = {r.instance: r.ambiguous for r in exact.instances}
+    per_h = {r.instance: r.treat_as_ambiguous for r in hybrid.instances}
+    assert per_e == per_h

@@ -1,0 +1,57 @@
+"""Tests for the token transition system G (Section 3.1)."""
+
+from repro.analysis.transition_system import TokenTransitionSystem
+from repro.nca.glushkov import build_nca
+from repro.regex.parser import parse_to_ast
+from repro.regex.rewrite import simplify
+
+
+def system_for(pattern: str) -> TokenTransitionSystem:
+    return TokenTransitionSystem(build_nca(simplify(parse_to_ast(pattern))))
+
+
+class TestEdges:
+    def test_example_32_token_space(self):
+        """Sigma* x{2}: tokens are q1, (q2,1), (q2,2) plus q0 (Ex. 3.2)."""
+        system = system_for(".*x{2}")
+        tokens = system.reachable_tokens()
+        assert len(tokens) == 4
+
+    def test_edges_carry_predicates(self):
+        system = system_for(".*x{2}")
+        edges = system.edges(system.initial_token())
+        predicates = {e.predicate.to_pattern() for e in edges}
+        assert "x" in predicates
+
+    def test_edge_memoization(self):
+        system = system_for("a{2,3}")
+        t = system.initial_token()
+        first = system.edges(t)
+        expansions = system.tokens_expanded
+        second = system.edges(t)
+        assert first is second
+        assert system.tokens_expanded == expansions
+
+    def test_guard_prunes_edges(self):
+        system = system_for("a{2,3}")
+        # walk to the body token with value 3: no further loop possible
+        token = system.initial_token()
+        for _ in range(3):
+            token = next(
+                e.successor for e in system.edges(token) if e.successor[0] != token[0] or True
+            )
+        # token now has counter value 3; the only out-edge would be the
+        # loop guarded x < 3, which is blocked
+        assert system.edges(token) == ()
+
+    def test_reachable_token_count_scales_with_bound(self):
+        small = len(system_for("a{4}").reachable_tokens())
+        large = len(system_for("a{9}").reachable_tokens())
+        assert large - small == 5  # one token per extra counter value
+
+    def test_limit_enforced(self):
+        import pytest
+
+        system = system_for("a{50}")
+        with pytest.raises(RuntimeError):
+            system.reachable_tokens(limit=10)

@@ -1,0 +1,71 @@
+"""Property tests for placement: capacities and co-location always hold."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.mapping import map_network
+from repro.compiler.pipeline import compile_ruleset
+from repro.mnrl.nodes import STE
+
+
+def _rule(ix: int, kind: str, bound: int, literal_len: int) -> tuple[str, str]:
+    literal = "".join(chr(ord("a") + (ix + k) % 26) for k in range(literal_len))
+    if kind == "counter":
+        return (f"r{ix}", rf"[^z]z{{{2},{bound}}}{literal}")
+    if kind == "bitvector":
+        return (f"r{ix}", rf"{literal}.{{{2},{bound}}}")
+    return (f"r{ix}", literal)
+
+
+rule_specs = st.lists(
+    st.tuples(
+        st.sampled_from(["counter", "bitvector", "plain"]),
+        st.integers(min_value=3, max_value=900),
+        st.integers(min_value=1, max_value=30),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(rule_specs)
+def test_capacities_and_colocation(specs):
+    rules = [_rule(i, kind, bound, length) for i, (kind, bound, length) in enumerate(specs)]
+    rs = compile_ruleset(rules)
+    mapping = map_network(rs.network)
+    geometry = mapping.bank.geometry
+
+    # every node is placed exactly once
+    assert set(mapping.placement) == set(rs.network.nodes)
+
+    # physical capacities hold in every PE
+    for pe in mapping.bank.pes:
+        assert len(pe.stes) <= geometry.stes_per_pe
+        assert len(pe.counters) <= geometry.counters_per_pe
+        assert pe.bv_bits_used <= geometry.bit_vector_bits_per_pe
+
+    # modules share a PE with every STE wired to their ports (unless
+    # the mapper recorded an explicit split violation)
+    split = {v.node_id for v in mapping.violations if "split" in v.detail}
+    for conn in rs.network.connections:
+        dst = rs.network.nodes[conn.target]
+        src = rs.network.nodes[conn.source]
+        if isinstance(dst, STE) or not isinstance(src, STE):
+            continue
+        if conn.target in split:
+            continue
+        assert mapping.pe_of(conn.source) == mapping.pe_of(conn.target)
+
+
+@settings(max_examples=30, deadline=None)
+@given(rule_specs)
+def test_occupancy_statistics_consistent(specs):
+    rules = [_rule(i, kind, bound, length) for i, (kind, bound, length) in enumerate(specs)]
+    rs = compile_ruleset(rules)
+    mapping = map_network(rs.network)
+    bank = mapping.bank
+    assert bank.ste_count == rs.network.ste_count()
+    assert bank.counter_count == rs.network.counter_count()
+    assert bank.bv_bits_used == rs.network.bit_vector_bits()
+    assert bank.cam_arrays_used >= (rs.network.ste_count() + 511) // 512
+    assert bank.bv_waste_bits >= 0

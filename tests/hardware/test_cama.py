@@ -1,0 +1,74 @@
+"""Tests for the CAMA structural containers (PE/Bank allocation)."""
+
+import pytest
+
+from repro.hardware.cama import Bank, BankAllocationError, ProcessingElement
+
+
+class TestProcessingElement:
+    def test_capacity_accounting(self):
+        pe = ProcessingElement(index=0)
+        assert pe.ste_room == 512
+        assert pe.counter_room == 8
+        assert pe.bv_bits_room == 2000
+        pe.place(["s1", "s2"], ["c1"], [("v1", 300)])
+        assert pe.ste_room == 510
+        assert pe.counter_room == 7
+        assert pe.bv_bits_room == 1700
+
+    def test_overflow_rejected(self):
+        pe = ProcessingElement(index=0)
+        with pytest.raises(BankAllocationError):
+            pe.place([f"s{i}" for i in range(513)], [], [])
+        with pytest.raises(BankAllocationError):
+            pe.place([], [f"c{i}" for i in range(9)], [])
+        with pytest.raises(BankAllocationError):
+            pe.place([], [], [("v", 2001)])
+
+    def test_failed_place_is_atomic(self):
+        pe = ProcessingElement(index=0)
+        pe.place(["a"], [], [])
+        with pytest.raises(BankAllocationError):
+            pe.place(["b"], [], [("v", 9999)])
+        assert pe.stes == ["a"]
+        assert pe.bv_segments == []
+
+    def test_cam_array_occupancy(self):
+        pe = ProcessingElement(index=0)
+        assert pe.cam_arrays_used == 0
+        pe.place(["s"], [], [])
+        assert pe.cam_arrays_used == 1
+        pe.place([f"t{i}" for i in range(256)], [], [])
+        assert pe.cam_arrays_used == 2
+
+    def test_bv_waste_only_when_powered(self):
+        pe = ProcessingElement(index=0)
+        assert pe.bv_waste_bits == 0
+        pe.place([], [], [("v", 600)])
+        assert pe.bv_waste_bits == 1400
+
+
+class TestBank:
+    def test_grows_pes_and_aggregates(self):
+        bank = Bank()
+        pe1 = bank.new_pe()
+        pe2 = bank.new_pe()
+        pe1.place(["a", "b"], ["c"], [])
+        pe2.place(["d"], [], [("v", 100)])
+        assert bank.pes_used == 2
+        assert bank.ste_count == 3
+        assert bank.counter_count == 1
+        assert bank.cam_arrays_used == 2
+        assert bank.bv_modules_used == 1
+        assert bank.bv_bits_used == 100
+        assert bank.bv_waste_bits == 1900
+
+    def test_bank_and_array_rollup(self):
+        bank = Bank()
+        for _ in range(9):
+            bank.new_pe()
+        assert bank.arrays_used == 2  # 8 PEs per array
+        assert bank.banks_used == 1
+        for _ in range(128):
+            bank.new_pe()
+        assert bank.banks_used == 2

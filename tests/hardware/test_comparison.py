@@ -1,0 +1,56 @@
+"""Tests for the prior-architecture memory comparison (Section 1 math)."""
+
+import pytest
+
+from repro.hardware.comparison import (
+    ARCHITECTURES,
+    counting_memory_bits,
+    information_theoretic_bits,
+    ste_memory_bits,
+)
+
+
+class TestPaperArithmetic:
+    def test_ap_and_ca_256_bits(self):
+        assert ste_memory_bits("AP") == 256
+        assert ste_memory_bits("CA") == 256
+
+    def test_impala_cama_16_to_32(self):
+        """'each STE requires 16 to 32 memory bits' (Section 1)."""
+        assert ste_memory_bits("Impala") == 32
+        assert ste_memory_bits("CAMA") == 16
+
+    def test_bound_1024_needs_16384_bits(self):
+        """'a modest counting operator with upper limit 1024 requires
+        at least 16384 memory bits'."""
+        assert counting_memory_bits("CAMA", 1024, "unfold") == 16384
+        assert counting_memory_bits("Impala", 1024, "unfold") == 32768
+
+    def test_information_content_is_ten_bits(self):
+        """'the information required ... may be only 10 bits'."""
+        assert information_theoretic_bits(1023) == 10
+        assert information_theoretic_bits(1024) == 11
+
+    def test_counter_matches_information_bound(self):
+        for bound in (7, 100, 1023, 65535):
+            assert counting_memory_bits("CAMA", bound, "counter") == (
+                information_theoretic_bits(bound)
+            )
+
+    def test_bitvector_linear(self):
+        assert counting_memory_bits("CAMA", 500, "bitvector") == 500
+
+    def test_savings_ordering(self):
+        for arch in ARCHITECTURES:
+            unfold = counting_memory_bits(arch.name, 1024, "unfold")
+            vector = counting_memory_bits(arch.name, 1024, "bitvector")
+            counter = counting_memory_bits(arch.name, 1024, "counter")
+            assert counter < vector < unfold
+
+    def test_unknown_architecture(self):
+        with pytest.raises(KeyError):
+            ste_memory_bits("TPU")
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            counting_memory_bits("AP", 10, "magic")

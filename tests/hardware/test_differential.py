@@ -1,0 +1,82 @@
+"""Differential tests: the hardware simulator vs the derivative oracle.
+
+The compiled network (whatever mix of counters, bit vectors, and
+unfolded STEs the policy picked) must report exactly the oracle's
+streaming match ends.  This is the hardware-level analogue of the
+three-engine agreement property in tests/nca.
+"""
+
+import random
+
+import pytest
+
+from repro.compiler.pipeline import compile_pattern
+from repro.hardware.simulator import NetworkSimulator
+from repro.regex.oracle import match_ends
+from repro.regex.parser import parse
+from repro.regex.rewrite import simplify
+
+from tests.helpers import random_strings
+
+PATTERNS = [
+    r"a(bc){2,3}d",          # counter (Fig. 6's running example)
+    r"a[ab]{2,4}b",          # bit vector (Fig. 7's running example)
+    r"^a{3}b",               # anchored counter
+    r"[^a]a{2,5}",           # guarded run counter
+    r"x.{2,6}y",             # wildcard-gap bit vector
+    r"(ab|cd){2,3}e",        # alternation body counter
+    r"x(a(bc){2}y){2}z",     # nested counters
+    r"a{2,4}b{3,5}",         # two modules in sequence
+    r"(a|b){2}c{2,4}",       # unfold + module mix
+    r"^(ab){2,4}$",          # end-anchored (reports filtered by caller)
+]
+
+THRESHOLDS = [0, 3, float("inf")]
+
+
+@pytest.mark.parametrize("pattern", PATTERNS)
+@pytest.mark.parametrize("threshold", THRESHOLDS)
+def test_network_matches_oracle(pattern, threshold):
+    compiled = compile_pattern(pattern, unfold_threshold=threshold)
+    sim = NetworkSimulator(compiled.network)
+    parsed = parse(pattern)
+    search = simplify(parsed.search_ast())
+    alphabet = "abcdxyz"
+    for text in random_strings(alphabet, 30, 16, seed=hash(pattern) & 0xFFFF):
+        want = [e for e in match_ends(search, text) if e >= 1]
+        got = sim.match_ends(text)
+        assert got == want, (pattern, threshold, text)
+
+
+@pytest.mark.parametrize("pattern", PATTERNS[:6])
+def test_thresholds_report_identically(pattern):
+    """All compilation policies realize the same language."""
+    data = "".join(
+        random.Random(99).choice("abcdxyz") for _ in range(300)
+    )
+    reference = None
+    for threshold in THRESHOLDS:
+        compiled = compile_pattern(pattern, unfold_threshold=threshold)
+        got = NetworkSimulator(compiled.network).match_ends(data)
+        if reference is None:
+            reference = got
+        else:
+            assert got == reference, (pattern, threshold)
+
+
+def test_planted_matches_are_found():
+    """Sampled members of the language must fire reports at the right
+    offsets when embedded in noise."""
+    from repro.regex.sample import sample_match
+
+    rng = random.Random(5)
+    for pattern in [r"a(bc){2,3}d", r"[^a]a{2,5}", r"x.{2,6}y"]:
+        compiled = compile_pattern(pattern)
+        ast = simplify(parse(pattern).ast)
+        sim = NetworkSimulator(compiled.network)
+        for _ in range(10):
+            needle = sample_match(ast, rng)
+            noise = bytes(rng.choice(b"qrstuv") for _ in range(rng.randint(0, 20)))
+            data = noise + needle
+            ends = sim.match_ends(data)
+            assert len(data) in ends, (pattern, needle, noise)

@@ -1,0 +1,62 @@
+"""Tests for the Table 2 parameters and CAMA geometry."""
+
+from repro.hardware.params import (
+    BIT_VECTOR,
+    CAM_ARRAY,
+    CLOCK_GHZ,
+    COUNTER,
+    GEOMETRY,
+    clock_period_ps,
+    module_delay_slack_ps,
+)
+
+
+class TestTable2Values:
+    """The published SPICE scalars, verbatim."""
+
+    def test_cam_array(self):
+        assert CAM_ARRAY.energy_fj == 16780
+        assert CAM_ARRAY.delay_ps == 325
+        assert CAM_ARRAY.area_um2 == 3919
+
+    def test_counter(self):
+        assert COUNTER.energy_fj == 288
+        assert COUNTER.delay_ps == 101
+        assert COUNTER.area_um2 == 237
+
+    def test_bit_vector(self):
+        assert BIT_VECTOR.energy_fj == 3340
+        assert BIT_VECTOR.delay_ps == 71
+        assert BIT_VECTOR.area_um2 == 6382
+
+
+class TestTimingClaim:
+    """Section 4.3: modules fit in the cycle, clock stays 2.14 GHz."""
+
+    def test_state_transition_is_critical_path(self):
+        assert clock_period_ps() == CAM_ARRAY.delay_ps
+
+    def test_modules_have_positive_slack(self):
+        for name, slack in module_delay_slack_ps().items():
+            assert slack > 0, name
+
+    def test_clock(self):
+        assert CLOCK_GHZ == 2.14
+
+
+class TestGeometry:
+    def test_fig5_hierarchy(self):
+        assert GEOMETRY.stes_per_pe == 512  # two 256-STE CAM arrays
+        assert GEOMETRY.counters_per_pe == 8
+        assert GEOMETRY.bit_vector_bits_per_pe == 2000
+        assert GEOMETRY.pes_per_array == 8
+        assert GEOMETRY.arrays_per_bank == 16
+
+    def test_derived_capacities(self):
+        assert GEOMETRY.pes_per_bank == 128
+        assert GEOMETRY.stes_per_bank == 65536
+        assert GEOMETRY.counters_per_bank == 1024
+
+    def test_counter_width_covers_bounds(self):
+        # a 17-bit counter covers every bound up to 2^17 - 1
+        assert (1 << GEOMETRY.counter_width_bits) - 1 >= 100_000

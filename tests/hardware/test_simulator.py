@@ -1,0 +1,155 @@
+"""Behavioral tests for the functional simulator's modules and timing."""
+
+import pytest
+
+from repro.compiler.pipeline import compile_pattern
+from repro.hardware.simulator import NetworkSimulator, simulate
+from repro.mnrl.network import Network
+from repro.mnrl.nodes import BitVectorNode, CounterNode, STE, StartType
+from repro.regex.charclass import CharClass
+
+
+def cls(text):
+    return CharClass.of_string(text)
+
+
+class TestCounterModule:
+    """Hand-wired counter for (b){2,3} entered by 'a' (Fig. 6 shape)."""
+
+    def network(self):
+        net = Network()
+        net.add(STE("a", cls("a"), start=StartType.ALL_INPUT))
+        net.add(STE("b", cls("b")))
+        net.add(STE("d", cls("d")))
+        net.add(CounterNode("c", 2, 3))
+        net.connect("a", "o", "b", "i")
+        net.connect("a", "o", "c", "pre")
+        net.connect("b", "o", "c", "fst")
+        net.connect("b", "o", "c", "lst")
+        net.connect("c", "en_fst", "b", "i")
+        net.connect("c", "en_out", "d", "i")
+        net.nodes["d"].report = True
+        return net
+
+    def test_counts_to_range(self):
+        # a b b d : two bs -> in [2,3] -> d enabled -> report
+        sim = NetworkSimulator(self.network())
+        assert sim.match_ends(b"abbd") == [4]
+
+    def test_below_lower_bound_blocked(self):
+        sim = NetworkSimulator(self.network())
+        assert sim.match_ends(b"abd") == []
+
+    def test_above_upper_bound_blocked(self):
+        sim = NetworkSimulator(self.network())
+        assert sim.match_ends(b"abbbbd") == []
+
+    def test_reset_on_reentry(self):
+        # first attempt dies (only 1 b); fresh 'a' restarts the count
+        sim = NetworkSimulator(self.network())
+        assert sim.match_ends(b"abxabbd") == [7]
+
+    def test_counter_ops_accounted(self):
+        sim = NetworkSimulator(self.network())
+        sim.run(b"abbd")
+        assert sim.stats.counter_ops == 2  # two cycles with fst/lst events
+
+
+class TestBitVectorModule:
+    """Hand-wired bit vector for [ab]{2,3} entered by 'a' (Fig. 7)."""
+
+    def network(self):
+        net = Network()
+        net.add(STE("pre", cls("a"), start=StartType.ALL_INPUT))
+        net.add(STE("body", cls("ab")))
+        net.add(STE("out", cls("c")))
+        net.add(BitVectorNode("v", 2, 3))
+        net.connect("pre", "o", "v", "pre")
+        net.connect("pre", "o", "body", "i")
+        net.connect("body", "o", "v", "body")
+        net.connect("v", "en_body", "body", "i")
+        net.connect("v", "en_out", "out", "i")
+        net.nodes["out"].report = True
+        return net
+
+    def test_window_reporting(self):
+        sim = NetworkSimulator(self.network())
+        # a then bb (count 2..) then c
+        assert sim.match_ends(b"abbc") == [4]
+
+    def test_count_one_blocked(self):
+        sim = NetworkSimulator(self.network())
+        assert sim.match_ends(b"abc") == []
+
+    def test_multiple_tokens_tracked(self):
+        # overlapping entries: 'aa' enters twice; both counts live in
+        # the vector simultaneously (the thing a scalar cannot do)
+        sim = NetworkSimulator(self.network())
+        ends = sim.match_ends(b"aabc")
+        assert ends == [4]
+
+    def test_reset_on_body_mismatch(self):
+        sim = NetworkSimulator(self.network())
+        assert sim.match_ends(b"abxbbc") == []
+
+    def test_weighted_ops(self):
+        sim = NetworkSimulator(self.network())
+        sim.run(b"abb")
+        assert sim.stats.bit_vector_ops >= 2
+        assert 0 < sim.stats.bit_vector_weighted_ops < sim.stats.bit_vector_ops
+
+
+class TestStartTypes:
+    def test_start_of_data_only_first_cycle(self):
+        compiled = compile_pattern("^ab")
+        sim = NetworkSimulator(compiled.network)
+        assert sim.match_ends(b"ab") == [2]
+        sim2 = NetworkSimulator(compiled.network)
+        assert sim2.match_ends(b"xab") == []
+
+    def test_all_input_any_cycle(self):
+        compiled = compile_pattern("ab")
+        sim = NetworkSimulator(compiled.network)
+        assert sim.match_ends(b"xxabxab") == [4, 7]
+
+    def test_anchored_counting_module_start(self):
+        compiled = compile_pattern("^a{3}b")
+        sim = NetworkSimulator(compiled.network)
+        assert sim.match_ends(b"aaab") == [4]
+        sim.reset()
+        assert sim.match_ends(b"xaaab") == []
+
+
+class TestNestedModules:
+    def test_module_to_module_same_cycle(self):
+        # nested counters: outer lst driven by inner en_out
+        compiled = compile_pattern("^(x(ab){2}y){2}z")
+        sim = NetworkSimulator(compiled.network)
+        assert sim.match_ends(b"xababyxababyz") == [13]
+        sim.reset()
+        assert sim.match_ends(b"xababyxabyz") == []
+
+    def test_topological_order_stable(self):
+        compiled = compile_pattern("^(x(ab){2}y){2}z")
+        sim = NetworkSimulator(compiled.network)
+        # inner counters must be evaluated before outer ones
+        order = sim.module_order
+        assert len(order) == compiled.network.counter_count()
+
+
+class TestStats:
+    def test_cycle_and_report_accounting(self):
+        reports, stats = simulate(compile_pattern("ab").network, b"abab")
+        assert stats.cycles == 4
+        assert stats.reports == len(reports) == 2
+
+    def test_ste_activation_counting(self):
+        _, stats = simulate(compile_pattern("a").network, b"aaa")
+        assert stats.ste_activations == 3
+
+    def test_reset_clears_state(self):
+        sim = NetworkSimulator(compile_pattern("ab").network)
+        sim.run(b"ab")
+        sim.reset()
+        assert sim.stats.cycles == 0
+        assert sim.reports == []

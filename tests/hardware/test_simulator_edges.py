@@ -1,0 +1,82 @@
+"""Edge-case tests for the functional simulator."""
+
+import pytest
+
+from repro.compiler.pipeline import compile_pattern
+from repro.hardware.simulator import NetworkSimulator, simulate
+from repro.mnrl.network import Network
+from repro.mnrl.nodes import STE, StartType
+from repro.regex.charclass import CharClass
+
+
+class TestDegenerateInputs:
+    def test_empty_input(self):
+        sim = NetworkSimulator(compile_pattern("ab").network)
+        assert sim.run(b"") == []
+        assert sim.stats.cycles == 0
+
+    def test_single_byte(self):
+        sim = NetworkSimulator(compile_pattern("a").network)
+        assert sim.match_ends(b"a") == [1]
+        assert sim.match_ends(b"b") == []
+
+    def test_binary_bytes(self):
+        sim = NetworkSimulator(compile_pattern(r"\x00\xff{2,3}").network)
+        assert sim.match_ends(b"\x00\xff\xff") == [3]
+
+    def test_long_input_no_state_leak(self):
+        sim = NetworkSimulator(compile_pattern("^ab").network)
+        sim.run(b"ab" + b"x" * 500)
+        # anchored match only once, nothing simmering afterwards
+        assert [e.position for e in sim.reports] == [2]
+
+
+class TestEmptyAndTinyNetworks:
+    def test_empty_network(self):
+        network = Network("empty")
+        reports, stats = simulate(network, b"abc")
+        assert reports == []
+        assert stats.cycles == 3
+
+    def test_single_reporting_ste(self):
+        network = Network("one")
+        network.add(
+            STE("s", CharClass.of_char("x"), start=StartType.ALL_INPUT, report=True)
+        )
+        reports, _ = simulate(network, b"xyx")
+        assert [r.position for r in reports] == [1, 3]
+
+
+class TestReuse:
+    def test_reset_between_streams(self):
+        sim = NetworkSimulator(compile_pattern("a{2,3}").network)
+        first = sim.match_ends(b"aa")
+        second = sim.match_ends(b"aa")
+        assert first == second == [2]
+
+    def test_interleaved_runs_are_independent(self):
+        network = compile_pattern("ab{2,4}c").network
+        sim1 = NetworkSimulator(network)
+        sim2 = NetworkSimulator(network)
+        sim1.run(b"ab")
+        assert sim2.match_ends(b"abbc") == [4]
+
+    def test_stats_reset(self):
+        sim = NetworkSimulator(compile_pattern("a").network)
+        sim.run(b"aaa")
+        sim.reset()
+        sim.run(b"a")
+        assert sim.stats.cycles == 1
+        assert sim.stats.ste_activations == 1
+
+
+class TestStartOfDataCounters:
+    def test_leading_repeat_anchored(self):
+        sim = NetworkSimulator(compile_pattern("^(ab){2,3}c").network)
+        assert sim.match_ends(b"ababc") == [5]
+        sim.reset()
+        assert sim.match_ends(b"xababc") == []
+
+    def test_leading_bitvector_all_input(self):
+        sim = NetworkSimulator(compile_pattern("[ab]{3,5}c").network)
+        assert sim.match_ends(b"zababc") == [6]

@@ -1,0 +1,92 @@
+"""Integration tests across the full stack."""
+
+from repro import (
+    CountingSetExecutor,
+    NetworkSimulator,
+    analyze_pattern,
+    area_of_mapping,
+    build_nca,
+    compile_pattern,
+    compile_ruleset,
+    energy_of_run,
+    map_network,
+    parse,
+    simplify,
+)
+from repro.mnrl.serialize import dumps, loads
+
+
+class TestQuickstartFlow:
+    """The README quickstart, as a test."""
+
+    def test_compile_and_match(self):
+        compiled = compile_pattern(r"a(bc){1,3}d")
+        sim = NetworkSimulator(compiled.network)
+        assert sim.match_ends(b"xabcbcdy") == [7]
+
+    def test_analysis_report(self):
+        result = analyze_pattern(r"User: [^\r\n]{8,64}")
+        assert result.has_counting
+        assert len(result.instances) == 1
+
+    def test_resource_and_cost_report(self):
+        compiled = compile_pattern(r"[^a]a{2,100}")
+        mapping = map_network(compiled.network)
+        sim = NetworkSimulator(compiled.network)
+        sim.run(b"xaaaa" * 50)
+        energy = energy_of_run(sim.stats, mapping)
+        area = area_of_mapping(mapping)
+        assert energy.nj_per_byte > 0
+        assert area.total_mm2 > 0
+
+
+class TestRulesetFlow:
+    def test_ids_ruleset_round_trip(self):
+        rules = [
+            ("web-1", r"GET /[a-z]{1,20} HTTP"),
+            ("hdr-1", r"Host: [^\r\n]{4,40}"),
+            ("bin-1", r"\x4d\x5a.{4,60}\x50\x45"),
+        ]
+        rs = compile_ruleset(rules)
+        assert len(rs.patterns) == 3
+        restored = loads(dumps(rs.network))
+        data = b"GET /search HTTP/1.1\r\nHost: example.com\r\n\r\n"
+        a = NetworkSimulator(rs.network)
+        b = NetworkSimulator(restored)
+        assert a.match_ends(data) == b.match_ends(data)
+        assert {e.report_id for e in a.reports} >= {"web-1", "hdr-1"}
+
+    def test_counting_set_engine_matches_hardware(self):
+        """Software counting-set engine == hardware simulator on the
+        same pattern (via their respective pipelines)."""
+        pattern = r"ab{2,5}c"
+        parsed = parse(pattern)
+        search = simplify(parsed.search_ast())
+        nca = build_nca(search)
+        engine = CountingSetExecutor(nca)
+        compiled = compile_pattern(pattern)
+        sim = NetworkSimulator(compiled.network)
+        data = b"zabbbczabbbbbbc"
+        hw = sim.match_ends(data)
+        sw = []
+        engine.reset()
+        for i, byte in enumerate(data, start=1):
+            engine.step(byte)
+            if engine.accepting:
+                sw.append(i)
+        assert sw == hw
+
+
+class TestMemoryClaim:
+    def test_log_vs_linear_memory(self):
+        """Section 3: counter-unambiguity shrinks state memory from
+        O(M) to O(log M)."""
+        result = analyze_pattern(r"[^a]a{1000}")
+        assert not result.ambiguous
+        nca = result.nca
+        scalar = CountingSetExecutor(
+            nca, unambiguous_states=result.unambiguous_counter_states()
+        )
+        vector = CountingSetExecutor(nca, unambiguous_states=())
+        assert scalar.memory_bits() < 30
+        assert vector.memory_bits() > 1000

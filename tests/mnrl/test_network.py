@@ -1,0 +1,132 @@
+"""Unit tests for network construction and validation."""
+
+import pytest
+
+from repro.mnrl.network import Network
+from repro.mnrl.nodes import BitVectorNode, CounterNode, STE, StartType
+from repro.regex.charclass import CharClass
+
+
+def cls(text="a"):
+    return CharClass.of_string(text)
+
+
+def small_network() -> Network:
+    net = Network("test")
+    net.add(STE("a", cls("a")))
+    net.add(STE("b", cls("b")))
+    net.add(CounterNode("c", 1, 3))
+    net.connect("a", "o", "b", "i")
+    net.connect("b", "o", "c", "fst")
+    net.connect("b", "o", "c", "lst")
+    net.connect("a", "o", "c", "pre")
+    net.connect("c", "en_fst", "b", "i")
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_id_rejected(self):
+        net = Network()
+        net.add(STE("x", cls()))
+        with pytest.raises(ValueError):
+            net.add(STE("x", cls()))
+
+    def test_unknown_node_rejected(self):
+        net = Network()
+        net.add(STE("x", cls()))
+        with pytest.raises(KeyError):
+            net.connect("x", "o", "ghost", "i")
+
+    def test_bad_ports_rejected(self):
+        net = Network()
+        net.add(STE("x", cls()))
+        net.add(STE("y", cls()))
+        with pytest.raises(ValueError):
+            net.connect("x", "en_out", "y", "i")
+        with pytest.raises(ValueError):
+            net.connect("x", "o", "y", "pre")
+
+    def test_fst_requires_ste_source(self):
+        net = Network()
+        net.add(CounterNode("c1", 1, 3))
+        net.add(CounterNode("c2", 1, 3))
+        with pytest.raises(ValueError):
+            net.connect("c1", "en_out", "c2", "fst")
+
+    def test_duplicate_connections_deduped(self):
+        net = small_network()
+        before = len(net.connections)
+        net.connect("a", "o", "b", "i")
+        assert len(net.connections) == before
+
+    def test_counts(self):
+        net = small_network()
+        assert net.node_count() == 3
+        assert net.ste_count() == 2
+        assert net.counter_count() == 1
+        assert net.bit_vector_count() == 0
+
+    def test_incoming_outgoing(self):
+        net = small_network()
+        assert {c.target for c in net.outgoing("a")} == {"b", "c"}
+        assert {c.source for c in net.incoming("c")} == {"a", "b"}
+
+
+class TestValidation:
+    def test_valid_network_passes(self):
+        small_network().validate()
+
+    def test_counter_missing_fst(self):
+        net = Network()
+        net.add(STE("a", cls()))
+        net.add(CounterNode("c", 1, 3))
+        net.connect("a", "o", "c", "lst")
+        net.connect("a", "o", "c", "pre")
+        with pytest.raises(ValueError):
+            net.validate()
+
+    def test_counter_without_pre_needs_start(self):
+        net = Network()
+        net.add(STE("a", cls()))
+        net.add(CounterNode("c", 1, 3))
+        net.connect("a", "o", "c", "fst")
+        net.connect("a", "o", "c", "lst")
+        with pytest.raises(ValueError):
+            net.validate()
+        net.nodes["c"].start = StartType.START_OF_DATA
+        net.validate()
+
+    def test_bit_vector_needs_body(self):
+        net = Network()
+        net.add(STE("a", cls()))
+        net.add(BitVectorNode("v", 1, 5, start=StartType.ALL_INPUT))
+        with pytest.raises(ValueError):
+            net.validate()
+        net.connect("a", "o", "v", "body")
+        net.validate()
+
+
+class TestMerge:
+    def test_merge_prefixes_ids(self):
+        main = Network("main")
+        other = small_network()
+        mapping = main.merge(other, prefix="p.")
+        assert mapping["a"] == "p.a"
+        assert "p.c" in main.nodes
+        assert main.node_count() == 3
+        # connections were remapped
+        assert {c.source for c in main.incoming("p.c")} == {"p.a", "p.b"}
+
+    def test_merge_twice_is_disjoint(self):
+        main = Network("main")
+        other = small_network()
+        main.merge(other, prefix="x.")
+        main.merge(other, prefix="y.")
+        assert main.node_count() == 6
+
+    def test_bit_vector_bits(self):
+        net = Network()
+        net.add(STE("s", cls()))
+        net.add(BitVectorNode("v1", 1, 100, start=StartType.ALL_INPUT))
+        net.add(BitVectorNode("v2", 1, 50, start=StartType.ALL_INPUT))
+        assert net.bit_vector_bits() == 150

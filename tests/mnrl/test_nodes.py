@@ -1,0 +1,68 @@
+"""Unit tests for MNRL node types."""
+
+import pytest
+
+from repro.mnrl.nodes import (
+    BitVectorNode,
+    CounterNode,
+    INPUT_PORTS,
+    OUTPUT_PORTS,
+    STE,
+    StartType,
+)
+from repro.regex.charclass import CharClass
+
+
+class TestSTE:
+    def test_defaults(self):
+        ste = STE("s1", CharClass.of_char("a"))
+        assert ste.start is StartType.NONE
+        assert not ste.report
+        assert ste.kind == "hState"
+
+    def test_ports(self):
+        assert INPUT_PORTS["hState"] == ("i",)
+        assert OUTPUT_PORTS["hState"] == ("o",)
+
+
+class TestCounterNode:
+    def test_valid(self):
+        ctr = CounterNode("c1", 2, 7)
+        assert ctr.width == 17
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            CounterNode("c1", 5, 2)
+        with pytest.raises(ValueError):
+            CounterNode("c1", -1, 2)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            CounterNode("c1", 0, 1 << 17)
+        CounterNode("c1", 0, (1 << 17) - 1)  # max value fits
+
+    def test_ports(self):
+        assert set(INPUT_PORTS["counter"]) == {"pre", "fst", "lst"}
+        assert set(OUTPUT_PORTS["counter"]) == {"en_fst", "en_out"}
+
+
+class TestBitVectorNode:
+    def test_size_defaults_to_bound(self):
+        bv = BitVectorNode("v1", 2, 100)
+        assert bv.size == 100
+
+    def test_explicit_size(self):
+        bv = BitVectorNode("v1", 2, 100, size=2000)
+        assert bv.size == 2000
+
+    def test_rejects_undersized(self):
+        with pytest.raises(ValueError):
+            BitVectorNode("v1", 2, 100, size=50)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            BitVectorNode("v1", 9, 4)
+
+    def test_ports(self):
+        assert set(INPUT_PORTS["boundedBitVector"]) == {"pre", "body"}
+        assert set(OUTPUT_PORTS["boundedBitVector"]) == {"en_body", "en_out"}

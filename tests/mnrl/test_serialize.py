@@ -1,0 +1,85 @@
+"""Round-trip tests for the MNRL-style JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.compiler.pipeline import compile_pattern
+from repro.mnrl.serialize import dumps, load, loads, network_to_dict, save
+
+
+class TestRoundTrip:
+    PATTERNS = [
+        r"a(bc){2,3}d",        # counter module
+        r"a[ab]{2,4}b",        # bit-vector module
+        r"^x{3}y",             # anchored, start-of-data
+        r"(ab|cd){2}[e-h]*",   # unfolded mixed
+    ]
+
+    def test_json_round_trip(self):
+        for pattern in self.PATTERNS:
+            network = compile_pattern(pattern).network
+            restored = loads(dumps(network))
+            assert restored.node_count() == network.node_count()
+            assert {c for c in restored.connections} == {
+                c for c in network.connections
+            }
+            for node_id, node in network.nodes.items():
+                clone = restored.nodes[node_id]
+                assert type(clone) is type(node)
+                assert clone.start == node.start
+                assert clone.report == node.report
+
+    def test_symbol_sets_preserved(self):
+        network = compile_pattern(r"[a-f0-3]x").network
+        restored = loads(dumps(network))
+        for node_id, node in network.nodes.items():
+            assert restored.nodes[node_id].symbol_set == node.symbol_set
+
+    def test_simulation_equivalence_after_round_trip(self):
+        from repro.hardware.simulator import NetworkSimulator
+
+        network = compile_pattern(r"a(bc){1,3}d").network
+        restored = loads(dumps(network))
+        data = b"xabcbcdabcd"
+        assert (
+            NetworkSimulator(restored).match_ends(data)
+            == NetworkSimulator(network).match_ends(data)
+        )
+
+
+class TestSchemaShape:
+    def test_mnrl_like_fields(self):
+        network = compile_pattern(r"a{2,5}b").network
+        payload = network_to_dict(network)
+        assert "id" in payload and "nodes" in payload
+        for node in payload["nodes"]:
+            assert {"id", "type", "enable", "report", "outputDefs"} <= set(node)
+            for port_def in node["outputDefs"]:
+                assert {"portId", "activate"} <= set(port_def)
+
+    def test_extension_attributes(self):
+        network = compile_pattern(r".*a[ab]{3,9}b").network
+        payload = network_to_dict(network)
+        kinds = {node["type"] for node in payload["nodes"]}
+        assert "boundedBitVector" in kinds
+        bv = next(n for n in payload["nodes"] if n["type"] == "boundedBitVector")
+        assert bv["attributes"]["low"] == 3
+        assert bv["attributes"]["high"] == 9
+
+    def test_valid_json(self):
+        network = compile_pattern(r"ab{2,4}").network
+        json.loads(dumps(network))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            loads(json.dumps({"id": "x", "nodes": [{"id": "n", "type": "bogus"}]}))
+
+
+class TestFileIO:
+    def test_save_load(self, tmp_path):
+        network = compile_pattern(r"a{2,4}b").network
+        path = tmp_path / "net.mnrl.json"
+        save(network, str(path))
+        restored = load(str(path))
+        assert restored.node_count() == network.node_count()

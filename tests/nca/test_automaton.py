@@ -1,0 +1,147 @@
+"""Unit tests for the NCA data model (Definition 2.1)."""
+
+import pytest
+
+from repro.nca.automaton import (
+    Guard,
+    IncAction,
+    NCA,
+    SetAction,
+    Transition,
+)
+from repro.regex.charclass import CharClass
+
+
+def tiny_nca():
+    """Hand-built NCA for Sigma* s{2} (Example 3.2 of the paper)."""
+    sigma = CharClass.of_char("x")
+    return NCA(
+        predicates=[None, CharClass.sigma(), sigma],
+        counters_of=[frozenset(), frozenset(), frozenset({0})],
+        transitions=[
+            Transition(0, 1),
+            Transition(1, 1),
+            Transition(0, 2, actions=(SetAction(0, 1),)),
+            Transition(1, 2, actions=(SetAction(0, 1),)),
+            Transition(2, 2, guard=(Guard(0, 1, 1),), actions=(IncAction(0),)),
+        ],
+        finals={2: (Guard(0, 2, 2),)},
+        counter_bounds={0: 2},
+    )
+
+
+class TestGuards:
+    def test_satisfied(self):
+        guard = Guard(0, 2, 5)
+        assert guard.satisfied(((0, 3),))
+        assert not guard.satisfied(((0, 1),))
+        assert not guard.satisfied(((0, 6),))
+
+    def test_missing_counter_raises(self):
+        with pytest.raises(KeyError):
+            Guard(1, 0, 5).satisfied(((0, 3),))
+
+    def test_describe(self):
+        assert Guard(0, 2, 2).describe() == "x0 = 2"
+        assert Guard(0, 1, 4).describe() == "1 <= x0 <= 4"
+
+
+class TestValidation:
+    def test_valid_construction(self):
+        nca = tiny_nca()
+        assert nca.num_states == 3
+        assert nca.is_pure(0) and nca.is_pure(1)
+        assert not nca.is_pure(2)
+
+    def test_rejects_guard_on_foreign_counter(self):
+        with pytest.raises(ValueError):
+            NCA(
+                predicates=[None, CharClass.sigma()],
+                counters_of=[frozenset(), frozenset()],
+                transitions=[Transition(0, 1, guard=(Guard(0, 1, 2),))],
+                finals={},
+                counter_bounds={0: 2},
+            )
+
+    def test_rejects_unassigned_target_counter(self):
+        with pytest.raises(ValueError):
+            NCA(
+                predicates=[None, CharClass.sigma()],
+                counters_of=[frozenset(), frozenset({0})],
+                transitions=[Transition(0, 1)],  # x0 neither set nor inherited
+                finals={},
+                counter_bounds={0: 2},
+            )
+
+    def test_rejects_increment_without_source(self):
+        with pytest.raises(ValueError):
+            NCA(
+                predicates=[None, CharClass.sigma()],
+                counters_of=[frozenset(), frozenset({0})],
+                transitions=[Transition(0, 1, actions=(IncAction(0),))],
+                finals={},
+                counter_bounds={0: 2},
+            )
+
+    def test_rejects_transition_into_initial(self):
+        with pytest.raises(ValueError):
+            NCA(
+                predicates=[None, CharClass.sigma()],
+                counters_of=[frozenset(), frozenset()],
+                transitions=[Transition(1, 0)],
+                finals={},
+                counter_bounds={},
+            )
+
+    def test_rejects_final_guard_on_foreign_counter(self):
+        with pytest.raises(ValueError):
+            NCA(
+                predicates=[None, CharClass.sigma()],
+                counters_of=[frozenset(), frozenset()],
+                transitions=[Transition(0, 1)],
+                finals={1: (Guard(0, 1, 1),)},
+                counter_bounds={0: 2},
+            )
+
+
+class TestTokenSemantics:
+    def test_initial_token(self):
+        assert tiny_nca().initial_token() == (0, ())
+
+    def test_apply_transition_set(self):
+        nca = tiny_nca()
+        t = nca.out_transitions(0)[1]  # 0 -> 2 with x := 1
+        assert t.target == 2
+        token = nca.apply_transition((0, ()), t)
+        assert token == (2, ((0, 1),))
+
+    def test_apply_transition_guard_blocks(self):
+        nca = tiny_nca()
+        loop = [t for t in nca.out_transitions(2) if t.target == 2][0]
+        assert nca.apply_transition((2, ((0, 1),)), loop) == (2, ((0, 2),))
+        assert nca.apply_transition((2, ((0, 2),)), loop) is None
+
+    def test_token_successors_respects_predicate(self):
+        nca = tiny_nca()
+        succ_x = set(nca.token_successors((0, ()), ord("x")))
+        assert (2, ((0, 1),)) in succ_x
+        succ_y = set(nca.token_successors((0, ()), ord("y")))
+        assert all(state != 2 for state, _ in succ_y)
+
+    def test_final_token(self):
+        nca = tiny_nca()
+        assert nca.is_final_token((2, ((0, 2),)))
+        assert not nca.is_final_token((2, ((0, 1),)))
+        assert not nca.is_final_token((1, ()))
+
+    def test_boundedness(self):
+        nca = tiny_nca()
+        assert nca.is_token_bounded((2, ((0, 2),)))
+        assert not nca.is_token_bounded((2, ((0, 3),)))
+
+    def test_counter_values_domain(self):
+        assert list(tiny_nca().counter_values(0)) == [1, 2]
+
+    def test_describe_is_stable(self):
+        text = tiny_nca().describe()
+        assert "q0" in text and "final" in text and "x0" in text

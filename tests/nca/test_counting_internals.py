@@ -1,0 +1,79 @@
+"""Tests for counting-set internals: masks, non-strict mode, storage."""
+
+from repro.nca.counting_sets import (
+    CountingSetExecutor,
+    StorageKind,
+    _range_mask,
+)
+from repro.nca.glushkov import build_nca
+from repro.regex.parser import parse
+from repro.regex.rewrite import simplify
+
+
+def build(pattern: str):
+    return build_nca(simplify(parse(pattern).search_ast()))
+
+
+class TestRangeMask:
+    def test_single_value(self):
+        assert _range_mask(3, 3) == 0b100
+
+    def test_full_range(self):
+        assert _range_mask(1, 4) == 0b1111
+
+    def test_clamps_below_domain(self):
+        assert _range_mask(0, 2) == 0b11
+
+    def test_empty_range(self):
+        assert _range_mask(5, 4) == 0
+
+    def test_mid_range(self):
+        assert _range_mask(2, 3) == 0b110
+
+
+class TestNonStrictMode:
+    def test_reset_wins_semantics(self):
+        """Non-strict scalars keep the newest valuation (hardware
+        reset-wins); this under-approximates but never crashes."""
+        nca = build("x{2}")
+        counter_states = [q for q in nca.states if not nca.is_pure(q)]
+        executor = CountingSetExecutor(
+            nca, unambiguous_states=counter_states, strict=False
+        )
+        for byte in b"xxx":
+            executor.step(byte)  # no AmbiguityViolationError
+        # tokens were dropped, so acceptance may be missed -- but the
+        # engine stays live and bounded
+        assert executor.memory_bits() < 20
+
+
+class TestStorageIntrospection:
+    def test_kinds_exposed(self):
+        nca = build("a{2,5}")
+        executor = CountingSetExecutor(nca)
+        kinds = set(executor.kinds.values())
+        assert StorageKind.PURE in kinds
+        assert StorageKind.BITVECTOR in kinds
+
+    def test_stores_clear_on_reset(self):
+        nca = build("a{2,5}")
+        executor = CountingSetExecutor(nca)
+        executor.step(ord("a"))
+        executor.reset()
+        for state, store in executor.stores.items():
+            if state == nca.initial:
+                continue
+            assert store.is_empty()
+
+    def test_bitvector_mask_evolution(self):
+        nca = build("a{3}")
+        executor = CountingSetExecutor(nca)
+        body = next(q for q in nca.states if not nca.is_pure(q))
+        executor.step(ord("a"))
+        assert executor.stores[body].mask == 0b001  # one token, value 1
+        executor.step(ord("a"))
+        assert executor.stores[body].mask == 0b011  # values 1 and 2
+        executor.step(ord("a"))
+        assert executor.stores[body].mask == 0b111  # saturated window
+        executor.step(ord("a"))
+        assert executor.stores[body].mask == 0b111  # value-3 token died

@@ -1,0 +1,126 @@
+"""Tests for the counting-set (counter/bit-vector) execution engine."""
+
+import pytest
+
+from repro.analysis.hybrid import analyze_hybrid
+from repro.nca.counting_sets import (
+    AmbiguityViolationError,
+    CountingSetExecutor,
+    StorageKind,
+    classify_states,
+    counting_accepts,
+    counting_match_ends,
+)
+from repro.nca.execution import nca_match_ends
+from repro.nca.glushkov import build_nca
+from repro.regex.parser import parse_to_ast
+from repro.regex.rewrite import simplify
+
+from tests.helpers import random_strings
+
+
+def build(pattern: str):
+    return build_nca(simplify(parse_to_ast(pattern)))
+
+
+class TestClassification:
+    def test_default_is_conservative(self):
+        nca = build(".*a{2,4}")
+        kinds = classify_states(nca)
+        for state in nca.states:
+            if nca.is_pure(state):
+                assert kinds[state] is StorageKind.PURE
+            else:
+                assert kinds[state] is StorageKind.BITVECTOR
+
+    def test_proven_states_become_scalar(self):
+        nca = build("a{2,4}")
+        counter_states = [q for q in nca.states if not nca.is_pure(q)]
+        kinds = classify_states(nca, unambiguous_states=counter_states)
+        for state in counter_states:
+            assert kinds[state] is StorageKind.SCALAR
+
+    def test_multi_counter_states_general(self):
+        nca = build("(a(bc){2,3}d){2,3}")
+        kinds = classify_states(nca)
+        multi = [q for q in nca.states if len(nca.counters_of(q)) == 2]
+        assert multi
+        for state in multi:
+            assert kinds[state] is StorageKind.GENERAL
+
+
+class TestEquivalence:
+    PATTERNS = [
+        ".*a{2,4}",
+        ".*[ab]a{2,3}b",
+        "a{3}b{2,5}",
+        "(ab){2,4}",
+        ".*(a(bc){2}){2}",
+        "(a|b){2,3}c{2}",
+    ]
+
+    def test_matches_token_interpreter(self):
+        for pattern in self.PATTERNS:
+            nca = build(pattern)
+            for text in random_strings("abc", 60, 12, seed=23):
+                assert counting_match_ends(nca, text) == nca_match_ends(nca, text), (
+                    pattern,
+                    text,
+                )
+
+    def test_scalar_storage_with_analysis(self):
+        """Analysis-backed scalar storage stays equivalent."""
+        for pattern in ["a{2,4}b", "x(ab){2,3}y", "[^a]a{3}"]:
+            ast = simplify(parse_to_ast(pattern))
+            result = analyze_hybrid(ast)
+            nca = result.nca
+            good = result.unambiguous_counter_states()
+            for text in random_strings("abxy", 60, 10, seed=31):
+                assert counting_match_ends(nca, text, good) == nca_match_ends(
+                    nca, text
+                ), (pattern, text)
+
+
+class TestScalarStrictness:
+    def test_violation_detected_when_misclassified(self):
+        """Deliberately classifying an ambiguous state as scalar trips
+        the runtime soundness check."""
+        nca = build(".*x{2}")
+        counter_states = [q for q in nca.states if not nca.is_pure(q)]
+        executor = CountingSetExecutor(nca, unambiguous_states=counter_states)
+        with pytest.raises(AmbiguityViolationError):
+            executor.step(ord("x"))
+            executor.step(ord("x"))
+            executor.step(ord("x"))
+
+    def test_sound_classification_never_trips(self):
+        ast = simplify(parse_to_ast(".*[^a]a{2,5}"))
+        result = analyze_hybrid(ast)
+        executor = CountingSetExecutor(
+            result.nca, unambiguous_states=result.unambiguous_counter_states()
+        )
+        for text in random_strings("ab", 40, 16, seed=3):
+            executor.reset()
+            for byte in text.encode():
+                executor.step(byte)  # must not raise
+
+
+class TestMemoryAccounting:
+    def test_scalar_beats_bitvector(self):
+        """The paper's core claim: O(log M) vs O(M) bits per state."""
+        nca = build("[^a]a{1000}")
+        counter_states = [q for q in nca.states if not nca.is_pure(q)]
+        scalar = CountingSetExecutor(nca, unambiguous_states=counter_states)
+        vector = CountingSetExecutor(nca, unambiguous_states=())
+        assert scalar.memory_bits() < vector.memory_bits() / 50
+
+    def test_bit_counts(self):
+        nca = build("a{8}")
+        vector = CountingSetExecutor(nca, unambiguous_states=())
+        # 1 pure q0 bit + body state: 1 activity bit + 8 vector bits
+        assert vector.memory_bits() == 1 + 1 + 8
+        scalar = CountingSetExecutor(
+            nca, unambiguous_states=[q for q in nca.states if not nca.is_pure(q)]
+        )
+        # 1 + 1 + ceil(log2(9)) = 4 bits of counter
+        assert scalar.memory_bits() == 1 + 1 + 4

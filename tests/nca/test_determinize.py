@@ -1,0 +1,81 @@
+"""Tests for subset construction: correctness and the blowup claims."""
+
+import pytest
+
+from repro.nca.determinize import DFA, DFATooLargeError, determinize
+from repro.nca.glushkov import build_nca
+from repro.regex.oracle import accepts, match_ends
+from repro.regex.parser import parse, parse_to_ast
+from repro.regex.rewrite import simplify
+from repro.regex.unfold import unfold_all
+
+from tests.helpers import random_strings
+
+
+def dfa_for(pattern: str, search: bool = False, max_states=100_000) -> DFA:
+    parsed = parse(pattern)
+    ast = parsed.search_ast() if search else parsed.ast
+    pure = unfold_all(simplify(ast))
+    return determinize(build_nca(pure), max_states=max_states)
+
+
+class TestCorrectness:
+    PATTERNS = ["a{2,4}b", "(ab|cd){2}", "a*b{2,3}", "(a|b){3}c"]
+
+    def test_matches_oracle(self):
+        for pattern in self.PATTERNS:
+            dfa = dfa_for(pattern)
+            ast = simplify(parse_to_ast(pattern))
+            for text in random_strings("abcd", 60, 10, seed=17):
+                assert dfa.accepts(text) == accepts(ast, text), (pattern, text)
+
+    def test_match_ends_matches_oracle(self):
+        parsed = parse("a{2,3}")
+        search = simplify(parsed.search_ast())
+        dfa = dfa_for("a{2,3}", search=True)
+        for text in random_strings("ab", 30, 12, seed=19):
+            assert dfa.match_ends(text) == match_ends(search, text)
+
+    def test_rejects_counters(self):
+        nca = build_nca(simplify(parse_to_ast("a{2,5}")))
+        with pytest.raises(ValueError):
+            determinize(nca)
+
+    def test_single_lookup_per_symbol(self):
+        dfa = dfa_for("ab")
+        state = dfa.initial
+        for byte in b"ab":
+            state = dfa.transitions[state][byte]
+        assert state in dfa.accepting
+
+
+class TestSuccinctness:
+    """The Section 1 claims, measured."""
+
+    def test_anchored_counting_dfa_linear(self):
+        sizes = [dfa_for(f"^a{{{n}}}").num_states for n in (8, 16, 32)]
+        assert sizes[1] - sizes[0] == 8
+        assert sizes[2] - sizes[1] == 16
+
+    def test_unanchored_window_dfa_exponential(self):
+        """Sigma* a .{n}: the classic 2^n witness (the DFA must remember
+        which of the last n+1 positions held an 'a')."""
+        sizes = []
+        for n in (4, 6, 8):
+            dfa = dfa_for(f"a.{{{n}}}$", search=True)
+            sizes.append(dfa.num_states)
+        assert sizes[1] >= 4 * sizes[0] / 2
+        assert sizes[2] > 200  # ~2^(n+1) states at n=8
+
+    def test_blowup_hits_cap(self):
+        with pytest.raises(DFATooLargeError):
+            dfa_for("a.{18}$", search=True, max_states=5_000)
+
+    def test_nca_stays_tiny_where_dfa_explodes(self):
+        """The codesign's point: the NCA for Sigma* a .{n} has O(1)
+        states and one counter, while the DFA is exponential."""
+        parsed = parse("a.{12}$")
+        nca = build_nca(simplify(parsed.search_ast()))
+        assert nca.num_states <= 4
+        with pytest.raises(DFATooLargeError):
+            dfa_for("a.{12}$", search=True, max_states=4_000)

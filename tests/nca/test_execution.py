@@ -1,0 +1,82 @@
+"""Tests for the token-set NCA interpreter."""
+
+from repro.nca.execution import NCAExecutor, nca_accepts, nca_match_ends
+from repro.nca.glushkov import build_nca
+from repro.regex.oracle import accepts, match_ends
+from repro.regex.parser import parse, parse_to_ast
+from repro.regex.rewrite import simplify
+
+from tests.helpers import random_strings
+
+
+def build(pattern: str):
+    return build_nca(simplify(parse_to_ast(pattern)))
+
+
+class TestAcceptance:
+    PATTERNS = [
+        "a{3}",
+        "a{2,4}b",
+        "(ab){2,3}",
+        "(a|b){2}c",
+        "x(a(bc){2}y){2}z",
+        "(a?b){2,3}",
+        "a*b{2,3}a*",
+    ]
+
+    def test_matches_oracle_on_random_strings(self):
+        for pattern in self.PATTERNS:
+            ast = simplify(parse_to_ast(pattern))
+            nca = build_nca(ast)
+            for text in random_strings("abcxyz", 80, 12, seed=11):
+                assert nca_accepts(nca, text) == accepts(ast, text), (pattern, text)
+
+    def test_match_ends_against_oracle(self):
+        for pattern in ["ab", "a{2,3}", "(ab){2}"]:
+            parsed = parse(pattern)
+            search = simplify(parsed.search_ast())
+            nca = build_nca(search)
+            for text in random_strings("ab", 40, 10, seed=5):
+                assert nca_match_ends(nca, text) == match_ends(search, text)
+
+    def test_dead_configuration(self):
+        nca = build("abc")
+        executor = NCAExecutor(nca)
+        executor.run("ax")
+        assert executor.dead
+
+    def test_reset(self):
+        nca = build("ab")
+        executor = NCAExecutor(nca)
+        executor.run("ab")
+        assert executor.accepting
+        executor.reset()
+        assert not executor.accepting
+        executor.run("ab")
+        assert executor.accepting
+
+
+class TestDegreeTracking:
+    def test_unambiguous_keeps_degree_one(self):
+        # anchored a{3}: single token marches through
+        nca = build("a{3}")
+        executor = NCAExecutor(nca)
+        executor.run("aaa")
+        for state in nca.states:
+            if not nca.is_pure(state):
+                assert executor.stats.degree(state) <= 1
+
+    def test_ambiguous_state_reaches_degree_two(self):
+        # Sigma* x{2} (Example 3.2): tokens with values 1 and 2 coexist
+        nca = build(".*x{2}")
+        executor = NCAExecutor(nca)
+        executor.run("xxx")
+        counter_states = [q for q in nca.states if not nca.is_pure(q)]
+        assert any(executor.stats.degree(q) >= 2 for q in counter_states)
+
+    def test_token_count_statistics(self):
+        nca = build(".*a{2,4}")
+        executor = NCAExecutor(nca)
+        executor.run("aaaa")
+        assert executor.stats.max_tokens >= 3
+        assert executor.stats.steps == 4

@@ -1,0 +1,198 @@
+"""Tests for the Glushkov NCA construction against the paper's figures."""
+
+import pytest
+
+from repro.nca.automaton import Guard, IncAction, SetAction
+from repro.nca.glushkov import build_nca
+from repro.regex.parser import parse_to_ast
+from repro.regex.rewrite import simplify
+
+
+def build(pattern: str):
+    return build_nca(simplify(parse_to_ast(pattern)))
+
+
+class TestStructure:
+    def test_homogeneous(self):
+        """All transitions into a state share its predicate by design."""
+        nca = build(".*a(bc){2,3}d")
+        for t in nca.transitions:
+            assert nca.predicate_of(t.target) is not None
+
+    def test_positions_match_leaves(self):
+        nca = build("ab[cd]")
+        assert nca.num_states == 4  # q0 + 3 positions
+
+    def test_initial_pure(self):
+        nca = build("a{2,3}")
+        assert nca.is_pure(nca.initial)
+
+    def test_counter_per_instance(self):
+        nca = build("a{2,3}b{4,5}")
+        assert len(nca.counter_bounds) == 2
+        assert nca.counter_bounds == {0: 3, 1: 5}
+
+    def test_rejects_unbounded(self):
+        with pytest.raises(ValueError):
+            build_nca(parse_to_ast("a{2,}"))
+
+    def test_rejects_tiny_bounds(self):
+        with pytest.raises(ValueError):
+            build_nca(parse_to_ast("a{0,1}"))
+
+
+class TestFig4a:
+    """a(bc){1,3}d -- Figure 4(a) of the paper."""
+
+    def test_exact_shape(self):
+        nca = build("a(bc){1,3}d")
+        # q0 + a b c d = 5 states
+        assert nca.num_states == 5
+        # one counter bounded by 3
+        assert nca.counter_bounds == {0: 3}
+        # b and c carry the counter, a and d are pure
+        by_pred = {
+            nca.predicate_of(q).to_pattern(): q
+            for q in nca.states
+            if nca.predicate_of(q) is not None
+        }
+        assert nca.is_pure(by_pred["a"]) and nca.is_pure(by_pred["d"])
+        assert nca.counters_of(by_pred["b"]) == {0}
+        assert nca.counters_of(by_pred["c"]) == {0}
+
+    def test_loop_guard_and_action(self):
+        nca = build("a(bc){1,3}d")
+        by_pred = {
+            nca.predicate_of(q).to_pattern(): q
+            for q in nca.states
+            if nca.predicate_of(q) is not None
+        }
+        loops = [
+            t
+            for t in nca.out_transitions(by_pred["c"])
+            if t.target == by_pred["b"]
+        ]
+        assert len(loops) == 1
+        (loop,) = loops
+        assert loop.guard == (Guard(0, 1, 2),)  # x < 3
+        assert loop.actions == (IncAction(0),)
+
+    def test_entry_action(self):
+        nca = build("a(bc){1,3}d")
+        by_pred = {
+            nca.predicate_of(q).to_pattern(): q
+            for q in nca.states
+            if nca.predicate_of(q) is not None
+        }
+        entries = [
+            t
+            for t in nca.out_transitions(by_pred["a"])
+            if t.target == by_pred["b"]
+        ]
+        assert entries[0].actions == (SetAction(0, 1),)
+
+    def test_exit_unguarded_when_lo_is_one(self):
+        # m = 1: exit guard 1 <= x <= 3 is trivially true, so omitted
+        nca = build("a(bc){1,3}d")
+        by_pred = {
+            nca.predicate_of(q).to_pattern(): q
+            for q in nca.states
+            if nca.predicate_of(q) is not None
+        }
+        exits = [
+            t
+            for t in nca.out_transitions(by_pred["c"])
+            if t.target == by_pred["d"]
+        ]
+        assert exits[0].guard == ()
+
+
+class TestFig1:
+    """Sigma* s1 (s2 (s3 s4){m,n} s5){k} s6 with two counters (Fig. 1)."""
+
+    def test_counter_sets_per_state(self):
+        nca = build(".*1(2(34){2,3}5){4}6")
+        by_pred = {
+            nca.predicate_of(q).to_pattern(): q
+            for q in nca.states
+            if nca.predicate_of(q) is not None
+        }
+        # q3 (s2): outer counter only; q4, q5 (s3, s4): both; q6 (s5): outer
+        assert nca.counters_of(by_pred["2"]) == {0}
+        assert nca.counters_of(by_pred["3"]) == {0, 1}
+        assert nca.counters_of(by_pred["4"]) == {0, 1}
+        assert nca.counters_of(by_pred["5"]) == {0}
+        assert nca.is_pure(by_pred["6"])
+
+    def test_outer_loop_edge(self):
+        nca = build(".*1(2(34){2,3}5){4}6")
+        by_pred = {
+            nca.predicate_of(q).to_pattern(): q
+            for q in nca.states
+            if nca.predicate_of(q) is not None
+        }
+        loops = [
+            t
+            for t in nca.out_transitions(by_pred["5"])
+            if t.target == by_pred["2"]
+        ]
+        (loop,) = loops
+        assert Guard(0, 1, 3) in loop.guard  # x < k with k = 4
+        assert IncAction(0) in loop.actions
+
+    def test_final_guard_exact(self):
+        nca = build(".*1(2(34){2,3}5){4}6")
+        by_pred = {
+            nca.predicate_of(q).to_pattern(): q
+            for q in nca.states
+            if nca.predicate_of(q) is not None
+        }
+        exits = [
+            t
+            for t in nca.out_transitions(by_pred["5"])
+            if t.target == by_pred["6"]
+        ]
+        assert exits[0].guard == (Guard(0, 4, 4),)  # x = k
+
+
+class TestInstances:
+    def test_instance_metadata(self):
+        nca = build("x(ab){2,9}y")
+        (info,) = nca.instances
+        assert (info.lo, info.hi) == (2, 9)
+        assert len(info.body) == 2
+        assert len(info.first) == 1 and len(info.last) == 1
+        assert not info.single_class_body
+
+    def test_single_class_body_flag(self):
+        nca = build("x[ab]{2,9}y")
+        assert nca.instances[0].single_class_body
+
+    def test_preorder_indices_match_collect(self):
+        from repro.regex.ast import collect_repeats
+
+        ast = simplify(parse_to_ast("a{2}(b{3}c{4,6}){2}"))
+        nca = build_nca(ast)
+        collected = collect_repeats(ast)
+        assert [i.instance for i in nca.instances] == [c.index for c in collected]
+        assert [(i.lo, i.hi) for i in nca.instances] == [
+            (c.lo, c.hi) for c in collected
+        ]
+
+
+class TestNullableBodies:
+    def test_nullable_body_exit_unguarded(self):
+        # (a?b?){3}: empty passes pad the count, so no exit guard
+        nca = build("(a?b?){3,3}")
+        for state, guards in nca.finals.items():
+            assert guards == ()
+
+    def test_star_wrapped_counting(self):
+        # (a{2,3})*: exit of the repeat loops back via the star
+        nca = build("(a{2,3})*")
+        state = next(q for q in nca.states if not nca.is_pure(q))
+        loops = [t for t in nca.out_transitions(state) if t.target == state]
+        # one increment loop (x < 3 / x++) and one star re-entry (x := 1)
+        actions = {t.actions for t in loops}
+        assert (IncAction(0),) in actions
+        assert (SetAction(0, 1),) in actions

@@ -1,0 +1,150 @@
+"""Unit tests for the regex AST and smart constructors."""
+
+import pytest
+
+from repro.regex.ast import (
+    EMPTY,
+    EPSILON,
+    Alt,
+    Concat,
+    Repeat,
+    Star,
+    Sym,
+    alternation,
+    collect_repeats,
+    concat,
+    literal,
+    repeat,
+    replace_at_path,
+    star,
+)
+from repro.regex.charclass import CharClass
+
+
+def a():
+    return Sym(CharClass.of_char("a"))
+
+
+def b():
+    return Sym(CharClass.of_char("b"))
+
+
+class TestSmartConstructors:
+    def test_concat_identity(self):
+        assert concat(a(), EPSILON) == a()
+        assert concat(EPSILON, EPSILON) == EPSILON
+
+    def test_concat_zero(self):
+        assert concat(a(), EMPTY) == EMPTY
+
+    def test_concat_flattens(self):
+        nested = concat(concat(a(), b()), a())
+        assert isinstance(nested, Concat)
+        assert len(nested.parts) == 3
+
+    def test_alternation_dedupes(self):
+        assert alternation(a(), a()) == a()
+
+    def test_alternation_drops_empty(self):
+        assert alternation(a(), EMPTY) == a()
+        assert alternation(EMPTY, EMPTY) == EMPTY
+
+    def test_alternation_flattens(self):
+        nested = alternation(alternation(a(), b()), literal("c"))
+        assert isinstance(nested, Alt)
+        assert len(nested.parts) == 3
+
+    def test_star_collapses(self):
+        assert star(star(a())) == star(a())
+        assert star(EPSILON) == EPSILON
+        assert star(EMPTY) == EPSILON
+
+    def test_repeat_degenerate(self):
+        assert repeat(a(), 0, 0) == EPSILON
+        assert repeat(a(), 1, 1) == a()
+        assert repeat(a(), 0, None) == star(a())
+        assert repeat(EPSILON, 3, 7) == EPSILON
+        assert repeat(EMPTY, 0, 5) == EPSILON
+        assert repeat(EMPTY, 2, 5) == EMPTY
+
+    def test_repeat_keeps_optional(self):
+        node = repeat(a(), 0, 1)
+        assert isinstance(node, Repeat)
+
+    def test_repeat_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Repeat(a(), 5, 3)
+        with pytest.raises(ValueError):
+            Repeat(a(), -1, 3)
+
+    def test_literal(self):
+        node = literal("ab")
+        assert isinstance(node, Concat)
+        assert node.to_pattern() == "ab"
+
+
+class TestStructure:
+    def test_nullable(self):
+        assert EPSILON.nullable()
+        assert not a().nullable()
+        assert star(a()).nullable()
+        assert repeat(a(), 0, 3).nullable()
+        assert not repeat(a(), 2, 3).nullable()
+        assert repeat(star(a()), 2, 3).nullable()
+        assert concat(star(a()), star(b())).nullable()
+        assert not concat(star(a()), b()).nullable()
+        assert alternation(a(), EPSILON).nullable()
+
+    def test_size(self):
+        node = concat(a(), repeat(b(), 2, 3))
+        assert node.size() == 4  # concat, a, repeat, b
+
+    def test_walk_preorder(self):
+        node = concat(a(), star(b()))
+        kinds = [type(n).__name__ for n in node.walk()]
+        assert kinds == ["Concat", "Sym", "Star", "Sym"]
+
+    def test_to_pattern_round_trip(self):
+        from repro.regex.parser import parse_to_ast
+
+        cases = [
+            concat(a(), b()),
+            alternation(a(), concat(b(), b())),
+            star(alternation(a(), b())),
+            repeat(a(), 2, 5),
+            repeat(concat(a(), b()), 3, 3),
+            concat(a(), repeat(alternation(a(), b()), 1, 4), b()),
+        ]
+        for node in cases:
+            assert parse_to_ast(node.to_pattern()) == node
+
+    def test_repeat_bounds_pattern(self):
+        assert repeat(a(), 2, 2).bounds_pattern() == "{2}"
+        assert repeat(a(), 2, 5).bounds_pattern() == "{2,5}"
+        assert Repeat(a(), 2, None).bounds_pattern() == "{2,}"
+
+
+class TestRepeatInstances:
+    def test_collect_order_is_preorder(self):
+        node = concat(
+            repeat(a(), 2, 3),
+            repeat(concat(b(), repeat(a(), 4, 5)), 6, 7),
+        )
+        instances = collect_repeats(node)
+        assert [i.index for i in instances] == [0, 1, 2]
+        assert [(i.lo, i.hi) for i in instances] == [(2, 3), (6, 7), (4, 5)]
+
+    def test_paths_address_nodes(self):
+        node = concat(a(), repeat(b(), 2, 4))
+        (inst,) = collect_repeats(node)
+        assert inst.path == (1,)
+
+    def test_replace_at_path(self):
+        node = concat(a(), repeat(b(), 2, 4))
+        (inst,) = collect_repeats(node)
+        replaced = replace_at_path(node, inst.path, star(b()))
+        assert replaced == concat(a(), star(b()))
+
+    def test_describe(self):
+        (inst,) = collect_repeats(repeat(a(), 2, 4))
+        assert inst.describe() == "#0:a{2,4}"

@@ -1,0 +1,162 @@
+"""Unit tests for byte-alphabet character classes."""
+
+import pytest
+
+from repro.regex import charclass as cc
+from repro.regex.charclass import ALPHABET_SIZE, CharClass
+
+
+class TestConstruction:
+    def test_of_byte(self):
+        klass = CharClass.of_byte(ord("a"))
+        assert ord("a") in klass
+        assert ord("b") not in klass
+        assert klass.count() == 1
+
+    def test_of_byte_out_of_range(self):
+        with pytest.raises(ValueError):
+            CharClass.of_byte(256)
+        with pytest.raises(ValueError):
+            CharClass.of_byte(-1)
+
+    def test_of_char(self):
+        assert CharClass.of_char("x") == CharClass.of_byte(ord("x"))
+
+    def test_of_char_multibyte_rejected(self):
+        with pytest.raises(ValueError):
+            CharClass.of_char("ab")
+
+    def test_of_char_non_latin1_rejected(self):
+        with pytest.raises(ValueError):
+            CharClass.of_char("☃")
+
+    def test_of_bytes(self):
+        klass = CharClass.of_bytes([1, 3, 5])
+        assert list(klass) == [1, 3, 5]
+
+    def test_of_string(self):
+        assert list(CharClass.of_string("ba")) == [ord("a"), ord("b")]
+
+    def test_of_range(self):
+        klass = CharClass.of_range(ord("a"), ord("c"))
+        assert list(klass) == [ord("a"), ord("b"), ord("c")]
+
+    def test_of_range_reversed_rejected(self):
+        with pytest.raises(ValueError):
+            CharClass.of_range(5, 3)
+
+    def test_sigma_contains_everything(self):
+        assert cc.SIGMA.count() == ALPHABET_SIZE
+        assert cc.SIGMA.is_sigma()
+
+    def test_empty(self):
+        assert cc.EMPTY.is_empty()
+        assert cc.EMPTY.count() == 0
+
+    def test_dot_excludes_newline(self):
+        assert ord("\n") not in cc.DOT_NO_NEWLINE
+        assert cc.DOT_NO_NEWLINE.count() == ALPHABET_SIZE - 1
+
+
+class TestAlgebra:
+    def test_union(self):
+        a = CharClass.of_char("a")
+        b = CharClass.of_char("b")
+        assert (a | b).count() == 2
+
+    def test_intersection(self):
+        ab = CharClass.of_string("ab")
+        bc = CharClass.of_string("bc")
+        assert list(ab & bc) == [ord("b")]
+
+    def test_complement_involution(self):
+        klass = CharClass.of_string("xyz")
+        assert ~~klass == klass
+
+    def test_complement_partitions_sigma(self):
+        klass = CharClass.of_string("qrs")
+        assert (klass | ~klass) == cc.SIGMA
+        assert (klass & ~klass).is_empty()
+
+    def test_difference(self):
+        abc = CharClass.of_string("abc")
+        b = CharClass.of_char("b")
+        assert list(abc - b) == [ord("a"), ord("c")]
+
+    def test_overlaps(self):
+        assert CharClass.of_string("ab").overlaps(CharClass.of_string("bc"))
+        assert not CharClass.of_char("a").overlaps(CharClass.of_char("b"))
+
+    def test_is_subset(self):
+        assert CharClass.of_char("a").is_subset(CharClass.of_string("ab"))
+        assert not CharClass.of_string("ab").is_subset(CharClass.of_char("a"))
+
+    def test_immutability(self):
+        klass = CharClass.of_char("a")
+        with pytest.raises(AttributeError):
+            klass.mask = 0
+
+
+class TestRangesAndPrinting:
+    def test_ranges_merges_adjacent(self):
+        klass = CharClass.of_bytes([1, 2, 3, 7, 9, 10])
+        assert klass.ranges() == [(1, 3), (7, 7), (9, 10)]
+
+    def test_to_pattern_singleton(self):
+        assert CharClass.of_char("a").to_pattern() == "a"
+
+    def test_to_pattern_escapes_metacharacters(self):
+        assert CharClass.of_char(".").to_pattern() == "\\."
+        assert CharClass.of_char("*").to_pattern() == "\\*"
+
+    def test_to_pattern_dot(self):
+        assert cc.DOT_NO_NEWLINE.to_pattern() == "."
+
+    def test_to_pattern_range(self):
+        assert CharClass.of_range(ord("a"), ord("f")).to_pattern() == "[a-f]"
+
+    def test_to_pattern_negated_for_large_classes(self):
+        klass = ~CharClass.of_string("ab")
+        assert klass.to_pattern() == "[^ab]"
+
+    def test_round_trip_through_parser(self):
+        from repro.regex.ast import Sym
+        from repro.regex.parser import parse_to_ast
+
+        for source in [
+            CharClass.of_string("ab"),
+            CharClass.of_range(0x00, 0x1F),
+            ~CharClass.of_string("\r\n"),
+            CharClass.of_bytes([0, 255]),
+            cc.DIGITS,
+            cc.SIGMA,
+        ]:
+            reparsed = parse_to_ast(source.to_pattern())
+            assert isinstance(reparsed, Sym)
+            assert reparsed.cls == source
+
+    def test_sample_prefers_printable(self):
+        klass = CharClass.of_bytes([0x01, ord("z")])
+        assert klass.sample() == ord("z")
+
+    def test_sample_falls_back_to_unprintable(self):
+        assert CharClass.of_byte(0x01).sample() == 0x01
+
+    def test_sample_empty_raises(self):
+        with pytest.raises(ValueError):
+            cc.EMPTY.sample()
+
+
+class TestHashingEquality:
+    def test_equal_masks_equal(self):
+        assert CharClass.of_string("ab") == CharClass.of_bytes([ord("a"), ord("b")])
+
+    def test_usable_as_dict_key(self):
+        d = {CharClass.of_char("a"): 1}
+        assert d[CharClass.of_char("a")] == 1
+
+    def test_named_classes(self):
+        assert ord("5") in cc.DIGITS
+        assert ord("_") in cc.WORD
+        assert ord(" ") in cc.SPACE
+        assert ord("a") not in cc.DIGITS

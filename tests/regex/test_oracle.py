@@ -1,0 +1,97 @@
+"""Tests for the derivative-based oracle matcher."""
+
+from repro.regex.ast import EMPTY, EPSILON, Sym, concat, repeat, star
+from repro.regex.charclass import CharClass
+from repro.regex.oracle import DerivativeMatcher, accepts, derivative, match_ends
+from repro.regex.parser import parse, parse_to_ast
+
+
+def a_sym():
+    return Sym(CharClass.of_char("a"))
+
+
+class TestDerivativeLaws:
+    def test_empty_and_epsilon(self):
+        assert derivative(EMPTY, ord("a")) == EMPTY
+        assert derivative(EPSILON, ord("a")) == EMPTY
+
+    def test_symbol(self):
+        assert derivative(a_sym(), ord("a")) == EPSILON
+        assert derivative(a_sym(), ord("b")) == EMPTY
+
+    def test_star(self):
+        node = star(a_sym())
+        assert derivative(node, ord("a")) == node
+
+    def test_counting_decrements(self):
+        node = repeat(a_sym(), 2, 4)
+        d = derivative(node, ord("a"))
+        assert d == repeat(a_sym(), 1, 3)
+
+    def test_counting_hits_zero(self):
+        node = repeat(a_sym(), 0, 1)
+        d = derivative(node, ord("a"))
+        assert d == EPSILON  # a{0,0} collapses
+
+    def test_concat_nullable_head(self):
+        node = concat(star(a_sym()), Sym(CharClass.of_char("b")))
+        assert accepts(node, "b")
+        assert accepts(node, "aab")
+        assert not accepts(node, "ba")
+
+
+class TestAccepts:
+    CASES = [
+        ("a{3}", {"aaa": True, "aa": False, "aaaa": False}),
+        ("a{2,4}", {"a": False, "aa": True, "aaaa": True, "aaaaa": False}),
+        ("(ab){2,3}", {"abab": True, "ababab": True, "ab": False, "abababab": False}),
+        ("a{0,2}b", {"b": True, "ab": True, "aab": True, "aaab": False}),
+        ("a{2,}", {"a": False, "aa": True, "a" * 17: True}),
+        ("(a|b){2}", {"ab": True, "ba": True, "aa": True, "a": False}),
+        ("(a?){3}", {"": True, "a": True, "aaa": True, "aaaa": False}),
+    ]
+
+    def test_table(self):
+        for pattern, expectations in self.CASES:
+            ast = parse_to_ast(pattern)
+            for text, expected in expectations.items():
+                assert accepts(ast, text) == expected, (pattern, text)
+
+    def test_large_bounds_stay_cheap(self):
+        # no unfolding: the term stays small even for {1000}
+        ast = parse_to_ast("a{1000}")
+        assert accepts(ast, "a" * 1000)
+        assert not accepts(ast, "a" * 999)
+
+    def test_bytes_and_str_inputs(self):
+        ast = parse_to_ast("ab")
+        assert accepts(ast, b"ab") and accepts(ast, "ab")
+
+
+class TestMatchEnds:
+    def test_streaming_reports(self):
+        parsed = parse("ab")
+        ends = match_ends(parsed.search_ast(), "abxab")
+        assert ends == [2, 5]
+
+    def test_nullable_reports_zero(self):
+        assert 0 in match_ends(parse_to_ast("a*"), "aa")
+
+    def test_counting_window(self):
+        parsed = parse("a{2,3}")
+        ends = match_ends(parsed.search_ast(), "aaaa")
+        assert ends == [2, 3, 4]
+
+    def test_dead_state_stops_early(self):
+        matcher = DerivativeMatcher(parse_to_ast("^abc").children()[0] if False else parse_to_ast("abc"))
+        for byte in b"abd":
+            matcher.feed(byte)
+        assert matcher.dead
+
+    def test_reset(self):
+        matcher = DerivativeMatcher(parse_to_ast("ab"))
+        matcher.feed(ord("a"))
+        matcher.reset()
+        matcher.feed(ord("a"))
+        matcher.feed(ord("b"))
+        assert matcher.accepting

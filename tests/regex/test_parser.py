@@ -1,0 +1,253 @@
+"""Unit tests for the POSIX/PCRE-style parser."""
+
+import pytest
+
+from repro.regex import charclass as cc
+from repro.regex.ast import Alt, Concat, Repeat, Star, Sym
+from repro.regex.errors import RegexSyntaxError, UnsupportedFeatureError
+from repro.regex.parser import parse, parse_to_ast
+
+
+class TestBasics:
+    def test_literal(self):
+        ast = parse_to_ast("ab")
+        assert isinstance(ast, Concat)
+        assert ast.to_pattern() == "ab"
+
+    def test_empty_pattern(self):
+        assert parse("").ast.nullable()
+
+    def test_dot(self):
+        ast = parse_to_ast(".")
+        assert isinstance(ast, Sym)
+        assert ast.cls == cc.DOT_NO_NEWLINE
+
+    def test_alternation(self):
+        ast = parse_to_ast("ab|cd|ef")
+        assert isinstance(ast, Alt)
+        assert len(ast.parts) == 3
+
+    def test_group(self):
+        assert parse_to_ast("(ab)c") == parse_to_ast("abc")
+
+    def test_non_capturing_group(self):
+        assert parse_to_ast("(?:ab)c") == parse_to_ast("abc")
+
+    def test_nested_groups(self):
+        ast = parse_to_ast("((a|b)c)+")
+        assert "a|b" in ast.to_pattern()
+
+    def test_unbalanced_group(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("(ab")
+        with pytest.raises(RegexSyntaxError):
+            parse("ab)")
+
+
+class TestQuantifiers:
+    def test_star(self):
+        assert isinstance(parse_to_ast("a*"), Star)
+
+    def test_plus_desugars(self):
+        ast = parse_to_ast("a+")
+        assert isinstance(ast, Concat)
+        assert isinstance(ast.parts[1], Star)
+
+    def test_question_is_repeat01(self):
+        ast = parse_to_ast("a?")
+        assert isinstance(ast, Repeat)
+        assert (ast.lo, ast.hi) == (0, 1)
+
+    def test_exact_bound(self):
+        ast = parse_to_ast("a{5}")
+        assert isinstance(ast, Repeat)
+        assert (ast.lo, ast.hi) == (5, 5)
+
+    def test_range_bound(self):
+        ast = parse_to_ast("a{2,7}")
+        assert (ast.lo, ast.hi) == (2, 7)
+
+    def test_open_bound(self):
+        ast = parse_to_ast("a{3,}")
+        assert (ast.lo, ast.hi) == (3, None)
+
+    def test_reversed_bound_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("a{5,2}")
+
+    def test_literal_brace(self):
+        # '{' not followed by digits is a literal, as in PCRE
+        ast = parse_to_ast("a{b")
+        assert ast.to_pattern() == "a\\{b"
+
+    def test_lazy_modifier_ignored(self):
+        assert parse_to_ast("a*?") == parse_to_ast("a*")
+        assert parse_to_ast("a{2,5}?") == parse_to_ast("a{2,5}")
+        assert parse_to_ast("a+?") == parse_to_ast("a+")
+
+    def test_quantifier_without_atom(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("*a")
+        with pytest.raises(RegexSyntaxError):
+            parse("{3}")
+
+    def test_max_bound_enforced(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("a{1,99999}", max_bound=1024)
+        parse("a{1,1024}", max_bound=1024)  # at the limit is fine
+
+    def test_quantified_group(self):
+        ast = parse_to_ast("(ab){2,3}")
+        assert isinstance(ast, Repeat)
+        assert isinstance(ast.inner, Concat)
+
+
+class TestClasses:
+    def test_simple_class(self):
+        ast = parse_to_ast("[abc]")
+        assert ast.cls == cc.CharClass.of_string("abc")
+
+    def test_range_class(self):
+        assert parse_to_ast("[a-f]").cls == cc.CharClass.of_range(ord("a"), ord("f"))
+
+    def test_negated_class(self):
+        ast = parse_to_ast("[^ab]")
+        assert ord("a") not in ast.cls
+        assert ord("c") in ast.cls
+
+    def test_literal_dash(self):
+        # trailing dash is literal
+        assert ord("-") in parse_to_ast("[a-]").cls
+
+    def test_leading_bracket_member(self):
+        assert ord("]") in parse_to_ast("[]a]").cls
+
+    def test_class_with_escapes(self):
+        ast = parse_to_ast(r"[\r\n\t]")
+        assert set(ast.cls) == {0x0D, 0x0A, 0x09}
+
+    def test_class_with_named_escape(self):
+        ast = parse_to_ast(r"[\d_]")
+        assert ord("5") in ast.cls
+        assert ord("_") in ast.cls
+
+    def test_posix_class(self):
+        ast = parse_to_ast("[[:digit:]x]")
+        assert ord("7") in ast.cls
+        assert ord("x") in ast.cls
+
+    def test_unknown_posix_class(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("[[:bogus:]]")
+
+    def test_unterminated_class(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("[abc")
+
+    def test_reversed_range_rejected(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("[z-a]")
+
+
+class TestEscapes:
+    def test_named_classes(self):
+        assert parse_to_ast(r"\d").cls == cc.DIGITS
+        assert parse_to_ast(r"\D").cls == cc.DIGITS.complement()
+        assert parse_to_ast(r"\w").cls == cc.WORD
+        assert parse_to_ast(r"\s").cls == cc.SPACE
+
+    def test_control_escapes(self):
+        assert list(parse_to_ast(r"\n").cls) == [0x0A]
+        assert list(parse_to_ast(r"\t").cls) == [0x09]
+        assert list(parse_to_ast(r"\0").cls) == [0x00]
+
+    def test_hex_escape(self):
+        assert list(parse_to_ast(r"\x2f").cls) == [0x2F]
+        assert list(parse_to_ast(r"\x{ff}").cls) == [0xFF]
+
+    def test_hex_escape_out_of_range(self):
+        with pytest.raises(RegexSyntaxError):
+            parse(r"\x{100}")
+
+    def test_metacharacter_escape(self):
+        assert list(parse_to_ast(r"\.").cls) == [ord(".")]
+        assert list(parse_to_ast(r"\\").cls) == [ord("\\")]
+
+    def test_dangling_backslash(self):
+        with pytest.raises(RegexSyntaxError):
+            parse("ab\\")
+
+
+class TestUnsupportedFeatures:
+    """These populate the supported/total gap of Table 1."""
+
+    def test_backreference(self):
+        with pytest.raises(UnsupportedFeatureError) as err:
+            parse(r"(a+)b\1")
+        assert "backreference" in str(err.value)
+
+    def test_lookahead(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse(r"a(?=b)")
+        with pytest.raises(UnsupportedFeatureError):
+            parse(r"a(?!b)")
+
+    def test_lookbehind(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse(r"(?<=a)b")
+        with pytest.raises(UnsupportedFeatureError):
+            parse(r"(?<!a)b")
+
+    def test_word_boundary(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse(r"\bword\b")
+
+    def test_named_group(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse(r"(?P<name>a)")
+
+    def test_mid_pattern_anchor(self):
+        with pytest.raises(UnsupportedFeatureError):
+            parse("a^b")
+        with pytest.raises(UnsupportedFeatureError):
+            parse("a$b")
+
+
+class TestAnchorsAndFlags:
+    def test_unanchored(self):
+        parsed = parse("abc")
+        assert not parsed.anchored_start
+        assert not parsed.anchored_end
+
+    def test_start_anchor(self):
+        assert parse("^abc").anchored_start
+
+    def test_end_anchor(self):
+        assert parse("abc$").anchored_end
+
+    def test_both_anchors(self):
+        parsed = parse("^abc$")
+        assert parsed.anchored_start and parsed.anchored_end
+
+    def test_search_ast_adds_sigma_star(self):
+        parsed = parse("abc")
+        assert parsed.search_ast().to_pattern().startswith("[\\x00-\\xff]*")
+
+    def test_anchored_search_ast_unchanged(self):
+        parsed = parse("^abc")
+        assert parsed.search_ast() == parsed.ast
+
+    def test_case_insensitive_flag(self):
+        ast = parse_to_ast("(?i)ab")
+        first = ast.parts[0]
+        assert ord("A") in first.cls
+        assert ord("a") in first.cls
+
+    def test_case_insensitive_classes(self):
+        ast = parse_to_ast("(?i)[a-c]")
+        assert ord("B") in ast.cls
+
+    def test_scoped_flag_group(self):
+        ast = parse_to_ast("(?i:a)b")
+        assert ord("A") in ast.parts[0].cls
+        assert ord("B") not in ast.parts[1].cls

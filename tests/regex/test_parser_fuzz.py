@@ -1,0 +1,49 @@
+"""Fuzz tests: the parser must be total (parse or raise RegexError)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.regex.errors import RegexError
+from repro.regex.oracle import accepts
+from repro.regex.parser import parse
+from repro.regex.rewrite import simplify
+
+# characters weighted toward regex metasyntax to hit parser branches
+_FUZZ_ALPHABET = "ab01(){}[]|*+?.^$\\-,xdswrn{}"
+
+
+@settings(max_examples=400, deadline=None)
+@given(st.text(alphabet=_FUZZ_ALPHABET, max_size=24))
+def test_parser_is_total(text):
+    """Arbitrary input never crashes with anything but RegexError."""
+    try:
+        parse(text)
+    except RegexError:
+        pass
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(alphabet=_FUZZ_ALPHABET, max_size=16))
+def test_accepted_patterns_round_trip(text):
+    """Whatever parses must print and reparse to the same language."""
+    try:
+        parsed = parse(text)
+    except RegexError:
+        return
+    ast = simplify(parsed.ast)
+    printed = ast.to_pattern()
+    reparsed = simplify(parse(printed).ast)
+    for probe in ("", "a", "ab", "ba", "aab", "0", "a0b"):
+        assert accepts(ast, probe) == accepts(reparsed, probe), (
+            text,
+            printed,
+            probe,
+        )
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.binary(max_size=12))
+def test_oracle_total_on_parsed_patterns(data):
+    """The oracle must handle any byte input on any parsed pattern."""
+    for pattern in (r"[^\x00]{2,4}", r"(\x00|\xff){1,3}", r".{0,5}x"):
+        parsed = parse(pattern)
+        accepts(simplify(parsed.membership_ast()), data)

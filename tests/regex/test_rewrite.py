@@ -1,0 +1,103 @@
+"""Tests for the Section 4.2 rewrite/simplification pass."""
+
+from repro.regex.ast import (
+    EPSILON,
+    Alt,
+    Concat,
+    Repeat,
+    Star,
+    Sym,
+    alternation,
+    concat,
+    repeat,
+    star,
+)
+from repro.regex.charclass import CharClass
+from repro.regex.oracle import accepts
+from repro.regex.parser import parse_to_ast
+from repro.regex.rewrite import simplify
+
+from tests.helpers import random_strings
+
+
+def sym(text):
+    return Sym(CharClass.of_string(text))
+
+
+class TestPaperRules:
+    def test_merges_singleton_alternation(self):
+        # [a]|[b] -> [ab] (the paper's example)
+        assert simplify(parse_to_ast("[a]|[b]")) == sym("ab")
+
+    def test_merges_classes_among_other_alternatives(self):
+        node = simplify(parse_to_ast("[a]|xy|[b]"))
+        assert isinstance(node, Alt)
+        classes = [p for p in node.parts if isinstance(p, Sym)]
+        assert len(classes) == 1
+        assert classes[0].cls == CharClass.of_string("ab")
+
+    def test_unfolds_upper_bound_below_two(self):
+        assert simplify(parse_to_ast("a{0,1}")) == alternation(sym("a"), EPSILON)
+        assert simplify(parse_to_ast("a{1}")) == sym("a")
+        assert simplify(parse_to_ast("a{0,0}")) == EPSILON
+
+    def test_keeps_real_counting(self):
+        node = simplify(parse_to_ast("a{2,5}"))
+        assert isinstance(node, Repeat)
+
+    def test_lowers_unbounded(self):
+        node = simplify(parse_to_ast("a{3,}"))
+        # a{3,} == a{3} a*
+        assert node == concat(repeat(sym("a"), 3, 3), star(sym("a")))
+
+    def test_lowers_unbounded_from_zero(self):
+        assert simplify(parse_to_ast("a{0,}")) == star(sym("a"))
+
+    def test_lowers_unbounded_one(self):
+        # a{1,} == a a*
+        assert simplify(parse_to_ast("a{1,}")) == concat(sym("a"), star(sym("a")))
+
+
+class TestNormalization:
+    def test_idempotent(self):
+        for pattern in ["a{0,1}b{3,}", "([a]|[b])*c{2,4}", "(a?){2,3}", "x|x|y"]:
+            once = simplify(parse_to_ast(pattern))
+            assert simplify(once) == once
+
+    def test_no_small_repeats_survive(self):
+        for pattern in ["a?", "(ab)?", "a{0,1}{0,1}", "(a{1}){1}"]:
+            node = simplify(parse_to_ast(pattern))
+            for sub in node.walk():
+                if isinstance(sub, Repeat):
+                    assert sub.hi is not None and sub.hi >= 2
+
+    def test_no_unbounded_repeats_survive(self):
+        node = simplify(parse_to_ast("a{2,}(b{3,}c){1,}"))
+        for sub in node.walk():
+            if isinstance(sub, Repeat):
+                assert sub.hi is not None
+
+
+class TestLanguagePreservation:
+    """Differential check against the derivative oracle."""
+
+    PATTERNS = [
+        "a{0,1}",
+        "a{2,}",
+        "(ab){1,}c",
+        "[a]|[b]|ab",
+        "(a|b){0,3}",
+        "(a?b?){2,4}",
+        "a{3,}|b{0,1}",
+        "((a|b)c){2,}",
+    ]
+
+    def test_simplify_preserves_language(self):
+        for pattern in self.PATTERNS:
+            original = parse_to_ast(pattern)
+            simplified = simplify(original)
+            for text in random_strings("abc", 60, 10, seed=hash(pattern) & 0xFFFF):
+                assert accepts(original, text) == accepts(simplified, text), (
+                    pattern,
+                    text,
+                )

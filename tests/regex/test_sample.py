@@ -1,0 +1,52 @@
+"""Tests for language sampling (planted-match generation)."""
+
+import random
+
+import pytest
+
+from repro.regex.ast import EMPTY
+from repro.regex.oracle import accepts
+from repro.regex.parser import parse_to_ast
+from repro.regex.sample import CannotSampleError, sample_match
+
+
+class TestSampleMatch:
+    PATTERNS = [
+        "abc",
+        "a{2,5}",
+        "(ab|cd){1,3}e?",
+        "[a-f]{3}[0-9]{2,4}",
+        "x(y|z)*w",
+        "a{0,3}b{2}",
+        "(a?){4}",
+    ]
+
+    def test_samples_are_members(self):
+        rng = random.Random(0)
+        for pattern in self.PATTERNS:
+            ast = parse_to_ast(pattern)
+            for _ in range(25):
+                text = sample_match(ast, rng)
+                assert accepts(ast, text), (pattern, text)
+
+    def test_deterministic_for_fixed_seed(self):
+        ast = parse_to_ast("(ab|cd){2,4}")
+        first = [sample_match(ast, random.Random(7)) for _ in range(5)]
+        second = [sample_match(ast, random.Random(7)) for _ in range(5)]
+        assert first == second
+
+    def test_empty_language_raises(self):
+        with pytest.raises(CannotSampleError):
+            sample_match(EMPTY, random.Random(0))
+
+    def test_repeat_cap_limits_length(self):
+        ast = parse_to_ast("a{2,2000}")
+        rng = random.Random(1)
+        for _ in range(10):
+            assert len(sample_match(ast, rng, repeat_cap=4)) <= 6
+
+    def test_full_range_without_cap(self):
+        ast = parse_to_ast("a{2,9}")
+        rng = random.Random(2)
+        lengths = {len(sample_match(ast, rng, repeat_cap=None)) for _ in range(200)}
+        assert lengths == set(range(2, 10))

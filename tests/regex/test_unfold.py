@@ -1,0 +1,73 @@
+"""Tests for repetition unfolding (the baseline transformation)."""
+
+from repro.regex.ast import Repeat
+from repro.regex.metrics import count_instances, position_count
+from repro.regex.oracle import accepts
+from repro.regex.parser import parse_to_ast
+from repro.regex.rewrite import simplify
+from repro.regex.unfold import unfold_all, unfold_repeat, unfold_up_to
+
+from tests.helpers import random_strings
+
+
+class TestUnfoldRepeat:
+    def test_exact_repetition(self):
+        node = unfold_repeat(parse_to_ast("a"), 3, 3)
+        assert node.to_pattern() == "aaa"
+
+    def test_range_repetition_positions(self):
+        node = unfold_repeat(parse_to_ast("a"), 2, 5)
+        assert position_count(node) == 5
+        assert count_instances(node) == 0
+
+    def test_language(self):
+        original = parse_to_ast("a{2,4}")
+        unfolded = unfold_repeat(parse_to_ast("a"), 2, 4)
+        for text in ["", "a", "aa", "aaa", "aaaa", "aaaaa"]:
+            assert accepts(original, text) == accepts(unfolded, text)
+
+
+class TestUnfoldAll:
+    def test_removes_all_counting(self):
+        node = unfold_all(parse_to_ast("a{3}(b{2}c){2,4}"))
+        assert count_instances(node) == 0
+
+    def test_language_preserved(self):
+        for pattern in ["a{2,4}", "(ab){2}", "(a|b){1,3}c", "a{2}(b{2}){2}"]:
+            original = simplify(parse_to_ast(pattern))
+            unfolded = unfold_all(original)
+            for text in random_strings("abc", 80, 10, seed=42):
+                assert accepts(original, text) == accepts(unfolded, text), (
+                    pattern,
+                    text,
+                )
+
+
+class TestThreshold:
+    def test_threshold_spares_large_bounds(self):
+        node = unfold_up_to(simplify(parse_to_ast("a{3}b{100}")), 10)
+        survivors = [n for n in node.walk() if isinstance(n, Repeat)]
+        assert len(survivors) == 1
+        assert survivors[0].hi == 100
+
+    def test_threshold_none_unfolds_everything(self):
+        node = unfold_up_to(parse_to_ast("a{3}b{100}"), None)
+        assert count_instances(node) == 0
+
+    def test_threshold_zero_keeps_bounded(self):
+        node = unfold_up_to(simplify(parse_to_ast("a{3}b{100}")), 0)
+        assert count_instances(node) == 2
+
+    def test_unbounded_always_unfolds(self):
+        node = unfold_up_to(parse_to_ast("a{3,}"), 0)
+        for sub in node.walk():
+            if isinstance(sub, Repeat):
+                assert sub.hi is not None
+
+    def test_outer_unfold_duplicates_inner_survivor(self):
+        # (a{100}){3} with threshold 10: outer unfolds, inner survives
+        # in each of the 3 copies
+        node = unfold_up_to(simplify(parse_to_ast("(a{100}){3}")), 10)
+        survivors = [n for n in node.walk() if isinstance(n, Repeat)]
+        assert len(survivors) == 3
+        assert all(s.hi == 100 for s in survivors)

@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestAnalyze:
+    def test_unambiguous(self, capsys):
+        assert main(["analyze", "^a{3}b"]) == 0
+        out = capsys.readouterr().out
+        assert "unambiguous" in out
+
+    def test_ambiguous_with_witness(self, capsys):
+        assert main(["analyze", ".*x{2}", "--method", "exact", "--witness"]) == 0
+        out = capsys.readouterr().out
+        assert "AMBIGUOUS" in out
+        assert "witness=" in out
+
+    def test_no_counting(self, capsys):
+        assert main(["analyze", "abc"]) == 0
+        assert "nothing to analyze" in capsys.readouterr().out
+
+
+class TestCompile:
+    def test_prints_resources_and_mnrl(self, capsys):
+        assert main(["compile", "a(bc){2,4}d"]) == 0
+        out = capsys.readouterr().out
+        assert "counters" in out
+        assert '"type": "counter"' in out
+
+    def test_writes_file(self, tmp_path, capsys):
+        target = tmp_path / "out.mnrl.json"
+        assert main(["compile", "a{2,9}", "-o", str(target)]) == 0
+        assert target.exists()
+        from repro.mnrl.serialize import load
+
+        network = load(str(target))
+        assert network.node_count() >= 1
+
+    def test_threshold_flag(self, capsys):
+        assert main(["compile", "a(bc){2,4}d", "--threshold", "inf"]) == 0
+        out = capsys.readouterr().out
+        assert "0 counters" in out
+
+
+class TestScan:
+    def test_scan_files(self, tmp_path, capsys):
+        rules = tmp_path / "rules.txt"
+        rules.write_text(
+            "# comment line\n"
+            "hit\tabc\n"
+            "miss\tzzz{2,5}\n"
+            "broken\t(a)\\1\n"
+        )
+        data = tmp_path / "data.bin"
+        data.write_bytes(b"xxabcxx")
+        assert main(["scan", "--rules", str(rules), "--input", str(data)]) == 0
+        captured = capsys.readouterr()
+        assert "hit: 1 match(es) at [5]" in captured.out
+        assert "skipped broken" in captured.err
+
+    def test_no_matches(self, tmp_path, capsys):
+        rules = tmp_path / "rules.txt"
+        rules.write_text("r\tzzz\n")
+        data = tmp_path / "data.bin"
+        data.write_bytes(b"abc")
+        main(["scan", "--rules", str(rules), "--input", str(data)])
+        assert "no matches" in capsys.readouterr().out
+
+
+class TestCensusAndReport:
+    def test_census(self, capsys):
+        assert main(["census", "--suite", "Protomata", "--total", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "Protomata: total 20" in out
+
+    def test_report_table2(self, capsys):
+        assert main(["report", "--which", "table2"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_report_fig8(self, capsys):
+        assert main(["report", "--which", "fig8"]) == 0
+        assert "Figure 8" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])

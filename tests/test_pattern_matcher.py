@@ -1,0 +1,70 @@
+"""Tests for PatternMatcher and end-anchor semantics."""
+
+import pytest
+
+from repro.matching import PatternMatcher, RulesetMatcher
+
+
+class TestAnchors:
+    def test_unanchored_search(self):
+        matcher = PatternMatcher("ab")
+        assert matcher.search(b"xxabxxab") == [4, 8]
+
+    def test_start_anchor(self):
+        matcher = PatternMatcher("^ab")
+        assert matcher.search(b"abxxab") == [2]
+
+    def test_end_anchor_filters_positions(self):
+        matcher = PatternMatcher("ab$")
+        assert matcher.search(b"abxxab") == [6]
+        assert matcher.search(b"abxx") == []
+
+    def test_fully_anchored_is_exact_match(self):
+        matcher = PatternMatcher("^a{2,4}$")
+        assert matcher.matches(b"aaa")
+        assert not matcher.matches(b"a")
+        assert not matcher.matches(b"aaaaa")
+        assert not matcher.matches(b"aaab")
+
+    def test_counting_with_end_anchor(self):
+        matcher = PatternMatcher(r"[0-9]{3,5}$")
+        assert matcher.matches(b"id-1234")
+        assert not matcher.matches(b"1234-id")
+
+    def test_nullable_matches_trivially(self):
+        matcher = PatternMatcher("a*")
+        assert matcher.matches(b"zzz")
+        assert matcher.search(b"zzz") == []  # no nonempty match
+
+
+class TestRulesetEndAnchors:
+    def test_end_anchored_rule_filtered(self):
+        rules = [("tail", "xyz$"), ("anywhere", "xyz")]
+        matcher = RulesetMatcher(rules)
+        result = matcher.scan(b"xyz..xyz")
+        assert result.matches["anywhere"] == [3, 8]
+        assert result.matches["tail"] == [8]
+
+    def test_end_anchored_rule_absent_when_not_at_end(self):
+        matcher = RulesetMatcher([("tail", "xyz$")])
+        assert matcher.matched_rules(b"xyz..") == set()
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize(
+        "pattern", ["^a{2,4}$", "ab$", "^x[yz]{1,3}$", "a{3}$"]
+    )
+    def test_membership_matches_oracle(self, pattern):
+        from repro.regex.oracle import accepts
+        from repro.regex.parser import parse
+        from repro.regex.rewrite import simplify
+
+        from tests.helpers import random_strings
+
+        matcher = PatternMatcher(pattern)
+        membership = simplify(parse(pattern).membership_ast())
+        for text in random_strings("abxyz", 60, 8, seed=hash(pattern) & 0xFF):
+            assert matcher.matches(text) == accepts(membership, text), (
+                pattern,
+                text,
+            )

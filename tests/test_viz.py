@@ -1,0 +1,48 @@
+"""Tests for DOT export."""
+
+from repro.compiler.pipeline import compile_pattern
+from repro.nca.glushkov import build_nca
+from repro.regex.parser import parse_to_ast
+from repro.regex.rewrite import simplify
+from repro.viz import nca_to_dot, network_to_dot
+
+
+class TestNcaDot:
+    def test_structure(self):
+        nca = build_nca(simplify(parse_to_ast("a(bc){1,3}d")))
+        dot = nca_to_dot(nca)
+        assert dot.startswith("digraph")
+        assert dot.endswith("}")
+        assert "doublecircle" in dot  # final state
+        assert "x0++" in dot          # increment action
+        assert "x0 := 1" in dot       # entry action
+        assert dot.count("->") == len(nca.transitions)
+
+    def test_counter_annotations(self):
+        nca = build_nca(simplify(parse_to_ast("x(a(bc){2,3}y){4}z")))
+        dot = nca_to_dot(nca)
+        assert "x0,x1" in dot  # two-counter states (Fig. 1 shape)
+
+    def test_escaping(self):
+        nca = build_nca(simplify(parse_to_ast(r'"[^"]{2,4}"')))
+        dot = nca_to_dot(nca)
+        assert '\\"' in dot
+
+
+class TestNetworkDot:
+    def test_counter_module_rendered(self):
+        network = compile_pattern("a(bc){2,4}d").network
+        dot = network_to_dot(network)
+        assert "ctr [2,4]" in dot
+        assert "en_out" in dot and "fst" in dot
+
+    def test_bitvector_module_rendered(self):
+        network = compile_pattern("q.{3,9}r").network
+        dot = network_to_dot(network)
+        assert "bitvec [3,9]" in dot
+
+    def test_start_and_report_marks(self):
+        network = compile_pattern("ab").network
+        dot = network_to_dot(network)
+        assert "all-input" in dot
+        assert "doublecircle" in dot

@@ -1,0 +1,64 @@
+"""Tests for the input-stream generators."""
+
+from repro.compiler.pipeline import compile_pattern
+from repro.hardware.simulator import NetworkSimulator
+from repro.workloads.inputs import (
+    ascii_text,
+    binary_stream,
+    mail_stream,
+    network_stream,
+    plant_matches,
+    protein_stream,
+    random_bytes,
+    stream_for_style,
+)
+
+
+class TestStreams:
+    def test_lengths(self):
+        for fn in (random_bytes, ascii_text, protein_stream, network_stream,
+                   mail_stream, binary_stream):
+            assert len(fn(500, seed=1)) == 500
+
+    def test_determinism(self):
+        assert network_stream(300, seed=9) == network_stream(300, seed=9)
+        assert network_stream(300, seed=9) != network_stream(300, seed=10)
+
+    def test_protein_alphabet(self):
+        data = protein_stream(1000, seed=2)
+        assert set(data) <= set(b"ACDEFGHIKLMNPQRSTVWY")
+
+    def test_network_has_http_structure(self):
+        data = network_stream(2000, seed=3)
+        assert b"HTTP/1.1" in data
+        assert b"\r\n" in data
+
+    def test_style_registry(self):
+        for style in ("network", "protein", "mail", "binary", "ascii", "random"):
+            assert len(stream_for_style(style, 100, seed=0)) == 100
+
+
+class TestPlanting:
+    def test_planted_matches_fire_reports(self):
+        pattern = r"needle[0-9]{3,8}x"
+        background = ascii_text(800, seed=4)
+        data = plant_matches(background, [pattern], seed=5, density=0.05)
+        compiled = compile_pattern(pattern)
+        sim = NetworkSimulator(compiled.network)
+        assert sim.match_ends(data)
+
+    def test_density_zero_is_identity_length(self):
+        background = ascii_text(400, seed=6)
+        data = plant_matches(background, ["ab"], seed=7, density=0.0)
+        assert data == background
+
+    def test_unparseable_patterns_skipped(self):
+        background = ascii_text(200, seed=8)
+        data = plant_matches(background, ["((", r"(a)\1"], seed=9)
+        assert data == background
+
+    def test_deterministic(self):
+        background = ascii_text(300, seed=1)
+        a = plant_matches(background, ["xy{2,4}z"], seed=2)
+        b = plant_matches(background, ["xy{2,4}z"], seed=2)
+        assert a == b

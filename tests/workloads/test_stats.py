@@ -1,0 +1,36 @@
+"""Tests for the census (Table 1 computation)."""
+
+from repro.workloads.stats import census
+from repro.workloads.synth import snort_like, protomata_like
+
+
+class TestCensus:
+    def test_columns_are_nested(self):
+        row = census(snort_like(total=80))
+        assert row.total == 80
+        assert row.supported <= row.total
+        assert row.counting <= row.supported
+        assert row.ambiguous <= row.counting
+
+    def test_records_populated(self):
+        row = census(snort_like(total=40))
+        assert len(row.records) == 40
+        supported = [r for r in row.records if r.supported]
+        assert len(supported) == row.supported
+        counting = [r for r in supported if r.has_counting]
+        assert len(counting) == row.counting
+        for record in counting:
+            assert record.mu >= 2
+            assert record.elapsed_s >= 0
+
+    def test_unsupported_reasons_recorded(self):
+        row = census(snort_like(total=120))
+        skipped = [r for r in row.records if not r.supported]
+        assert skipped
+        assert all(r.skip_reason for r in skipped)
+
+    def test_census_matches_intended_ambiguity(self):
+        suite = protomata_like(total=40)
+        row = census(suite)
+        intended = suite.intended_counts()["count-ambiguous"]
+        assert row.ambiguous == intended

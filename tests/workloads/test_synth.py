@@ -1,0 +1,135 @@
+"""Tests for the synthetic benchmark generators."""
+
+import pytest
+
+from repro.analysis.hybrid import analyze_pattern
+from repro.regex.errors import RegexError, UnsupportedFeatureError
+from repro.regex.parser import parse
+from repro.workloads.synth import (
+    APPLICATION_SUITES,
+    PAPER_TABLE1,
+    all_suites,
+    clamav_like,
+    protomata_like,
+    snort_like,
+    spamassassin_like,
+    suite_by_name,
+    suricata_like,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_rules(self):
+        a = snort_like(total=50, seed=1)
+        b = snort_like(total=50, seed=1)
+        assert [r.pattern for r in a.rules] == [r.pattern for r in b.rules]
+
+    def test_different_seed_different_rules(self):
+        a = snort_like(total=50, seed=1)
+        b = snort_like(total=50, seed=2)
+        assert [r.pattern for r in a.rules] != [r.pattern for r in b.rules]
+
+    def test_rule_ids_unique(self):
+        for suite in all_suites(scale=0.1):
+            ids = [r.rule_id for r in suite.rules]
+            assert len(ids) == len(set(ids))
+
+
+class TestCalibration:
+    """Generated category fractions track Table 1 (within tolerance)."""
+
+    @pytest.mark.parametrize("name", list(PAPER_TABLE1))
+    def test_category_fractions(self, name):
+        suite = suite_by_name(name, total=300)
+        paper = PAPER_TABLE1[name]
+        counts = suite.intended_counts()
+        total = len(suite.rules)
+        supported = total - counts["unsupported"]
+        counting = counts["count-unambiguous"] + counts["count-ambiguous"]
+        assert supported / total == pytest.approx(
+            paper["supported"] / paper["total"], abs=0.03
+        )
+        assert counting / supported == pytest.approx(
+            paper["counting"] / paper["supported"], abs=0.03
+        )
+        if counting:
+            assert counts["count-ambiguous"] / counting == pytest.approx(
+                paper["ambiguous"] / paper["counting"], abs=0.05
+            )
+
+
+class TestIntentMatchesAnalysis:
+    """Generator categories must survive the real pipeline."""
+
+    def test_unsupported_rules_rejected_by_parser(self):
+        suite = snort_like(total=200)
+        for rule in suite.rules:
+            if rule.category == "unsupported":
+                with pytest.raises(UnsupportedFeatureError):
+                    parse(rule.pattern)
+
+    def test_supported_rules_parse(self):
+        for suite in all_suites(scale=0.1):
+            for rule in suite.rules:
+                if rule.category != "unsupported":
+                    parse(rule.pattern)  # must not raise
+
+    @pytest.mark.parametrize(
+        "factory", [snort_like, suricata_like, spamassassin_like, clamav_like]
+    )
+    def test_unambiguous_intent_verified(self, factory):
+        suite = factory(total=120)
+        checked = 0
+        for rule in suite.rules:
+            if rule.category != "count-unambiguous" or checked >= 8:
+                continue
+            result = analyze_pattern(rule.pattern, max_pairs=500_000)
+            assert result.has_counting, rule.pattern
+            assert not result.ambiguous, rule.pattern
+            checked += 1
+        assert checked > 0
+
+    def test_protomata_ambiguous_intent_verified(self):
+        suite = protomata_like(total=60)
+        checked = 0
+        for rule in suite.rules:
+            if rule.category != "count-ambiguous" or checked >= 10:
+                continue
+            result = analyze_pattern(rule.pattern, max_pairs=500_000)
+            assert result.ambiguous, rule.pattern
+            checked += 1
+        assert checked > 0
+
+
+class TestShapes:
+    def test_application_suite_registry(self):
+        assert set(APPLICATION_SUITES) == {
+            "Protomata",
+            "SpamAssassin",
+            "Snort",
+            "Suricata",
+        }
+
+    def test_network_suites_have_large_bounds(self):
+        """Snort/Suricata must include the large bounds that make
+        Figures 9/10 interesting."""
+        from repro.regex.metrics import mu
+        from repro.regex.rewrite import simplify
+
+        suite = snort_like(total=300)
+        bounds = []
+        for rule in suite.rules:
+            try:
+                bounds.append(mu(simplify(parse(rule.pattern).ast)))
+            except RegexError:
+                continue
+        assert max(bounds) > 100
+
+    def test_protomata_bounds_small(self):
+        from repro.regex.metrics import mu
+        from repro.regex.rewrite import simplify
+
+        suite = protomata_like(total=100)
+        for rule in suite.rules:
+            bound = mu(simplify(parse(rule.pattern).ast))
+            assert bound <= 30
