@@ -14,6 +14,10 @@ The library spans the paper's whole stack:
 * :mod:`repro.compiler` -- regex-to-MNRL compilation and CAMA mapping;
 * :mod:`repro.hardware` -- the augmented-CAMA functional simulator and
   the Table 2 energy/delay/area cost model;
+* :mod:`repro.engine` -- the table-driven streaming scan engine
+  (precompiled transition tables, chunked ``feed``/``finish``
+  scanning, batch/sharded front-ends); report- and stats-equivalent to
+  the reference simulator;
 * :mod:`repro.workloads` -- synthetic Snort/Suricata/Protomata/
   SpamAssassin/ClamAV-style suites and input streams;
 * :mod:`repro.experiments` -- drivers regenerating every table and
@@ -43,6 +47,13 @@ from .compiler import (
     compile_ruleset,
 )
 from .compiler.mapping import NetworkMapping, map_network
+from .engine import (
+    ShardedMatcher,
+    StreamScanner,
+    TransitionTables,
+    compile_tables,
+    merge_scan_results,
+)
 from .hardware import (
     BIT_VECTOR,
     CAM_ARRAY,
@@ -101,6 +112,12 @@ __all__ = [
     "GEOMETRY",
     "area_of_mapping",
     "energy_of_run",
+    # engine
+    "TransitionTables",
+    "compile_tables",
+    "StreamScanner",
+    "ShardedMatcher",
+    "merge_scan_results",
     # high-level facade
     "RulesetMatcher",
     "PatternMatcher",

@@ -4,7 +4,9 @@ Commands mirror the toolchain stages:
 
 * ``analyze``  -- run the counter-(un)ambiguity analysis on a pattern;
 * ``compile``  -- compile a pattern (or rule file) to extended MNRL;
-* ``scan``     -- scan a file with a rule set on the simulated hardware;
+* ``scan``     -- stream a file (or stdin) through a rule set in chunks
+  on the table-driven engine (optionally sharded, or on the reference
+  simulator);
 * ``census``   -- Table 1-style census of a synthetic suite;
 * ``report``   -- regenerate one of the paper's tables/figures.
 
@@ -21,6 +23,7 @@ from typing import Optional, Sequence
 from .analysis.hybrid import analyze_pattern
 from .compiler.mapping import map_network
 from .compiler.pipeline import compile_pattern, compile_ruleset
+from .engine.parallel import ShardedMatcher
 from .hardware.cost import area_of_mapping
 from .matching import RulesetMatcher
 from .mnrl.serialize import dumps, save
@@ -56,10 +59,33 @@ def build_parser() -> argparse.ArgumentParser:
         "(inf = unfold everything)",
     )
 
-    p_scan = sub.add_parser("scan", help="scan a file with a rule set")
+    p_scan = sub.add_parser(
+        "scan", help="scan a file or stdin with a rule set (streaming)"
+    )
     p_scan.add_argument("--rules", required=True, help="rule file (id\\tpattern lines)")
-    p_scan.add_argument("--input", required=True, help="data file to scan")
+    p_scan.add_argument(
+        "--input", required=True, help="data file to scan ('-' reads stdin)"
+    )
     p_scan.add_argument("--threshold", type=float, default=0)
+    p_scan.add_argument(
+        "--chunk-size",
+        type=int,
+        default=1 << 16,
+        help="streaming read size in bytes (default 64 KiB)",
+    )
+    p_scan.add_argument(
+        "--engine",
+        choices=["table", "reference"],
+        default="table",
+        help="table = precompiled fast path (streaming); "
+        "reference = node-by-node simulator (buffers the whole input)",
+    )
+    p_scan.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="round-robin the rule set over N independent shards",
+    )
 
     p_census = sub.add_parser("census", help="Table 1-style suite census")
     p_census.add_argument(
@@ -140,14 +166,40 @@ def _read_rules(path: str) -> list[tuple[str, str]]:
     return rules
 
 
+def _chunks(handle, size: int):
+    while True:
+        chunk = handle.read(size)
+        if not chunk:
+            return
+        yield chunk
+
+
 def _cmd_scan(args) -> int:
     rules = _read_rules(args.rules)
-    matcher = RulesetMatcher(rules, unfold_threshold=args.threshold)
+    if args.shards > 1:
+        matcher = ShardedMatcher(
+            rules,
+            shards=args.shards,
+            unfold_threshold=args.threshold,
+            engine=args.engine,
+        )
+    else:
+        matcher = RulesetMatcher(
+            rules, unfold_threshold=args.threshold, engine=args.engine
+        )
     for rule_id, reason in matcher.skipped:
         print(f"skipped {rule_id}: {reason}", file=sys.stderr)
-    with open(args.input, "rb") as handle:
-        data = handle.read()
-    result = matcher.scan(data)
+
+    handle = sys.stdin.buffer if args.input == "-" else open(args.input, "rb")
+    try:
+        if args.engine == "reference":
+            # the reference simulator has no streaming entry point
+            result = matcher.scan(handle.read())
+        else:
+            result = matcher.scan_stream(_chunks(handle, max(1, args.chunk_size)))
+    finally:
+        if handle is not sys.stdin.buffer:
+            handle.close()
     resources = matcher.resources()
     print(
         f"scanned {result.bytes_scanned} bytes with "

@@ -1,0 +1,34 @@
+"""Table-driven streaming scan engine.
+
+The paper's hardware achieves its throughput by *precomputing*: rule
+compilation configures CAM columns, switch fabric, and module wiring
+once, and the per-symbol datapath is then pure table lookups.  This
+package is the software analogue of that split:
+
+* :mod:`repro.engine.tables` -- lower a compiled network into dense
+  integer transition tables (:func:`compile_tables`);
+* :mod:`repro.engine.scanner` -- :class:`StreamScanner`, the chunked
+  streaming executor over those tables (``feed``/``finish``);
+* :mod:`repro.engine.parallel` -- batch scanning over worker processes
+  and round-robin ruleset sharding with merged results.
+
+:class:`~repro.hardware.simulator.NetworkSimulator` remains the
+reference semantics; the engine's contract is exact report- and
+stats-equivalence with it (see ``tests/engine/`` and
+``docs/ARCHITECTURE.md``).
+"""
+
+from .parallel import ShardedMatcher, merge_scan_results, scan_streams, shard_rules
+from .scanner import StreamScanner, scan_bytes
+from .tables import TransitionTables, compile_tables
+
+__all__ = [
+    "TransitionTables",
+    "compile_tables",
+    "StreamScanner",
+    "scan_bytes",
+    "ShardedMatcher",
+    "merge_scan_results",
+    "scan_streams",
+    "shard_rules",
+]

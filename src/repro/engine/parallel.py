@@ -1,0 +1,238 @@
+"""Batch and sharded scanning front-ends.
+
+Two scale-out axes, matching how CAMA deployments scale (Section 4.1:
+banks of arrays running rule subsets side by side, fed by independent
+traffic streams):
+
+* **many streams, one ruleset** -- :func:`scan_streams` fans a batch of
+  input buffers over worker processes; the precompiled
+  :class:`~repro.engine.tables.TransitionTables` (plain ints/lists)
+  pickle once per worker via the pool initializer, so workers never
+  recompile.
+* **one stream, many shards** -- :class:`ShardedMatcher` splits a rule
+  set round-robin across independently compiled
+  :class:`~repro.matching.RulesetMatcher` shards (mirroring rules
+  spread over separate banks), scans them all, and merges the per-shard
+  :class:`~repro.matching.ScanResult`\\ s (union of matches, summed
+  energy -- each shard's bank burns its own power).
+
+Process pools are best-effort: ``processes <= 1``, pool start-up
+failure, or unpicklable platforms silently fall back to in-process
+serial scanning with identical results.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, TYPE_CHECKING
+
+from ..hardware.simulator import ActivityStats
+from .scanner import StreamScanner
+from .tables import TransitionTables
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..matching import ResourceSummary, RulesetMatcher, ScanResult
+
+__all__ = ["shard_rules", "scan_streams", "merge_scan_results", "ShardedMatcher"]
+
+
+def shard_rules(
+    rules: Iterable[str] | Sequence[tuple[str, str]], shards: int
+) -> list[list[tuple[str, str]]]:
+    """Split rules round-robin into ``shards`` buckets.
+
+    Bare pattern strings get the same ``rule{index}`` ids that
+    :func:`~repro.compiler.pipeline.compile_ruleset` would assign, so a
+    sharded compilation reports the same rule ids as an unsharded one.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    named: list[tuple[str, str]] = []
+    for index, rule in enumerate(rules):
+        if isinstance(rule, tuple):
+            named.append(rule)
+        else:
+            named.append((f"rule{index}", rule))
+    buckets: list[list[tuple[str, str]]] = [[] for _ in range(shards)]
+    for index, rule in enumerate(named):
+        buckets[index % shards].append(rule)
+    return buckets
+
+
+# -- worker plumbing -------------------------------------------------------
+_WORKER_TABLES: Optional[list[TransitionTables]] = None
+
+
+def _pool_init(tables_list: list[TransitionTables]) -> None:
+    global _WORKER_TABLES
+    _WORKER_TABLES = tables_list
+
+
+def _pool_scan(task: tuple[int, int, bytes]):
+    shard_index, stream_index, data = task
+    assert _WORKER_TABLES is not None
+    scanner = StreamScanner(_WORKER_TABLES[shard_index])
+    scanner.feed(data)
+    scanner.finish()
+    return shard_index, stream_index, len(data), scanner.reports, scanner.stats
+
+
+def scan_streams(
+    tables_list: Sequence[TransitionTables],
+    streams: Sequence[bytes | str],
+    processes: int = 0,
+) -> list[list[tuple[int, set, ActivityStats]]]:
+    """Scan every stream against every shard's tables.
+
+    Returns ``result[stream_index][shard_index]`` as
+    ``(bytes_scanned, distinct reports, stats)``.  With
+    ``processes > 1`` the (shard, stream) grid is fanned over a process
+    pool; otherwise (or if the pool cannot start) it runs serially.
+    """
+    payloads = [
+        stream.encode("latin-1") if isinstance(stream, str) else bytes(stream)
+        for stream in streams
+    ]
+    tasks = [
+        (shard_index, stream_index, data)
+        for stream_index, data in enumerate(payloads)
+        for shard_index in range(len(tables_list))
+    ]
+    outcomes = None
+    if processes > 1 and len(tasks) > 1:
+        outcomes = _run_pool(list(tables_list), tasks, processes)
+    if outcomes is None:
+        _pool_init(list(tables_list))
+        outcomes = [_pool_scan(task) for task in tasks]
+
+    results: list[list] = [[None] * len(tables_list) for _ in payloads]
+    for shard_index, stream_index, n_bytes, reports, stats in outcomes:
+        results[stream_index][shard_index] = (n_bytes, reports, stats)
+    return results
+
+
+def _run_pool(tables_list, tasks, processes):
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(
+            max_workers=processes,
+            initializer=_pool_init,
+            initargs=(tables_list,),
+        ) as pool:
+            return list(pool.map(_pool_scan, tasks))
+    except Exception:
+        # No usable multiprocessing here (restricted sandbox, missing
+        # semaphores, ...): correctness over parallelism.
+        return None
+
+
+def merge_scan_results(results: "Sequence[ScanResult]") -> "ScanResult":
+    """Merge per-shard results for the *same* input stream.
+
+    Matches are unioned per rule id; energy sums (each shard occupies
+    its own CAM arrays, so per-byte energies add).
+    """
+    from ..matching import ScanResult
+
+    if not results:
+        raise ValueError("nothing to merge")
+    lengths = {result.bytes_scanned for result in results}
+    if len(lengths) > 1:
+        raise ValueError(f"shard results disagree on stream length: {lengths}")
+    matches: dict[str, set[int]] = {}
+    for result in results:
+        for rule, ends in result.matches.items():
+            matches.setdefault(rule, set()).update(ends)
+    return ScanResult(
+        bytes_scanned=lengths.pop(),
+        matches={rule: sorted(ends) for rule, ends in sorted(matches.items())},
+        energy_nj_per_byte=sum(result.energy_nj_per_byte for result in results),
+    )
+
+
+class ShardedMatcher:
+    """Round-robin ruleset sharding over independent matchers.
+
+    Same surface as :class:`~repro.matching.RulesetMatcher` for the
+    scanning entry points (:meth:`scan`, :meth:`scan_stream`,
+    :meth:`scan_many`), with per-shard results merged transparently.
+
+    Args:
+        rules: as for :class:`~repro.matching.RulesetMatcher`.
+        shards: number of round-robin shards (>= 1).
+        processes: default worker-process count for :meth:`scan_many`
+            (0/1 = serial).
+        **kwargs: forwarded to every shard's matcher.
+    """
+
+    def __init__(
+        self,
+        rules: Iterable[str] | Sequence[tuple[str, str]],
+        shards: int = 2,
+        processes: int = 0,
+        **kwargs,
+    ):
+        from ..matching import RulesetMatcher
+
+        self.processes = processes
+        self.shards: list[RulesetMatcher] = [
+            RulesetMatcher(bucket, **kwargs) for bucket in shard_rules(rules, shards)
+        ]
+
+    @property
+    def skipped(self) -> list[tuple[str, str]]:
+        return [entry for shard in self.shards for entry in shard.skipped]
+
+    def resources(self) -> "ResourceSummary":
+        from ..matching import ResourceSummary
+
+        parts = [shard.resources() for shard in self.shards]
+        return ResourceSummary(
+            rules_compiled=sum(p.rules_compiled for p in parts),
+            rules_skipped=sum(p.rules_skipped for p in parts),
+            stes=sum(p.stes for p in parts),
+            counters=sum(p.counters for p in parts),
+            bit_vectors=sum(p.bit_vectors for p in parts),
+            cam_arrays=sum(p.cam_arrays for p in parts),
+            pes=sum(p.pes for p in parts),
+            area_mm2=sum(p.area_mm2 for p in parts),
+            waste_mm2=sum(p.waste_mm2 for p in parts),
+        )
+
+    def scan(self, data: bytes | str) -> "ScanResult":
+        return merge_scan_results([shard.scan(data) for shard in self.shards])
+
+    def scan_stream(self, chunks: Iterable[bytes | str]) -> "ScanResult":
+        """Feed one stream of chunks through every shard in lockstep
+        (the chunk iterable is consumed exactly once)."""
+        scanners = [StreamScanner(shard.tables) for shard in self.shards]
+        for chunk in chunks:
+            for scanner in scanners:
+                scanner.feed(chunk)
+        results = []
+        for shard, scanner in zip(self.shards, scanners):
+            scanner.finish()
+            results.append(
+                shard._result_from_reports(
+                    scanner.reports, scanner.bytes_fed, scanner.stats
+                )
+            )
+        return merge_scan_results(results)
+
+    def scan_many(
+        self, streams: Sequence[bytes | str], processes: Optional[int] = None
+    ) -> list["ScanResult"]:
+        """Scan a batch of independent streams; one merged result each."""
+        if processes is None:
+            processes = self.processes
+        grid = scan_streams(
+            [shard.tables for shard in self.shards], streams, processes=processes
+        )
+        merged: list["ScanResult"] = []
+        for per_shard in grid:
+            results = [
+                shard._result_from_reports(reports, n_bytes, stats)
+                for shard, (n_bytes, reports, stats) in zip(self.shards, per_shard)
+            ]
+            merged.append(merge_scan_results(results))
+        return merged

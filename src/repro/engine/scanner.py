@@ -1,0 +1,288 @@
+"""Streaming table-driven execution of a compiled network.
+
+:class:`StreamScanner` is the fast path promised by the paper's
+architecture: one input symbol per "clock" (loop iteration), unbounded
+input consumed chunk by chunk.  All per-byte work is integer bitmask
+arithmetic over :class:`~repro.engine.tables.TransitionTables`; enable
+vectors, counter registers, and bit-vector shift registers carry across
+:meth:`feed` calls, so scanning a stream in arbitrary chunkings yields
+exactly the same reports as one single-buffer pass.
+
+Semantics contract (asserted by ``tests/engine/``):
+
+* distinct ``(position, report_id)`` reports equal the reference
+  :class:`~repro.hardware.simulator.NetworkSimulator`'s
+  ``distinct_reports()`` on the concatenated input;
+* :attr:`stats` equals the reference run's ``ActivityStats`` field for
+  field, so :func:`~repro.hardware.cost.energy_of_run` prices both
+  engines identically.
+
+Like the hardware (and the reference simulator), the scanner reports
+*every* prefix end; ``$``-anchor gating against end-of-data is the
+facade's job (:meth:`repro.matching.RulesetMatcher.scan_stream` applies
+it at :meth:`finish` time, when the stream length is known).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..hardware.simulator import ActivityStats
+from ..mnrl.network import Network
+from .tables import KIND_COUNTER, PORT_BODY, PORT_FST, PORT_LST, PORT_PRE, TransitionTables, compile_tables
+
+__all__ = ["StreamScanner", "scan_bytes"]
+
+
+class StreamScanner:
+    """Incremental scanner over precompiled transition tables.
+
+    Args:
+        source: a :class:`TransitionTables` (typically compiled once and
+            shared across scanners/streams/processes) or a
+            :class:`~repro.mnrl.network.Network` to compile on the fly.
+
+    Use :meth:`feed` for each chunk and :meth:`finish` when the stream
+    ends; :attr:`reports` then holds the distinct
+    ``(position, report_id)`` pairs (positions are 1-based byte counts
+    from the start of the *stream*, not the chunk).
+    """
+
+    def __init__(self, source: TransitionTables | Network):
+        if isinstance(source, Network):
+            source = compile_tables(source)
+        self.tables = source
+        self.reset()
+
+    def reset(self) -> None:
+        tables = self.tables
+        self._cycle = 0
+        self._enabled = 0
+        self._counts = [0] * tables.n_modules
+        self._bv = [0] * tables.n_modules
+        self._pre = list(tables.module_initial_pre)
+        self._dirty = tables.initial_dirty()
+        self._finished = False
+        self.stats = ActivityStats()
+        #: distinct (position, report_id) pairs seen so far
+        self.reports: set[tuple[int, Optional[str]]] = set()
+
+    @property
+    def bytes_fed(self) -> int:
+        return self._cycle
+
+    # -- streaming ---------------------------------------------------------
+    def feed(self, chunk: bytes | str) -> list[tuple[int, Optional[str]]]:
+        """Consume one chunk; return reports newly added by it.
+
+        The return value lists the ``(position, report_id)`` pairs first
+        observed during this chunk, in observation order (pairs already
+        reported by earlier chunks are not repeated).
+        """
+        if self._finished:
+            raise RuntimeError("feed() after finish(); call reset() to rescan")
+        if isinstance(chunk, str):
+            chunk = chunk.encode("latin-1")
+
+        tables = self.tables
+        match_masks = tables.match_masks
+        succ_masks = tables.succ_masks
+        ste_hooks = tables.ste_module_hooks
+        ste_rids = tables.ste_report_ids
+        report_mask = tables.report_ste_mask
+        always = tables.always_mask
+        start = tables.start_mask
+        const_enable = tables.const_enable_mask
+        n_modules = tables.n_modules
+        kinds = tables.module_kinds
+        los = tables.module_lo
+        his = tables.module_hi
+        live_masks = tables.bv_live_masks
+        out_ranges = tables.bv_out_masks
+        body_ranges = tables.bv_body_masks
+        weights = tables.bv_weights
+        mod_reports = tables.module_reports
+        mod_rids = tables.module_report_ids
+        all_input = tables.module_all_input
+        out_ste = tables.out_ste_masks
+        aux_ste = tables.aux_ste_masks
+        out_hooks = tables.out_module_hooks
+        aux_hooks = tables.aux_module_hooks
+
+        enabled = self._enabled
+        cycle = self._cycle
+        counts = self._counts
+        bv = self._bv
+        pre = self._pre
+        dirty = self._dirty
+        reports = self.reports
+        new: list[tuple[int, Optional[str]]] = []
+
+        ste_activations = 0
+        counter_ops = 0
+        bv_ops = 0
+        bv_weighted = 0.0
+        n_events = 0
+
+        for byte in chunk:
+            base = enabled | always
+            if cycle == 0:
+                base |= start
+            active = base & match_masks[byte]
+            position = cycle + 1
+            next_enabled = const_enable
+            sig: Optional[dict[int, int]] = None
+
+            if active:
+                ste_activations += active.bit_count()
+                rep = active & report_mask
+                if rep:
+                    n_events += rep.bit_count()
+                    while rep:
+                        low = rep & -rep
+                        rep ^= low
+                        pair = (position, ste_rids[low.bit_length() - 1])
+                        if pair not in reports:
+                            reports.add(pair)
+                            new.append(pair)
+                remaining = active
+                while remaining:
+                    low = remaining & -remaining
+                    remaining ^= low
+                    index = low.bit_length() - 1
+                    next_enabled |= succ_masks[index]
+                    hooks = ste_hooks[index]
+                    if hooks is not None:
+                        if sig is None:
+                            sig = {}
+                        for target, port_bit in hooks:
+                            if target in sig:
+                                sig[target] |= port_bit
+                            else:
+                                sig[target] = port_bit
+
+            if sig is not None or dirty:
+                if sig is None:
+                    sig = {}
+                sig_get = sig.get
+                for i in range(n_modules):
+                    signals = sig_get(i, 0)
+                    if not signals and i not in dirty:
+                        continue
+                    if kinds[i] == KIND_COUNTER:
+                        if signals & (PORT_FST | PORT_LST):
+                            counter_ops += 1
+                        if signals & PORT_FST:
+                            counts[i] = 1 if pre[i] else counts[i] + 1
+                        if signals & PORT_LST:
+                            count = counts[i]
+                            fired_out = los[i] <= count <= his[i]
+                            fired_aux = count < his[i]
+                        else:
+                            fired_out = fired_aux = False
+                        dirty.discard(i)
+                    else:
+                        value = bv[i]
+                        if signals & PORT_BODY:
+                            bv_ops += 1
+                            bv_weighted += weights[i]
+                            value = (value << 1) & live_masks[i]
+                            if pre[i]:
+                                value |= 1
+                        else:
+                            if value:
+                                bv_ops += 1
+                                bv_weighted += weights[i]
+                            value = 0
+                        bv[i] = value
+                        fired_out = bool(value & out_ranges[i])
+                        fired_aux = bool(value & body_ranges[i])
+                        if value:
+                            dirty.add(i)
+                        else:
+                            dirty.discard(i)
+                    pre[i] = all_input[i]
+                    if fired_out:
+                        if mod_reports[i]:
+                            n_events += 1
+                            pair = (position, mod_rids[i])
+                            if pair not in reports:
+                                reports.add(pair)
+                                new.append(pair)
+                        next_enabled |= out_ste[i]
+                        hooks = out_hooks[i]
+                        if hooks is not None:
+                            for target, port_bit in hooks:
+                                if target in sig:
+                                    sig[target] |= port_bit
+                                else:
+                                    sig[target] = port_bit
+                    if fired_aux:
+                        next_enabled |= aux_ste[i]
+                        hooks = aux_hooks[i]
+                        if hooks is not None:
+                            for target, port_bit in hooks:
+                                if target in sig:
+                                    sig[target] |= port_bit
+                                else:
+                                    sig[target] = port_bit
+                # Latch `pre` for the next cycle.  Any module may have
+                # driven another's `pre` regardless of topological rank
+                # (it is excluded from the ordering), so this runs after
+                # the in-order pass, exactly like the reference.
+                for i, signals in sig.items():
+                    if signals & PORT_PRE:
+                        pre[i] = True
+                        if not all_input[i]:
+                            dirty.add(i)
+                        if kinds[i] != KIND_COUNTER:
+                            next_enabled |= aux_ste[i]
+
+            enabled = next_enabled
+            cycle = position
+
+        self._enabled = enabled
+        self._cycle = cycle
+        stats = self.stats
+        stats.cycles += len(chunk)
+        stats.ste_activations += ste_activations
+        stats.counter_ops += counter_ops
+        stats.bit_vector_ops += bv_ops
+        stats.bit_vector_weighted_ops += bv_weighted
+        stats.reports += n_events
+        return new
+
+    def finish(self) -> set[tuple[int, Optional[str]]]:
+        """Mark end-of-stream; returns the distinct report set.
+
+        After ``finish()`` further :meth:`feed` calls raise (use
+        :meth:`reset` to scan a new stream with the same tables).
+        """
+        self._finished = True
+        return self.reports
+
+    # -- one-shot conveniences (mirror the reference simulator) ------------
+    def scan(self, data: bytes | str) -> set[tuple[int, Optional[str]]]:
+        """Reset, consume ``data`` as one chunk, finish."""
+        self.reset()
+        self.feed(data)
+        return self.finish()
+
+    def match_ends(self, data: bytes | str) -> list[int]:
+        """Distinct report positions, for differential testing."""
+        self.scan(data)
+        return sorted({position for position, _ in self.reports})
+
+
+def scan_bytes(
+    source: TransitionTables | Network, chunks: Iterable[bytes | str] | bytes | str
+) -> StreamScanner:
+    """One-shot convenience: scan ``chunks`` (or a single buffer) and
+    return the finished scanner (reports + stats)."""
+    scanner = StreamScanner(source)
+    if isinstance(chunks, (bytes, str, bytearray, memoryview)):
+        chunks = (chunks,)
+    for chunk in chunks:
+        scanner.feed(chunk)
+    scanner.finish()
+    return scanner

@@ -1,0 +1,292 @@
+"""Lowering a compiled :class:`~repro.mnrl.network.Network` to tables.
+
+:class:`NetworkSimulator` is the *reference* implementation: per byte it
+re-walks Python node objects, set-unions id strings, and consults each
+``CharClass`` through a method call.  That is faithful to the two-phase
+hardware loop of Section 4.1 but far too slow to serve streams.  This
+module precompiles the network once into :class:`TransitionTables` --
+dense integer tables mirroring what the hardware itself precomputes
+when a ruleset is loaded into the CAM arrays:
+
+* ``match_masks`` -- a 256-entry table mapping each input byte to the
+  bitmask of STEs whose symbol set contains it (the one-hot address
+  decode of the state-matching memory);
+* ``succ_masks`` -- per STE, the bitmask of STEs its activation enables
+  for the next cycle (the programmed switch network);
+* a flattened, topologically ordered counter/bit-vector op list with
+  integer comparator constants and target masks (the module
+  interconnect configuration).
+
+The per-byte loop over these tables lives in
+:class:`~repro.engine.scanner.StreamScanner`; it is plain integer
+arithmetic, no per-node object traversal.  The contract is *exact*
+equivalence with the reference simulator: identical distinct
+``(position, report_id)`` report sets **and** identical
+:class:`~repro.hardware.simulator.ActivityStats` (so the Table 2 energy
+accounting is unchanged).  ``tests/engine/`` asserts both.
+
+All fields are plain ints/lists/tuples, so tables pickle cheaply to
+worker processes (see :mod:`repro.engine.parallel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..hardware.params import GEOMETRY
+from ..hardware.simulator import _range_mask
+from ..mnrl.network import Network
+from ..mnrl.nodes import BitVectorNode, CounterNode, STE, StartType
+
+__all__ = [
+    "TransitionTables",
+    "compile_tables",
+    "PORT_PRE",
+    "PORT_FST",
+    "PORT_LST",
+    "PORT_BODY",
+    "KIND_COUNTER",
+    "KIND_BIT_VECTOR",
+]
+
+#: Module input ports, encoded as bits of a per-module signal word.
+PORT_PRE = 1
+PORT_FST = 2
+PORT_LST = 4
+PORT_BODY = 8
+
+_PORT_BITS = {"pre": PORT_PRE, "fst": PORT_FST, "lst": PORT_LST, "body": PORT_BODY}
+
+KIND_COUNTER = 0
+KIND_BIT_VECTOR = 1
+
+
+@dataclass
+class TransitionTables:
+    """Dense precompiled form of one network (see module docstring).
+
+    STEs are numbered ``0..n_stes-1`` (bit ``i`` of every STE mask is
+    STE ``i``); modules are numbered ``0..n_modules-1`` in same-cycle
+    topological order, so a single in-order pass per cycle resolves
+    nested module-to-module signals exactly like the reference
+    simulator's ``module_order`` walk.
+    """
+
+    # -- STE side ----------------------------------------------------------
+    ste_ids: list[str] = field(default_factory=list)
+    #: byte value -> bitmask of STEs whose symbol set contains it
+    match_masks: list[int] = field(default_factory=list)
+    #: STE index -> bitmask of STEs enabled next cycle by its activation
+    succ_masks: list[int] = field(default_factory=list)
+    #: STE index -> ((module index, port bit), ...) driven by activation
+    ste_module_hooks: list[Optional[tuple[tuple[int, int], ...]]] = field(
+        default_factory=list
+    )
+    #: STEs enabled on every symbol (ALL_INPUT)
+    always_mask: int = 0
+    #: STEs additionally enabled on the first symbol (START_OF_DATA)
+    start_mask: int = 0
+    #: reporting STEs
+    report_ste_mask: int = 0
+    #: STE index -> report id (None for non-reporting STEs)
+    ste_report_ids: list[Optional[str]] = field(default_factory=list)
+
+    # -- module side (indexed in topological order) ------------------------
+    module_ids: list[str] = field(default_factory=list)
+    module_kinds: list[int] = field(default_factory=list)
+    module_lo: list[int] = field(default_factory=list)
+    module_hi: list[int] = field(default_factory=list)
+    #: live / en_out / en_body bit-range masks (zeros for counters)
+    bv_live_masks: list[int] = field(default_factory=list)
+    bv_out_masks: list[int] = field(default_factory=list)
+    bv_body_masks: list[int] = field(default_factory=list)
+    #: per-op energy weight: hi / physical module bits (zeros for counters)
+    bv_weights: list[float] = field(default_factory=list)
+    #: module reports on en_out?
+    module_reports: list[bool] = field(default_factory=list)
+    module_report_ids: list[Optional[str]] = field(default_factory=list)
+    #: start is ALL_INPUT (``pre`` re-armed every cycle)
+    module_all_input: list[bool] = field(default_factory=list)
+    #: initial prev_pre (START_OF_DATA or ALL_INPUT)
+    module_initial_pre: list[bool] = field(default_factory=list)
+    #: en_out -> STE targets, and the auxiliary output's STE targets
+    #: (``en_fst`` for counters, ``en_body`` for bit vectors)
+    out_ste_masks: list[int] = field(default_factory=list)
+    aux_ste_masks: list[int] = field(default_factory=list)
+    #: en_out / aux -> downstream module ports ((module index, port bit), ...)
+    out_module_hooks: list[Optional[tuple[tuple[int, int], ...]]] = field(
+        default_factory=list
+    )
+    aux_module_hooks: list[Optional[tuple[tuple[int, int], ...]]] = field(
+        default_factory=list
+    )
+    #: STEs enabled every cycle by ALL_INPUT bit vectors' latched ``pre``
+    #: (the reference re-arms those and enables their body STE each cycle)
+    const_enable_mask: int = 0
+
+    @property
+    def n_stes(self) -> int:
+        return len(self.ste_ids)
+
+    @property
+    def n_modules(self) -> int:
+        return len(self.module_ids)
+
+    def initial_dirty(self) -> set[int]:
+        """Modules that must be processed even without input signals.
+
+        The scanner maintains the invariant that any skipped module is
+        at rest (zero bit-vector state, ``prev_pre`` equal to its
+        resting value).  START_OF_DATA modules begin with a latched
+        virtual ``pre``, so they start dirty.
+        """
+        return {
+            i
+            for i in range(self.n_modules)
+            if self.module_initial_pre[i] != self.module_all_input[i]
+        }
+
+
+def compile_tables(network: Network) -> TransitionTables:
+    """Lower ``network`` into :class:`TransitionTables`.
+
+    Mirrors ``NetworkSimulator._build_wiring`` exactly -- same port
+    vocabulary, same same-cycle topological order over module-to-module
+    connections (``pre`` is latched and excluded from the ordering).
+    """
+    network.validate()
+    tables = TransitionTables()
+
+    stes = [node for node in network.nodes.values() if isinstance(node, STE)]
+    ste_index = {ste.id: i for i, ste in enumerate(stes)}
+    modules = [node for node in network.nodes.values() if not isinstance(node, STE)]
+    module_topo = _topo_order(network, [m.id for m in modules])
+    module_index = {module_id: i for i, module_id in enumerate(module_topo)}
+
+    # -- STE tables --------------------------------------------------------
+    tables.ste_ids = [ste.id for ste in stes]
+    tables.match_masks = [0] * 256
+    tables.succ_masks = [0] * len(stes)
+    tables.ste_report_ids = [None] * len(stes)
+    ste_hooks: list[list[tuple[int, int]]] = [[] for _ in stes]
+    for i, ste in enumerate(stes):
+        bit = 1 << i
+        symbol_mask = ste.symbol_set.mask
+        while symbol_mask:
+            low = symbol_mask & -symbol_mask
+            symbol_mask ^= low
+            tables.match_masks[low.bit_length() - 1] |= bit
+        if ste.start is StartType.ALL_INPUT:
+            tables.always_mask |= bit
+        elif ste.start is StartType.START_OF_DATA:
+            tables.start_mask |= bit
+        if ste.report:
+            tables.report_ste_mask |= bit
+            tables.ste_report_ids[i] = ste.report_id
+
+    # -- module tables -----------------------------------------------------
+    n_modules = len(module_topo)
+    tables.module_ids = list(module_topo)
+    tables.module_kinds = [0] * n_modules
+    tables.module_lo = [0] * n_modules
+    tables.module_hi = [0] * n_modules
+    tables.bv_live_masks = [0] * n_modules
+    tables.bv_out_masks = [0] * n_modules
+    tables.bv_body_masks = [0] * n_modules
+    tables.bv_weights = [0.0] * n_modules
+    tables.module_reports = [False] * n_modules
+    tables.module_report_ids = [None] * n_modules
+    tables.module_all_input = [False] * n_modules
+    tables.module_initial_pre = [False] * n_modules
+    tables.out_ste_masks = [0] * n_modules
+    tables.aux_ste_masks = [0] * n_modules
+    out_hooks: list[list[tuple[int, int]]] = [[] for _ in range(n_modules)]
+    aux_hooks: list[list[tuple[int, int]]] = [[] for _ in range(n_modules)]
+
+    for module in modules:
+        i = module_index[module.id]
+        tables.module_lo[i] = module.lo
+        tables.module_hi[i] = module.hi
+        tables.module_reports[i] = module.report
+        tables.module_report_ids[i] = module.report_id
+        tables.module_all_input[i] = module.start is StartType.ALL_INPUT
+        tables.module_initial_pre[i] = module.start in (
+            StartType.START_OF_DATA,
+            StartType.ALL_INPUT,
+        )
+        if isinstance(module, CounterNode):
+            tables.module_kinds[i] = KIND_COUNTER
+        else:
+            assert isinstance(module, BitVectorNode)
+            tables.module_kinds[i] = KIND_BIT_VECTOR
+            tables.bv_live_masks[i] = _range_mask(1, module.hi)
+            tables.bv_out_masks[i] = _range_mask(module.lo, module.hi)
+            tables.bv_body_masks[i] = _range_mask(1, module.hi - 1)
+            tables.bv_weights[i] = module.hi / GEOMETRY.bit_vector_bits_per_pe
+
+    # -- connections -------------------------------------------------------
+    for conn in network.connections:
+        src_ste = ste_index.get(conn.source)
+        dst_ste = ste_index.get(conn.target)
+        if src_ste is not None and dst_ste is not None:
+            tables.succ_masks[src_ste] |= 1 << dst_ste
+        elif src_ste is not None:
+            ste_hooks[src_ste].append(
+                (module_index[conn.target], _PORT_BITS[conn.target_port])
+            )
+        else:
+            src_mod = module_index[conn.source]
+            is_aux = conn.source_port in ("en_fst", "en_body")
+            if dst_ste is not None:
+                if is_aux:
+                    tables.aux_ste_masks[src_mod] |= 1 << dst_ste
+                else:
+                    tables.out_ste_masks[src_mod] |= 1 << dst_ste
+            else:
+                hook = (module_index[conn.target], _PORT_BITS[conn.target_port])
+                (aux_hooks if is_aux else out_hooks)[src_mod].append(hook)
+
+    tables.ste_module_hooks = [tuple(h) if h else None for h in ste_hooks]
+    tables.out_module_hooks = [tuple(h) if h else None for h in out_hooks]
+    tables.aux_module_hooks = [tuple(h) if h else None for h in aux_hooks]
+
+    # ALL_INPUT bit vectors latch `pre` every cycle, which enables their
+    # body STE every cycle -- fold that into one constant mask.
+    for i in range(n_modules):
+        if tables.module_all_input[i] and tables.module_kinds[i] == KIND_BIT_VECTOR:
+            tables.const_enable_mask |= tables.aux_ste_masks[i]
+    return tables
+
+
+def _topo_order(network: Network, module_ids: list[str]) -> list[str]:
+    """Same-cycle topological order of modules (latched ``pre`` edges
+    excluded), identical to the reference simulator's ordering rule."""
+    deps: dict[str, set[str]] = {module_id: set() for module_id in module_ids}
+    for conn in network.connections:
+        if (
+            conn.source in deps
+            and conn.target in deps
+            and conn.target_port != "pre"
+        ):
+            deps[conn.target].add(conn.source)
+
+    order: list[str] = []
+    visiting: set[str] = set()
+    done: set[str] = set()
+
+    def visit(module_id: str) -> None:
+        if module_id in done:
+            return
+        if module_id in visiting:
+            raise ValueError("combinational cycle between modules")
+        visiting.add(module_id)
+        for dep in deps.get(module_id, ()):
+            visit(dep)
+        visiting.discard(module_id)
+        done.add(module_id)
+        order.append(module_id)
+
+    for module_id in module_ids:
+        visit(module_id)
+    return order

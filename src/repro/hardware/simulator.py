@@ -59,6 +59,31 @@ class ActivityStats:
     bit_vector_weighted_ops: float = 0.0
     reports: int = 0
 
+    def equivalent(self, other: "ActivityStats", rel_tol: float = 1e-9) -> bool:
+        """Equality up to float reassociation.
+
+        The integer counters must match exactly; the weighted
+        bit-vector term is a float sum whose value depends on addition
+        order (engines differ in module iteration order and chunking),
+        so it is compared to relative tolerance.  This is the stats
+        half of the table-engine equivalence contract.
+        """
+        import math
+
+        return (
+            self.cycles == other.cycles
+            and self.ste_activations == other.ste_activations
+            and self.counter_ops == other.counter_ops
+            and self.bit_vector_ops == other.bit_vector_ops
+            and self.reports == other.reports
+            and math.isclose(
+                self.bit_vector_weighted_ops,
+                other.bit_vector_weighted_ops,
+                rel_tol=rel_tol,
+                abs_tol=1e-12,
+            )
+        )
+
 
 class _CounterState:
     __slots__ = ("count", "prev_pre")

@@ -15,6 +15,26 @@ Example::
     result.matches["overlong-header"]  # [match end offsets]
     matcher.resources().cam_arrays   # hardware footprint
     result.energy_nj_per_byte        # Table 2-based estimate
+
+Streaming (state carries across chunks; results are identical to a
+single-buffer :meth:`RulesetMatcher.scan` of the concatenation)::
+
+    result = matcher.scan_stream(iter_chunks(socket))
+
+Reporting semantics (shared by every scan entry point)
+------------------------------------------------------
+* **Match positions are 1-based end offsets.**  A report at position
+  ``p`` means a match ended after the ``p``-th byte of the stream.
+* **Empty matches are not reported.**  A nullable pattern (``a*``)
+  trivially matches at every offset; the hardware only fires reports on
+  byte consumption, so those zero-length matches never appear in
+  :attr:`ScanResult.matches`.  Query :meth:`RulesetMatcher.empty_match_rules`
+  (or ``PatternMatcher.matches``, which accounts for them) instead.
+* **``$``-anchored rules report only at end-of-data.**  The hardware
+  reports every prefix end and gates the report vector with an
+  end-of-data strobe; the facade applies the same gate, which is why
+  streaming results can only be finalized once the stream length is
+  known (at ``finish()``/``scan_stream`` return, not per chunk).
 """
 
 from __future__ import annotations
@@ -25,15 +45,38 @@ from typing import Iterable, Optional, Sequence
 from .analysis.result import Method
 from .compiler.mapping import NetworkMapping, map_network
 from .compiler.pipeline import CompiledRuleset, compile_ruleset
+from .engine.scanner import StreamScanner
+from .engine.tables import TransitionTables, compile_tables
 from .hardware.cost import AreaReport, area_of_mapping, energy_of_run
-from .hardware.simulator import NetworkSimulator
+from .hardware.simulator import ActivityStats, NetworkSimulator
 
-__all__ = ["RulesetMatcher", "PatternMatcher", "ScanResult", "ResourceSummary"]
+__all__ = [
+    "RulesetMatcher",
+    "PatternMatcher",
+    "ScanResult",
+    "ResourceSummary",
+    "UNNAMED_REPORT",
+]
+
+#: Rule id assigned to reports whose node carries no ``report_id``.
+#: Hand-built networks may leave ``report_id`` as ``None``; the facade
+#: surfaces those deterministically under this single sentinel key
+#: instead of silently conflating them with falsy-but-real ids (``""``
+#: stays ``""``).
+UNNAMED_REPORT = "<unnamed>"
 
 
 @dataclass
 class ScanResult:
-    """Outcome of scanning one input stream."""
+    """Outcome of scanning one input stream.
+
+    Positions in :attr:`matches` are 1-based match *end* offsets into
+    the stream.  Zero-length matches of nullable rules are never listed
+    (the hardware cannot report without consuming a byte); ``$``-anchored
+    rules only ever list the final offset ``bytes_scanned`` (the facade
+    gates their reports with the end-of-data strobe).  See the module
+    docstring for the full semantics contract.
+    """
 
     bytes_scanned: int
     #: rule id -> sorted distinct match end offsets (1-based)
@@ -65,6 +108,16 @@ class ResourceSummary:
 class RulesetMatcher:
     """Compile a rule set to augmented-CAMA form and scan streams.
 
+    Two interchangeable execution engines share one semantics contract
+    (identical distinct reports *and* activity statistics):
+
+    * ``"table"`` (default) -- the :mod:`repro.engine` fast path:
+      precompiled transition tables, integer-bitmask per-byte loop,
+      streaming via :meth:`scan_stream`;
+    * ``"reference"`` -- the node-by-node
+      :class:`~repro.hardware.simulator.NetworkSimulator`, kept as the
+      executable specification the engine is tested against.
+
     Args:
         rules: pattern strings or ``(rule_id, pattern)`` pairs; rules
             with unsupported features are skipped and listed in
@@ -73,6 +126,12 @@ class RulesetMatcher:
         method: which static analysis drives module selection.
         strict_modules: keep the body-level single-token gate on
             (recommended; see ``repro.analysis.module_safety``).
+        engine: default engine for :meth:`scan` (``"table"`` or
+            ``"reference"``).
+
+    Reporting semantics (all scan entry points): 1-based end offsets,
+    no zero-length matches, ``$`` gated to end-of-data -- see the
+    module docstring.
     """
 
     def __init__(
@@ -82,7 +141,11 @@ class RulesetMatcher:
         method: Method | str = Method.HYBRID,
         strict_modules: bool = True,
         max_pairs: Optional[int] = 2_000_000,
+        engine: str = "table",
     ):
+        if engine not in ("table", "reference"):
+            raise ValueError(f"unknown engine {engine!r}")
+        self.engine = engine
         self.ruleset: CompiledRuleset = compile_ruleset(
             rules,
             unfold_threshold=unfold_threshold,
@@ -92,6 +155,7 @@ class RulesetMatcher:
         )
         self.mapping: NetworkMapping = map_network(self.ruleset.network)
         self._area: AreaReport = area_of_mapping(self.mapping)
+        self._tables: Optional[TransitionTables] = None
         # `$`-anchored rules match only when the report position is the
         # final byte of the stream; the hardware reports every prefix
         # end, so the facade filters (real deployments gate the report
@@ -106,6 +170,14 @@ class RulesetMatcher:
     @property
     def skipped(self) -> list[tuple[str, str]]:
         return self.ruleset.skipped
+
+    @property
+    def tables(self) -> TransitionTables:
+        """Precompiled transition tables (built lazily, cached; shared
+        by every table-engine scan and picklable to worker processes)."""
+        if self._tables is None:
+            self._tables = compile_tables(self.ruleset.network)
+        return self._tables
 
     def resources(self) -> ResourceSummary:
         bank = self.mapping.bank
@@ -123,7 +195,8 @@ class RulesetMatcher:
 
     def empty_match_rules(self) -> set[str]:
         """Rules that match the empty string (they trivially match at
-        every offset; the hardware does not report those)."""
+        every offset; the hardware does not report those -- see the
+        module docstring's semantics contract)."""
         return {
             compiled.report_id
             for compiled in self.ruleset.patterns
@@ -131,24 +204,85 @@ class RulesetMatcher:
         }
 
     # -- scanning ------------------------------------------------------------
-    def scan(self, data: bytes | str) -> ScanResult:
-        """Run one stream through the simulated hardware."""
-        if isinstance(data, str):
-            data = data.encode("latin-1")
-        sim = NetworkSimulator(self.ruleset.network)
-        sim.run(data)
+    def _result_from_reports(
+        self,
+        reports: Iterable[tuple[int, Optional[str]]],
+        bytes_scanned: int,
+        stats: ActivityStats,
+    ) -> ScanResult:
+        """Apply the facade's reporting semantics to raw hardware
+        reports: ``$`` end-of-data gating, deterministic naming of
+        unnamed reports, Table 2 energy pricing."""
         matches: dict[str, set[int]] = {}
-        for position, rule_id in sim.distinct_reports():
-            rule = rule_id or "?"
-            if rule in self._end_anchored and position != len(data):
+        for position, rule_id in reports:
+            rule = rule_id if rule_id is not None else UNNAMED_REPORT
+            if rule in self._end_anchored and position != bytes_scanned:
                 continue
             matches.setdefault(rule, set()).add(position)
-        energy = energy_of_run(sim.stats, self.mapping)
+        energy = energy_of_run(stats, self.mapping)
         return ScanResult(
-            bytes_scanned=len(data),
+            bytes_scanned=bytes_scanned,
             matches={rule: sorted(ends) for rule, ends in matches.items()},
             energy_nj_per_byte=energy.nj_per_byte,
         )
+
+    def scan(self, data: bytes | str, engine: Optional[str] = None) -> ScanResult:
+        """Run one in-memory buffer through the simulated hardware.
+
+        ``engine`` overrides the matcher's default (``"table"`` fast
+        path vs ``"reference"`` simulator); results are identical.
+        """
+        if isinstance(data, str):
+            data = data.encode("latin-1")
+        engine = engine or self.engine
+        if engine == "table":
+            scanner = StreamScanner(self.tables)
+            scanner.feed(data)
+            return self._result_from_reports(
+                scanner.finish(), len(data), scanner.stats
+            )
+        if engine != "reference":
+            raise ValueError(f"unknown engine {engine!r}")
+        sim = NetworkSimulator(self.ruleset.network)
+        sim.run(data)
+        return self._result_from_reports(sim.distinct_reports(), len(data), sim.stats)
+
+    def stream_scanner(self) -> StreamScanner:
+        """A fresh :class:`~repro.engine.scanner.StreamScanner` over the
+        cached tables, for callers that manage chunking themselves."""
+        return StreamScanner(self.tables)
+
+    def scan_stream(self, chunks: Iterable[bytes | str]) -> ScanResult:
+        """Scan a stream delivered as an iterable of chunks.
+
+        Enable vectors, counters, and bit-vector registers carry across
+        chunk boundaries, so the result equals :meth:`scan` of the
+        concatenated stream (``$`` gating included -- it is applied
+        after the last chunk, when the stream length is known).
+        """
+        scanner = StreamScanner(self.tables)
+        for chunk in chunks:
+            scanner.feed(chunk)
+        return self._result_from_reports(
+            scanner.finish(), scanner.bytes_fed, scanner.stats
+        )
+
+    def scan_many(
+        self, streams: Sequence[bytes | str], processes: int = 0
+    ) -> list[ScanResult]:
+        """Scan a batch of independent streams (one result each).
+
+        With ``processes > 1`` the batch fans out over worker processes
+        (the precompiled tables ship to each worker once); otherwise it
+        runs serially in-process.  Results are identical either way.
+        """
+        from .engine.parallel import scan_streams
+
+        grid = scan_streams([self.tables], streams, processes=processes)
+        return [
+            self._result_from_reports(reports, n_bytes, stats)
+            for ((n_bytes, reports, stats),) in grid
+        ]
 
     def matched_rules(self, data: bytes | str) -> set[str]:
         """Convenience: just the ids of rules that matched."""
@@ -166,13 +300,21 @@ class PatternMatcher:
     * :meth:`matches` -- whole-string membership, i.e. the pattern
       matched somewhere with its anchors satisfied (for a ``^...$``
       pattern this is exact-string matching).
+
+    Runs on the table engine; pass ``engine="reference"`` for the
+    node-by-node simulator.
     """
 
-    def __init__(self, pattern: str, **kwargs):
+    def __init__(self, pattern: str, engine: str = "table", **kwargs):
         from .compiler.pipeline import compile_pattern
 
+        if engine not in ("table", "reference"):
+            raise ValueError(f"unknown engine {engine!r}")
+        self.engine = engine
         self.compiled = compile_pattern(pattern, report_id="p", **kwargs)
-        self._sim = NetworkSimulator(self.compiled.network)
+        # the selected executor is built lazily on first search
+        self._sim: Optional[NetworkSimulator] = None
+        self._scanner: Optional[StreamScanner] = None
 
     def search(self, data: bytes | str) -> list[int]:
         """Distinct *nonempty* match-end offsets (1-based), anchors
@@ -181,7 +323,14 @@ class PatternMatcher:
         """
         if isinstance(data, str):
             data = data.encode("latin-1")
-        ends = self._sim.match_ends(data)
+        if self.engine == "table":
+            if self._scanner is None:
+                self._scanner = StreamScanner(compile_tables(self.compiled.network))
+            ends = self._scanner.match_ends(data)
+        else:
+            if self._sim is None:
+                self._sim = NetworkSimulator(self.compiled.network)
+            ends = self._sim.match_ends(data)
         if self.compiled.pattern.anchored_end:
             ends = [e for e in ends if e == len(data)]
         return ends

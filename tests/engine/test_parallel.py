@@ -1,0 +1,117 @@
+"""Sharded and batch scanning front-ends."""
+
+import pytest
+
+from repro.engine.parallel import ShardedMatcher, merge_scan_results, shard_rules
+from repro.matching import RulesetMatcher, ScanResult
+
+RULES = [
+    ("r0", r"abc"),
+    ("r1", r"[0-9]{3,6}"),
+    ("r2", r"xyz$"),
+    ("r3", r"^GET"),
+    ("r4", r"a.{2,4}z"),
+]
+
+DATA = b"GET /abc 12345 aXXz ... xyz"
+
+
+class TestShardRules:
+    def test_round_robin(self):
+        buckets = shard_rules(RULES, 2)
+        assert buckets[0] == [RULES[0], RULES[2], RULES[4]]
+        assert buckets[1] == [RULES[1], RULES[3]]
+
+    def test_bare_strings_get_compile_ruleset_ids(self):
+        buckets = shard_rules(["abc", "def", "ghi"], 2)
+        assert buckets[0] == [("rule0", "abc"), ("rule2", "ghi")]
+        assert buckets[1] == [("rule1", "def")]
+
+    def test_more_shards_than_rules(self):
+        buckets = shard_rules(RULES, 10)
+        assert sum(len(b) for b in buckets) == len(RULES)
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError):
+            shard_rules(RULES, 0)
+
+
+class TestMerge:
+    def test_union_and_energy_sum(self):
+        a = ScanResult(10, {"x": [1, 3]}, 0.5)
+        b = ScanResult(10, {"x": [3, 5], "y": [2]}, 0.25)
+        merged = merge_scan_results([a, b])
+        assert merged.matches == {"x": [1, 3, 5], "y": [2]}
+        assert merged.energy_nj_per_byte == 0.75
+        assert merged.bytes_scanned == 10
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            merge_scan_results([ScanResult(1), ScanResult(2)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_scan_results([])
+
+
+class TestShardedMatcher:
+    @pytest.mark.parametrize("shards", [1, 2, 3])
+    def test_scan_equals_unsharded(self, shards):
+        baseline = RulesetMatcher(RULES).scan(DATA)
+        sharded = ShardedMatcher(RULES, shards=shards).scan(DATA)
+        assert sharded.matches == baseline.matches
+        assert sharded.bytes_scanned == baseline.bytes_scanned
+
+    def test_scan_stream_equals_scan(self):
+        matcher = ShardedMatcher(RULES, shards=2)
+        assert (
+            matcher.scan_stream([DATA[:7], DATA[7:20], DATA[20:]]).matches
+            == matcher.scan(DATA).matches
+        )
+
+    def test_resources_aggregate(self):
+        whole = RulesetMatcher(RULES).resources()
+        sharded = ShardedMatcher(RULES, shards=2).resources()
+        assert sharded.rules_compiled == whole.rules_compiled
+        assert sharded.stes == whole.stes
+        assert sharded.counters == whole.counters
+        assert sharded.bit_vectors == whole.bit_vectors
+        assert sharded.area_mm2 > 0
+
+    def test_skipped_aggregates(self):
+        rules = RULES + [("bad", r"(a)\1")]
+        matcher = ShardedMatcher(rules, shards=3)
+        assert [rule_id for rule_id, _ in matcher.skipped] == ["bad"]
+
+    def test_energy_positive(self):
+        assert ShardedMatcher(RULES, shards=2).scan(DATA).energy_nj_per_byte > 0
+
+
+class TestScanMany:
+    STREAMS = [DATA, b"no hits here", b"9999", b"", b"abc xyz"]
+
+    def test_serial_equals_per_stream_scan(self):
+        matcher = RulesetMatcher(RULES)
+        batch = matcher.scan_many(self.STREAMS)
+        assert batch == [matcher.scan(s) for s in self.STREAMS]
+
+    def test_processes_equal_serial(self):
+        # falls back to serial automatically where pools cannot start,
+        # so this asserts result equality either way
+        matcher = RulesetMatcher(RULES)
+        assert matcher.scan_many(self.STREAMS, processes=2) == matcher.scan_many(
+            self.STREAMS
+        )
+
+    def test_sharded_scan_many(self):
+        matcher = ShardedMatcher(RULES, shards=2)
+        batch = matcher.scan_many(self.STREAMS)
+        assert [r.matches for r in batch] == [
+            matcher.scan(s).matches for s in self.STREAMS
+        ]
+
+    def test_sharded_scan_many_processes(self):
+        matcher = ShardedMatcher(RULES, shards=2)
+        assert matcher.scan_many(self.STREAMS, processes=2) == matcher.scan_many(
+            self.STREAMS
+        )

@@ -1,0 +1,117 @@
+"""Chunk-boundary streaming semantics.
+
+Property: ``scan_stream`` over *any* chunking of a stream equals
+``scan`` over the concatenated buffer -- including ``^``/``$``-anchored
+rules, nullable rules, and matches whose counter/bit-vector state spans
+a chunk boundary.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.matching import RulesetMatcher
+
+#: rules chosen so that chunk boundaries can fall inside counter runs,
+#: bit-vector gaps, and anchored matches
+RULES = [
+    ("lit", r"abc"),
+    ("start", r"^ab"),
+    ("end", r"bc$"),
+    ("nullable", r"c*"),
+    ("counter", r"[^a]a{3,5}"),
+    ("gap", r"b.{2,4}c"),
+    ("exact", r"^[abc]{4}$"),
+]
+
+_MATCHERS: dict = {}
+
+
+def matcher() -> RulesetMatcher:
+    # module-level cache: compilation dominates test time otherwise
+    if "m" not in _MATCHERS:
+        _MATCHERS["m"] = RulesetMatcher(RULES)
+    return _MATCHERS["m"]
+
+
+def chunkings(data: bytes, cuts: list[int]) -> list[bytes]:
+    points = sorted({min(c, len(data)) for c in cuts})
+    chunks = []
+    prev = 0
+    for point in points:
+        chunks.append(data[prev:point])
+        prev = point
+    chunks.append(data[prev:])
+    return chunks
+
+
+small_data = st.lists(
+    st.sampled_from(list(b"abcx")), max_size=40
+).map(bytes)
+
+
+@given(
+    data=small_data,
+    cuts=st.lists(st.integers(min_value=0, max_value=40), max_size=6),
+)
+@settings(max_examples=60, deadline=None)
+def test_any_chunking_equals_single_buffer(data, cuts):
+    m = matcher()
+    whole = m.scan(data)
+    chunked = m.scan_stream(chunkings(data, cuts))
+    assert chunked == whole
+
+
+@given(data=small_data)
+@settings(max_examples=40, deadline=None)
+def test_byte_at_a_time_equals_single_buffer(data):
+    m = matcher()
+    whole = m.scan(data)
+    drip = m.scan_stream(bytes([b]) for b in data)
+    assert drip == whole
+
+
+def test_counter_run_across_boundary():
+    m = matcher()
+    # the a{3,5} run straddles the cut: counter state must carry over
+    result = m.scan_stream([b"xaa", b"aaz"])
+    assert result.matches["counter"] == m.scan(b"xaaaaz").matches["counter"]
+    assert 5 in result.matches["counter"]
+
+
+def test_end_anchor_gated_at_stream_end_only():
+    m = matcher()
+    # 'bc' occurs mid-stream and at the end; only the final occurrence
+    # survives the $ gate, and gating happens at finish() time
+    result = m.scan_stream([b"abc", b"x", b"abc"])
+    assert result.matches["end"] == [7]
+    assert m.scan(b"abcxabc").matches["end"] == [7]
+
+
+def test_start_anchor_only_fires_on_first_chunk():
+    m = matcher()
+    result = m.scan_stream([b"ab", b"ab"])
+    assert result.matches["start"] == [2]
+
+
+def test_nullable_rule_never_reports():
+    m = matcher()
+    assert "nullable" not in m.scan_stream([b"ab", b"ab"]).matches
+    assert m.empty_match_rules() == {"nullable"}
+
+
+def test_empty_chunks_are_harmless():
+    m = matcher()
+    assert m.scan_stream([b"", b"abc", b"", b""]) == m.scan(b"abc")
+
+
+def test_str_chunks_accepted():
+    m = matcher()
+    assert m.scan_stream(["ab", "c"]).matches["lit"] == [3]
+
+
+def test_stream_energy_matches_single_buffer():
+    m = matcher()
+    data = b"xaaaab" * 50
+    assert (
+        m.scan_stream([data[:73], data[73:]]).energy_nj_per_byte
+        == m.scan(data).energy_nj_per_byte
+    )

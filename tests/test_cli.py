@@ -68,6 +68,56 @@ class TestScan:
         main(["scan", "--rules", str(rules), "--input", str(data)])
         assert "no matches" in capsys.readouterr().out
 
+    def test_scan_stdin(self, tmp_path, capsys, monkeypatch):
+        import io
+
+        rules = tmp_path / "rules.txt"
+        rules.write_text("hit\tabc\n")
+        monkeypatch.setattr(
+            "sys.stdin",
+            type("S", (), {"buffer": io.BytesIO(b"xxabcxx")})(),
+        )
+        assert main(["scan", "--rules", str(rules), "--input", "-"]) == 0
+        assert "hit: 1 match(es) at [5]" in capsys.readouterr().out
+
+    def test_scan_small_chunks_match_whole(self, tmp_path, capsys):
+        rules = tmp_path / "rules.txt"
+        rules.write_text("hit\tab{2,4}c\nend\tc$\n")
+        data = tmp_path / "data.bin"
+        data.write_bytes(b"zabbbc..abbc")
+        for extra in ([], ["--chunk-size", "1"]):
+            assert (
+                main(["scan", "--rules", str(rules), "--input", str(data)] + extra)
+                == 0
+            )
+        first, second = capsys.readouterr().out.split("scanned", 2)[1:]
+        assert first == second
+
+    def test_scan_reference_engine(self, tmp_path, capsys):
+        rules = tmp_path / "rules.txt"
+        rules.write_text("hit\tabc\n")
+        data = tmp_path / "data.bin"
+        data.write_bytes(b"xxabcxx")
+        args = ["scan", "--rules", str(rules), "--input", str(data)]
+        assert main(args + ["--engine", "reference"]) == 0
+        assert "hit: 1 match(es) at [5]" in capsys.readouterr().out
+
+    def test_scan_sharded(self, tmp_path, capsys):
+        rules = tmp_path / "rules.txt"
+        rules.write_text("a\tabc\nb\t[0-9]{3,5}\nc\tzz\n")
+        data = tmp_path / "data.bin"
+        data.write_bytes(b"abc 123 zz")
+        assert (
+            main(
+                ["scan", "--rules", str(rules), "--input", str(data), "--shards", "2"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "a: 1 match(es)" in out
+        assert "b: 1 match(es)" in out
+        assert "c: 1 match(es)" in out
+
 
 class TestCensusAndReport:
     def test_census(self, capsys):

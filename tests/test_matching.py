@@ -1,6 +1,8 @@
 """Tests for the high-level RulesetMatcher facade."""
 
-from repro.matching import RulesetMatcher
+import pytest
+
+from repro.matching import RulesetMatcher, UNNAMED_REPORT
 
 
 RULES = [
@@ -37,6 +39,50 @@ class TestScan:
     def test_total_matches(self):
         matcher = RulesetMatcher([("r", "a")])
         assert matcher.scan(b"aaa").total_matches() == 3
+
+
+class TestEngines:
+    def test_engines_agree(self):
+        matcher = RulesetMatcher(RULES)
+        data = b"head\nvalue-of-header-x\n 123456789 abcabc"
+        assert matcher.scan(data, engine="table") == matcher.scan(
+            data, engine="reference"
+        )
+
+    def test_default_engine_ctor_arg(self):
+        matcher = RulesetMatcher([("r", "abc")], engine="reference")
+        assert matcher.scan(b"xabc").matches == {"r": [4]}
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            RulesetMatcher([("r", "abc")], engine="quantum")
+        with pytest.raises(ValueError):
+            RulesetMatcher([("r", "abc")]).scan(b"x", engine="quantum")
+
+    def test_scan_stream_matches_scan(self):
+        matcher = RulesetMatcher(RULES)
+        data = b"head\nvalue-of-header-x\n 123456789 abcabc"
+        assert matcher.scan_stream([data[:10], data[10:]]) == matcher.scan(data)
+
+    def test_scan_many(self):
+        matcher = RulesetMatcher(RULES)
+        streams = [b"abc", b"123456", b"nothing"]
+        assert matcher.scan_many(streams) == [matcher.scan(s) for s in streams]
+
+    def test_tables_cached(self):
+        matcher = RulesetMatcher([("r", "abc")])
+        assert matcher.tables is matcher.tables
+
+
+class TestReportNaming:
+    def test_empty_string_rule_id_preserved(self):
+        # the old `rule_id or "?"` fallback silently renamed falsy-but-
+        # real ids; "" must survive as its own deterministic key
+        matcher = RulesetMatcher([("", "abc")])
+        assert matcher.scan(b"xabc").matches == {"": [4]}
+
+    def test_unnamed_sentinel_is_stable(self):
+        assert UNNAMED_REPORT == "<unnamed>"
 
 
 class TestResources:
