@@ -5,21 +5,38 @@ symbol per clock over Snort-scale rulesets); this benchmark measures
 both engines in bytes/sec on a synthetic Snort-style workload with
 planted matches, checks byte-identical report sets, and asserts the
 acceptance floor: the table-driven ``StreamScanner`` must be at least
-5x faster than ``NetworkSimulator.run``.
+5x faster than ``NetworkSimulator.run`` -- both with the optimisation
+passes off (-O0, stats-exact) and on (-O1, report-set equivalent).
+
+It also measures what the compile-side work of this codebase buys:
+
+* alphabet-class compression of the match tables (k class entries +
+  a 256-byte map vs 256 dense entries);
+* cross-rule prefix sharing / dead-node elimination (merged STEs,
+  CAM-area savings via the cost model);
+* cold-vs-warm compile time through the persistent ruleset cache.
+
+Everything is archived machine-readably in
+``results/BENCH_engine.json`` so the perf trajectory is tracked
+across PRs.
 """
 
+import tempfile
 import time
 
 import pytest
 
 from repro.compiler.pipeline import compile_ruleset
 from repro.engine.scanner import StreamScanner
-from repro.engine.tables import compile_tables
+from repro.engine.tables import compile_tables, table_stats
+from repro.hardware.cost import savings_of_mappings
+from repro.compiler.mapping import map_network
 from repro.hardware.simulator import NetworkSimulator
+from repro.matching import RulesetMatcher
 from repro.workloads.inputs import plant_matches, stream_for_style
 from repro.workloads.synth import snort_like
 
-from conftest import save_report
+from conftest import save_json, save_report
 
 SPEEDUP_FLOOR = 5.0
 STREAM_BYTES = 120_000
@@ -29,10 +46,12 @@ CHUNK = 1 << 14
 @pytest.fixture(scope="module")
 def workload():
     suite = snort_like(total=40, seed=7)
-    ruleset = compile_ruleset(suite.patterns())
+    rules = suite.patterns()
+    ruleset = compile_ruleset(rules)
+    optimized = compile_ruleset(rules, opt_level=1)
     background = stream_for_style(suite.input_style, STREAM_BYTES, seed=5)
     data = plant_matches(background, [r.pattern for r in suite.rules], seed=6)
-    return ruleset, data
+    return rules, ruleset, optimized, data
 
 
 def _time(fn, rounds: int = 3) -> float:
@@ -44,9 +63,22 @@ def _time(fn, rounds: int = 3) -> float:
     return best
 
 
+def _timed_chunked_scan(tables, data):
+    scanner = StreamScanner(tables)
+
+    def run():
+        scanner.reset()
+        for offset in range(0, len(data), CHUNK):
+            scanner.feed(data[offset : offset + CHUNK])
+        scanner.finish()
+
+    return scanner, _time(run)
+
+
 def test_table_engine_speedup_and_equivalence(workload):
-    ruleset, data = workload
+    rules, ruleset, optimized, data = workload
     tables = compile_tables(ruleset.network)
+    opt_tables = compile_tables(optimized.network)
 
     sim = NetworkSimulator(ruleset.network)
 
@@ -54,43 +86,130 @@ def test_table_engine_speedup_and_equivalence(workload):
         sim.reset()
         sim.run(data)
 
-    scanner = StreamScanner(tables)
-
-    def run_table():
-        scanner.reset()
-        for offset in range(0, len(data), CHUNK):
-            scanner.feed(data[offset : offset + CHUNK])
-        scanner.finish()
-
     t_reference = _time(run_reference)
-    t_table = _time(run_table)
+    scanner, t_table = _timed_chunked_scan(tables, data)
+    opt_scanner, t_opt = _timed_chunked_scan(opt_tables, data)
 
-    # byte-identical reports and activity stats from the timed runs
+    # -O0: byte-identical reports and activity stats from the timed runs
     assert scanner.reports == sim.distinct_reports()
     assert scanner.stats.equivalent(sim.stats)
     assert scanner.stats.reports > 0  # the planted matches fired
+    # -O1: exact report-set equivalence against the reference simulator
+    assert opt_scanner.reports == sim.distinct_reports()
 
     ref_bps = len(data) / t_reference
     table_bps = len(data) / t_table
+    opt_bps = len(data) / t_opt
     speedup = table_bps / ref_bps
+    opt_speedup = opt_bps / ref_bps
+
+    # compile-side wins: table compression + pass savings + warm starts
+    stats = table_stats(tables)
+    opt_stats = table_stats(opt_tables)
+    savings = savings_of_mappings(
+        map_network(ruleset.network), map_network(optimized.network)
+    )
+    opt_report = optimized.optimization
+    with tempfile.TemporaryDirectory() as cache_dir:
+        t0 = time.perf_counter()
+        cold = RulesetMatcher(rules, opt_level=1, cache_dir=cache_dir)
+        t_cold = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = RulesetMatcher(rules, opt_level=1, cache_dir=cache_dir)
+        t_warm = time.perf_counter() - t0
+        assert not cold.compile_info.cache_hit
+        assert warm.compile_info.cache_hit
+        probe = data[:4096]
+        assert warm.scan(probe) == cold.scan(probe)
+
     report = (
         "Engine throughput (synthetic Snort-style workload, "
         f"{len(data)} bytes, {ruleset.network.node_count()} MNRL nodes)\n"
         f"  reference NetworkSimulator.run : {ref_bps / 1e3:9.1f} KB/s\n"
-        f"  table-driven StreamScanner     : {table_bps / 1e3:9.1f} KB/s "
+        f"  table-driven StreamScanner -O0 : {table_bps / 1e3:9.1f} KB/s "
         f"({CHUNK}-byte chunks)\n"
-        f"  speedup                        : {speedup:9.1f}x "
+        f"  table-driven StreamScanner -O1 : {opt_bps / 1e3:9.1f} KB/s\n"
+        f"  speedup -O0 / -O1              : {speedup:9.1f}x /{opt_speedup:6.1f}x "
         f"(floor {SPEEDUP_FLOOR}x)\n"
-        f"  distinct reports (identical)   : {len(scanner.reports)}"
+        f"  distinct reports (identical)   : {len(scanner.reports)}\n"
+        f"  match table                    : {stats.n_classes} classes of 256 "
+        f"({stats.match_mask_bytes + stats.byte_class_bytes} B vs "
+        f"{stats.dense_match_bytes} B dense, "
+        f"{stats.match_table_reduction:.0%} smaller)\n"
+        f"  -O1 passes                     : {opt_report.merged_stes} STEs merged, "
+        f"{opt_report.removed_nodes} dead removed "
+        f"({savings.stes_before} -> {savings.stes_after} STEs, "
+        f"area {savings.area_reduction:.0%} down)\n"
+        f"  ruleset cache                  : cold {t_cold * 1e3:.1f} ms -> "
+        f"warm {t_warm * 1e3:.1f} ms ({t_cold / max(t_warm, 1e-9):.0f}x)"
     )
     save_report("engine", report)
+    save_json(
+        "engine",
+        {
+            "stream_bytes": len(data),
+            "chunk_bytes": CHUNK,
+            "mnrl_nodes": ruleset.network.node_count(),
+            "reference_bps": ref_bps,
+            "table_bps": table_bps,
+            "table_bps_opt1": opt_bps,
+            "speedup": speedup,
+            "speedup_opt1": opt_speedup,
+            "speedup_floor": SPEEDUP_FLOOR,
+            "distinct_reports": len(scanner.reports),
+            "tables": {
+                "O0": {
+                    "n_stes": stats.n_stes,
+                    "n_classes": stats.n_classes,
+                    "match_mask_bytes": stats.match_mask_bytes,
+                    "byte_class_bytes": stats.byte_class_bytes,
+                    "dense_match_bytes": stats.dense_match_bytes,
+                    "match_table_reduction": stats.match_table_reduction,
+                },
+                "O1": {
+                    "n_stes": opt_stats.n_stes,
+                    "n_classes": opt_stats.n_classes,
+                    "match_mask_bytes": opt_stats.match_mask_bytes,
+                    "byte_class_bytes": opt_stats.byte_class_bytes,
+                    "dense_match_bytes": opt_stats.dense_match_bytes,
+                    "match_table_reduction": opt_stats.match_table_reduction,
+                },
+            },
+            "optimization": {
+                "merged_stes": opt_report.merged_stes,
+                "removed_nodes": opt_report.removed_nodes,
+                "stes_before": savings.stes_before,
+                "stes_after": savings.stes_after,
+                "cam_arrays_before": savings.cam_arrays_before,
+                "cam_arrays_after": savings.cam_arrays_after,
+                "area_reduction": savings.area_reduction,
+            },
+            "cache": {
+                "cold_compile_s": t_cold,
+                "warm_compile_s": t_warm,
+                "warm_speedup": t_cold / max(t_warm, 1e-9),
+            },
+        },
+    )
     assert speedup >= SPEEDUP_FLOOR, report
+    assert opt_speedup >= SPEEDUP_FLOOR, report
+
+
+def test_warm_start_skips_compilation(workload):
+    """The cache artifact must load measurably faster than compiling
+    (parsing + analysis + emission + lowering are all skipped)."""
+    rules, _, _, _ = workload
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cold = RulesetMatcher(rules, opt_level=1, cache_dir=cache_dir)
+        warm = RulesetMatcher(rules, opt_level=1, cache_dir=cache_dir)
+        assert warm.compile_info.cache_hit
+        assert warm.compile_info.seconds < cold.compile_info.seconds
 
 
 def test_table_engine_throughput(benchmark, workload):
-    """pytest-benchmark timing of the fast path alone."""
-    ruleset, data = workload
-    scanner = StreamScanner(compile_tables(ruleset.network))
+    """pytest-benchmark timing of the fast path alone (optimizer on)."""
+    _, _, optimized, data = workload
+    scanner = StreamScanner(compile_tables(optimized.network))
 
     def run():
         scanner.reset()

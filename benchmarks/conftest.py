@@ -8,6 +8,7 @@ archives the paper-style text rendering under ``benchmarks/results/``
 
 from __future__ import annotations
 
+import json
 import os
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -19,3 +20,15 @@ def save_report(name: str, text: str) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         handle.write(text + "\n")
     print(f"\n{text}\n[saved to {path}]")
+
+
+def save_json(name: str, payload: dict) -> str:
+    """Archive machine-readable results as ``BENCH_<name>.json`` so the
+    perf trajectory can be tracked across PRs."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[json saved to {path}]")
+    return path

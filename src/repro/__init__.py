@@ -11,7 +11,10 @@ The library spans the paper's whole stack:
   (exact, over-approximate, hybrid, with witness generation);
 * :mod:`repro.mnrl` -- the MNRL-style interchange format extended with
   counter and bit-vector nodes;
-* :mod:`repro.compiler` -- regex-to-MNRL compilation and CAMA mapping;
+* :mod:`repro.compiler` -- regex-to-MNRL compilation, the optimisation
+  pass pipeline (alphabet classes, cross-rule prefix sharing, dead-node
+  elimination), the persistent compiled-ruleset cache, and CAMA
+  mapping;
 * :mod:`repro.hardware` -- the augmented-CAMA functional simulator and
   the Table 2 energy/delay/area cost model;
 * :mod:`repro.engine` -- the table-driven streaming scan engine
@@ -43,8 +46,11 @@ from .compiler import (
     CompiledPattern,
     CompiledRuleset,
     Decision,
+    OptimizationReport,
     compile_pattern,
     compile_ruleset,
+    compute_alphabet_classes,
+    run_passes,
 )
 from .compiler.mapping import NetworkMapping, map_network
 from .engine import (
@@ -63,8 +69,8 @@ from .hardware import (
     ReportEvent,
     simulate,
 )
-from .hardware.cost import area_of_mapping, energy_of_run
-from .matching import PatternMatcher, RulesetMatcher, ScanResult
+from .hardware.cost import area_of_mapping, energy_of_run, savings_of_mappings
+from .matching import CompileInfo, PatternMatcher, RulesetMatcher, ScanResult
 from .mnrl import BitVectorNode, CounterNode, Network, STE
 from .nca import NCA, CountingSetExecutor, NCAExecutor, build_nca
 from .regex import CharClass, Pattern, parse, simplify
@@ -98,8 +104,11 @@ __all__ = [
     "Decision",
     "CompiledPattern",
     "CompiledRuleset",
+    "OptimizationReport",
     "compile_pattern",
     "compile_ruleset",
+    "compute_alphabet_classes",
+    "run_passes",
     "map_network",
     "NetworkMapping",
     # hardware
@@ -112,6 +121,7 @@ __all__ = [
     "GEOMETRY",
     "area_of_mapping",
     "energy_of_run",
+    "savings_of_mappings",
     # engine
     "TransitionTables",
     "compile_tables",
@@ -122,4 +132,5 @@ __all__ = [
     "RulesetMatcher",
     "PatternMatcher",
     "ScanResult",
+    "CompileInfo",
 ]

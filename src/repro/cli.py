@@ -3,10 +3,14 @@
 Commands mirror the toolchain stages:
 
 * ``analyze``  -- run the counter-(un)ambiguity analysis on a pattern;
-* ``compile``  -- compile a pattern (or rule file) to extended MNRL;
+* ``compile``  -- compile a pattern to extended MNRL, or a whole rule
+  file (``--rules``) into the persistent ruleset cache
+  (``--cache-dir``) so later ``scan`` runs warm-start;
 * ``scan``     -- stream a file (or stdin) through a rule set in chunks
   on the table-driven engine (optionally sharded, or on the reference
-  simulator);
+  simulator); ``-O1`` enables the optimisation passes, ``--cache-dir``
+  reuses/creates cached compilations, ``--verbose`` reports compile/
+  cache timing and per-rule skip reasons;
 * ``census``   -- Table 1-style census of a synthetic suite;
 * ``report``   -- regenerate one of the paper's tables/figures.
 
@@ -22,7 +26,7 @@ from typing import Optional, Sequence
 
 from .analysis.hybrid import analyze_pattern
 from .compiler.mapping import map_network
-from .compiler.pipeline import compile_pattern, compile_ruleset
+from .compiler.pipeline import compile_pattern
 from .engine.parallel import ShardedMatcher
 from .hardware.cost import area_of_mapping
 from .matching import RulesetMatcher
@@ -48,8 +52,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_analyze.add_argument("--witness", action="store_true")
 
-    p_compile = sub.add_parser("compile", help="compile to extended MNRL")
-    p_compile.add_argument("pattern")
+    p_compile = sub.add_parser(
+        "compile",
+        help="compile a pattern to extended MNRL, or a rule file into "
+        "the persistent ruleset cache",
+    )
+    p_compile.add_argument(
+        "pattern", nargs="?", help="single pattern (omit when using --rules)"
+    )
+    p_compile.add_argument(
+        "--rules", help="compile a whole rule file (id\\tpattern lines)"
+    )
     p_compile.add_argument("-o", "--output", help="write MNRL JSON here")
     p_compile.add_argument(
         "--threshold",
@@ -57,6 +70,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="unfold occurrences with upper bound <= threshold "
         "(inf = unfold everything)",
+    )
+    p_compile.add_argument(
+        "-O",
+        "--opt-level",
+        type=int,
+        default=0,
+        help="optimisation passes: 0 = none (stat-exact), "
+        "1+ = dead-node elimination + cross-rule prefix sharing "
+        "(report-set equivalence)",
+    )
+    p_compile.add_argument(
+        "--cache-dir",
+        help="persist the compiled ruleset here (warm starts skip "
+        "parsing/analysis/emission); requires --rules",
     )
 
     p_scan = sub.add_parser(
@@ -85,6 +112,24 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="round-robin the rule set over N independent shards",
+    )
+    p_scan.add_argument(
+        "-O",
+        "--opt-level",
+        type=int,
+        default=0,
+        help="optimisation passes (see 'compile --opt-level')",
+    )
+    p_scan.add_argument(
+        "--cache-dir",
+        help="warm-start from (and populate) the persistent ruleset cache",
+    )
+    p_scan.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="report compile/cache timing, optimisation results, and "
+        "per-rule skip reasons",
     )
 
     p_census = sub.add_parser("census", help="Table 1-style suite census")
@@ -130,6 +175,14 @@ def _cmd_analyze(args) -> int:
 
 
 def _cmd_compile(args) -> int:
+    if args.rules:
+        return _compile_rules(args)
+    if not args.pattern:
+        print("error: provide a pattern or --rules FILE", file=sys.stderr)
+        return 2
+    if args.cache_dir:
+        print("error: --cache-dir requires --rules", file=sys.stderr)
+        return 2
     compiled = compile_pattern(args.pattern, unfold_threshold=args.threshold)
     print(
         f"{compiled.ste_count} STEs, {compiled.counter_count} counters, "
@@ -148,6 +201,43 @@ def _cmd_compile(args) -> int:
         print(f"MNRL written to {args.output}")
     else:
         print(dumps(compiled.network))
+    return 0
+
+
+def _compile_rules(args) -> int:
+    """``compile --rules``: build (and optionally cache) a ruleset."""
+    matcher = RulesetMatcher(
+        _read_rules(args.rules),
+        unfold_threshold=args.threshold,
+        opt_level=args.opt_level,
+        cache_dir=args.cache_dir,
+    )
+    info = matcher.compile_info
+    resources = matcher.resources()
+    tables = matcher.tables
+    source = "cache (warm start)" if info.cache_hit else "fresh compile"
+    print(
+        f"compiled {resources.rules_compiled} rules "
+        f"({resources.rules_skipped} skipped) in {info.seconds * 1e3:.1f} ms "
+        f"[{source}, -O{info.opt_level}]"
+    )
+    print(
+        f"  {resources.stes} STEs / {resources.counters} ctr / "
+        f"{resources.bit_vectors} bv; {resources.cam_arrays} CAM arrays; "
+        f"area {resources.area_mm2:.4f} mm^2"
+    )
+    print(
+        f"  tables: {tables.n_classes} alphabet classes (of 256), "
+        f"{resources.merged_stes} STEs merged, "
+        f"{resources.removed_nodes} dead nodes removed"
+    )
+    for rule_id, reason in matcher.skipped:
+        print(f"  skipped {rule_id}: {reason}", file=sys.stderr)
+    if info.cache_path:
+        print(f"  artifact: {info.cache_path}")
+    if args.output:
+        save(matcher.network, args.output)
+        print(f"MNRL written to {args.output}")
     return 0
 
 
@@ -176,19 +266,35 @@ def _chunks(handle, size: int):
 
 def _cmd_scan(args) -> int:
     rules = _read_rules(args.rules)
+    options = dict(
+        unfold_threshold=args.threshold,
+        engine=args.engine,
+        opt_level=args.opt_level,
+        cache_dir=args.cache_dir,
+    )
     if args.shards > 1:
-        matcher = ShardedMatcher(
-            rules,
-            shards=args.shards,
-            unfold_threshold=args.threshold,
-            engine=args.engine,
-        )
+        matcher = ShardedMatcher(rules, shards=args.shards, **options)
+        infos = matcher.compile_infos
     else:
-        matcher = RulesetMatcher(
-            rules, unfold_threshold=args.threshold, engine=args.engine
+        matcher = RulesetMatcher(rules, **options)
+        infos = [matcher.compile_info]
+    if args.verbose:
+        for index, info in enumerate(infos):
+            shard = f"shard {index}: " if len(infos) > 1 else ""
+            source = "cache hit (warm start)" if info.cache_hit else "fresh compile"
+            print(
+                f"{shard}compiled in {info.seconds * 1e3:.1f} ms "
+                f"[{source}, -O{info.opt_level}]",
+                file=sys.stderr,
+            )
+        for rule_id, reason in matcher.skipped:
+            print(f"skipped {rule_id}: {reason}", file=sys.stderr)
+    elif matcher.skipped:
+        print(
+            f"skipped {len(matcher.skipped)} rule(s); "
+            "use --verbose for reasons",
+            file=sys.stderr,
         )
-    for rule_id, reason in matcher.skipped:
-        print(f"skipped {rule_id}: {reason}", file=sys.stderr)
 
     handle = sys.stdin.buffer if args.input == "-" else open(args.input, "rb")
     try:
@@ -208,6 +314,12 @@ def _cmd_scan(args) -> int:
         f"{resources.bit_vectors} bv; {resources.area_mm2:.4f} mm^2; "
         f"{result.energy_nj_per_byte:.4f} nJ/B)"
     )
+    if args.verbose:
+        print(
+            f"  -O{resources.opt_level}: {resources.alphabet_classes} alphabet "
+            f"classes, {resources.merged_stes} STEs merged, "
+            f"{resources.removed_nodes} dead nodes removed"
+        )
     for rule_id in sorted(result.matches):
         ends = result.matches[rule_id]
         shown = ", ".join(map(str, ends[:8]))

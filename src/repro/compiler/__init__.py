@@ -1,11 +1,30 @@
-"""Regex-to-MNRL compiler (Section 4.2) and CAMA resource mapping."""
+"""Regex-to-MNRL compiler (Section 4.2), optimisation passes, CAMA
+resource mapping, and the persistent compiled-ruleset cache."""
 
+from .cache import (
+    CACHE_VERSION,
+    RuleMeta,
+    RulesetArtifact,
+    load_artifact,
+    ruleset_cache_key,
+    save_artifact,
+)
 from .emit import Decision, EmitError, emit_network, plan_decisions
+from .passes import (
+    AlphabetClasses,
+    OptimizationReport,
+    compute_alphabet_classes,
+    eliminate_dead_nodes,
+    run_passes,
+    share_prefixes,
+)
 from .pipeline import (
     CompiledPattern,
     CompiledRuleset,
     compile_pattern,
     compile_ruleset,
+    dedupe_rules,
+    normalize_rules,
 )
 
 __all__ = [
@@ -17,4 +36,18 @@ __all__ = [
     "CompiledRuleset",
     "compile_pattern",
     "compile_ruleset",
+    "dedupe_rules",
+    "normalize_rules",
+    "AlphabetClasses",
+    "OptimizationReport",
+    "compute_alphabet_classes",
+    "eliminate_dead_nodes",
+    "share_prefixes",
+    "run_passes",
+    "CACHE_VERSION",
+    "RuleMeta",
+    "RulesetArtifact",
+    "ruleset_cache_key",
+    "save_artifact",
+    "load_artifact",
 ]

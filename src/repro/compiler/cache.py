@@ -1,0 +1,153 @@
+"""Persistent compiled-ruleset cache (compile once, serve many).
+
+The hardware's deployment story is load-time amortization: a ruleset
+is compiled and burned into the CAM arrays once, then every stream is
+served from the precomputed configuration.  This module gives the
+software pipeline the same warm-start path: a compiled ruleset --
+network, transition tables, and the per-rule facade metadata -- is
+pickled under a key derived from the rules plus every compile option,
+so a process restart skips parsing, analysis, and emission entirely
+(``RulesetMatcher(cache_dir=...)``, or the CLI ``compile --rules ...
+--cache-dir ...`` / ``scan --cache-dir ...`` flows).
+
+Invalidation is by construction: the key hashes the ordered
+``(rule_id, pattern)`` pairs together with the full option tuple and
+:data:`CACHE_VERSION`, so changing a rule, a compile knob, or the
+on-disk format lands on a different file.  Loads are best-effort --
+a missing, corrupt, or version-skewed artifact is treated as a miss
+and the caller recompiles (correctness never depends on the cache).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from typing import Optional, Sequence, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..engine.tables import TransitionTables
+    from ..mnrl.network import Network
+    from .passes import OptimizationReport
+
+__all__ = [
+    "CACHE_VERSION",
+    "RuleMeta",
+    "RulesetArtifact",
+    "ruleset_cache_key",
+    "artifact_path",
+    "save_artifact",
+    "load_artifact",
+]
+
+#: Bump whenever the pickled layout (or anything it transitively
+#: contains) changes shape; old artifacts then miss cleanly.
+CACHE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RuleMeta:
+    """The slice of a compiled pattern the matching facade needs.
+
+    Everything else (ASTs, analysis verdicts, decision maps) is
+    recomputable and deliberately left out of the artifact to keep warm
+    starts small and fast.
+    """
+
+    report_id: str
+    source: str
+    anchored_end: bool
+    matches_empty: bool
+
+
+@dataclass
+class RulesetArtifact:
+    """One cache entry: the full warm-start state of a ruleset."""
+
+    version: int
+    key: str
+    network: "Network"
+    tables: "TransitionTables"
+    rules: list[RuleMeta]
+    skipped: list[tuple[str, str]]
+    opt_level: int
+    optimization: Optional["OptimizationReport"]
+
+
+def ruleset_cache_key(
+    rules: Sequence[tuple[str, str]],
+    *,
+    unfold_threshold: float = 0,
+    method: str = "hybrid",
+    strict_modules: bool = True,
+    max_pairs: Optional[int] = None,
+    bv_module_size: Optional[int] = None,
+    opt_level: int = 0,
+) -> str:
+    """Deterministic key over the rules and every compile option."""
+    hasher = hashlib.sha256()
+    hasher.update(f"v{CACHE_VERSION}".encode())
+    hasher.update(
+        repr(
+            (
+                float(unfold_threshold),
+                str(method),
+                bool(strict_modules),
+                max_pairs,
+                bv_module_size,
+                int(opt_level),
+            )
+        ).encode()
+    )
+    for rule_id, pattern in rules:
+        # length-prefixed framing: in-band separators would let crafted
+        # ids/patterns containing the separator bytes collide across
+        # structurally different rulesets
+        for text in (rule_id, pattern):
+            blob = text.encode("utf-8", "surrogateescape")
+            hasher.update(len(blob).to_bytes(8, "big"))
+            hasher.update(blob)
+    return hasher.hexdigest()
+
+
+def artifact_path(cache_dir: str, key: str) -> str:
+    return os.path.join(cache_dir, f"ruleset-{key}.pkl")
+
+
+def save_artifact(artifact: RulesetArtifact, cache_dir: str) -> str:
+    """Atomically persist ``artifact``; returns the file path."""
+    os.makedirs(cache_dir, exist_ok=True)
+    path = artifact_path(cache_dir, artifact.key)
+    fd, tmp = tempfile.mkstemp(dir=cache_dir, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(artifact, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
+    return path
+
+
+def load_artifact(cache_dir: str, key: str) -> Optional[RulesetArtifact]:
+    """Load the artifact for ``key``; ``None`` on any kind of miss.
+
+    Corrupt pickles, foreign objects, and version skew all count as
+    misses (the caller recompiles and overwrites), never as errors.
+    """
+    path = artifact_path(cache_dir, key)
+    try:
+        with open(path, "rb") as handle:
+            artifact = pickle.load(handle)
+    except FileNotFoundError:
+        return None
+    except Exception:
+        return None
+    if not isinstance(artifact, RulesetArtifact):
+        return None
+    if artifact.version != CACHE_VERSION or artifact.key != key:
+        return None
+    return artifact

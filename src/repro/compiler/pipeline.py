@@ -30,6 +30,7 @@ from ..regex.errors import RegexError, UnsupportedFeatureError
 from ..regex.parser import Pattern, parse
 from ..regex.rewrite import simplify
 from .emit import Decision, EmitError, emit_network, plan_decisions
+from .passes import OptimizationReport, run_passes
 
 __all__ = [
     "CompiledPattern",
@@ -37,7 +38,53 @@ __all__ = [
     "compile_pattern",
     "compile_ruleset",
     "compute_module_unsafe",
+    "dedupe_rules",
+    "normalize_rules",
 ]
+
+
+def normalize_rules(
+    rules: Iterable[str] | Sequence[tuple[str, str]],
+) -> list[tuple[str, str]]:
+    """Materialize rules as ``(rule_id, pattern)`` pairs.
+
+    Bare pattern strings get positional ``rule{index}`` ids -- the one
+    naming scheme shared by :func:`compile_ruleset`, the sharding
+    front-end, and the ruleset cache key, so every entry point reports
+    (and caches) the same rule ids for the same input.
+    """
+    named: list[tuple[str, str]] = []
+    for index, rule in enumerate(rules):
+        if isinstance(rule, tuple):
+            named.append(rule)
+        else:
+            named.append((f"rule{index}", rule))
+    return named
+
+
+def dedupe_rules(
+    rules: Iterable[str] | Sequence[tuple[str, str]],
+) -> tuple[list[tuple[str, str]], list[tuple[str, str]]]:
+    """Split normalized rules into ``(unique, skipped)``.
+
+    The first occurrence of each rule id wins; later occurrences are
+    returned as ``(rule_id, reason)`` skip entries.  Shared by
+    :func:`compile_ruleset` and the sharding front-end so both report
+    identical skip reasons (and so duplicates can never collide in a
+    shared network's node-id namespace).
+    """
+    seen: set[str] = set()
+    unique: list[tuple[str, str]] = []
+    skipped: list[tuple[str, str]] = []
+    for rule_id, pattern in normalize_rules(rules):
+        if rule_id in seen:
+            skipped.append(
+                (rule_id, "duplicate rule id (an earlier rule with this id was kept)")
+            )
+            continue
+        seen.add(rule_id)
+        unique.append((rule_id, pattern))
+    return unique, skipped
 
 
 def compute_module_unsafe(
@@ -183,6 +230,10 @@ class CompiledRuleset:
     network: Network
     patterns: list[CompiledPattern] = field(default_factory=list)
     skipped: list[tuple[str, str]] = field(default_factory=list)  # (rule, reason)
+    #: optimisation level the network was compiled at (0 = none)
+    opt_level: int = 0
+    #: what the pass pipeline did (None at -O0)
+    optimization: Optional[OptimizationReport] = None
 
     @property
     def node_count(self) -> int:
@@ -204,19 +255,28 @@ def compile_ruleset(
     bv_module_size: Optional[int] = None,
     max_pairs: Optional[int] = None,
     strict_modules: bool = True,
+    opt_level: int = 0,
 ) -> CompiledRuleset:
     """Compile many rules into one network, skipping unsupported ones.
 
     ``rules`` is either an iterable of pattern strings or of
-    ``(rule_id, pattern)`` pairs.
+    ``(rule_id, pattern)`` pairs.  Rules repeating an earlier rule's id
+    are recorded in ``skipped`` (the first occurrence wins; compiling
+    both would collide in the shared node-id namespace).
+
+    ``opt_level`` selects the post-emission pass pipeline
+    (:mod:`repro.compiler.passes`): ``0`` keeps the network -- and its
+    activity statistics -- byte-identical to the classic pipeline;
+    ``1+`` additionally runs dead-node elimination and cross-rule
+    prefix sharing, preserving exact report sets only.
     """
+    if opt_level < 0:
+        raise ValueError(f"opt_level must be >= 0, got {opt_level}")
     network = Network(network_id)
-    result = CompiledRuleset(network=network)
-    for index, rule in enumerate(rules):
-        if isinstance(rule, tuple):
-            rule_id, pattern_text = rule
-        else:
-            rule_id, pattern_text = f"rule{index}", rule
+    result = CompiledRuleset(network=network, opt_level=opt_level)
+    unique, duplicates = dedupe_rules(rules)
+    result.skipped.extend(duplicates)
+    for rule_id, pattern_text in unique:
         try:
             compiled = compile_pattern(
                 pattern_text,
@@ -236,4 +296,6 @@ def compile_ruleset(
             result.skipped.append((rule_id, str(err)))
             continue
         result.patterns.append(compiled)
+    if opt_level > 0:
+        result.optimization = run_passes(network, opt_level)
     return result

@@ -16,6 +16,12 @@ traffic streams):
   :class:`~repro.matching.ScanResult`\\ s (union of matches, summed
   energy -- each shard's bank burns its own power).
 
+Every shard's tables carry their own alphabet-class map (the partition
+is per-network, so a shard's scanners all share one 256-byte map plus
+``k`` class masks); compile options -- including ``opt_level`` and
+``cache_dir`` for the persistent ruleset cache -- forward to each
+shard's matcher unchanged.
+
 Process pools are best-effort: ``processes <= 1``, pool start-up
 failure, or unpicklable platforms silently fall back to in-process
 serial scanning with identical results.
@@ -46,12 +52,9 @@ def shard_rules(
     """
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
-    named: list[tuple[str, str]] = []
-    for index, rule in enumerate(rules):
-        if isinstance(rule, tuple):
-            named.append(rule)
-        else:
-            named.append((f"rule{index}", rule))
+    from ..compiler.pipeline import normalize_rules
+
+    named = normalize_rules(rules)
     buckets: list[list[tuple[str, str]]] = [[] for _ in range(shards)]
     for index, rule in enumerate(named):
         buckets[index % shards].append(rule)
@@ -172,16 +175,31 @@ class ShardedMatcher:
         processes: int = 0,
         **kwargs,
     ):
+        from ..compiler.pipeline import dedupe_rules
         from ..matching import RulesetMatcher
 
         self.processes = processes
+        # Deduplicate rule ids *before* sharding: round-robin would
+        # otherwise scatter duplicates across shards where no single
+        # compile_ruleset call can see the collision, silently
+        # compiling the same id twice.
+        unique, self._duplicate_skipped = dedupe_rules(rules)
         self.shards: list[RulesetMatcher] = [
-            RulesetMatcher(bucket, **kwargs) for bucket in shard_rules(rules, shards)
+            RulesetMatcher(bucket, **kwargs)
+            for bucket in shard_rules(unique, shards)
         ]
 
     @property
     def skipped(self) -> list[tuple[str, str]]:
-        return [entry for shard in self.shards for entry in shard.skipped]
+        return self._duplicate_skipped + [
+            entry for shard in self.shards for entry in shard.skipped
+        ]
+
+    @property
+    def compile_infos(self) -> "list":
+        """Per-shard :class:`~repro.matching.CompileInfo` (cache hits
+        and compile timings, in shard order)."""
+        return [shard.compile_info for shard in self.shards]
 
     def resources(self) -> "ResourceSummary":
         from ..matching import ResourceSummary
@@ -197,6 +215,12 @@ class ShardedMatcher:
             pes=sum(p.pes for p in parts),
             area_mm2=sum(p.area_mm2 for p in parts),
             waste_mm2=sum(p.waste_mm2 for p in parts),
+            opt_level=max((p.opt_level for p in parts), default=0),
+            merged_stes=sum(p.merged_stes for p in parts),
+            removed_nodes=sum(p.removed_nodes for p in parts),
+            # each shard holds its own k-entry match table, so the
+            # total table width across banks is the sum
+            alphabet_classes=sum(p.alphabet_classes for p in parts),
         )
 
     def scan(self, data: bytes | str) -> "ScanResult":

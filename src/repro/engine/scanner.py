@@ -85,6 +85,7 @@ class StreamScanner:
             chunk = chunk.encode("latin-1")
 
         tables = self.tables
+        byte_class = tables.byte_class
         match_masks = tables.match_masks
         succ_masks = tables.succ_masks
         ste_hooks = tables.ste_module_hooks
@@ -128,7 +129,7 @@ class StreamScanner:
             base = enabled | always
             if cycle == 0:
                 base |= start
-            active = base & match_masks[byte]
+            active = base & match_masks[byte_class[byte]]
             position = cycle + 1
             next_enabled = const_enable
             sig: Optional[dict[int, int]] = None

@@ -8,9 +8,12 @@ module precompiles the network once into :class:`TransitionTables` --
 dense integer tables mirroring what the hardware itself precomputes
 when a ruleset is loaded into the CAM arrays:
 
-* ``match_masks`` -- a 256-entry table mapping each input byte to the
-  bitmask of STEs whose symbol set contains it (the one-hot address
-  decode of the state-matching memory);
+* ``byte_class`` / ``match_masks`` -- the byte alphabet is partitioned
+  into the ``k`` equivalence classes no STE distinguishes
+  (:func:`repro.compiler.passes.compute_alphabet_classes`), so the
+  one-hot address decode of the state-matching memory is stored as a
+  256-byte class map plus only ``k`` STE-bitmask entries instead of
+  256 dense entries (``k`` is typically a few dozen for real rulesets);
 * ``succ_masks`` -- per STE, the bitmask of STEs its activation enables
   for the next cycle (the programmed switch network);
 * a flattened, topologically ordered counter/bit-vector op list with
@@ -31,9 +34,11 @@ worker processes (see :mod:`repro.engine.parallel`).
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..compiler.passes import compute_alphabet_classes
 from ..hardware.params import GEOMETRY
 from ..hardware.simulator import _range_mask
 from ..mnrl.network import Network
@@ -41,7 +46,9 @@ from ..mnrl.nodes import BitVectorNode, CounterNode, STE, StartType
 
 __all__ = [
     "TransitionTables",
+    "TableStats",
     "compile_tables",
+    "table_stats",
     "PORT_PRE",
     "PORT_FST",
     "PORT_LST",
@@ -75,7 +82,11 @@ class TransitionTables:
 
     # -- STE side ----------------------------------------------------------
     ste_ids: list[str] = field(default_factory=list)
-    #: byte value -> bitmask of STEs whose symbol set contains it
+    #: byte value -> alphabet equivalence-class index (256 entries; the
+    #: scanner's per-byte lookup goes through this map)
+    byte_class: bytes = bytes(256)
+    #: class index -> bitmask of STEs whose symbol set contains the
+    #: class (k entries, k <= 256)
     match_masks: list[int] = field(default_factory=list)
     #: STE index -> bitmask of STEs enabled next cycle by its activation
     succ_masks: list[int] = field(default_factory=list)
@@ -133,6 +144,15 @@ class TransitionTables:
     def n_modules(self) -> int:
         return len(self.module_ids)
 
+    @property
+    def n_classes(self) -> int:
+        """Alphabet equivalence classes ``k`` (``match_masks`` entries)."""
+        return len(self.match_masks)
+
+    def match_mask_for(self, byte: int) -> int:
+        """STE match mask for one byte value (through the class map)."""
+        return self.match_masks[self.byte_class[byte]]
+
     def initial_dirty(self) -> set[int]:
         """Modules that must be processed even without input signals.
 
@@ -165,18 +185,24 @@ def compile_tables(network: Network) -> TransitionTables:
     module_index = {module_id: i for i, module_id in enumerate(module_topo)}
 
     # -- STE tables --------------------------------------------------------
+    # The byte alphabet collapses to its equivalence classes: bytes no
+    # STE distinguishes share one match-mask entry, addressed through
+    # the 256-byte class map.
+    alphabet = compute_alphabet_classes(ste.symbol_set.mask for ste in stes)
+    tables.byte_class = alphabet.byte_to_class
     tables.ste_ids = [ste.id for ste in stes]
-    tables.match_masks = [0] * 256
+    tables.match_masks = [0] * alphabet.n_classes
     tables.succ_masks = [0] * len(stes)
     tables.ste_report_ids = [None] * len(stes)
     ste_hooks: list[list[tuple[int, int]]] = [[] for _ in stes]
+    byte_class = tables.byte_class
     for i, ste in enumerate(stes):
         bit = 1 << i
         symbol_mask = ste.symbol_set.mask
         while symbol_mask:
             low = symbol_mask & -symbol_mask
             symbol_mask ^= low
-            tables.match_masks[low.bit_length() - 1] |= bit
+            tables.match_masks[byte_class[low.bit_length() - 1]] |= bit
         if ste.start is StartType.ALL_INPUT:
             tables.always_mask |= bit
         elif ste.start is StartType.START_OF_DATA:
@@ -257,6 +283,56 @@ def compile_tables(network: Network) -> TransitionTables:
         if tables.module_all_input[i] and tables.module_kinds[i] == KIND_BIT_VECTOR:
             tables.const_enable_mask |= tables.aux_ste_masks[i]
     return tables
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Measured in-memory footprint of one :class:`TransitionTables`.
+
+    ``dense_match_bytes`` is what the pre-compression layout (one mask
+    per byte value) would occupy, so ``match_table_reduction`` is the
+    directly comparable win of alphabet-class compression.  Sizes are
+    ``sys.getsizeof`` of the mask integers (the dominant term for large
+    rulesets, where each mask holds ``n_stes`` bits).
+    """
+
+    n_stes: int
+    n_modules: int
+    n_classes: int
+    #: bytes held by the k compressed match-mask integers
+    match_mask_bytes: int
+    #: bytes the dense 256-entry layout would hold
+    dense_match_bytes: int
+    #: the 256-byte class map
+    byte_class_bytes: int
+    #: bytes held by the per-STE successor masks
+    succ_mask_bytes: int
+
+    @property
+    def match_table_reduction(self) -> float:
+        """Fraction of match-table bytes removed by class compression."""
+        if self.dense_match_bytes == 0:
+            return 0.0
+        compressed = self.match_mask_bytes + self.byte_class_bytes
+        return 1.0 - compressed / self.dense_match_bytes
+
+
+def table_stats(tables: TransitionTables) -> TableStats:
+    """Measure ``tables``' match/successor storage (see :class:`TableStats`)."""
+    match_mask_bytes = sum(sys.getsizeof(mask) for mask in tables.match_masks)
+    dense_match_bytes = sum(
+        sys.getsizeof(tables.match_masks[tables.byte_class[byte]])
+        for byte in range(256)
+    )
+    return TableStats(
+        n_stes=tables.n_stes,
+        n_modules=tables.n_modules,
+        n_classes=tables.n_classes,
+        match_mask_bytes=match_mask_bytes,
+        dense_match_bytes=dense_match_bytes,
+        byte_class_bytes=len(tables.byte_class),
+        succ_mask_bytes=sum(sys.getsizeof(mask) for mask in tables.succ_masks),
+    )
 
 
 def _topo_order(network: Network, module_ids: list[str]) -> list[str]:

@@ -30,10 +30,12 @@ from .simulator import ActivityStats
 __all__ = [
     "AreaReport",
     "EnergyReport",
+    "SavingsReport",
     "area_per_ste",
     "area_of_mapping",
     "energy_of_run",
     "energy_per_byte_upper_bound",
+    "savings_of_mappings",
     "unfolded_cost",
     "counter_cost",
     "bit_vector_cost",
@@ -187,6 +189,61 @@ def energy_of_run(stats: ActivityStats, mapping) -> EnergyReport:
         counter_fj=counters,
         bit_vector_fj=bit_vectors,
         bytes_processed=stats.cycles,
+    )
+
+
+@dataclass(frozen=True)
+class SavingsReport:
+    """Hardware-resource delta between two placements of one ruleset.
+
+    Produced by :func:`savings_of_mappings` to price what the compiler
+    optimisation passes (:mod:`repro.compiler.passes`) bought: fewer
+    STEs means fewer occupied CAM columns, which shrinks both the area
+    bill and the per-byte CAM search energy (every occupied array
+    searches once per input byte).
+    """
+
+    stes_before: int
+    stes_after: int
+    cam_arrays_before: int
+    cam_arrays_after: int
+    area_before_mm2: float
+    area_after_mm2: float
+    energy_bound_before_nj: float
+    energy_bound_after_nj: float
+
+    @property
+    def ste_reduction(self) -> float:
+        if self.stes_before == 0:
+            return 0.0
+        return 1.0 - self.stes_after / self.stes_before
+
+    @property
+    def area_reduction(self) -> float:
+        if self.area_before_mm2 == 0:
+            return 0.0
+        return 1.0 - self.area_after_mm2 / self.area_before_mm2
+
+
+def savings_of_mappings(before, after) -> SavingsReport:
+    """Compare an unoptimized and an optimized placement.
+
+    Both arguments are :class:`repro.compiler.mapping.NetworkMapping`
+    (duck-typed, as elsewhere in this module): ``before`` maps the
+    naively emitted network, ``after`` the same rules compiled at
+    ``opt_level >= 1``.
+    """
+    area_before = area_of_mapping(before)
+    area_after = area_of_mapping(after)
+    return SavingsReport(
+        stes_before=before.bank.ste_count,
+        stes_after=after.bank.ste_count,
+        cam_arrays_before=before.bank.cam_arrays_used,
+        cam_arrays_after=after.bank.cam_arrays_used,
+        area_before_mm2=area_before.total_mm2,
+        area_after_mm2=area_after.total_mm2,
+        energy_bound_before_nj=energy_per_byte_upper_bound(before),
+        energy_bound_after_nj=energy_per_byte_upper_bound(after),
     )
 
 

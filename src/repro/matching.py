@@ -39,22 +39,35 @@ Reporting semantics (shared by every scan entry point)
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
 from .analysis.result import Method
+from .compiler.cache import (
+    RuleMeta,
+    RulesetArtifact,
+    CACHE_VERSION,
+    artifact_path,
+    load_artifact,
+    ruleset_cache_key,
+    save_artifact,
+)
 from .compiler.mapping import NetworkMapping, map_network
-from .compiler.pipeline import CompiledRuleset, compile_ruleset
+from .compiler.passes import OptimizationReport, compute_alphabet_classes
+from .compiler.pipeline import CompiledRuleset, compile_ruleset, normalize_rules
 from .engine.scanner import StreamScanner
 from .engine.tables import TransitionTables, compile_tables
 from .hardware.cost import AreaReport, area_of_mapping, energy_of_run
 from .hardware.simulator import ActivityStats, NetworkSimulator
+from .mnrl.network import Network
 
 __all__ = [
     "RulesetMatcher",
     "PatternMatcher",
     "ScanResult",
     "ResourceSummary",
+    "CompileInfo",
     "UNNAMED_REPORT",
 ]
 
@@ -92,7 +105,15 @@ class ScanResult:
 
 @dataclass(frozen=True)
 class ResourceSummary:
-    """Static hardware footprint of the compiled rule set."""
+    """Static hardware footprint of the compiled rule set.
+
+    The trailing fields surface what the optimisation pipeline did:
+    at ``opt_level >= 1`` the STE/CAM counts above describe the
+    *optimized* network, and ``merged_stes``/``removed_nodes`` say how
+    much the passes took off relative to the naive emission.
+    ``alphabet_classes`` is the match-table width ``k`` after
+    alphabet-equivalence compression (256 = incompressible).
+    """
 
     rules_compiled: int
     rules_skipped: int
@@ -103,6 +124,24 @@ class ResourceSummary:
     pes: int
     area_mm2: float
     waste_mm2: float
+    opt_level: int = 0
+    merged_stes: int = 0
+    removed_nodes: int = 0
+    alphabet_classes: int = 0
+
+
+@dataclass(frozen=True)
+class CompileInfo:
+    """How a :class:`RulesetMatcher` obtained its compiled form."""
+
+    #: artifact loaded from the persistent cache (parsing/analysis/
+    #: emission all skipped)?
+    cache_hit: bool
+    #: wall-clock seconds spent producing the ready-to-scan state
+    seconds: float
+    opt_level: int
+    #: artifact file backing this matcher (None when uncached)
+    cache_path: Optional[str] = None
 
 
 class RulesetMatcher:
@@ -128,6 +167,19 @@ class RulesetMatcher:
             (recommended; see ``repro.analysis.module_safety``).
         engine: default engine for :meth:`scan` (``"table"`` or
             ``"reference"``).
+        opt_level: optimisation pipeline level
+            (:mod:`repro.compiler.passes`).  ``0`` (default) preserves
+            byte-exact :class:`~repro.hardware.simulator.ActivityStats`
+            equivalence with the classic pipeline; ``1+`` additionally
+            runs dead-node elimination and cross-rule prefix sharing
+            (exact report-set equivalence only; resource/stat deltas
+            show up in :meth:`resources`).
+        cache_dir: directory for the persistent compiled-ruleset cache.
+            On a key hit (same rules *and* same compile options) the
+            matcher warm-starts from the pickled artifact, skipping
+            parsing, analysis, emission, and table lowering entirely;
+            otherwise it compiles and writes the artifact.  See
+            :attr:`compile_info` for what happened.
 
     Reporting semantics (all scan entry points): 1-based end offsets,
     no zero-length matches, ``$`` gated to end-of-data -- see the
@@ -142,55 +194,133 @@ class RulesetMatcher:
         strict_modules: bool = True,
         max_pairs: Optional[int] = 2_000_000,
         engine: str = "table",
+        opt_level: int = 0,
+        cache_dir: Optional[str] = None,
     ):
         if engine not in ("table", "reference"):
             raise ValueError(f"unknown engine {engine!r}")
         self.engine = engine
-        self.ruleset: CompiledRuleset = compile_ruleset(
-            rules,
-            unfold_threshold=unfold_threshold,
-            method=method,
-            strict_modules=strict_modules,
-            max_pairs=max_pairs,
-        )
-        self.mapping: NetworkMapping = map_network(self.ruleset.network)
+        start = time.perf_counter()
+        named = normalize_rules(rules)
+
+        cache_path: Optional[str] = None
+        artifact: Optional[RulesetArtifact] = None
+        if cache_dir is not None:
+            key = ruleset_cache_key(
+                named,
+                unfold_threshold=unfold_threshold,
+                method=str(getattr(method, "value", method)),
+                strict_modules=strict_modules,
+                max_pairs=max_pairs,
+                opt_level=opt_level,
+            )
+            cache_path = artifact_path(cache_dir, key)
+            artifact = load_artifact(cache_dir, key)
+
+        #: full compile-time state; ``None`` on a cache hit (the slim
+        #: artifact carries everything the facade needs)
+        self.ruleset: Optional[CompiledRuleset] = None
+        if artifact is not None:
+            self.network: Network = artifact.network
+            self._tables: Optional[TransitionTables] = artifact.tables
+            self._rule_meta: list[RuleMeta] = artifact.rules
+            self._skipped: list[tuple[str, str]] = artifact.skipped
+            self.optimization: Optional[OptimizationReport] = artifact.optimization
+        else:
+            self.ruleset = compile_ruleset(
+                named,
+                unfold_threshold=unfold_threshold,
+                method=method,
+                strict_modules=strict_modules,
+                max_pairs=max_pairs,
+                opt_level=opt_level,
+            )
+            self.network = self.ruleset.network
+            self._tables = None
+            self._rule_meta = [
+                RuleMeta(
+                    report_id=compiled.report_id,
+                    source=compiled.source,
+                    anchored_end=compiled.pattern.anchored_end,
+                    matches_empty=compiled.matches_empty,
+                )
+                for compiled in self.ruleset.patterns
+            ]
+            self._skipped = self.ruleset.skipped
+            self.optimization = self.ruleset.optimization
+            if cache_dir is not None:
+                cache_path = save_artifact(
+                    RulesetArtifact(
+                        version=CACHE_VERSION,
+                        key=key,
+                        network=self.network,
+                        tables=self.tables,  # forces lowering into the artifact
+                        rules=self._rule_meta,
+                        skipped=self._skipped,
+                        opt_level=opt_level,
+                        optimization=self.optimization,
+                    ),
+                    cache_dir,
+                )
+
+        self.mapping: NetworkMapping = map_network(self.network)
         self._area: AreaReport = area_of_mapping(self.mapping)
-        self._tables: Optional[TransitionTables] = None
+        self._opt_level = opt_level
+        self._alphabet_classes: Optional[int] = None
         # `$`-anchored rules match only when the report position is the
         # final byte of the stream; the hardware reports every prefix
         # end, so the facade filters (real deployments gate the report
         # vector with an end-of-data strobe the same way)
         self._end_anchored: set[str] = {
-            compiled.report_id
-            for compiled in self.ruleset.patterns
-            if compiled.pattern.anchored_end
+            meta.report_id for meta in self._rule_meta if meta.anchored_end
         }
+        #: cold-vs-warm provenance and timing of this compilation
+        self.compile_info = CompileInfo(
+            cache_hit=artifact is not None,
+            seconds=time.perf_counter() - start,
+            opt_level=opt_level,
+            cache_path=cache_path,
+        )
 
     # -- introspection -----------------------------------------------------
     @property
     def skipped(self) -> list[tuple[str, str]]:
-        return self.ruleset.skipped
+        return self._skipped
 
     @property
     def tables(self) -> TransitionTables:
         """Precompiled transition tables (built lazily, cached; shared
         by every table-engine scan and picklable to worker processes)."""
         if self._tables is None:
-            self._tables = compile_tables(self.ruleset.network)
+            self._tables = compile_tables(self.network)
         return self._tables
 
     def resources(self) -> ResourceSummary:
         bank = self.mapping.bank
+        optimization = self.optimization
+        if self._tables is not None:
+            alphabet_classes = self._tables.n_classes
+        elif self._alphabet_classes is not None:
+            alphabet_classes = self._alphabet_classes
+        else:
+            # immutable after __init__, so compute the partition once
+            # even when the table engine is never used
+            alphabet_classes = compute_alphabet_classes(self.network).n_classes
+            self._alphabet_classes = alphabet_classes
         return ResourceSummary(
-            rules_compiled=len(self.ruleset.patterns),
-            rules_skipped=len(self.ruleset.skipped),
-            stes=self.ruleset.network.ste_count(),
-            counters=self.ruleset.network.counter_count(),
-            bit_vectors=self.ruleset.network.bit_vector_count(),
+            rules_compiled=len(self._rule_meta),
+            rules_skipped=len(self._skipped),
+            stes=self.network.ste_count(),
+            counters=self.network.counter_count(),
+            bit_vectors=self.network.bit_vector_count(),
             cam_arrays=bank.cam_arrays_used,
             pes=bank.pes_used,
             area_mm2=self._area.total_mm2,
             waste_mm2=self._area.waste_mm2,
+            opt_level=self._opt_level,
+            merged_stes=optimization.merged_stes if optimization else 0,
+            removed_nodes=optimization.removed_nodes if optimization else 0,
+            alphabet_classes=alphabet_classes,
         )
 
     def empty_match_rules(self) -> set[str]:
@@ -198,9 +328,7 @@ class RulesetMatcher:
         every offset; the hardware does not report those -- see the
         module docstring's semantics contract)."""
         return {
-            compiled.report_id
-            for compiled in self.ruleset.patterns
-            if compiled.matches_empty
+            meta.report_id for meta in self._rule_meta if meta.matches_empty
         }
 
     # -- scanning ------------------------------------------------------------
@@ -243,7 +371,7 @@ class RulesetMatcher:
             )
         if engine != "reference":
             raise ValueError(f"unknown engine {engine!r}")
-        sim = NetworkSimulator(self.ruleset.network)
+        sim = NetworkSimulator(self.network)
         sim.run(data)
         return self._result_from_reports(sim.distinct_reports(), len(data), sim.stats)
 

@@ -137,6 +137,101 @@ class Network:
             )
         return mapping
 
+    # -- surgery (used by the optimisation passes) ---------------------------
+    def remove_nodes(self, node_ids: Iterable[str]) -> None:
+        """Drop ``node_ids`` and every connection touching them."""
+        doomed = set(node_ids)
+        if not doomed:
+            return
+        missing = doomed - self.nodes.keys()
+        if missing:
+            raise KeyError(f"cannot remove unknown nodes {sorted(missing)}")
+        for node_id in doomed:
+            del self.nodes[node_id]
+        self.connections = [
+            c
+            for c in self.connections
+            if c.source not in doomed and c.target not in doomed
+        ]
+        self._conn_keys = {
+            (c.source, c.source_port, c.target, c.target_port)
+            for c in self.connections
+        }
+
+    def merge_nodes(self, mapping: dict[str, str]) -> None:
+        """Fold each key of ``mapping`` into its value.
+
+        Every connection endpoint naming a dropped node is redirected to
+        the kept node (chains like ``a -> b -> c`` resolve to ``c``);
+        duplicate connections produced by the redirect collapse.  The
+        caller guarantees the merged nodes are behaviourally identical
+        (same symbol set / start / report metadata) -- this method only
+        performs the graph surgery.
+        """
+        if not mapping:
+            return
+
+        def resolve(node_id: str) -> str:
+            seen = set()
+            while node_id in mapping:
+                if node_id in seen:
+                    raise ValueError(f"merge cycle through {node_id!r}")
+                seen.add(node_id)
+                node_id = mapping[node_id]
+            return node_id
+
+        for drop, keep in mapping.items():
+            if drop not in self.nodes or resolve(keep) not in self.nodes:
+                raise KeyError(f"unknown node in merge {drop!r} -> {keep!r}")
+        keys: set[tuple[str, str, str, str]] = set()
+        merged: list[Connection] = []
+        for conn in self.connections:
+            key = (
+                resolve(conn.source),
+                conn.source_port,
+                resolve(conn.target),
+                conn.target_port,
+            )
+            if key in keys:
+                continue
+            keys.add(key)
+            merged.append(Connection(*key))
+        for drop in mapping:
+            del self.nodes[drop]
+        self.connections = merged
+        self._conn_keys = keys
+
+    def rename_nodes(self, mapping: dict[str, str]) -> None:
+        """Give nodes new ids (order preserved, wiring rewritten)."""
+        if not mapping:
+            return
+        for old, new in mapping.items():
+            if old not in self.nodes:
+                raise KeyError(f"cannot rename unknown node {old!r}")
+            if new in self.nodes and new not in mapping:
+                raise ValueError(f"rename target id {new!r} already in use")
+        if len(set(mapping.values())) != len(mapping):
+            raise ValueError("rename targets collide")
+        renamed: dict[str, Node] = {}
+        for node_id, node in self.nodes.items():
+            new_id = mapping.get(node_id, node_id)
+            node.id = new_id
+            renamed[new_id] = node
+        self.nodes = renamed
+        self.connections = [
+            Connection(
+                mapping.get(c.source, c.source),
+                c.source_port,
+                mapping.get(c.target, c.target),
+                c.target_port,
+            )
+            for c in self.connections
+        ]
+        self._conn_keys = {
+            (c.source, c.source_port, c.target, c.target_port)
+            for c in self.connections
+        }
+
     def validate(self) -> None:
         """Structural sanity: counters/bit-vectors fully wired.
 

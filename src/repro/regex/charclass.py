@@ -198,6 +198,12 @@ class CharClass:
     def __eq__(self, other) -> bool:
         return isinstance(other, CharClass) and self.mask == other.mask
 
+    def __reduce__(self):
+        # The immutability guard in __setattr__ breaks the default
+        # slots-state pickling; rebuild from the mask instead (compiled
+        # networks are pickled by the ruleset cache and worker pools).
+        return (CharClass, (self.mask,))
+
     def __hash__(self) -> int:
         return hash(("CharClass", self.mask))
 

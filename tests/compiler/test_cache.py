@@ -1,0 +1,146 @@
+"""The persistent compiled-ruleset cache (repro.compiler.cache).
+
+Round-trip: save -> load -> identical scan results, with warm starts
+skipping compilation entirely.  Invalidation: any option or rule change
+(and any version skew or corruption) must miss, never poison.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.compiler import cache as cache_mod
+from repro.compiler.cache import (
+    load_artifact,
+    ruleset_cache_key,
+)
+from repro.matching import RulesetMatcher
+
+RULES = [
+    ("r1", r"ab{2,5}c"),
+    ("r2", r"ab{2,5}d"),
+    ("end", r"xyz$"),
+    ("nul", r"q*"),
+    ("bad", r"(a)\1"),
+]
+DATA = b"zabbbc abbd xyz abbbbd qqq xyz"
+
+
+class TestCacheKey:
+    def test_deterministic(self):
+        assert ruleset_cache_key(RULES) == ruleset_cache_key(list(RULES))
+
+    def test_rules_and_order_matter(self):
+        assert ruleset_cache_key(RULES) != ruleset_cache_key(RULES[:-1])
+        assert ruleset_cache_key(RULES) != ruleset_cache_key(RULES[::-1])
+
+    def test_every_option_invalidates(self):
+        base = ruleset_cache_key(RULES)
+        assert ruleset_cache_key(RULES, unfold_threshold=3) != base
+        assert ruleset_cache_key(RULES, method="exact") != base
+        assert ruleset_cache_key(RULES, strict_modules=False) != base
+        assert ruleset_cache_key(RULES, max_pairs=10) != base
+        assert ruleset_cache_key(RULES, bv_module_size=2000) != base
+        assert ruleset_cache_key(RULES, opt_level=1) != base
+
+    def test_rule_id_pattern_boundary_is_unambiguous(self):
+        # ("ab", "c") must not collide with ("a", "bc")
+        assert ruleset_cache_key([("ab", "c")]) != ruleset_cache_key([("a", "bc")])
+
+    def test_separator_bytes_in_rules_cannot_collide(self):
+        # regression: in-band \x00/\x01 framing let one rule containing
+        # the separators collide with two separate rules
+        assert ruleset_cache_key([("a", "b\x00c\x01d")]) != ruleset_cache_key(
+            [("a", "b"), ("c", "d")]
+        )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("opt_level", [0, 1])
+    def test_warm_start_scans_identically(self, tmp_path, opt_level):
+        cache_dir = str(tmp_path)
+        cold = RulesetMatcher(RULES, opt_level=opt_level, cache_dir=cache_dir)
+        assert not cold.compile_info.cache_hit
+        assert cold.compile_info.cache_path is not None
+        assert os.path.exists(cold.compile_info.cache_path)
+
+        warm = RulesetMatcher(RULES, opt_level=opt_level, cache_dir=cache_dir)
+        assert warm.compile_info.cache_hit
+        assert warm.ruleset is None  # no CompiledPatterns rebuilt
+        assert warm.scan(DATA) == cold.scan(DATA)
+        assert warm.scan_stream([DATA[:7], DATA[7:]]) == cold.scan(DATA)
+        assert warm.skipped == cold.skipped
+        assert warm.empty_match_rules() == cold.empty_match_rules()
+        assert warm.resources() == cold.resources()
+        # the reference engine still works from the cached network
+        assert warm.scan(DATA, engine="reference") == cold.scan(DATA)
+
+    def test_tables_ship_in_the_artifact(self, tmp_path):
+        cache_dir = str(tmp_path)
+        RulesetMatcher(RULES, cache_dir=cache_dir)
+        warm = RulesetMatcher(RULES, cache_dir=cache_dir)
+        # tables came off disk -- no lazy compile left to do
+        assert warm._tables is not None
+        assert warm.tables.n_classes >= 1
+
+    def test_sharded_matchers_cache_per_shard(self, tmp_path):
+        from repro.engine.parallel import ShardedMatcher
+
+        cache_dir = str(tmp_path)
+        cold = ShardedMatcher(RULES, shards=2, cache_dir=cache_dir)
+        warm = ShardedMatcher(RULES, shards=2, cache_dir=cache_dir)
+        assert all(not info.cache_hit for info in cold.compile_infos)
+        assert all(info.cache_hit for info in warm.compile_infos)
+        assert warm.scan(DATA) == cold.scan(DATA)
+
+
+class TestInvalidation:
+    def test_option_change_misses(self, tmp_path):
+        cache_dir = str(tmp_path)
+        RulesetMatcher(RULES, cache_dir=cache_dir)
+        changed = RulesetMatcher(RULES, opt_level=1, cache_dir=cache_dir)
+        assert not changed.compile_info.cache_hit
+        threshold = RulesetMatcher(
+            RULES, unfold_threshold=4, cache_dir=cache_dir
+        )
+        assert not threshold.compile_info.cache_hit
+
+    def test_rule_change_misses(self, tmp_path):
+        cache_dir = str(tmp_path)
+        RulesetMatcher(RULES, cache_dir=cache_dir)
+        other = RulesetMatcher(RULES[:-1], cache_dir=cache_dir)
+        assert not other.compile_info.cache_hit
+
+    def test_corrupt_artifact_recompiles(self, tmp_path):
+        cache_dir = str(tmp_path)
+        cold = RulesetMatcher(RULES, cache_dir=cache_dir)
+        path = cold.compile_info.cache_path
+        with open(path, "wb") as handle:
+            handle.write(b"not a pickle")
+        recovered = RulesetMatcher(RULES, cache_dir=cache_dir)
+        assert not recovered.compile_info.cache_hit
+        assert recovered.scan(DATA) == cold.scan(DATA)
+        # ... and the overwrite repaired the entry
+        assert RulesetMatcher(RULES, cache_dir=cache_dir).compile_info.cache_hit
+
+    def test_foreign_pickle_is_a_miss(self, tmp_path):
+        cache_dir = str(tmp_path)
+        cold = RulesetMatcher(RULES, cache_dir=cache_dir)
+        with open(cold.compile_info.cache_path, "wb") as handle:
+            pickle.dump({"not": "an artifact"}, handle)
+        assert not RulesetMatcher(RULES, cache_dir=cache_dir).compile_info.cache_hit
+
+    def test_version_skew_is_a_miss(self, tmp_path, monkeypatch):
+        cache_dir = str(tmp_path)
+        cold = RulesetMatcher(RULES, cache_dir=cache_dir)
+        key = os.path.basename(cold.compile_info.cache_path)[len("ruleset-"):-len(".pkl")]
+        assert load_artifact(cache_dir, key) is not None
+        monkeypatch.setattr(cache_mod, "CACHE_VERSION", cache_mod.CACHE_VERSION + 1)
+        assert load_artifact(cache_dir, key) is None
+
+    def test_missing_dir_is_a_miss_not_an_error(self, tmp_path):
+        missing = str(tmp_path / "nowhere")
+        matcher = RulesetMatcher(RULES, cache_dir=missing)
+        assert not matcher.compile_info.cache_hit
+        assert os.path.isdir(missing)  # created on save

@@ -93,3 +93,24 @@ class TestCompileRuleset:
         counts = rs.decision_counts()
         assert counts[Decision.COUNTER] == 1
         assert counts[Decision.BITVECTOR] == 1
+
+    def test_duplicate_rule_ids_skip_instead_of_crash(self):
+        # regression: two rules sharing a rule_id used to escape as an
+        # uncaught ValueError ("duplicate node id") from the shared
+        # network's id namespace
+        rs = compile_ruleset([("dup", "abc"), ("dup", "xyz"), ("ok", "q")])
+        assert [p.report_id for p in rs.patterns] == ["dup", "ok"]
+        assert len(rs.skipped) == 1
+        rule_id, reason = rs.skipped[0]
+        assert rule_id == "dup"
+        assert "duplicate rule id" in reason
+        # the first occurrence won: 'abc' matches, 'xyz' does not
+        from repro.engine.scanner import scan_bytes
+
+        assert scan_bytes(rs.network, b"abc xyz").reports == {(3, "dup")}
+
+    def test_duplicate_ids_among_bare_strings_are_impossible(self):
+        # positional ids are unique by construction
+        rs = compile_ruleset(["ab", "ab"])
+        assert len(rs.patterns) == 2
+        assert not rs.skipped

@@ -125,12 +125,33 @@ def test_tables_are_picklable():
 def test_match_masks_cover_symbol_sets():
     compiled = compile_pattern(r"[a-f]{2,4}[^a-f]", report_id="p")
     tables = compile_tables(compiled.network)
-    assert len(tables.match_masks) == 256
+    # the alphabet collapses to the classes the STEs distinguish:
+    # [a-f] vs [^a-f] -> 2 classes, indexed through the 256-byte map
+    assert len(tables.byte_class) == 256
+    assert tables.n_classes == 2
+    assert len(tables.match_masks) == tables.n_classes
     for i, ste in enumerate(compiled.network.stes()):
         assert ste.id == tables.ste_ids[i]
         for byte in range(256):
             expected = byte in ste.symbol_set
-            assert bool(tables.match_masks[byte] >> i & 1) == expected
+            assert bool(tables.match_mask_for(byte) >> i & 1) == expected
+
+
+def test_alphabet_class_map_is_consistent():
+    """Bytes in one class are matched by exactly the same STEs."""
+    compiled = compile_pattern(r"(GET|POST) /[a-z0-9]{1,12}", report_id="p")
+    tables = compile_tables(compiled.network)
+    assert 1 <= tables.n_classes <= 256
+    signatures = {}
+    for byte in range(256):
+        signatures.setdefault(tables.byte_class[byte], set()).add(
+            tables.match_mask_for(byte)
+        )
+    # every class maps to exactly one mask, and distinct classes to
+    # distinct masks (the partition is as coarse as possible)
+    assert all(len(masks) == 1 for masks in signatures.values())
+    distinct = {masks.pop() for masks in signatures.values()}
+    assert len(distinct) == tables.n_classes
 
 
 def test_feed_after_finish_raises():

@@ -58,7 +58,15 @@ class TestScan:
         assert main(["scan", "--rules", str(rules), "--input", str(data)]) == 0
         captured = capsys.readouterr()
         assert "hit: 1 match(es) at [5]" in captured.out
+        # non-verbose mode summarizes skips; --verbose names the rules
+        assert "skipped 1 rule(s)" in captured.err
+        assert main(
+            ["scan", "--rules", str(rules), "--input", str(data), "--verbose"]
+        ) == 0
+        captured = capsys.readouterr()
         assert "skipped broken" in captured.err
+        assert "compiled in" in captured.err
+        assert "-O0" in captured.out
 
     def test_no_matches(self, tmp_path, capsys):
         rules = tmp_path / "rules.txt"
@@ -117,6 +125,74 @@ class TestScan:
         assert "a: 1 match(es)" in out
         assert "b: 1 match(es)" in out
         assert "c: 1 match(es)" in out
+
+
+class TestCompileRulesAndCache:
+    def test_compile_rules_to_cache_then_warm_scan(self, tmp_path, capsys):
+        rules = tmp_path / "rules.txt"
+        rules.write_text("r1\tabcX\nr2\tabcY\n")
+        data = tmp_path / "data.bin"
+        data.write_bytes(b"zzabcX abcY")
+        cache = str(tmp_path / "cache")
+        assert (
+            main(
+                ["compile", "--rules", str(rules), "--cache-dir", cache, "-O", "1"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fresh compile, -O1" in out
+        assert "STEs merged" in out
+        # the scan warm-starts from the artifact compile just wrote
+        assert (
+            main(
+                [
+                    "scan",
+                    "--rules",
+                    str(rules),
+                    "--input",
+                    str(data),
+                    "--cache-dir",
+                    cache,
+                    "-O",
+                    "1",
+                    "--verbose",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "cache hit (warm start)" in captured.err
+        assert "r1: 1 match(es)" in captured.out
+        assert "r2: 1 match(es)" in captured.out
+
+    def test_compile_without_pattern_or_rules_errors(self, capsys):
+        assert main(["compile"]) == 2
+        assert "provide a pattern or --rules" in capsys.readouterr().err
+
+    def test_compile_pattern_with_cache_dir_errors(self, tmp_path, capsys):
+        # --cache-dir only applies to rulesets; silently ignoring it
+        # would leave users believing an artifact was written
+        assert (
+            main(["compile", "abc", "--cache-dir", str(tmp_path / "c")]) == 2
+        )
+        assert "--cache-dir requires --rules" in capsys.readouterr().err
+
+    def test_scan_optimized_matches_unoptimized(self, tmp_path, capsys):
+        rules = tmp_path / "rules.txt"
+        rules.write_text("p\tab{2,4}c\nq\tabd\nr\tabe$\n")
+        data = tmp_path / "data.bin"
+        data.write_bytes(b"zabbbc abd abe")
+        for opt in ("0", "1"):
+            assert (
+                main(
+                    ["scan", "--rules", str(rules), "--input", str(data), "-O", opt]
+                )
+                == 0
+            )
+        first, second = capsys.readouterr().out.split("scanned", 2)[1:]
+        # identical match lines at every opt level (resource line differs)
+        assert first.split("\n")[1:] == second.split("\n")[1:]
 
 
 class TestCensusAndReport:
