@@ -27,6 +27,7 @@ import time
 import pytest
 
 from repro.compiler.pipeline import compile_ruleset
+from repro.engine.backends import available_backends, get_backend, resolve_backend
 from repro.engine.scanner import StreamScanner
 from repro.engine.tables import compile_tables, table_stats
 from repro.hardware.cost import savings_of_mappings
@@ -36,11 +37,17 @@ from repro.matching import RulesetMatcher
 from repro.workloads.inputs import plant_matches, stream_for_style
 from repro.workloads.synth import snort_like
 
-from conftest import save_json, save_report
+from conftest import save_json, save_report, update_json
 
 SPEEDUP_FLOOR = 5.0
+#: acceptance floor for the NumPy block backend over the scalar stream
+#: interpreter on the STE-only (fully unfolded) suite
+BLOCK_SPEEDUP_FLOOR = 2.0
 STREAM_BYTES = 120_000
 CHUNK = 1 << 14
+#: the reference simulator is orders of magnitude slower on the
+#: unfolded network -- time it on a prefix and verify reports there
+REFERENCE_SLICE = 24_576
 
 
 @pytest.fixture(scope="module")
@@ -204,6 +211,106 @@ def test_warm_start_skips_compilation(workload):
         warm = RulesetMatcher(rules, opt_level=1, cache_dir=cache_dir)
         assert warm.compile_info.cache_hit
         assert warm.compile_info.seconds < cold.compile_info.seconds
+
+
+@pytest.fixture(scope="module")
+def ste_only_workload():
+    """The same Snort-style suite with every counting construct
+    unfolded into STE chains: the module-free common case the block
+    backend is built for."""
+    suite = snort_like(total=40, seed=7)
+    ruleset = compile_ruleset(suite.patterns(), unfold_threshold=float("inf"))
+    tables = compile_tables(ruleset.network)
+    background = stream_for_style(suite.input_style, STREAM_BYTES, seed=5)
+    data = plant_matches(background, [r.pattern for r in suite.rules], seed=6)
+    return tables, data
+
+
+def test_backend_throughput_matrix(ste_only_workload):
+    """Per-backend bytes/sec on the STE-only suite, archived to
+    BENCH_engine.json; asserts identical reports across all registered
+    backends and the block backend's >= 2x floor over stream."""
+    tables, data = ste_only_workload
+    assert tables.n_modules == 0  # the STE-only suite really is STE-only
+
+    matrix: dict = {}
+    report_sets: dict = {}
+    for info in available_backends():
+        if not info.available:
+            matrix[info.name] = {
+                "available": False,
+                "reason": info.unavailable_reason,
+            }
+            continue
+        sample = data[:REFERENCE_SLICE] if info.name == "reference" else data
+        scanner = get_backend(info.name).make_scanner(tables)
+
+        def run(scanner=scanner, sample=sample):
+            scanner.reset()
+            for offset in range(0, len(sample), CHUNK):
+                scanner.feed(sample[offset : offset + CHUNK])
+            scanner.finish()
+
+        elapsed = _time(run)
+        matrix[info.name] = {
+            "available": True,
+            "bytes": len(sample),
+            "bps": len(sample) / elapsed,
+            "stats_exact": info.stats_exact,
+        }
+        report_sets[info.name] = set(scanner.reports)
+
+    # identical reports everywhere: full-stream across the fast
+    # backends, and on the timed prefix for the reference oracle
+    # (streaming reports at position p depend only on the first p bytes)
+    want = report_sets["stream"]
+    want_prefix = {pair for pair in want if pair[0] <= REFERENCE_SLICE}
+    for name, reports in report_sets.items():
+        if name == "reference":
+            assert reports == want_prefix, name
+        else:
+            assert reports == want, name
+
+    auto_choice = resolve_backend("auto", tables).name
+    block = matrix.get("block", {})
+    block_speedup = (
+        block["bps"] / matrix["stream"]["bps"] if block.get("available") else None
+    )
+    update_json(
+        "engine",
+        {
+            "backends_ste_only": {
+                "stream_bytes": len(data),
+                "chunk_bytes": CHUNK,
+                "n_stes": tables.n_stes,
+                "auto_choice": auto_choice,
+                "block_speedup_floor": BLOCK_SPEEDUP_FLOOR,
+                "block_speedup_vs_stream": block_speedup,
+                "matrix": matrix,
+            }
+        },
+    )
+    lines = [
+        f"Backend throughput (STE-only Snort-style suite, {tables.n_stes} STEs, "
+        f"{len(data)} bytes, auto -> {auto_choice})"
+    ]
+    for name, row in matrix.items():
+        if row.get("available"):
+            lines.append(f"  {name:<10}: {row['bps'] / 1e3:9.1f} KB/s ({row['bytes']} B)")
+        else:
+            lines.append(f"  {name:<10}: unavailable ({row['reason']})")
+    if block_speedup is not None:
+        lines.append(
+            f"  block / stream: {block_speedup:.2f}x (floor {BLOCK_SPEEDUP_FLOOR}x)"
+        )
+    save_report("engine_backends", "\n".join(lines))
+
+    if block.get("available"):
+        assert auto_choice == "block"
+        assert block_speedup >= BLOCK_SPEEDUP_FLOOR, "\n".join(lines)
+    else:
+        # graceful degradation: auto serves the suite on the interpreter
+        assert auto_choice == "stream"
 
 
 def test_table_engine_throughput(benchmark, workload):

@@ -32,3 +32,18 @@ def save_json(name: str, payload: dict) -> str:
         handle.write("\n")
     print(f"[json saved to {path}]")
     return path
+
+
+def update_json(name: str, payload: dict) -> str:
+    """Merge ``payload``'s top-level keys into ``BENCH_<name>.json``,
+    so independent benchmark tests can contribute sections to one
+    artifact without clobbering each other."""
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    merged: dict = {}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            merged = json.load(handle)
+    except (FileNotFoundError, ValueError):
+        pass
+    merged.update(payload)
+    return save_json(name, merged)

@@ -17,10 +17,12 @@ The library spans the paper's whole stack:
   mapping;
 * :mod:`repro.hardware` -- the augmented-CAMA functional simulator and
   the Table 2 energy/delay/area cost model;
-* :mod:`repro.engine` -- the table-driven streaming scan engine
-  (precompiled transition tables, chunked ``feed``/``finish``
-  scanning, batch/sharded front-ends); report- and stats-equivalent to
-  the reference simulator;
+* :mod:`repro.engine` -- the streaming scan engine: precompiled
+  transition tables, the pluggable execution-backend registry
+  (``"stream"`` scalar interpreter, ``"block"`` NumPy vectorized
+  scanner, ``"reference"`` simulator, ``"auto"`` selection), chunked
+  ``feed``/``finish`` scanning, batch/sharded front-ends; every
+  backend report- and stats-equivalent to the reference simulator;
 * :mod:`repro.workloads` -- synthetic Snort/Suricata/Protomata/
   SpamAssassin/ClamAV-style suites and input streams;
 * :mod:`repro.experiments` -- drivers regenerating every table and
@@ -54,11 +56,17 @@ from .compiler import (
 )
 from .compiler.mapping import NetworkMapping, map_network
 from .engine import (
+    Backend,
+    BackendInfo,
+    BlockScanner,
     ShardedMatcher,
     StreamScanner,
     TransitionTables,
+    available_backends,
     compile_tables,
     merge_scan_results,
+    register_backend,
+    resolve_backend,
 )
 from .hardware import (
     BIT_VECTOR,
@@ -126,8 +134,15 @@ __all__ = [
     "TransitionTables",
     "compile_tables",
     "StreamScanner",
+    "BlockScanner",
     "ShardedMatcher",
     "merge_scan_results",
+    # execution backends
+    "Backend",
+    "BackendInfo",
+    "available_backends",
+    "register_backend",
+    "resolve_backend",
     # high-level facade
     "RulesetMatcher",
     "PatternMatcher",

@@ -7,10 +7,11 @@ Commands mirror the toolchain stages:
   file (``--rules``) into the persistent ruleset cache
   (``--cache-dir``) so later ``scan`` runs warm-start;
 * ``scan``     -- stream a file (or stdin) through a rule set in chunks
-  on the table-driven engine (optionally sharded, or on the reference
-  simulator); ``-O1`` enables the optimisation passes, ``--cache-dir``
-  reuses/creates cached compilations, ``--verbose`` reports compile/
-  cache timing and per-rule skip reasons;
+  on a registry-selected execution backend (``--engine auto`` picks the
+  fastest available; optionally sharded); ``-O1`` enables the
+  optimisation passes, ``--cache-dir`` reuses/creates cached
+  compilations, ``--verbose`` reports backend availability, compile/
+  cache timing, and per-rule skip reasons;
 * ``census``   -- Table 1-style census of a synthetic suite;
 * ``report``   -- regenerate one of the paper's tables/figures.
 
@@ -27,6 +28,12 @@ from typing import Optional, Sequence
 from .analysis.hybrid import analyze_pattern
 from .compiler.mapping import map_network
 from .compiler.pipeline import compile_pattern
+from .engine.backends import (
+    AUTO_ENGINE,
+    BackendUnavailable,
+    available_backends,
+    engine_choices,
+)
 from .engine.parallel import ShardedMatcher
 from .hardware.cost import area_of_mapping
 from .matching import RulesetMatcher
@@ -102,10 +109,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_scan.add_argument(
         "--engine",
-        choices=["table", "reference"],
-        default="table",
-        help="table = precompiled fast path (streaming); "
-        "reference = node-by-node simulator (buffers the whole input)",
+        choices=engine_choices(),
+        default=AUTO_ENGINE,
+        help="execution backend (from the backend registry): auto = "
+        "fastest available backend for the compiled ruleset; "
+        "stream/table = scalar interpreter; block = NumPy vectorized "
+        "block scanner (if numpy is installed); reference = "
+        "node-by-node simulator",
     )
     p_scan.add_argument(
         "--shards",
@@ -272,12 +282,19 @@ def _cmd_scan(args) -> int:
         opt_level=args.opt_level,
         cache_dir=args.cache_dir,
     )
-    if args.shards > 1:
-        matcher = ShardedMatcher(rules, shards=args.shards, **options)
-        infos = matcher.compile_infos
-    else:
-        matcher = RulesetMatcher(rules, **options)
-        infos = [matcher.compile_info]
+    try:
+        if args.shards > 1:
+            matcher = ShardedMatcher(rules, shards=args.shards, **options)
+            infos = matcher.compile_infos
+        else:
+            matcher = RulesetMatcher(rules, **options)
+            infos = [matcher.compile_info]
+    except BackendUnavailable as exc:
+        # e.g. --engine block without numpy: a clean message, not a
+        # traceback (argparse offers every registered name regardless
+        # of availability)
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.verbose:
         for index, info in enumerate(infos):
             shard = f"shard {index}: " if len(infos) > 1 else ""
@@ -296,13 +313,16 @@ def _cmd_scan(args) -> int:
             file=sys.stderr,
         )
 
+    if args.verbose:
+        for info in available_backends():
+            status = "available" if info.available else f"unavailable ({info.unavailable_reason})"
+            print(f"backend {info.name}: {status}", file=sys.stderr)
+
     handle = sys.stdin.buffer if args.input == "-" else open(args.input, "rb")
     try:
-        if args.engine == "reference":
-            # the reference simulator has no streaming entry point
-            result = matcher.scan(handle.read())
-        else:
-            result = matcher.scan_stream(_chunks(handle, max(1, args.chunk_size)))
+        # every registered backend streams, so one entry point serves
+        # all --engine choices (including reference and auto)
+        result = matcher.scan_stream(_chunks(handle, max(1, args.chunk_size)))
     finally:
         if handle is not sys.stdin.buffer:
             handle.close()

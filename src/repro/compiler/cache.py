@@ -24,7 +24,7 @@ import hashlib
 import os
 import pickle
 import tempfile
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
@@ -44,7 +44,9 @@ __all__ = [
 
 #: Bump whenever the pickled layout (or anything it transitively
 #: contains) changes shape; old artifacts then miss cleanly.
-CACHE_VERSION = 1
+#: v2: ``TransitionTables`` gained ``network`` (the reference backend
+#: resolves anywhere tables travel) and artifacts record ``backends``.
+CACHE_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -74,6 +76,12 @@ class RulesetArtifact:
     skipped: list[tuple[str, str]]
     opt_level: int
     optimization: Optional["OptimizationReport"]
+    #: canonical names of the execution backends the tables were
+    #: validated against (available + applicable) when this artifact
+    #: was written -- provenance for "can a warm start serve engine X
+    #: the way the compiling process did", surfaced as
+    #: ``RulesetMatcher.validated_backends``
+    backends: list[str] = field(default_factory=list)
 
 
 def ruleset_cache_key(

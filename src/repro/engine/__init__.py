@@ -7,17 +7,35 @@ package is the software analogue of that split:
 
 * :mod:`repro.engine.tables` -- lower a compiled network into dense
   integer transition tables (:func:`compile_tables`);
-* :mod:`repro.engine.scanner` -- :class:`StreamScanner`, the chunked
-  streaming executor over those tables (``feed``/``finish``);
+* :mod:`repro.engine.scanner` -- :class:`StreamScanner`, the scalar
+  chunked streaming interpreter over those tables (``feed``/``finish``);
+* :mod:`repro.engine.block` -- :class:`BlockScanner`, the NumPy
+  bit-parallel block scanner (optional dependency);
+* :mod:`repro.engine.backends` -- the pluggable execution-backend
+  subsystem: a registry mapping engine names (``"stream"``,
+  ``"block"``, ``"reference"``, plus ``"auto"`` selection) to scanner
+  factories, shared by the facade, the parallel front-ends, and the
+  CLI;
 * :mod:`repro.engine.parallel` -- batch scanning over worker processes
   and round-robin ruleset sharding with merged results.
 
 :class:`~repro.hardware.simulator.NetworkSimulator` remains the
-reference semantics; the engine's contract is exact report- and
-stats-equivalence with it (see ``tests/engine/`` and
+reference semantics; every backend's contract is exact
+report-equivalence with it (see ``tests/engine/`` and
 ``docs/ARCHITECTURE.md``).
 """
 
+from .backends import (
+    Backend,
+    BackendInfo,
+    BackendUnavailable,
+    available_backends,
+    backend_names,
+    engine_choices,
+    register_backend,
+    resolve_backend,
+)
+from .block import BlockScanner
 from .parallel import ShardedMatcher, merge_scan_results, scan_streams, shard_rules
 from .scanner import StreamScanner, scan_bytes
 from .tables import TransitionTables, compile_tables
@@ -26,9 +44,18 @@ __all__ = [
     "TransitionTables",
     "compile_tables",
     "StreamScanner",
+    "BlockScanner",
     "scan_bytes",
     "ShardedMatcher",
     "merge_scan_results",
     "scan_streams",
     "shard_rules",
+    "Backend",
+    "BackendInfo",
+    "BackendUnavailable",
+    "available_backends",
+    "backend_names",
+    "engine_choices",
+    "register_backend",
+    "resolve_backend",
 ]

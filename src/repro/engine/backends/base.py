@@ -1,0 +1,115 @@
+"""The execution-backend protocol.
+
+A *backend* is a named strategy for executing one compiled
+:class:`~repro.engine.tables.TransitionTables`: it advertises its
+capabilities (availability, stats guarantees, streaming support) and
+manufactures *scanners*.  A scanner is anything with the
+:class:`~repro.engine.scanner.StreamScanner` streaming surface::
+
+    scanner.feed(chunk) -> list[(position, report_id)]   # new reports
+    scanner.finish()    -> set[(position, report_id)]    # distinct set
+    scanner.reset()
+    scanner.reports     # distinct (position, report_id) pairs so far
+    scanner.stats       # hardware ActivityStats
+    scanner.bytes_fed   # stream offset
+
+All backends share one semantics contract: identical distinct report
+sets to the reference :class:`~repro.hardware.simulator.NetworkSimulator`
+on every input and chunking.  Backends with :attr:`Backend.stats_exact`
+additionally guarantee :class:`~repro.hardware.simulator.ActivityStats`
+equivalence (``ActivityStats.equivalent``), so energy pricing is
+backend-independent.
+
+Concrete backends register with
+:func:`~repro.engine.backends.registry.register_backend`; consumers
+resolve by name (or ``"auto"``) through
+:func:`~repro.engine.backends.registry.resolve_backend`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Optional
+
+from ..tables import TransitionTables
+
+__all__ = ["Backend", "BackendInfo", "BackendUnavailable"]
+
+
+class BackendUnavailable(ValueError):
+    """Raised when a named backend exists but cannot run here (for
+    example ``"block"`` without NumPy).  A :class:`ValueError` so that
+    facade callers can treat bad and unusable engine names uniformly."""
+
+
+@dataclass(frozen=True)
+class BackendInfo:
+    """Introspection snapshot of one registered backend."""
+
+    name: str
+    aliases: tuple[str, ...]
+    description: str
+    #: importable/usable in this process right now?
+    available: bool
+    #: why not, when ``available`` is False
+    unavailable_reason: Optional[str]
+    #: guarantees ActivityStats equivalence with the reference
+    stats_exact: bool
+    #: consumes chunks incrementally (no whole-stream buffering)
+    streaming: bool
+
+
+class Backend(ABC):
+    """One execution strategy over compiled transition tables."""
+
+    #: canonical registry name (``matcher.scan(engine=<name>)``)
+    name: str = ""
+    #: accepted alternate names (kept for backwards compatibility)
+    aliases: tuple[str, ...] = ()
+    #: one-line capability summary for docs/CLI
+    description: str = ""
+    #: ActivityStats identical to the reference simulator?
+    stats_exact: bool = True
+    #: feeds chunks incrementally?
+    streaming: bool = True
+
+    def availability(self) -> tuple[bool, Optional[str]]:
+        """``(available, reason-if-not)`` in this process."""
+        return True, None
+
+    @property
+    def available(self) -> bool:
+        return self.availability()[0]
+
+    def applicable(self, tables: TransitionTables) -> bool:
+        """Can :meth:`make_scanner` serve these particular tables?"""
+        return True
+
+    def auto_priority(self, tables: TransitionTables) -> Optional[int]:
+        """Rank for ``engine="auto"`` selection over ``tables``.
+
+        Higher wins; ``None`` means "never pick me automatically"
+        (explicit selection still works).  Only consulted when the
+        backend is available and applicable.
+        """
+        return None
+
+    @abstractmethod
+    def make_scanner(self, tables: TransitionTables):
+        """A fresh scanner over ``tables`` (see module docstring)."""
+
+    def info(self) -> BackendInfo:
+        available, reason = self.availability()
+        return BackendInfo(
+            name=self.name,
+            aliases=self.aliases,
+            description=self.description,
+            available=available,
+            unavailable_reason=reason,
+            stats_exact=self.stats_exact,
+            streaming=self.streaming,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,50 @@
+"""The ``"block"`` backend: NumPy vectorized block sweeps.
+
+Wraps :class:`~repro.engine.block.BlockScanner`.  Availability is
+gated on the optional NumPy dependency -- when the import fails the
+registry reports the backend unavailable with the import error as the
+reason, and ``engine="auto"`` quietly degrades to ``"stream"``.
+
+The backend applies to *every* network (module-bearing blocks replay
+through the embedded scalar interpreter), but ``auto`` only prefers it
+where the sweeps actually pay off: module-free tables whose STE graph
+is acyclic up to self-loops -- the Snort/Suricata-style common case.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .. import block as block_engine
+from ..tables import TransitionTables
+from .base import Backend
+
+__all__ = ["BlockBackend"]
+
+
+class BlockBackend(Backend):
+    name = "block"
+    aliases = ()
+    description = (
+        "NumPy bit-parallel block scanner (vector sweeps on STE-only "
+        "activity, scalar replay around module activity)"
+    )
+    stats_exact = True
+    streaming = True
+
+    def availability(self) -> tuple[bool, Optional[str]]:
+        if block_engine.numpy_or_none() is None:
+            return False, block_engine.numpy_unavailable_reason()
+        return True, None
+
+    def auto_priority(self, tables: TransitionTables) -> Optional[int]:
+        if tables.n_modules != 0:
+            return None
+        # building the program also answers acyclicity; it is cached
+        # per tables object, so this is free after the first ask
+        if not block_engine._program_for(tables).vector_ok:
+            return None
+        return 30
+
+    def make_scanner(self, tables: TransitionTables) -> "block_engine.BlockScanner":
+        return block_engine.BlockScanner(tables)

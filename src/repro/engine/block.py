@@ -1,0 +1,455 @@
+"""NumPy bit-parallel block scanner (the ``"block"`` backend).
+
+:class:`~repro.engine.scanner.StreamScanner` interprets the transition
+tables one byte at a time; every byte pays Python dispatch for the
+enable/match/successor recurrence even though most of the work is
+embarrassingly data-parallel across input positions.  This module
+trades the per-byte loop for *per-block* vector sweeps, the same move
+GPU IDS engines make when they batch the byte->class indirection
+(Bellekens et al.): load a block of input, translate it to alphabet
+classes in one gather, then evaluate STE occupancy over the whole
+block with NumPy boolean lanes.
+
+How a block is scanned
+----------------------
+For a network whose per-cycle activity is STE-only, STE ``v``'s
+occupancy over a block is a boolean lane ``occ[v]`` (one element per
+input position) satisfying::
+
+    occ[v][t] = memb[v][t] and (always[v]
+                                or occ[u][t-1] for some predecessor u
+                                or carried enable at t == 0)
+
+where ``memb[v] = class_row[v][byte_class[block]]`` is one vectorized
+gather (shared by every STE with the same symbol set -- run chains
+share one row).  Evaluating STEs in topological order turns the whole
+recurrence into one shifted AND/OR per edge, and an STE whose
+occupancy lane is all-zero prunes its entire downstream cone for the
+block -- literal chains die after a couple of levels, which is where
+the asymptotic win over the scalar interpreter comes from.  Self-loop
+STEs (``a+``/``a*`` tails) stay vectorizable through the run-length
+closed form: the self-loop holds at ``t`` iff some enable arrived
+inside the current unbroken symbol run, i.e. ``last_enable_index >=
+run_start_index``, both one ``np.maximum.accumulate`` away.  Networks
+with longer feedback cycles fall back to the scalar interpreter
+outright (``vector_ok`` is False).
+
+Stats and reports are exact, not approximate: activations are
+``count_nonzero`` per occupancy lane, report events are the nonzero
+positions of reporting STEs' lanes, so the backend meets the same
+``ActivityStats``-exact contract as the scalar engine.
+
+Counter / bit-vector modules
+----------------------------
+Blocks are vector-scanned *optimistically*: module side effects can
+only begin at an STE that drives a module port (``ste_module_hooks``),
+and those STEs' occupancy lanes are computed by the sweep anyway.  If
+no hook STE fired in the block and every module was at rest when it
+started, the vector result is committed; otherwise the block is
+rescanned by the embedded scalar :class:`StreamScanner`, which owns
+all module state.  A streak of consecutive aborted sweeps (no commit
+in between) disables further vector attempts, so module-dense streams
+run at plain scalar speed instead of paying for doomed sweeps.
+
+NumPy is an optional dependency: importing this module never raises,
+and :func:`numpy_or_none` reports what the backend registry should say
+when the import failed.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Optional
+
+from ..mnrl.network import Network
+from .scanner import Chunk, StreamScanner, coerce_chunk
+from .tables import TransitionTables, compile_tables
+
+try:  # NumPy is optional: the registry degrades gracefully without it
+    import numpy as _np
+
+    _NUMPY_ERROR: Optional[str] = None
+except Exception as exc:  # pragma: no cover - exercised via monkeypatch
+    _np = None
+    _NUMPY_ERROR = f"{type(exc).__name__}: {exc}"
+
+__all__ = ["BlockScanner", "numpy_or_none", "numpy_unavailable_reason", "DEFAULT_BLOCK_SIZE"]
+
+#: Input positions evaluated per vector sweep.  Measured sweet spot on
+#: Snort-scale STE-only tables: large enough to amortize per-STE NumPy
+#: call overhead, small enough that occupancy lanes stay cache-resident.
+DEFAULT_BLOCK_SIZE = 16384
+
+#: Consecutive vector sweeps discarded (module activity detected, no
+#: commit in between) before BlockScanner stops attempting sweeps.
+_RESCAN_LIMIT = 8
+
+
+def numpy_or_none():
+    """The ``numpy`` module, or ``None`` when it cannot be imported."""
+    return _np
+
+
+def numpy_unavailable_reason() -> Optional[str]:
+    """Why NumPy is unavailable (``None`` when it imported fine)."""
+    if _np is None:
+        return _NUMPY_ERROR or "import numpy failed"
+    return None
+
+
+class _BlockProgram:
+    """Per-tables derived arrays shared by every :class:`BlockScanner`.
+
+    Building the STE graph and the class-row matrix is O(STEs + edges);
+    scanners over the same tables share one program via
+    :func:`_program_for`.
+    """
+
+    __slots__ = (
+        "vector_ok",
+        "pure",
+        "topo",
+        "preds",
+        "succ_lists",
+        "has_self",
+        "always_flag",
+        "start_flag",
+        "report_flag",
+        "hook_flag",
+        "always_list",
+        "start_list",
+        "row_of",
+        "uniq_rows",
+        "byte_class_arr",
+    )
+
+    def __init__(self, tables: TransitionTables):
+        np = _np
+        assert np is not None
+        n = tables.n_stes
+        succ = tables.succ_masks
+
+        preds: list[list[int]] = [[] for _ in range(n)]
+        succ_lists: list[list[int]] = [[] for _ in range(n)]
+        has_self = [False] * n
+        for i in range(n):
+            mask = succ[i]
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                j = low.bit_length() - 1
+                if j == i:
+                    has_self[i] = True
+                else:
+                    preds[j].append(i)
+                    succ_lists[i].append(j)
+
+        # Kahn topological order, self-loops excluded (they have a
+        # vectorized closed form); any longer cycle makes the block
+        # recurrence order-dependent and forces the scalar path.
+        indegree = [len(p) for p in preds]
+        queue = [i for i in range(n) if indegree[i] == 0]
+        topo: list[int] = []
+        while queue:
+            v = queue.pop()
+            topo.append(v)
+            for w in succ_lists[v]:
+                indegree[w] -= 1
+                if indegree[w] == 0:
+                    queue.append(w)
+        self.vector_ok = len(topo) == n and tables.const_enable_mask == 0
+        self.pure = tables.n_modules == 0
+        self.topo = topo
+        self.preds = preds
+        self.succ_lists = succ_lists
+        self.has_self = has_self
+
+        self.always_flag = _mask_flags(tables.always_mask, n)
+        self.start_flag = _mask_flags(tables.start_mask, n)
+        self.report_flag = _mask_flags(tables.report_ste_mask, n)
+        self.hook_flag = [hooks is not None for hooks in tables.ste_module_hooks]
+        self.always_list = [i for i in range(n) if self.always_flag[i]]
+        self.start_list = [i for i in range(n) if self.start_flag[i]]
+
+        # one bool row of n_classes per distinct symbol set; STEs with
+        # identical symbol sets (all copies of an unfolded run) share a
+        # row, so the per-block membership gather happens once per set
+        match_rows = np.zeros((max(n, 1), tables.n_classes or 1), dtype=bool)
+        for c, mask in enumerate(tables.match_masks):
+            m = mask
+            while m:
+                low = m & -m
+                m ^= low
+                match_rows[low.bit_length() - 1, c] = True
+        row_index: dict[bytes, int] = {}
+        self.row_of = [0] * n
+        for i in range(n):
+            key = match_rows[i].tobytes()
+            self.row_of[i] = row_index.setdefault(key, len(row_index))
+        self.uniq_rows = np.zeros((max(len(row_index), 1), tables.n_classes or 1), dtype=bool)
+        for i in range(n):
+            self.uniq_rows[self.row_of[i]] = match_rows[i]
+        self.byte_class_arr = np.frombuffer(tables.byte_class, dtype=np.uint8)
+
+
+def _mask_flags(mask: int, n: int) -> list[bool]:
+    return [bool((mask >> i) & 1) for i in range(n)]
+
+
+# Programs are cached per tables object (keyed by id, cleaned up by a
+# weakref finalizer) so repeated make_scanner calls over one compiled
+# ruleset -- the facade builds a scanner per scan -- do not rebuild
+# the graph.  TransitionTables is an eq-comparing dataclass and hence
+# unhashable, so a WeakKeyDictionary is not an option.
+_PROGRAMS: dict[int, _BlockProgram] = {}
+
+
+def _program_for(tables: TransitionTables) -> _BlockProgram:
+    key = id(tables)
+    program = _PROGRAMS.get(key)
+    if program is None:
+        program = _BlockProgram(tables)
+        _PROGRAMS[key] = program
+        weakref.finalize(tables, _PROGRAMS.pop, key, None)
+    return program
+
+
+class BlockScanner:
+    """Drop-in :class:`StreamScanner` replacement with block sweeps.
+
+    Same construction, streaming surface (``feed``/``finish``/
+    ``reset``), report set, and ``ActivityStats`` as the scalar
+    scanner; only the execution strategy differs.  ``feed`` returns the
+    chunk's newly observed reports ordered by position (the scalar
+    scanner's observation order is also position-ordered; ties between
+    simultaneous reports may interleave differently).
+
+    Raises :class:`RuntimeError` when NumPy is unavailable -- resolve
+    through :mod:`repro.engine.backends` to degrade gracefully instead.
+    """
+
+    def __init__(
+        self,
+        source: TransitionTables | Network,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ):
+        if _np is None:
+            raise RuntimeError(
+                f"BlockScanner requires numpy ({numpy_unavailable_reason()})"
+            )
+        if isinstance(source, Network):
+            source = compile_tables(source)
+        if block_size < 2:
+            raise ValueError(f"block_size must be >= 2, got {block_size}")
+        self.tables = source
+        self.block_size = block_size
+        self._scalar = StreamScanner(source)
+        self._program = _program_for(source)
+        #: total aborted sweeps (monotonic, introspection/tests)
+        self._rescans = 0
+        #: consecutive aborted sweeps since the last committed block
+        self._fruitless = 0
+        self._sweeps_disabled = False
+
+    # the embedded scalar scanner owns all mutable state, so fallback
+    # blocks and vector commits observe one single source of truth
+    @property
+    def reports(self):
+        """Distinct ``(position, report_id)`` pairs seen so far."""
+        return self._scalar.reports
+
+    @property
+    def stats(self):
+        return self._scalar.stats
+
+    @property
+    def bytes_fed(self) -> int:
+        return self._scalar.bytes_fed
+
+    def reset(self) -> None:
+        self._scalar.reset()
+        self._rescans = 0
+        self._fruitless = 0
+        self._sweeps_disabled = False
+
+    def finish(self):
+        """Mark end-of-stream; returns the distinct report set."""
+        return self._scalar.finish()
+
+    def feed(self, chunk: Chunk):
+        """Consume one chunk; return reports newly added by it."""
+        if self._scalar._finished:
+            raise RuntimeError("feed() after finish(); call reset() to rescan")
+        chunk = coerce_chunk(chunk)
+        program = self._program
+        if not program.vector_ok or self._sweeps_disabled:
+            return self._scalar.feed(chunk)
+
+        arr = _np.frombuffer(chunk, dtype=_np.uint8)
+        new: list[tuple[int, Optional[str]]] = []
+        length = len(arr)
+        offset = 0
+        block = self.block_size
+        while offset < length:
+            end = min(offset + block, length)
+            # modules holding state must see every byte: scalar block
+            if not program.pure and self._scalar._dirty:
+                new.extend(self._scalar.feed(chunk[offset:end]))
+            elif not self._vector_block(arr[offset:end], new):
+                # a module port was signalled mid-block: discard the
+                # sweep and replay the block through the interpreter
+                self._rescans += 1
+                self._fruitless += 1
+                new.extend(self._scalar.feed(chunk[offset:end]))
+                if self._fruitless >= _RESCAN_LIMIT:
+                    # module-dense phase: stop paying for doomed sweeps
+                    self._sweeps_disabled = True
+                    new.extend(self._scalar.feed(chunk[end:]))
+                    return new
+            offset = end
+        return new
+
+    # -- one-shot conveniences (mirror StreamScanner) ----------------------
+    def scan(self, data: Chunk):
+        """Reset, consume ``data`` as one chunk, finish."""
+        self.reset()
+        self.feed(data)
+        return self.finish()
+
+    def match_ends(self, data: Chunk) -> list[int]:
+        """Distinct report positions, for differential testing."""
+        self.scan(data)
+        return sorted({position for position, _ in self.reports})
+
+    # -- the vector sweep --------------------------------------------------
+    def _vector_block(self, arr, new: list) -> bool:
+        """Sweep one block; commit and return True, or detect module
+        activity and return False leaving all state untouched."""
+        np = _np
+        program = self._program
+        tables = self.tables
+        scalar = self._scalar
+        enabled = scalar._enabled
+        cycle = scalar._cycle
+        blen = len(arr)
+
+        cls = program.byte_class_arr[arr]
+        topo = program.topo
+        preds = program.preds
+        succ_lists = program.succ_lists
+        succ_masks = tables.succ_masks
+        has_self = program.has_self
+        always_flag = program.always_flag
+        start_flag = program.start_flag
+        report_flag = program.report_flag
+        hook_flag = program.hook_flag
+        row_of = program.row_of
+        uniq_rows = program.uniq_rows
+        rids = tables.ste_report_ids
+        at_start = cycle == 0
+
+        n = tables.n_stes
+        occ: list = [None] * n
+        needed = bytearray(n)
+        touched: list[int] = []
+        for v in program.always_list:
+            needed[v] = 1
+            touched.append(v)
+        if at_start:
+            for v in program.start_list:
+                if not needed[v]:
+                    needed[v] = 1
+                    touched.append(v)
+        mask = enabled
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            v = low.bit_length() - 1
+            if not needed[v]:
+                needed[v] = 1
+                touched.append(v)
+
+        memb_cache: dict = {}
+        idx = None
+        activations = 0
+        events = 0
+        found: list[tuple[int, Optional[str]]] = []
+        last_mask = 0
+        for v in topo:
+            if not needed[v]:
+                continue
+            row = row_of[v]
+            memb = memb_cache.get(row)
+            if memb is None:
+                memb = uniq_rows[row][cls]
+                memb_cache[row] = memb
+            entry = bool((enabled >> v) & 1) or (at_start and start_flag[v])
+            if always_flag[v]:
+                # enabled on every symbol: occupancy is plain membership
+                # (a self-loop adds nothing on top of ALL_INPUT)
+                lane = memb
+            else:
+                live = [occ[u] for u in preds[v] if occ[u] is not None]
+                if has_self[v]:
+                    # self-loop closed form: held at t iff some enable
+                    # arrived within the current unbroken symbol run
+                    if idx is None:
+                        idx = np.arange(blen)
+                    drive = np.zeros(blen, dtype=bool)
+                    drive[0] = entry
+                    for lane_u in live:
+                        np.logical_or(drive[1:], lane_u[:-1], out=drive[1:])
+                    run_start = np.maximum.accumulate(np.where(memb, 0, idx + 1))
+                    last_drive = np.maximum.accumulate(np.where(drive, idx, -1))
+                    lane = memb & (last_drive >= run_start)
+                elif len(live) == 1:
+                    lane = np.empty(blen, dtype=bool)
+                    np.logical_and(live[0][:-1], memb[1:], out=lane[1:])
+                    lane[0] = entry and bool(memb[0])
+                else:
+                    lane = np.zeros(blen, dtype=bool)
+                    lane[0] = entry
+                    for lane_u in live:
+                        np.logical_or(lane[1:], lane_u[:-1], out=lane[1:])
+                    np.logical_and(lane, memb, out=lane)
+            count = int(np.count_nonzero(lane))
+            if count == 0:
+                continue
+            if hook_flag[v]:
+                # this STE drives a counter/bit-vector port: the sweep's
+                # no-module-activity premise is broken for this block
+                return False
+            occ[v] = lane
+            activations += count
+            if report_flag[v]:
+                events += count
+                rid = rids[v]
+                base = cycle + 1
+                for position in np.flatnonzero(lane).tolist():
+                    found.append((base + position, rid))
+            if lane[-1]:
+                last_mask |= succ_masks[v]
+            for w in succ_lists[v]:
+                if not needed[w]:
+                    needed[w] = 1
+                    touched.append(w)
+
+        # commit: the block held no module activity, so the modules'
+        # rest state, pre latches, and counter registers are untouched
+        # -- exactly what the interpreter's skip path would have done
+        scalar._enabled = last_mask
+        scalar._cycle = cycle + blen
+        stats = scalar.stats
+        stats.cycles += blen
+        stats.ste_activations += activations
+        stats.reports += events
+        if found:
+            reports = scalar.reports
+            # by position only: report ids may mix None with str
+            found.sort(key=lambda pair: pair[0])
+            for pair in found:
+                if pair not in reports:
+                    reports.add(pair)
+                    new.append(pair)
+        self._fruitless = 0
+        return True

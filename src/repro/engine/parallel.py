@@ -18,9 +18,12 @@ traffic streams):
 
 Every shard's tables carry their own alphabet-class map (the partition
 is per-network, so a shard's scanners all share one 256-byte map plus
-``k`` class masks); compile options -- including ``opt_level`` and
-``cache_dir`` for the persistent ruleset cache -- forward to each
-shard's matcher unchanged.
+``k`` class masks); compile options -- including ``opt_level``,
+``cache_dir`` for the persistent ruleset cache, and ``engine`` (an
+execution-backend name from :mod:`repro.engine.backends`, or
+``"auto"``) -- forward to each shard's matcher unchanged, and the
+backend *name* ships to worker processes, which re-resolve it against
+their own registry per shard.
 
 Process pools are best-effort: ``processes <= 1``, pool start-up
 failure, or unpicklable platforms silently fall back to in-process
@@ -32,7 +35,8 @@ from __future__ import annotations
 from typing import Iterable, Optional, Sequence, TYPE_CHECKING
 
 from ..hardware.simulator import ActivityStats
-from .scanner import StreamScanner
+from .backends import AUTO_ENGINE, resolve_backend
+from .scanner import Chunk, coerce_chunk
 from .tables import TransitionTables
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -63,17 +67,22 @@ def shard_rules(
 
 # -- worker plumbing -------------------------------------------------------
 _WORKER_TABLES: Optional[list[TransitionTables]] = None
+_WORKER_ENGINE: str = AUTO_ENGINE
 
 
-def _pool_init(tables_list: list[TransitionTables]) -> None:
-    global _WORKER_TABLES
+def _pool_init(tables_list: list[TransitionTables], engine: str = AUTO_ENGINE) -> None:
+    global _WORKER_TABLES, _WORKER_ENGINE
     _WORKER_TABLES = tables_list
+    _WORKER_ENGINE = engine
 
 
 def _pool_scan(task: tuple[int, int, bytes]):
     shard_index, stream_index, data = task
     assert _WORKER_TABLES is not None
-    scanner = StreamScanner(_WORKER_TABLES[shard_index])
+    tables = _WORKER_TABLES[shard_index]
+    # resolved per task against this shard's tables: "auto" may pick a
+    # different backend per shard (one shard module-free, one not)
+    scanner = resolve_backend(_WORKER_ENGINE, tables).make_scanner(tables)
     scanner.feed(data)
     scanner.finish()
     return shard_index, stream_index, len(data), scanner.reports, scanner.stats
@@ -81,8 +90,9 @@ def _pool_scan(task: tuple[int, int, bytes]):
 
 def scan_streams(
     tables_list: Sequence[TransitionTables],
-    streams: Sequence[bytes | str],
+    streams: Sequence[Chunk],
     processes: int = 0,
+    engine: str = AUTO_ENGINE,
 ) -> list[list[tuple[int, set, ActivityStats]]]:
     """Scan every stream against every shard's tables.
 
@@ -90,11 +100,12 @@ def scan_streams(
     ``(bytes_scanned, distinct reports, stats)``.  With
     ``processes > 1`` the (shard, stream) grid is fanned over a process
     pool; otherwise (or if the pool cannot start) it runs serially.
+    ``engine`` is any registry name (or ``"auto"``); the choice ships
+    to the workers, which resolve it against their own registry.
     """
-    payloads = [
-        stream.encode("latin-1") if isinstance(stream, str) else bytes(stream)
-        for stream in streams
-    ]
+    if engine != AUTO_ENGINE:
+        resolve_backend(engine)  # fail fast on unknown/unavailable names
+    payloads = [bytes(coerce_chunk(stream)) for stream in streams]
     tasks = [
         (shard_index, stream_index, data)
         for stream_index, data in enumerate(payloads)
@@ -102,9 +113,9 @@ def scan_streams(
     ]
     outcomes = None
     if processes > 1 and len(tasks) > 1:
-        outcomes = _run_pool(list(tables_list), tasks, processes)
+        outcomes = _run_pool(list(tables_list), tasks, processes, engine)
     if outcomes is None:
-        _pool_init(list(tables_list))
+        _pool_init(list(tables_list), engine)
         outcomes = [_pool_scan(task) for task in tasks]
 
     results: list[list] = [[None] * len(tables_list) for _ in payloads]
@@ -113,14 +124,14 @@ def scan_streams(
     return results
 
 
-def _run_pool(tables_list, tasks, processes):
+def _run_pool(tables_list, tasks, processes, engine):
     try:
         from concurrent.futures import ProcessPoolExecutor
 
         with ProcessPoolExecutor(
             max_workers=processes,
             initializer=_pool_init,
-            initargs=(tables_list,),
+            initargs=(tables_list, engine),
         ) as pool:
             return list(pool.map(_pool_scan, tasks))
     except Exception:
@@ -179,6 +190,9 @@ class ShardedMatcher:
         from ..matching import RulesetMatcher
 
         self.processes = processes
+        #: default execution backend, forwarded to every shard and to
+        #: worker processes (any registry name, or "auto")
+        self.engine: str = kwargs.get("engine", AUTO_ENGINE)
         # Deduplicate rule ids *before* sharding: round-robin would
         # otherwise scatter duplicates across shards where no single
         # compile_ruleset call can see the collision, silently
@@ -223,13 +237,22 @@ class ShardedMatcher:
             alphabet_classes=sum(p.alphabet_classes for p in parts),
         )
 
-    def scan(self, data: bytes | str) -> "ScanResult":
-        return merge_scan_results([shard.scan(data) for shard in self.shards])
+    def scan(self, data: Chunk, engine: Optional[str] = None) -> "ScanResult":
+        engine = engine or self.engine
+        return merge_scan_results(
+            [shard.scan(data, engine=engine) for shard in self.shards]
+        )
 
-    def scan_stream(self, chunks: Iterable[bytes | str]) -> "ScanResult":
+    def scan_stream(
+        self, chunks: Iterable[Chunk], engine: Optional[str] = None
+    ) -> "ScanResult":
         """Feed one stream of chunks through every shard in lockstep
         (the chunk iterable is consumed exactly once)."""
-        scanners = [StreamScanner(shard.tables) for shard in self.shards]
+        engine = engine or self.engine
+        scanners = [
+            resolve_backend(engine, shard.tables).make_scanner(shard.tables)
+            for shard in self.shards
+        ]
         for chunk in chunks:
             for scanner in scanners:
                 scanner.feed(chunk)
@@ -244,13 +267,19 @@ class ShardedMatcher:
         return merge_scan_results(results)
 
     def scan_many(
-        self, streams: Sequence[bytes | str], processes: Optional[int] = None
+        self,
+        streams: Sequence[Chunk],
+        processes: Optional[int] = None,
+        engine: Optional[str] = None,
     ) -> list["ScanResult"]:
         """Scan a batch of independent streams; one merged result each."""
         if processes is None:
             processes = self.processes
         grid = scan_streams(
-            [shard.tables for shard in self.shards], streams, processes=processes
+            [shard.tables for shard in self.shards],
+            streams,
+            processes=processes,
+            engine=engine or self.engine,
         )
         merged: list["ScanResult"] = []
         for per_shard in grid:

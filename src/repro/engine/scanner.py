@@ -25,13 +25,51 @@ it at :meth:`finish` time, when the stream length is known).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Union
 
 from ..hardware.simulator import ActivityStats
 from ..mnrl.network import Network
 from .tables import KIND_COUNTER, PORT_BODY, PORT_FST, PORT_LST, PORT_PRE, TransitionTables, compile_tables
 
-__all__ = ["StreamScanner", "scan_bytes"]
+__all__ = ["StreamScanner", "scan_bytes", "Chunk", "coerce_chunk"]
+
+#: Anything a scan entry point accepts as one chunk of input.  ``str``
+#: is a convenience for latin-1 text; binary-safe callers should pass a
+#: bytes-like object.
+Chunk = Union[bytes, bytearray, memoryview, str]
+
+
+def coerce_chunk(chunk: Chunk) -> "bytes | bytearray | memoryview":
+    """Normalize one input chunk to a byte-indexable buffer.
+
+    ``bytes`` and ``bytearray`` pass through untouched (no copy);
+    ``memoryview``\\ s are recast to unsigned bytes (copying only when
+    non-contiguous); ``str`` is encoded as latin-1, with a clear error
+    -- instead of a bare :class:`UnicodeEncodeError` -- when the text
+    contains code points above U+00FF.  Every scan entry point (scanner
+    feed, one-shot facade scans, worker payloads) funnels through here,
+    so all input flavours behave identically on every backend.
+    """
+    if isinstance(chunk, (bytes, bytearray)):
+        return chunk
+    if isinstance(chunk, memoryview):
+        try:
+            return chunk.cast("B")
+        except TypeError:
+            return chunk.tobytes()
+    if isinstance(chunk, str):
+        try:
+            return chunk.encode("latin-1")
+        except UnicodeEncodeError as exc:
+            raise ValueError(
+                "str input must be latin-1 encodable (the scan alphabet is "
+                f"bytes 0-255), but {chunk[exc.start:exc.end]!r} at index "
+                f"{exc.start} is not; encode the text yourself and pass "
+                "bytes instead"
+            ) from exc
+    raise TypeError(
+        f"expected a bytes-like or str chunk, got {type(chunk).__name__}"
+    )
 
 
 class StreamScanner:
@@ -72,17 +110,19 @@ class StreamScanner:
         return self._cycle
 
     # -- streaming ---------------------------------------------------------
-    def feed(self, chunk: bytes | str) -> list[tuple[int, Optional[str]]]:
+    def feed(self, chunk: Chunk) -> list[tuple[int, Optional[str]]]:
         """Consume one chunk; return reports newly added by it.
 
-        The return value lists the ``(position, report_id)`` pairs first
-        observed during this chunk, in observation order (pairs already
-        reported by earlier chunks are not repeated).
+        ``chunk`` may be any bytes-like object (``bytes``,
+        ``bytearray``, ``memoryview``) or latin-1-encodable ``str``;
+        see :func:`coerce_chunk`.  The return value lists the
+        ``(position, report_id)`` pairs first observed during this
+        chunk, in observation order (pairs already reported by earlier
+        chunks are not repeated).
         """
         if self._finished:
             raise RuntimeError("feed() after finish(); call reset() to rescan")
-        if isinstance(chunk, str):
-            chunk = chunk.encode("latin-1")
+        chunk = coerce_chunk(chunk)
 
         tables = self.tables
         byte_class = tables.byte_class
@@ -263,20 +303,20 @@ class StreamScanner:
         return self.reports
 
     # -- one-shot conveniences (mirror the reference simulator) ------------
-    def scan(self, data: bytes | str) -> set[tuple[int, Optional[str]]]:
+    def scan(self, data: Chunk) -> set[tuple[int, Optional[str]]]:
         """Reset, consume ``data`` as one chunk, finish."""
         self.reset()
         self.feed(data)
         return self.finish()
 
-    def match_ends(self, data: bytes | str) -> list[int]:
+    def match_ends(self, data: Chunk) -> list[int]:
         """Distinct report positions, for differential testing."""
         self.scan(data)
         return sorted({position for position, _ in self.reports})
 
 
 def scan_bytes(
-    source: TransitionTables | Network, chunks: Iterable[bytes | str] | bytes | str
+    source: TransitionTables | Network, chunks: Iterable[Chunk] | Chunk
 ) -> StreamScanner:
     """One-shot convenience: scan ``chunks`` (or a single buffer) and
     return the finished scanner (reports + stats)."""

@@ -136,6 +136,12 @@ class TransitionTables:
     #: (the reference re-arms those and enables their body STE each cycle)
     const_enable_mask: int = 0
 
+    #: the network these tables were lowered from, kept so executors
+    #: that interpret node objects (the ``"reference"`` backend) can be
+    #: resolved anywhere the tables travel -- including pickled cache
+    #: artifacts and worker processes.  ``None`` for hand-built tables.
+    network: Optional[Network] = None
+
     @property
     def n_stes(self) -> int:
         return len(self.ste_ids)
@@ -177,6 +183,7 @@ def compile_tables(network: Network) -> TransitionTables:
     """
     network.validate()
     tables = TransitionTables()
+    tables.network = network
 
     stes = [node for node in network.nodes.values() if isinstance(node, STE)]
     ste_index = {ste.id: i for i, ste in enumerate(stes)}

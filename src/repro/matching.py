@@ -56,10 +56,15 @@ from .compiler.cache import (
 from .compiler.mapping import NetworkMapping, map_network
 from .compiler.passes import OptimizationReport, compute_alphabet_classes
 from .compiler.pipeline import CompiledRuleset, compile_ruleset, normalize_rules
-from .engine.scanner import StreamScanner
+from .engine.backends import (
+    AUTO_ENGINE,
+    resolve_backend,
+    validated_backend_names,
+)
+from .engine.scanner import Chunk, coerce_chunk
 from .engine.tables import TransitionTables, compile_tables
 from .hardware.cost import AreaReport, area_of_mapping, energy_of_run
-from .hardware.simulator import ActivityStats, NetworkSimulator
+from .hardware.simulator import ActivityStats
 from .mnrl.network import Network
 
 __all__ = [
@@ -147,15 +152,22 @@ class CompileInfo:
 class RulesetMatcher:
     """Compile a rule set to augmented-CAMA form and scan streams.
 
-    Two interchangeable execution engines share one semantics contract
-    (identical distinct reports *and* activity statistics):
+    Execution is delegated to the pluggable backend registry
+    (:mod:`repro.engine.backends`); every backend shares one semantics
+    contract (identical distinct reports, and -- for stats-exact
+    backends, which all built-ins are -- identical activity
+    statistics):
 
-    * ``"table"`` (default) -- the :mod:`repro.engine` fast path:
-      precompiled transition tables, integer-bitmask per-byte loop,
-      streaming via :meth:`scan_stream`;
+    * ``"auto"`` (default) -- pick the fastest available backend that
+      applies to the compiled tables (the NumPy ``"block"`` scanner
+      for module-free rulesets, the scalar ``"stream"`` interpreter
+      otherwise);
+    * ``"stream"`` (alias ``"table"``) -- precompiled transition
+      tables, integer-bitmask per-byte loop;
+    * ``"block"`` -- NumPy bit-parallel block sweeps (needs numpy);
     * ``"reference"`` -- the node-by-node
       :class:`~repro.hardware.simulator.NetworkSimulator`, kept as the
-      executable specification the engine is tested against.
+      executable specification the engines are tested against.
 
     Args:
         rules: pattern strings or ``(rule_id, pattern)`` pairs; rules
@@ -165,8 +177,8 @@ class RulesetMatcher:
         method: which static analysis drives module selection.
         strict_modules: keep the body-level single-token gate on
             (recommended; see ``repro.analysis.module_safety``).
-        engine: default engine for :meth:`scan` (``"table"`` or
-            ``"reference"``).
+        engine: default engine for the scan entry points -- ``"auto"``
+            or any registered backend name/alias.
         opt_level: optimisation pipeline level
             (:mod:`repro.compiler.passes`).  ``0`` (default) preserves
             byte-exact :class:`~repro.hardware.simulator.ActivityStats`
@@ -193,12 +205,15 @@ class RulesetMatcher:
         method: Method | str = Method.HYBRID,
         strict_modules: bool = True,
         max_pairs: Optional[int] = 2_000_000,
-        engine: str = "table",
+        engine: str = AUTO_ENGINE,
         opt_level: int = 0,
         cache_dir: Optional[str] = None,
     ):
-        if engine not in ("table", "reference"):
-            raise ValueError(f"unknown engine {engine!r}")
+        if engine != AUTO_ENGINE:
+            # fail fast -- one consistent unknown-engine error, and an
+            # unavailable backend (block without numpy) raises before
+            # the compile spends seconds on a ruleset it cannot serve
+            resolve_backend(engine)
         self.engine = engine
         start = time.perf_counter()
         named = normalize_rules(rules)
@@ -220,12 +235,14 @@ class RulesetMatcher:
         #: full compile-time state; ``None`` on a cache hit (the slim
         #: artifact carries everything the facade needs)
         self.ruleset: Optional[CompiledRuleset] = None
+        self._validated_backends: Optional[list[str]] = None
         if artifact is not None:
             self.network: Network = artifact.network
             self._tables: Optional[TransitionTables] = artifact.tables
             self._rule_meta: list[RuleMeta] = artifact.rules
             self._skipped: list[tuple[str, str]] = artifact.skipped
             self.optimization: Optional[OptimizationReport] = artifact.optimization
+            self._validated_backends = list(artifact.backends)
         else:
             self.ruleset = compile_ruleset(
                 named,
@@ -259,6 +276,9 @@ class RulesetMatcher:
                         skipped=self._skipped,
                         opt_level=opt_level,
                         optimization=self.optimization,
+                        # which execution backends these tables were
+                        # validated against at compile time
+                        backends=validated_backend_names(self.tables),
                     ),
                     cache_dir,
                 )
@@ -294,6 +314,15 @@ class RulesetMatcher:
         if self._tables is None:
             self._tables = compile_tables(self.network)
         return self._tables
+
+    @property
+    def validated_backends(self) -> list[str]:
+        """Execution backends (canonical names) validated for these
+        tables: recorded in the cache artifact at compile time for
+        warm starts, computed from the live registry otherwise."""
+        if self._validated_backends is None:
+            self._validated_backends = validated_backend_names(self.tables)
+        return list(self._validated_backends)
 
     def resources(self) -> ResourceSummary:
         bank = self.mapping.bank
@@ -354,33 +383,31 @@ class RulesetMatcher:
             energy_nj_per_byte=energy.nj_per_byte,
         )
 
-    def scan(self, data: bytes | str, engine: Optional[str] = None) -> ScanResult:
+    def scan(self, data: Chunk, engine: Optional[str] = None) -> ScanResult:
         """Run one in-memory buffer through the simulated hardware.
 
-        ``engine`` overrides the matcher's default (``"table"`` fast
-        path vs ``"reference"`` simulator); results are identical.
+        ``engine`` overrides the matcher's default (any registered
+        backend name, or ``"auto"``); results are identical on every
+        backend.
         """
-        if isinstance(data, str):
-            data = data.encode("latin-1")
-        engine = engine or self.engine
-        if engine == "table":
-            scanner = StreamScanner(self.tables)
-            scanner.feed(data)
-            return self._result_from_reports(
-                scanner.finish(), len(data), scanner.stats
-            )
-        if engine != "reference":
-            raise ValueError(f"unknown engine {engine!r}")
-        sim = NetworkSimulator(self.network)
-        sim.run(data)
-        return self._result_from_reports(sim.distinct_reports(), len(data), sim.stats)
+        data = coerce_chunk(data)
+        scanner = self._scanner(engine)
+        scanner.feed(data)
+        return self._result_from_reports(scanner.finish(), len(data), scanner.stats)
 
-    def stream_scanner(self) -> StreamScanner:
-        """A fresh :class:`~repro.engine.scanner.StreamScanner` over the
-        cached tables, for callers that manage chunking themselves."""
-        return StreamScanner(self.tables)
+    def _scanner(self, engine: Optional[str] = None):
+        """A fresh scanner from the resolved backend."""
+        tables = self.tables
+        return resolve_backend(engine or self.engine, tables).make_scanner(tables)
 
-    def scan_stream(self, chunks: Iterable[bytes | str]) -> ScanResult:
+    def stream_scanner(self, engine: Optional[str] = None):
+        """A fresh scanner over the cached tables (``feed``/``finish``
+        surface), for callers that manage chunking themselves."""
+        return self._scanner(engine)
+
+    def scan_stream(
+        self, chunks: Iterable[Chunk], engine: Optional[str] = None
+    ) -> ScanResult:
         """Scan a stream delivered as an iterable of chunks.
 
         Enable vectors, counters, and bit-vector registers carry across
@@ -388,7 +415,7 @@ class RulesetMatcher:
         concatenated stream (``$`` gating included -- it is applied
         after the last chunk, when the stream length is known).
         """
-        scanner = StreamScanner(self.tables)
+        scanner = self._scanner(engine)
         for chunk in chunks:
             scanner.feed(chunk)
         return self._result_from_reports(
@@ -396,23 +423,29 @@ class RulesetMatcher:
         )
 
     def scan_many(
-        self, streams: Sequence[bytes | str], processes: int = 0
+        self,
+        streams: Sequence[Chunk],
+        processes: int = 0,
+        engine: Optional[str] = None,
     ) -> list[ScanResult]:
         """Scan a batch of independent streams (one result each).
 
         With ``processes > 1`` the batch fans out over worker processes
-        (the precompiled tables ship to each worker once); otherwise it
-        runs serially in-process.  Results are identical either way.
+        (the precompiled tables ship to each worker once, and the
+        backend choice ships with them); otherwise it runs serially
+        in-process.  Results are identical either way.
         """
         from .engine.parallel import scan_streams
 
-        grid = scan_streams([self.tables], streams, processes=processes)
+        grid = scan_streams(
+            [self.tables], streams, processes=processes, engine=engine or self.engine
+        )
         return [
             self._result_from_reports(reports, n_bytes, stats)
             for ((n_bytes, reports, stats),) in grid
         ]
 
-    def matched_rules(self, data: bytes | str) -> set[str]:
+    def matched_rules(self, data: Chunk) -> set[str]:
         """Convenience: just the ids of rules that matched."""
         return self.scan(data).matched_rules()
 
@@ -429,41 +462,40 @@ class PatternMatcher:
       matched somewhere with its anchors satisfied (for a ``^...$``
       pattern this is exact-string matching).
 
-    Runs on the table engine; pass ``engine="reference"`` for the
+    Runs on the registry-selected backend (``engine="auto"`` default);
+    pass any registered name, e.g. ``engine="reference"`` for the
     node-by-node simulator.
     """
 
-    def __init__(self, pattern: str, engine: str = "table", **kwargs):
+    def __init__(self, pattern: str, engine: str = AUTO_ENGINE, **kwargs):
         from .compiler.pipeline import compile_pattern
 
-        if engine not in ("table", "reference"):
-            raise ValueError(f"unknown engine {engine!r}")
+        if engine != AUTO_ENGINE:
+            resolve_backend(engine)  # fail fast: unknown or unavailable
         self.engine = engine
         self.compiled = compile_pattern(pattern, report_id="p", **kwargs)
-        # the selected executor is built lazily on first search
-        self._sim: Optional[NetworkSimulator] = None
-        self._scanner: Optional[StreamScanner] = None
+        # tables and executor are built lazily on first search
+        self._tables: Optional[TransitionTables] = None
+        self._scanner = None
 
-    def search(self, data: bytes | str) -> list[int]:
+    def search(self, data: Chunk) -> list[int]:
         """Distinct *nonempty* match-end offsets (1-based), anchors
         respected.  Empty matches (nullable patterns) are not listed --
         consult :meth:`matches` / ``compiled.matches_empty`` for those.
         """
-        if isinstance(data, str):
-            data = data.encode("latin-1")
-        if self.engine == "table":
-            if self._scanner is None:
-                self._scanner = StreamScanner(compile_tables(self.compiled.network))
-            ends = self._scanner.match_ends(data)
-        else:
-            if self._sim is None:
-                self._sim = NetworkSimulator(self.compiled.network)
-            ends = self._sim.match_ends(data)
+        data = coerce_chunk(data)
+        if self._scanner is None:
+            if self._tables is None:
+                self._tables = compile_tables(self.compiled.network)
+            self._scanner = resolve_backend(
+                self.engine, self._tables
+            ).make_scanner(self._tables)
+        ends = self._scanner.match_ends(data)
         if self.compiled.pattern.anchored_end:
             ends = [e for e in ends if e == len(data)]
         return ends
 
-    def matches(self, data: bytes | str) -> bool:
+    def matches(self, data: Chunk) -> bool:
         """True iff the pattern matches within ``data`` (anchors kept).
 
         Nullable patterns match trivially (the empty match is available

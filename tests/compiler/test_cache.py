@@ -83,6 +83,25 @@ class TestRoundTrip:
         # tables came off disk -- no lazy compile left to do
         assert warm._tables is not None
         assert warm.tables.n_classes >= 1
+        # the source network travels with them (reference backend)
+        assert warm.tables.network is not None
+
+    def test_artifact_records_validated_backends(self, tmp_path):
+        from repro.compiler.cache import artifact_path
+        from repro.engine.backends import validated_backend_names
+
+        cache_dir = str(tmp_path)
+        cold = RulesetMatcher(RULES, cache_dir=cache_dir)
+        key = os.path.basename(cold.compile_info.cache_path)
+        artifact = pickle.load(
+            open(os.path.join(cache_dir, key), "rb")
+        )
+        assert artifact.backends == validated_backend_names(cold.tables)
+        assert "stream" in artifact.backends
+        warm = RulesetMatcher(RULES, cache_dir=cache_dir)
+        assert warm.compile_info.cache_hit
+        assert warm.validated_backends == artifact.backends
+        assert artifact_path(cache_dir, artifact.key) == cold.compile_info.cache_path
 
     def test_sharded_matchers_cache_per_shard(self, tmp_path):
         from repro.engine.parallel import ShardedMatcher

@@ -1,0 +1,400 @@
+"""The pluggable execution-backend subsystem.
+
+Covers the registry (names, aliases, auto selection, the single
+unknown-engine error, graceful degradation without NumPy) and the
+``"block"`` backend's equivalence contract: identical distinct reports
+*and* ActivityStats against the reference simulator on every pattern
+shape, chunking, and all five synthetic suites.
+"""
+
+import pytest
+
+import repro.engine.block as block_engine
+from repro.compiler.pipeline import compile_pattern, compile_ruleset
+from repro.engine.backends import (
+    Backend,
+    BackendUnavailable,
+    available_backends,
+    backend_names,
+    engine_choices,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    validated_backend_names,
+)
+from repro.engine.backends.registry import _ALIASES, _BACKENDS
+from repro.engine.block import BlockScanner
+from repro.engine.scanner import StreamScanner
+from repro.engine.tables import compile_tables
+from repro.hardware.simulator import NetworkSimulator
+from repro.matching import RulesetMatcher
+from repro.workloads.inputs import plant_matches, stream_for_style
+from repro.workloads.synth import (
+    clamav_like,
+    protomata_like,
+    snort_like,
+    spamassassin_like,
+    suricata_like,
+)
+
+MODULE_FREE_RULES = [("lit", r"abc"), ("alt", r"(cat|dog)"), ("cls", r"x[yz]w")]
+
+#: the block backend is optional; everything else must pass without it
+needs_numpy = pytest.mark.skipif(
+    block_engine.numpy_or_none() is None,
+    reason="numpy not installed (block backend unavailable)",
+)
+
+
+def _tables(pattern):
+    return compile_tables(compile_pattern(pattern, report_id="p").network)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = backend_names()
+        assert names[:3] == ["stream", "block", "reference"]
+
+    def test_aliases_resolve(self):
+        assert get_backend("table") is get_backend("stream")
+
+    def test_engine_choices_cover_auto_names_aliases(self):
+        choices = engine_choices()
+        assert choices[0] == "auto"
+        for name in ("stream", "block", "reference", "table"):
+            assert name in choices
+
+    def test_unknown_name_error_lists_engines(self):
+        with pytest.raises(ValueError, match="available engines: auto, stream"):
+            get_backend("quantum")
+        with pytest.raises(ValueError, match="available engines"):
+            resolve_backend("quantum")
+
+    def test_auto_is_not_a_backend(self):
+        with pytest.raises(ValueError, match="unknown engine 'auto'"):
+            get_backend("auto")
+
+    def test_register_conflict_rejected(self):
+        class Dup(Backend):
+            name = "stream"
+
+            def make_scanner(self, tables):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(Dup())
+
+    def test_register_and_replace_custom_backend(self):
+        class Custom(Backend):
+            name = "custom-test"
+            aliases = ("custom-alias",)
+            description = "test double"
+
+            def make_scanner(self, tables):
+                return StreamScanner(tables)
+
+        try:
+            register_backend(Custom())
+            assert get_backend("custom-alias").name == "custom-test"
+            register_backend(Custom(), replace=True)  # idempotent override
+            tables = _tables("ab")
+            scanner = resolve_backend("custom-test", tables).make_scanner(tables)
+            assert scanner.scan(b"xab") == {(3, "p")}
+        finally:
+            _BACKENDS.pop("custom-test", None)
+            _ALIASES.pop("custom-alias", None)
+
+    @needs_numpy
+    def test_auto_picks_block_for_module_free(self):
+        tables = RulesetMatcher(MODULE_FREE_RULES).tables
+        assert resolve_backend("auto", tables).name == "block"
+
+    def test_auto_picks_stream_for_module_bearing(self):
+        tables = RulesetMatcher([("ctr", r"[^a]a{3,9}")]).tables
+        assert tables.n_modules > 0
+        assert resolve_backend("auto", tables).name == "stream"
+
+    def test_auto_picks_stream_for_cyclic_ste_graph(self):
+        tables = _tables(r"(ab)+c")
+        assert tables.n_modules == 0
+        assert resolve_backend("auto", tables).name == "stream"
+
+    def test_auto_never_picks_reference(self):
+        for rules in (MODULE_FREE_RULES, [("ctr", r"[^a]a{3,9}")]):
+            assert resolve_backend("auto", RulesetMatcher(rules).tables).name != "reference"
+
+    def test_validated_backend_names(self):
+        tables = _tables("abc")
+        names = validated_backend_names(tables)
+        assert "stream" in names and "reference" in names
+        tables.network = None
+        assert "reference" not in validated_backend_names(tables)
+
+
+class TestNumpyDegradation:
+    """The block backend must degrade, not explode, without NumPy."""
+
+    @pytest.fixture()
+    def no_numpy(self, monkeypatch):
+        monkeypatch.setattr(block_engine, "_np", None)
+        monkeypatch.setattr(block_engine, "_NUMPY_ERROR", "simulated import failure")
+
+    def test_reported_unavailable_with_reason(self, no_numpy):
+        info = {i.name: i for i in available_backends()}["block"]
+        assert not info.available
+        assert "simulated import failure" in info.unavailable_reason
+
+    def test_explicit_block_raises_value_error(self, no_numpy):
+        tables = _tables("abc")
+        with pytest.raises(BackendUnavailable, match="simulated import failure"):
+            resolve_backend("block", tables)
+        assert issubclass(BackendUnavailable, ValueError)
+
+    def test_auto_degrades_to_stream(self, no_numpy):
+        tables = _tables("abc")
+        assert resolve_backend("auto", tables).name == "stream"
+
+    def test_scanner_constructor_raises(self, no_numpy):
+        with pytest.raises(RuntimeError, match="requires numpy"):
+            BlockScanner(_tables("abc"))
+
+    def test_matcher_scan_still_works(self, no_numpy):
+        matcher = RulesetMatcher(MODULE_FREE_RULES)  # engine="auto"
+        assert matcher.scan(b"zabcz").matches == {"lit": [4]}
+        assert "block" not in matcher.validated_backends
+
+    def test_matcher_ctor_fails_fast_on_unavailable_engine(self, no_numpy):
+        """engine='block' without numpy must raise before the compile,
+        not after seconds of wasted work at scan time."""
+        with pytest.raises(BackendUnavailable, match="simulated import failure"):
+            RulesetMatcher(MODULE_FREE_RULES, engine="block")
+
+    def test_cli_scan_reports_clean_error(self, no_numpy, tmp_path, capsys):
+        from repro.cli import main
+
+        rules = tmp_path / "rules.txt"
+        rules.write_text("hit\tabc\n")
+        data = tmp_path / "data.bin"
+        data.write_bytes(b"xxabcxx")
+        code = main(
+            ["scan", "--rules", str(rules), "--input", str(data), "--engine", "block"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "unavailable" in err
+
+
+class TestReferenceBackend:
+    def test_streams_chunk_by_chunk(self):
+        tables = _tables(r"ab{2,4}c")
+        scanner = resolve_backend("reference", tables).make_scanner(tables)
+        new = []
+        for chunk in (b"xab", b"bc", b"abbbbc"):
+            new.extend(scanner.feed(chunk))
+        assert scanner.finish() == StreamScanner(tables).scan(b"xabbcabbbbc")
+        assert set(new) == scanner.reports
+        assert scanner.bytes_fed == 11
+
+    def test_requires_source_network(self):
+        tables = _tables("ab")
+        tables.network = None
+        assert not get_backend("reference").applicable(tables)
+        with pytest.raises(BackendUnavailable, match="cannot execute"):
+            resolve_backend("reference", tables)
+
+    def test_feed_after_finish_raises(self):
+        tables = _tables("ab")
+        scanner = resolve_backend("reference", tables).make_scanner(tables)
+        scanner.feed(b"ab")
+        scanner.finish()
+        with pytest.raises(RuntimeError):
+            scanner.feed(b"x")
+
+
+#: pattern shapes covering every vectorization path: plain chains,
+#: branching, anchors, self-loops (+/*), true cycles (group
+#: repetition -> scalar fallback), counters and bit vectors (module
+#: rescan path), and nullable rules.
+BLOCK_PATTERNS = [
+    r"abc",
+    r"(cat|dog|bird)",
+    r"^GET /[a-z]{1,8}",
+    r"end$",
+    r"^whole$",
+    r"a*b?",
+    r"xa+y",
+    r"xa*y",
+    r"(a|b)+x",
+    r"(ab)+c",
+    r"x(ab)*y",
+    r"x[0-9]{3,6}y",
+    r"\n[^\r\n]{4,12}\n",
+    r".{2,5}stop",
+    r"a.{3,9}b",
+    r"(ab){2,4}c",
+    r"a{4}",
+]
+
+BLOCK_INPUTS = [
+    b"",
+    b"a",
+    b"abc",
+    b"whole",
+    b"GET /index HTTP\r\nabc x12345y end",
+    b"aaaaaaaabbbbbbb",
+    b"\nline-one\n\nline-two-is-long\n",
+    b"zzzstopzz abab ababc xaay xy xababy",
+    bytes(range(256)),
+    b"a" * 40 + b"b" + b"a" * 40,
+]
+
+
+def _reference(network, data):
+    sim = NetworkSimulator(network)
+    sim.run(data)
+    return sim.distinct_reports(), sim.stats
+
+
+@needs_numpy
+class TestBlockScannerEquivalence:
+    @pytest.mark.parametrize("pattern", BLOCK_PATTERNS)
+    def test_single_pattern_reports_and_stats(self, pattern):
+        compiled = compile_pattern(pattern, report_id="p")
+        tables = compile_tables(compiled.network)
+        scanner = BlockScanner(tables)
+        for data in BLOCK_INPUTS:
+            want_reports, want_stats = _reference(compiled.network, data)
+            scanner.reset()
+            scanner.feed(data)
+            assert scanner.finish() == want_reports, (pattern, data)
+            assert scanner.stats.equivalent(want_stats), (pattern, data)
+
+    @pytest.mark.parametrize("block_size", [2, 3, 7, 64])
+    def test_tiny_blocks_cross_boundaries(self, block_size):
+        """Vector state (enable carry, self-loop runs) must survive
+        arbitrary block boundaries, including blocks of 2 bytes."""
+        ruleset = compile_ruleset(
+            [("r%d" % i, p) for i, p in enumerate(BLOCK_PATTERNS)]
+        )
+        data = b" ".join(BLOCK_INPUTS)
+        want_reports, want_stats = _reference(ruleset.network, data)
+        tables = compile_tables(ruleset.network)
+        scanner = BlockScanner(tables, block_size=block_size)
+        scanner.feed(data)
+        assert scanner.finish() == want_reports
+        assert scanner.stats.equivalent(want_stats)
+
+    def test_chunked_feed_equals_one_shot(self):
+        tables = compile_tables(
+            compile_ruleset([("a", r"ab[cd]{2,6}e"), ("b", r"xa+y")]).network
+        )
+        data = b"xaaay abccde abdddde xy " * 40
+        one = BlockScanner(tables)
+        one.feed(data)
+        chunked = BlockScanner(tables, block_size=32)
+        new = []
+        for offset in range(0, len(data), 13):
+            new.extend(chunked.feed(data[offset : offset + 13]))
+        assert chunked.finish() == one.finish()
+        assert set(new) == chunked.reports
+        assert chunked.stats.equivalent(one.stats)
+
+    def test_feed_returns_new_reports_in_position_order(self):
+        tables = _tables("ab")
+        scanner = BlockScanner(tables)
+        new = scanner.feed(b"ab ab ab")
+        assert new == [(2, "p"), (5, "p"), (8, "p")]
+        assert scanner.feed(b" ab") == [(11, "p")]
+
+    def test_feed_after_finish_raises(self):
+        scanner = BlockScanner(_tables("ab"))
+        scanner.feed(b"ab")
+        scanner.finish()
+        with pytest.raises(RuntimeError):
+            scanner.feed(b"ab")
+        scanner.reset()
+        assert scanner.scan(b"xab") == {(3, "p")}
+
+    def test_module_rescan_limit_degrades_to_scalar(self):
+        """Module-dense input: the scanner must stop paying for doomed
+        vector sweeps but stay exactly equivalent."""
+        compiled = compile_pattern(r"[^a]a{3,9}", report_id="p")
+        tables = compile_tables(compiled.network)
+        data = b"xaaaa baaab zaaaaaaaaaz " * 200
+        want_reports, want_stats = _reference(compiled.network, data)
+        scanner = BlockScanner(tables, block_size=16)
+        scanner.feed(data)
+        assert scanner.finish() == want_reports
+        assert scanner.stats.equivalent(want_stats)
+        assert scanner._rescans >= 1  # the fallback actually engaged
+        # ...and a streak of fruitless sweeps shut vectorization off
+        assert scanner._sweeps_disabled
+        scanner.reset()
+        assert not scanner._sweeps_disabled
+
+    @pytest.mark.parametrize(
+        "factory, total",
+        [
+            (snort_like, 14),
+            (suricata_like, 12),
+            (protomata_like, 10),
+            (spamassassin_like, 12),
+            (clamav_like, 10),
+        ],
+    )
+    def test_synthetic_suite_equivalence(self, factory, total):
+        """Acceptance: block == reference on all five synthetic suites,
+        both with modules (threshold 0) and STE-only (unfolded)."""
+        suite = factory(total=total, seed=11)
+        background = stream_for_style(suite.input_style, 4000, seed=2)
+        data = plant_matches(background, [r.pattern for r in suite.rules], seed=3)
+        for threshold in (0, float("inf")):
+            ruleset = compile_ruleset(suite.patterns(), unfold_threshold=threshold)
+            want_reports, want_stats = _reference(ruleset.network, data)
+            scanner = BlockScanner(compile_tables(ruleset.network))
+            scanner.feed(data)
+            assert scanner.finish() == want_reports
+            assert scanner.stats.equivalent(want_stats)
+
+    def test_program_shared_across_scanners(self):
+        tables = _tables("abc")
+        assert BlockScanner(tables)._program is BlockScanner(tables)._program
+
+
+class TestFacadeEngineSelection:
+    def test_engine_kwarg_equivalence_all_names(self):
+        matcher = RulesetMatcher(
+            [("lit", r"abc"), ("ctr", r"[^a]a{3,5}"), ("end", r"bc$")]
+        )
+        data = b"zabc xaaaa abcbc"
+        want = matcher.scan(data, engine="reference")
+        engines = ["auto", "stream", "table"]
+        if block_engine.numpy_or_none() is not None:
+            engines.append("block")
+        for engine in engines:
+            got = matcher.scan(data, engine=engine)
+            assert got == want, engine
+
+    def test_scan_stream_honors_reference_engine(self):
+        matcher = RulesetMatcher([("lit", r"abc")], engine="reference")
+        assert matcher.scan_stream([b"ab", b"c"]).matches == {"lit": [3]}
+        assert type(matcher.stream_scanner()).__name__ == "ReferenceScanner"
+
+    def test_scan_many_ships_engine_choice(self):
+        matcher = RulesetMatcher(MODULE_FREE_RULES)
+        streams = [b"zabcz", b"no", b"xyw cat"]
+        engines = ["stream", "reference"]
+        if block_engine.numpy_or_none() is not None:
+            engines.append("block")
+        for engine in engines:
+            assert matcher.scan_many(streams, engine=engine) == [
+                matcher.scan(s) for s in streams
+            ]
+
+    def test_validated_backends_recorded_in_cache(self, tmp_path):
+        rules = [("lit", r"abc")]
+        cold = RulesetMatcher(rules, cache_dir=str(tmp_path))
+        warm = RulesetMatcher(rules, cache_dir=str(tmp_path))
+        assert warm.compile_info.cache_hit
+        assert warm.validated_backends == cold.validated_backends
+        assert "stream" in warm.validated_backends

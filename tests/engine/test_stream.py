@@ -6,6 +6,7 @@ rules, nullable rules, and matches whose counter/bit-vector state spans
 a chunk boundary.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.matching import RulesetMatcher
@@ -106,6 +107,48 @@ def test_empty_chunks_are_harmless():
 def test_str_chunks_accepted():
     m = matcher()
     assert m.scan_stream(["ab", "c"]).matches["lit"] == [3]
+
+
+def test_bytearray_and_memoryview_chunks_accepted():
+    """Every bytes-like flavour behaves identically in the streaming
+    path (not just the one-shot scan_bytes special case)."""
+    m = matcher()
+    want = m.scan(b"xabcx").matches
+    assert m.scan_stream([bytearray(b"xab"), bytearray(b"cx")]).matches == want
+    assert m.scan_stream([memoryview(b"xab"), memoryview(b"cx")]).matches == want
+    assert m.scan(bytearray(b"xabcx")).matches == want
+    assert m.scan(memoryview(b"xabcx")).matches == want
+    # non-contiguous views are recast via copy, not rejected
+    strided = memoryview(b"xxaxbxcxxx")[::2]
+    assert m.scan(strided).matches == m.scan(b"xabcx").matches
+
+
+def test_mixed_chunk_flavours_in_one_stream():
+    m = matcher()
+    chunks = [b"xa", bytearray(b"b"), memoryview(b"c"), "x"]
+    assert m.scan_stream(chunks).matches == m.scan(b"xabcx").matches
+
+
+def test_non_latin1_str_raises_clear_value_error():
+    """A bare UnicodeEncodeError out of the scanner guts is a bug; the
+    error must say what to do instead (pass bytes)."""
+    from repro.engine.scanner import StreamScanner
+
+    m = matcher()
+    for trigger in (
+        lambda: m.scan("caf€"),
+        lambda: m.scan_stream(["ab", "€"]),
+        lambda: StreamScanner(m.tables).feed("☃"),
+    ):
+        with pytest.raises(ValueError, match="latin-1.*pass\\s+bytes") as exc_info:
+            trigger()
+        assert not isinstance(exc_info.value, UnicodeEncodeError)
+
+
+def test_non_bytes_chunk_raises_type_error():
+    m = matcher()
+    with pytest.raises(TypeError, match="bytes-like or str"):
+        m.scan(12345)
 
 
 def test_stream_energy_matches_single_buffer():
