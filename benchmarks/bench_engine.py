@@ -219,18 +219,19 @@ def ste_only_workload():
     unfolded into STE chains: the module-free common case the block
     backend is built for."""
     suite = snort_like(total=40, seed=7)
-    ruleset = compile_ruleset(suite.patterns(), unfold_threshold=float("inf"))
+    rules = suite.patterns()
+    ruleset = compile_ruleset(rules, unfold_threshold=float("inf"))
     tables = compile_tables(ruleset.network)
     background = stream_for_style(suite.input_style, STREAM_BYTES, seed=5)
     data = plant_matches(background, [r.pattern for r in suite.rules], seed=6)
-    return tables, data
+    return rules, tables, data
 
 
 def test_backend_throughput_matrix(ste_only_workload):
     """Per-backend bytes/sec on the STE-only suite, archived to
     BENCH_engine.json; asserts identical reports across all registered
     backends and the block backend's >= 2x floor over stream."""
-    tables, data = ste_only_workload
+    _, tables, data = ste_only_workload
     assert tables.n_modules == 0  # the STE-only suite really is STE-only
 
     matrix: dict = {}
@@ -311,6 +312,71 @@ def test_backend_throughput_matrix(ste_only_workload):
     else:
         # graceful degradation: auto serves the suite on the interpreter
         assert auto_choice == "stream"
+
+
+#: acceptance ceiling for the session layer's cost over driving a raw
+#: backend scanner directly (same backend, same chunking)
+SESSION_OVERHEAD_CEILING = 0.10
+
+
+def test_session_overhead(ste_only_workload):
+    """The session layer (Match construction, sorting, ``$`` gating
+    bookkeeping) must cost < 10% of raw scanner throughput on the
+    STE-only suite; measured per run and archived to BENCH_engine.json.
+    """
+    rules, _, data = ste_only_workload
+    matcher = RulesetMatcher(rules, unfold_threshold=float("inf"))
+    backend = resolve_backend("auto", matcher.tables)
+    chunks = [data[offset : offset + CHUNK] for offset in range(0, len(data), CHUNK)]
+
+    def raw():
+        scanner = backend.make_scanner(matcher.tables)
+        for chunk in chunks:
+            scanner.feed(chunk)
+        scanner.finish()
+        return scanner
+
+    def via_session():
+        with matcher.session() as session:
+            for chunk in chunks:
+                session.feed(chunk)
+        return session
+
+    t_raw = _time(raw, rounds=5)
+    t_session = _time(via_session, rounds=5)
+    raw_bps = len(data) / t_raw
+    session_bps = len(data) / t_session
+    overhead = t_session / t_raw - 1.0
+
+    # same reports either way (the session only re-dresses them)
+    scanner, session = raw(), via_session()
+    assert session.result().matches
+    assert len(session.scanners) == 1
+    assert session.scanners[0].reports == scanner.reports
+
+    update_json(
+        "engine",
+        {
+            "session_overhead": {
+                "backend": backend.name,
+                "chunk_bytes": CHUNK,
+                "stream_bytes": len(data),
+                "raw_bps": raw_bps,
+                "session_bps": session_bps,
+                "overhead": overhead,
+                "ceiling": SESSION_OVERHEAD_CEILING,
+            }
+        },
+    )
+    report = (
+        f"Session-layer overhead ({backend.name} backend, STE-only suite)\n"
+        f"  raw scanner    : {raw_bps / 1e3:9.1f} KB/s\n"
+        f"  via session    : {session_bps / 1e3:9.1f} KB/s\n"
+        f"  overhead       : {overhead:9.1%} (ceiling "
+        f"{SESSION_OVERHEAD_CEILING:.0%})"
+    )
+    save_report("engine_session", report)
+    assert overhead < SESSION_OVERHEAD_CEILING, report
 
 
 def test_table_engine_throughput(benchmark, workload):

@@ -23,6 +23,11 @@ The library spans the paper's whole stack:
   scanner, ``"reference"`` simulator, ``"auto"`` selection), chunked
   ``feed``/``finish`` scanning, batch/sharded front-ends; every
   backend report- and stats-equivalent to the reference simulator;
+* :mod:`repro.session` -- the session-oriented matching API:
+  incremental :class:`Match` events with absolute offsets, the
+  :class:`Matcher` protocol shared by single and sharded matchers,
+  pluggable sinks, and :class:`MultiStreamScanner` multi-stream
+  demultiplexing (one compiled ruleset, N interleaved client streams);
 * :mod:`repro.workloads` -- synthetic Snort/Suricata/Protomata/
   SpamAssassin/ClamAV-style suites and input streams;
 * :mod:`repro.experiments` -- drivers regenerating every table and
@@ -78,10 +83,26 @@ from .hardware import (
     simulate,
 )
 from .hardware.cost import area_of_mapping, energy_of_run, savings_of_mappings
-from .matching import CompileInfo, PatternMatcher, RulesetMatcher, ScanResult
+from .matching import (
+    CompileInfo,
+    PatternMatcher,
+    RulesetMatcher,
+    ScanResult,
+    merge_compile_infos,
+)
 from .mnrl import BitVectorNode, CounterNode, Network, STE
 from .nca import NCA, CountingSetExecutor, NCAExecutor, build_nca
 from .regex import CharClass, Pattern, parse, simplify
+from .session import (
+    CollectorSink,
+    Match,
+    MatchSession,
+    Matcher,
+    MultiStreamScanner,
+    QueueSink,
+    UNNAMED_REPORT,
+    match_dict,
+)
 
 __version__ = "1.0.0"
 
@@ -148,4 +169,14 @@ __all__ = [
     "PatternMatcher",
     "ScanResult",
     "CompileInfo",
+    "merge_compile_infos",
+    # session API (incremental Match events, multi-stream serving)
+    "Match",
+    "match_dict",
+    "MatchSession",
+    "Matcher",
+    "MultiStreamScanner",
+    "CollectorSink",
+    "QueueSink",
+    "UNNAMED_REPORT",
 ]

@@ -11,7 +11,11 @@ Commands mirror the toolchain stages:
   fastest available; optionally sharded); ``-O1`` enables the
   optimisation passes, ``--cache-dir`` reuses/creates cached
   compilations, ``--verbose`` reports backend availability, compile/
-  cache timing, and per-rule skip reasons;
+  cache timing, and per-rule skip reasons.  With ``--streams`` the
+  input is treated as interleaved ``tag<TAB>chunk`` lines: one
+  compiled ruleset serves every tagged stream through per-stream
+  sessions (:class:`~repro.session.MultiStreamScanner`), reporting
+  per-stream results;
 * ``census``   -- Table 1-style census of a synthetic suite;
 * ``report``   -- regenerate one of the paper's tables/figures.
 
@@ -133,6 +137,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_scan.add_argument(
         "--cache-dir",
         help="warm-start from (and populate) the persistent ruleset cache",
+    )
+    p_scan.add_argument(
+        "--streams",
+        action="store_true",
+        help="serve many interleaved tagged streams over one compiled "
+        "ruleset: each input line is 'tag<TAB>chunk' (latin-1 text; "
+        "chunks with the same tag form one logical stream, interleaved "
+        "arbitrarily), results are reported per stream",
     )
     p_scan.add_argument(
         "-v",
@@ -320,6 +332,8 @@ def _cmd_scan(args) -> int:
 
     handle = sys.stdin.buffer if args.input == "-" else open(args.input, "rb")
     try:
+        if args.streams:
+            return _scan_multi_stream(matcher, handle, args)
         # every registered backend streams, so one entry point serves
         # all --engine choices (including reference and auto)
         result = matcher.scan_stream(_chunks(handle, max(1, args.chunk_size)))
@@ -347,6 +361,66 @@ def _cmd_scan(args) -> int:
         print(f"  {rule_id}: {len(ends)} match(es) at [{shown}{suffix}]")
     if not result.matches:
         print("  no matches")
+    return 0
+
+
+def _tagged_chunks(handle):
+    """Parse interleaved ``tag<TAB>chunk`` lines from a binary handle.
+
+    Yields ``(line_number, tag, payload)``; the payload is the raw
+    bytes after the first tab (the trailing newline is framing, not
+    stream data).  Lines without a tab raise :class:`ValueError`.
+    """
+    for number, raw in enumerate(handle, start=1):
+        # strip exactly the line framing (one \n, plus at most one
+        # preceding \r): payload bytes that happen to be \r are data
+        line = raw[:-1] if raw.endswith(b"\n") else raw
+        if line.endswith(b"\r"):
+            line = line[:-1]
+        if not line:
+            continue
+        tag, sep, payload = line.partition(b"\t")
+        if not sep:
+            raise ValueError(
+                f"line {number}: expected 'tag<TAB>chunk', got {line[:40]!r}"
+            )
+        yield number, tag.decode("latin-1"), payload
+
+
+def _scan_multi_stream(matcher, handle, args) -> int:
+    """``scan --streams``: demultiplex tagged lines into per-stream
+    sessions over the one compiled ruleset and report per stream."""
+    from .session import MultiStreamScanner
+
+    mux = MultiStreamScanner(matcher, engine=None)
+    try:
+        for _, tag, payload in _tagged_chunks(handle):
+            mux.feed(tag, payload)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    mux.finish_all()
+    results = mux.results()
+    resources = matcher.resources()
+    total_bytes = sum(result.bytes_scanned for result in results.values())
+    total_matches = sum(result.total_matches() for result in results.values())
+    print(
+        f"served {len(results)} stream(s), {total_bytes} bytes, "
+        f"{total_matches} match(es) with {resources.rules_compiled} rules"
+    )
+    for tag in sorted(results):
+        result = results[tag]
+        print(
+            f"stream {tag}: {result.bytes_scanned} bytes, "
+            f"{result.total_matches()} match(es)"
+        )
+        for rule_id in sorted(result.matches):
+            ends = result.matches[rule_id]
+            shown = ", ".join(map(str, ends[:8]))
+            suffix = ", ..." if len(ends) > 8 else ""
+            print(f"  {rule_id}: {len(ends)} match(es) at [{shown}{suffix}]")
+    if not results:
+        print("  no streams")
     return 0
 
 

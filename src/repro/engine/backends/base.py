@@ -20,6 +20,14 @@ additionally guarantee :class:`~repro.hardware.simulator.ActivityStats`
 equivalence (``ActivityStats.equivalent``), so energy pricing is
 backend-independent.
 
+Because every backend's ``feed`` reports *incrementally* (the newly
+observed pairs of the chunk, in position order), the session layer
+(:mod:`repro.session`) works over any registered backend unchanged:
+a :class:`~repro.session.MatchSession` wraps one scanner per ruleset
+shard and re-dresses these raw pairs as offset-sorted
+:class:`~repro.session.Match` events -- new backends get incremental
+emission for free by meeting this contract.
+
 Concrete backends register with
 :func:`~repro.engine.backends.registry.register_backend`; consumers
 resolve by name (or ``"auto"``) through

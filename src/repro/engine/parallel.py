@@ -14,7 +14,18 @@ traffic streams):
   :class:`~repro.matching.RulesetMatcher` shards (mirroring rules
   spread over separate banks), scans them all, and merges the per-shard
   :class:`~repro.matching.ScanResult`\\ s (union of matches, summed
-  energy -- each shard's bank burns its own power).
+  energy -- each shard's bank burns its own power -- and merged
+  :class:`~repro.matching.CompileInfo` provenance).
+
+:class:`ShardedMatcher` implements the same
+:class:`~repro.session.Matcher` protocol as the single-network facade:
+:meth:`ShardedMatcher.session` opens a
+:class:`~repro.session.MatchSession` holding one sub-scanner per shard
+and merges their incremental :class:`~repro.session.Match` emission in
+offset order, so session-oriented serving code (including
+:class:`~repro.session.MultiStreamScanner` multi-stream demultiplexing
+over ``scan_streams``-style batches) never distinguishes sharded from
+unsharded matchers.
 
 Every shard's tables carry their own alphabet-class map (the partition
 is per-network, so a shard's scanners all share one 256-byte map plus
@@ -35,12 +46,13 @@ from __future__ import annotations
 from typing import Iterable, Optional, Sequence, TYPE_CHECKING
 
 from ..hardware.simulator import ActivityStats
+from ..session import MatchSession, MatchSink, SessionPart
 from .backends import AUTO_ENGINE, resolve_backend
 from .scanner import Chunk, coerce_chunk
 from .tables import TransitionTables
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from ..matching import ResourceSummary, RulesetMatcher, ScanResult
+    from ..matching import CompileInfo, ResourceSummary, RulesetMatcher, ScanResult
 
 __all__ = ["shard_rules", "scan_streams", "merge_scan_results", "ShardedMatcher"]
 
@@ -144,9 +156,12 @@ def merge_scan_results(results: "Sequence[ScanResult]") -> "ScanResult":
     """Merge per-shard results for the *same* input stream.
 
     Matches are unioned per rule id; energy sums (each shard occupies
-    its own CAM arrays, so per-byte energies add).
+    its own CAM arrays, so per-byte energies add); compile provenance
+    merges via :func:`~repro.matching.merge_compile_infos` (summed
+    compile seconds, all-shards-warm cache flag) when every input
+    carries it, instead of being dropped.
     """
-    from ..matching import ScanResult
+    from ..matching import ScanResult, merge_compile_infos
 
     if not results:
         raise ValueError("nothing to merge")
@@ -157,10 +172,15 @@ def merge_scan_results(results: "Sequence[ScanResult]") -> "ScanResult":
     for result in results:
         for rule, ends in result.matches.items():
             matches.setdefault(rule, set()).update(ends)
+    infos = [result.compile_info for result in results]
     return ScanResult(
         bytes_scanned=lengths.pop(),
         matches={rule: sorted(ends) for rule, ends in sorted(matches.items())},
         energy_nj_per_byte=sum(result.energy_nj_per_byte for result in results),
+        compile_info=(
+            merge_compile_infos(infos) if all(info is not None for info in infos)
+            else None
+        ),
     )
 
 
@@ -215,6 +235,15 @@ class ShardedMatcher:
         and compile timings, in shard order)."""
         return [shard.compile_info for shard in self.shards]
 
+    @property
+    def compile_info(self) -> "CompileInfo":
+        """Merged compilation provenance across all shards (summed
+        seconds, all-warm cache flag); also attached to every
+        :class:`~repro.matching.ScanResult` this matcher produces."""
+        from ..matching import merge_compile_infos
+
+        return merge_compile_infos(self.compile_infos)
+
     def resources(self) -> "ResourceSummary":
         from ..matching import ResourceSummary
 
@@ -237,34 +266,51 @@ class ShardedMatcher:
             alphabet_classes=sum(p.alphabet_classes for p in parts),
         )
 
-    def scan(self, data: Chunk, engine: Optional[str] = None) -> "ScanResult":
+    def session(
+        self,
+        engine: Optional[str] = None,
+        *,
+        stream: Optional[str] = None,
+        on_match: Optional[MatchSink] = None,
+    ) -> MatchSession:
+        """Open a :class:`~repro.session.MatchSession` spanning every
+        shard.
+
+        The session holds one fresh sub-scanner per shard; each
+        ``feed`` runs the chunk through all of them in lockstep and
+        merges the newly observed :class:`~repro.session.Match` events
+        in offset order, so incremental emission is indistinguishable
+        from an unsharded matcher's (the rule partition is invisible).
+        """
         engine = engine or self.engine
-        return merge_scan_results(
-            [shard.scan(data, engine=engine) for shard in self.shards]
-        )
+        parts = [
+            SessionPart(
+                scanner=shard._scanner(engine),
+                end_anchored=frozenset(shard._end_anchored),
+                finalize=shard._result_from_reports,
+            )
+            for shard in self.shards
+        ]
+        return MatchSession(parts, stream=stream, on_match=on_match)
+
+    def scan(self, data: Chunk, engine: Optional[str] = None) -> "ScanResult":
+        with self.session(engine=engine) as session:
+            session.feed(data)
+        return session.result()
 
     def scan_stream(
         self, chunks: Iterable[Chunk], engine: Optional[str] = None
     ) -> "ScanResult":
         """Feed one stream of chunks through every shard in lockstep
         (the chunk iterable is consumed exactly once)."""
-        engine = engine or self.engine
-        scanners = [
-            resolve_backend(engine, shard.tables).make_scanner(shard.tables)
-            for shard in self.shards
-        ]
-        for chunk in chunks:
-            for scanner in scanners:
-                scanner.feed(chunk)
-        results = []
-        for shard, scanner in zip(self.shards, scanners):
-            scanner.finish()
-            results.append(
-                shard._result_from_reports(
-                    scanner.reports, scanner.bytes_fed, scanner.stats
-                )
-            )
-        return merge_scan_results(results)
+        with self.session(engine=engine) as session:
+            for chunk in chunks:
+                session.feed(chunk)
+        return session.result()
+
+    def matched_rules(self, data: Chunk) -> set[str]:
+        """Convenience: just the ids of rules that matched."""
+        return self.scan(data).matched_rules()
 
     def scan_many(
         self,
@@ -272,9 +318,16 @@ class ShardedMatcher:
         processes: Optional[int] = None,
         engine: Optional[str] = None,
     ) -> list["ScanResult"]:
-        """Scan a batch of independent streams; one merged result each."""
+        """Scan a batch of independent streams; one merged result each.
+
+        With ``processes > 1`` the (shard, stream) grid fans out over
+        worker processes; otherwise each stream runs through an
+        in-process per-shard session.  Results are identical.
+        """
         if processes is None:
             processes = self.processes
+        if processes <= 1:
+            return [self.scan(stream, engine=engine) for stream in streams]
         grid = scan_streams(
             [shard.tables for shard in self.shards],
             streams,

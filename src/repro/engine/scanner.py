@@ -21,6 +21,13 @@ Like the hardware (and the reference simulator), the scanner reports
 *every* prefix end; ``$``-anchor gating against end-of-data is the
 facade's job (:meth:`repro.matching.RulesetMatcher.scan_stream` applies
 it at :meth:`finish` time, when the stream length is known).
+
+This is the *raw* scanner layer: ``feed`` returns newly observed
+``(position, report_id)`` tuples in position order and ``finish``
+returns the distinct-report ``set``.  User-facing code should scan
+through :class:`repro.session.MatchSession` (via
+``RulesetMatcher.session()``), which unifies both into offset-sorted
+:class:`repro.session.Match` lists and applies the facade semantics.
 """
 
 from __future__ import annotations

@@ -16,8 +16,21 @@ Example::
     matcher.resources().cam_arrays   # hardware footprint
     result.energy_nj_per_byte        # Table 2-based estimate
 
-Streaming (state carries across chunks; results are identical to a
-single-buffer :meth:`RulesetMatcher.scan` of the concatenation)::
+Sessions are the primary scanning surface (:mod:`repro.session`): one
+live scan of one logical stream, emitting incremental
+:class:`~repro.session.Match` events with absolute offsets::
+
+    with matcher.session(on_match=alert) as session:
+        for chunk in iter_chunks(socket):
+            session.feed(chunk)       # -> [Match, ...] new this chunk
+    session.result()                  # the classic ScanResult
+
+The batch entry points below (:meth:`RulesetMatcher.scan`,
+:meth:`~RulesetMatcher.scan_stream`, :meth:`~RulesetMatcher.scan_many`,
+:meth:`~RulesetMatcher.matched_rules`) are thin wrappers over sessions
+-- one code path, identical reports/stats/energy either way.
+Streaming state carries across chunks; results are identical to a
+single-buffer :meth:`RulesetMatcher.scan` of the concatenation::
 
     result = matcher.scan_stream(iter_chunks(socket))
 
@@ -40,8 +53,9 @@ Reporting semantics (shared by every scan entry point)
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 from .analysis.result import Method
 from .compiler.cache import (
@@ -66,6 +80,13 @@ from .engine.tables import TransitionTables, compile_tables
 from .hardware.cost import AreaReport, area_of_mapping, energy_of_run
 from .hardware.simulator import ActivityStats
 from .mnrl.network import Network
+from .session import (
+    Match,
+    MatchSession,
+    MatchSink,
+    SessionPart,
+    UNNAMED_REPORT,
+)
 
 __all__ = [
     "RulesetMatcher",
@@ -73,15 +94,9 @@ __all__ = [
     "ScanResult",
     "ResourceSummary",
     "CompileInfo",
+    "merge_compile_infos",
     "UNNAMED_REPORT",
 ]
-
-#: Rule id assigned to reports whose node carries no ``report_id``.
-#: Hand-built networks may leave ``report_id`` as ``None``; the facade
-#: surfaces those deterministically under this single sentinel key
-#: instead of silently conflating them with falsy-but-real ids (``""``
-#: stays ``""``).
-UNNAMED_REPORT = "<unnamed>"
 
 
 @dataclass
@@ -100,6 +115,13 @@ class ScanResult:
     #: rule id -> sorted distinct match end offsets (1-based)
     matches: dict[str, list[int]] = field(default_factory=dict)
     energy_nj_per_byte: float = 0.0
+    #: provenance of the compilation that produced this scan (merged
+    #: across shards for sharded results); excluded from equality --
+    #: two scans of the same data are equal results regardless of
+    #: whether their matcher warm-started
+    compile_info: Optional["CompileInfo"] = field(
+        default=None, compare=False, repr=False
+    )
 
     def matched_rules(self) -> set[str]:
         return set(self.matches)
@@ -147,6 +169,27 @@ class CompileInfo:
     opt_level: int
     #: artifact file backing this matcher (None when uncached)
     cache_path: Optional[str] = None
+
+
+def merge_compile_infos(infos: Sequence[CompileInfo]) -> CompileInfo:
+    """Aggregate per-shard :class:`CompileInfo` into one summary.
+
+    Seconds sum (each shard compiled its own slice), ``cache_hit`` is
+    true only when *every* shard warm-started, ``opt_level`` is the
+    highest level any shard ran, and ``cache_path`` is kept only when
+    the shards agree (a single-matcher merge) -- a sharded compilation
+    is backed by many artifacts, reachable per shard via
+    :attr:`~repro.engine.parallel.ShardedMatcher.compile_infos`.
+    """
+    if not infos:
+        raise ValueError("nothing to merge")
+    paths = {info.cache_path for info in infos}
+    return CompileInfo(
+        cache_hit=all(info.cache_hit for info in infos),
+        seconds=sum(info.seconds for info in infos),
+        opt_level=max(info.opt_level for info in infos),
+        cache_path=paths.pop() if len(paths) == 1 else None,
+    )
 
 
 class RulesetMatcher:
@@ -381,29 +424,68 @@ class RulesetMatcher:
             bytes_scanned=bytes_scanned,
             matches={rule: sorted(ends) for rule, ends in matches.items()},
             energy_nj_per_byte=energy.nj_per_byte,
+            compile_info=self.compile_info,
         )
-
-    def scan(self, data: Chunk, engine: Optional[str] = None) -> ScanResult:
-        """Run one in-memory buffer through the simulated hardware.
-
-        ``engine`` overrides the matcher's default (any registered
-        backend name, or ``"auto"``); results are identical on every
-        backend.
-        """
-        data = coerce_chunk(data)
-        scanner = self._scanner(engine)
-        scanner.feed(data)
-        return self._result_from_reports(scanner.finish(), len(data), scanner.stats)
 
     def _scanner(self, engine: Optional[str] = None):
         """A fresh scanner from the resolved backend."""
         tables = self.tables
         return resolve_backend(engine or self.engine, tables).make_scanner(tables)
 
+    def session(
+        self,
+        engine: Optional[str] = None,
+        *,
+        stream: Optional[str] = None,
+        on_match: Optional[MatchSink] = None,
+    ) -> MatchSession:
+        """Open a :class:`~repro.session.MatchSession` over this ruleset.
+
+        The session wraps one fresh scanner from the resolved backend
+        (``engine`` overrides the matcher's default) and emits
+        incremental :class:`~repro.session.Match` events with absolute
+        stream offsets; ``stream`` tags every emitted match and
+        ``on_match`` (any callable, e.g. a
+        :class:`~repro.session.CollectorSink` or
+        :class:`~repro.session.QueueSink`) observes each match exactly
+        once.  All batch entry points are wrappers over this.
+        """
+        part = SessionPart(
+            scanner=self._scanner(engine),
+            end_anchored=frozenset(self._end_anchored),
+            finalize=self._result_from_reports,
+        )
+        return MatchSession([part], stream=stream, on_match=on_match)
+
     def stream_scanner(self, engine: Optional[str] = None):
-        """A fresh scanner over the cached tables (``feed``/``finish``
-        surface), for callers that manage chunking themselves."""
+        """A fresh raw backend scanner over the cached tables.
+
+        .. deprecated::
+            Use :meth:`session` instead -- raw scanners expose the
+            unresolved ``(position, report_id)`` tuple surface (a
+            ``list`` from ``feed``, a ``set`` from ``finish``) without
+            ``$`` gating or report naming; sessions unify all of that
+            behind sorted :class:`~repro.session.Match` lists.
+        """
+        warnings.warn(
+            "RulesetMatcher.stream_scanner() is deprecated; use "
+            "RulesetMatcher.session() for incremental Match emission "
+            "(raw scanners remain available via repro.engine.backends)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self._scanner(engine)
+
+    def scan(self, data: Chunk, engine: Optional[str] = None) -> ScanResult:
+        """Run one in-memory buffer through the simulated hardware.
+
+        ``engine`` overrides the matcher's default (any registered
+        backend name, or ``"auto"``); results are identical on every
+        backend.  Equivalent to a one-chunk :meth:`session`.
+        """
+        with self.session(engine=engine) as session:
+            session.feed(data)
+        return session.result()
 
     def scan_stream(
         self, chunks: Iterable[Chunk], engine: Optional[str] = None
@@ -413,14 +495,14 @@ class RulesetMatcher:
         Enable vectors, counters, and bit-vector registers carry across
         chunk boundaries, so the result equals :meth:`scan` of the
         concatenated stream (``$`` gating included -- it is applied
-        after the last chunk, when the stream length is known).
+        after the last chunk, when the stream length is known).  A thin
+        wrapper over :meth:`session`; use the session directly when the
+        per-chunk :class:`~repro.session.Match` events matter.
         """
-        scanner = self._scanner(engine)
-        for chunk in chunks:
-            scanner.feed(chunk)
-        return self._result_from_reports(
-            scanner.finish(), scanner.bytes_fed, scanner.stats
-        )
+        with self.session(engine=engine) as session:
+            for chunk in chunks:
+                session.feed(chunk)
+        return session.result()
 
     def scan_many(
         self,
@@ -432,18 +514,24 @@ class RulesetMatcher:
 
         With ``processes > 1`` the batch fans out over worker processes
         (the precompiled tables ship to each worker once, and the
-        backend choice ships with them); otherwise it runs serially
-        in-process.  Results are identical either way.
+        backend choice ships with them); otherwise each stream runs
+        through an in-process session.  Results are identical either
+        way.
         """
-        from .engine.parallel import scan_streams
+        if processes > 1:
+            from .engine.parallel import scan_streams
 
-        grid = scan_streams(
-            [self.tables], streams, processes=processes, engine=engine or self.engine
-        )
-        return [
-            self._result_from_reports(reports, n_bytes, stats)
-            for ((n_bytes, reports, stats),) in grid
-        ]
+            grid = scan_streams(
+                [self.tables],
+                streams,
+                processes=processes,
+                engine=engine or self.engine,
+            )
+            return [
+                self._result_from_reports(reports, n_bytes, stats)
+                for ((n_bytes, reports, stats),) in grid
+            ]
+        return [self.scan(stream, engine=engine) for stream in streams]
 
     def matched_rules(self, data: Chunk) -> set[str]:
         """Convenience: just the ids of rules that matched."""
@@ -458,6 +546,8 @@ class PatternMatcher:
 
     * :meth:`search` -- streaming match ends anywhere in the data
       (``^``/``$`` respected);
+    * :meth:`finditer` -- the same matches as lazy
+      :class:`~repro.session.Match` events over chunked input;
     * :meth:`matches` -- whole-string membership, i.e. the pattern
       matched somewhere with its anchors satisfied (for a ``^...$``
       pattern this is exact-string matching).
@@ -473,15 +563,25 @@ class PatternMatcher:
         if engine != AUTO_ENGINE:
             resolve_backend(engine)  # fail fast: unknown or unavailable
         self.engine = engine
-        self.compiled = compile_pattern(pattern, report_id="p", **kwargs)
+        self.pattern = pattern
+        self.compiled = compile_pattern(pattern, report_id=pattern, **kwargs)
         # tables and executor are built lazily on first search
         self._tables: Optional[TransitionTables] = None
         self._scanner = None
 
     def search(self, data: Chunk) -> list[int]:
-        """Distinct *nonempty* match-end offsets (1-based), anchors
-        respected.  Empty matches (nullable patterns) are not listed --
-        consult :meth:`matches` / ``compiled.matches_empty`` for those.
+        """Distinct *nonempty* match **end** offsets, 1-based, anchors
+        respected.
+
+        An offset ``p`` means a match ended *after* the ``p``-th byte:
+        ``PatternMatcher("abc").search(b"zabc")`` returns ``[4]``, not
+        the ``1`` a start-offset API (like :func:`re.search`'s
+        ``span()[0]``) would give -- the hardware reports on the cycle
+        that consumes a match's final byte, and where matches of
+        different lengths end at the same byte only that one end offset
+        is reported.  Empty matches (nullable patterns) are never
+        listed -- consult :meth:`matches` / ``compiled.matches_empty``
+        for those.
         """
         data = coerce_chunk(data)
         if self._scanner is None:
@@ -494,6 +594,40 @@ class PatternMatcher:
         if self.compiled.pattern.anchored_end:
             ends = [e for e in ends if e == len(data)]
         return ends
+
+    def finditer(
+        self, data: Chunk | Iterable[Chunk], stream: Optional[str] = None
+    ) -> Iterator[Match]:
+        """Lazily yield the pattern's matches as
+        :class:`~repro.session.Match` events (``rule`` is the pattern
+        string, ``end`` the 1-based absolute end offset).
+
+        Accepts one buffer or an iterable of chunks; offsets are
+        absolute across chunk boundaries, so any chunking yields the
+        same events as one buffer (the chunk-boundary equivalent of
+        :meth:`search`'s single-buffer semantics).  For ``$``-anchored
+        patterns nothing is yielded until the input is exhausted (only
+        then is "at end-of-data" decidable).
+        """
+        if isinstance(data, (bytes, bytearray, memoryview, str)):
+            data = (data,)
+        if self._tables is None:
+            self._tables = compile_tables(self.compiled.network)
+        scanner = resolve_backend(self.engine, self._tables).make_scanner(
+            self._tables
+        )
+        # one event-only session part: the shared session layer owns
+        # absolute offsets and $-gating (no finalize -- a single
+        # pattern has no ScanResult/energy story)
+        gate = (
+            frozenset([self.compiled.report_id])
+            if self.compiled.pattern.anchored_end
+            else frozenset()
+        )
+        session = MatchSession(
+            [SessionPart(scanner=scanner, end_anchored=gate)], stream=stream
+        )
+        return session.matches(data)
 
     def matches(self, data: Chunk) -> bool:
         """True iff the pattern matches within ``data`` (anchors kept).

@@ -1,0 +1,473 @@
+"""Session-oriented matching: incremental ``Match`` events over any engine.
+
+The paper's automata are *streaming* hardware -- the report vector
+fires on the clock cycle that consumes a byte -- yet a batch API like
+``scan()`` only hands results back after the whole stream is buffered
+and finished.  This module is the serving-shaped surface over the same
+engines: a **session** wraps one live scan of one logical stream and
+emits first-class :class:`Match` events as soon as the hardware would
+raise them, which is what multiplexing many long-lived client streams
+over one compiled ruleset (the GPU/CRAM IDS serving shape) actually
+needs.
+
+The layer cake:
+
+* :class:`Match` -- one report, fully resolved: facade rule id,
+  **absolute** 1-based end offset (chunk boundaries invisible), the
+  session's stream tag, and the raw hardware report code;
+* :class:`MatchSession` -- a context manager over one stream:
+  ``feed(chunk)`` returns the chunk's newly observed matches (sorted
+  by offset), ``finish()`` returns the end-of-data matches
+  (``$``-anchored rules can only be gated once the stream length is
+  known), ``matches(chunks)`` iterates lazily, ``result()`` assembles
+  the classic :class:`~repro.matching.ScanResult`;
+* :class:`Matcher` -- the protocol both
+  :class:`~repro.matching.RulesetMatcher` and
+  :class:`~repro.engine.parallel.ShardedMatcher` implement, so sharded
+  sessions (per-shard sub-scanners, merged incremental emission) are
+  indistinguishable from single-matcher ones;
+* :class:`MultiStreamScanner` -- demultiplexes many interleaved tagged
+  streams over one compiled ruleset with per-stream isolation: the
+  "one ruleset, N clients" path;
+* sinks -- any callable accepts matches as they are emitted
+  (``on_match=``); :class:`CollectorSink` accumulates,
+  :class:`QueueSink` bridges to consumer threads through a bounded
+  queue.
+
+Every registered execution backend (``stream``, ``block``,
+``reference``, and third-party registrations) works under a session:
+backends already report incrementally from ``feed``, the session layer
+only resolves names and applies the facade semantics (``$`` gating,
+:data:`UNNAMED_REPORT`).  The batch entry points (``scan``,
+``scan_stream``, ``scan_many``, ``matched_rules``) are thin wrappers
+over sessions, so both surfaces are one code path.
+"""
+
+from __future__ import annotations
+
+import queue
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
+
+from .engine.scanner import Chunk, coerce_chunk
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .matching import ResourceSummary, ScanResult
+
+__all__ = [
+    "UNNAMED_REPORT",
+    "Match",
+    "match_dict",
+    "MatchSession",
+    "SessionPart",
+    "Matcher",
+    "MultiStreamScanner",
+    "CollectorSink",
+    "QueueSink",
+]
+
+#: Rule id assigned to reports whose node carries no ``report_id``.
+#: Hand-built networks may leave ``report_id`` as ``None``; the facade
+#: surfaces those deterministically under this single sentinel key
+#: instead of silently conflating them with falsy-but-real ids (``""``
+#: stays ``""``).
+UNNAMED_REPORT = "<unnamed>"
+
+
+@dataclass(frozen=True)
+class Match:
+    """One match event, fully resolved by the facade.
+
+    Replaces the raw ``(position, report_id)`` tuples of the scanner
+    layer: the rule id is never ``None`` (unnamed reports surface as
+    :data:`UNNAMED_REPORT`), the offset is absolute across chunk
+    boundaries, and the event knows which tagged stream it came from.
+    """
+
+    #: facade rule id (:data:`UNNAMED_REPORT` for unnamed reports)
+    rule: str
+    #: 1-based end offset into the *stream* (not the chunk): a match
+    #: ended after the ``end``-th byte fed to the session
+    end: int
+    #: tag of the session's stream (``None`` for untagged sessions)
+    stream: Optional[str] = None
+    #: raw hardware report id (``None`` when the node was unnamed)
+    code: Optional[str] = None
+
+    @property
+    def sort_key(self) -> tuple[int, str, str, str]:
+        """Deterministic ordering: offset first, then rule/stream/code."""
+        return (self.end, self.rule, self.stream or "", self.code or "")
+
+
+def match_dict(matches: Iterable[Match]) -> dict[str, list[int]]:
+    """Collapse match events to the classic ``{rule: sorted distinct
+    end offsets}`` shape of :attr:`~repro.matching.ScanResult.matches`."""
+    ends: dict[str, set[int]] = {}
+    for match in matches:
+        ends.setdefault(match.rule, set()).add(match.end)
+    return {rule: sorted(positions) for rule, positions in ends.items()}
+
+
+# -- sinks -----------------------------------------------------------------
+#: Anything callable with one :class:`Match` can be an ``on_match`` sink.
+MatchSink = Callable[[Match], None]
+
+
+class CollectorSink:
+    """Sink that accumulates every emitted match, in emission order."""
+
+    def __init__(self) -> None:
+        self.matches: list[Match] = []
+
+    def __call__(self, match: Match) -> None:
+        self.matches.append(match)
+
+    def by_rule(self) -> dict[str, list[int]]:
+        """Collected matches as ``{rule: sorted end offsets}``."""
+        return match_dict(self.matches)
+
+
+class QueueSink:
+    """Sink that bridges match emission to consumer threads.
+
+    Matches are ``put`` on a bounded :class:`queue.Queue`; with
+    ``maxsize > 0`` a full queue applies backpressure to the feeding
+    thread (``put`` blocks), so a slow consumer throttles the scan
+    instead of growing memory without bound.  Single-threaded callers
+    should :meth:`drain` between feeds (or leave ``maxsize=0``).
+    """
+
+    def __init__(self, maxsize: int = 0) -> None:
+        self.queue: "queue.Queue[Match]" = queue.Queue(maxsize)
+
+    def __call__(self, match: Match) -> None:
+        self.queue.put(match)
+
+    def drain(self) -> list[Match]:
+        """Pop everything currently queued without blocking."""
+        out: list[Match] = []
+        while True:
+            try:
+                out.append(self.queue.get_nowait())
+            except queue.Empty:
+                return out
+
+
+# -- the session -----------------------------------------------------------
+@dataclass(frozen=True)
+class SessionPart:
+    """One scanner's slice of a session (one per ruleset shard).
+
+    Built by :meth:`Matcher.session` implementations, not by users:
+    ``scanner`` is a fresh backend scanner, ``end_anchored`` the rule
+    ids whose reports are gated to end-of-data, and ``finalize`` the
+    owner's ``(reports, bytes_scanned, stats) -> ScanResult`` closure
+    (which applies report naming, ``$`` gating, and energy pricing).
+    ``finalize`` may be omitted for event-only sessions (e.g.
+    :meth:`~repro.matching.PatternMatcher.finditer`), which then cannot
+    produce a :meth:`MatchSession.result`.
+    """
+
+    scanner: Any
+    end_anchored: frozenset
+    finalize: Optional[Callable[..., "ScanResult"]] = None
+
+
+class MatchSession:
+    """One live scan of one logical stream, emitting :class:`Match` events.
+
+    Obtain via :meth:`Matcher.session`; usable as a context manager
+    (``finish()`` runs on clean exit).  Both :meth:`feed` and
+    :meth:`finish` return the *newly* emitted matches as a list sorted
+    by :attr:`Match.sort_key` (offset first) -- unlike the raw scanner
+    layer, the two never disagree on type or ordering -- and every
+    match is also pushed to the ``on_match`` sink exactly once, in that
+    same order.
+
+    ``$``-anchored rules are the reason ``finish()`` exists: their
+    reports are only valid at end-of-data, which a streaming scan knows
+    at finish time, so those matches are withheld from :meth:`feed` and
+    emitted (if the stream really ended there) by :meth:`finish`.  All
+    other facade semantics (1-based absolute end offsets, no
+    zero-length matches, :data:`UNNAMED_REPORT` naming) match the batch
+    entry points exactly -- ``scan``/``scan_stream`` are wrappers over
+    this class.
+    """
+
+    def __init__(
+        self,
+        parts: Sequence[SessionPart],
+        *,
+        stream: Optional[str] = None,
+        on_match: Optional[MatchSink] = None,
+    ):
+        if not parts:
+            raise ValueError("a session needs at least one scanner")
+        self._parts = list(parts)
+        #: tag carried by every match this session emits
+        self.stream = stream
+        #: sink called once per emitted match, in emission order
+        self.on_match = on_match
+        self._bytes = 0
+        self._finished = False
+        self._result: Optional["ScanResult"] = None
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def bytes_fed(self) -> int:
+        """Total stream bytes consumed so far."""
+        return self._bytes
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    @property
+    def scanners(self) -> list:
+        """The live backend scanners (one per ruleset shard)."""
+        return [part.scanner for part in self._parts]
+
+    # -- context manager ---------------------------------------------------
+    def __enter__(self) -> "MatchSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self.finish()
+        return False
+
+    # -- streaming ---------------------------------------------------------
+    def _emit(self, matches: list[Match]) -> list[Match]:
+        matches.sort(key=lambda match: match.sort_key)
+        if self.on_match is not None:
+            for match in matches:
+                self.on_match(match)
+        return matches
+
+    def feed(self, chunk: Chunk) -> list[Match]:
+        """Consume one chunk; return its newly observed matches.
+
+        The list is sorted by offset and covers every shard; matches
+        already emitted by earlier chunks are not repeated, and
+        ``$``-anchored rules are withheld until :meth:`finish`.
+        """
+        if self._finished:
+            raise RuntimeError(
+                "feed() after finish(); open a new session to scan again"
+            )
+        chunk = coerce_chunk(chunk)
+        tag = self.stream
+        out: list[Match] = []
+        for part in self._parts:
+            gate = part.end_anchored
+            for position, code in part.scanner.feed(chunk):
+                rule = code if code is not None else UNNAMED_REPORT
+                if rule in gate:
+                    continue  # only reportable once the stream length is known
+                out.append(Match(rule, position, tag, code))
+        self._bytes += len(chunk)
+        return self._emit(out)
+
+    def finish(self) -> list[Match]:
+        """Mark end-of-data; return the matches it unlocks.
+
+        Emits the ``$``-anchored matches whose end offset is the final
+        stream length (everything else already came out of
+        :meth:`feed`).  Idempotent: a second call returns ``[]``.
+        """
+        if self._finished:
+            return []
+        self._finished = True
+        tag = self.stream
+        n = self._bytes
+        out: list[Match] = []
+        for part in self._parts:
+            gate = part.end_anchored
+            for position, code in part.scanner.finish():
+                if position != n:
+                    continue
+                rule = code if code is not None else UNNAMED_REPORT
+                if rule in gate:
+                    out.append(Match(rule, position, tag, code))
+        return self._emit(out)
+
+    def matches(self, chunks: Iterable[Chunk]) -> Iterator[Match]:
+        """Lazily scan an iterable of chunks, yielding matches as they
+        are observed (and the end-gated ones after the last chunk)."""
+        for chunk in chunks:
+            yield from self.feed(chunk)
+        yield from self.finish()
+
+    def result(self) -> "ScanResult":
+        """The classic batch :class:`~repro.matching.ScanResult` for
+        everything this session scanned (finishing it if needed);
+        identical -- reports, stats, energy -- to the batch entry
+        points, which are implemented on top of this method."""
+        if not self._finished:
+            self.finish()
+        if self._result is None:
+            if any(part.finalize is None for part in self._parts):
+                raise RuntimeError(
+                    "this session is event-only (no ScanResult finalizer)"
+                )
+            results = [
+                part.finalize(part.scanner.reports, self._bytes, part.scanner.stats)
+                for part in self._parts
+            ]
+            if len(results) == 1:
+                self._result = results[0]
+            else:
+                from .engine.parallel import merge_scan_results
+
+                self._result = merge_scan_results(results)
+        return self._result
+
+
+# -- the matcher protocol --------------------------------------------------
+@runtime_checkable
+class Matcher(Protocol):
+    """What every rule-set matcher front-end exposes.
+
+    Implemented by :class:`~repro.matching.RulesetMatcher` (one
+    compiled network) and :class:`~repro.engine.parallel.ShardedMatcher`
+    (round-robin shards, merged results): one session/scan surface, so
+    serving code is written once against this protocol and the
+    sharding/backing choice is swappable configuration.
+    """
+
+    engine: str
+
+    @property
+    def skipped(self) -> list[tuple[str, str]]: ...
+
+    def resources(self) -> "ResourceSummary": ...
+
+    def session(
+        self,
+        engine: Optional[str] = None,
+        *,
+        stream: Optional[str] = None,
+        on_match: Optional[MatchSink] = None,
+    ) -> MatchSession: ...
+
+    def scan(self, data: Chunk, engine: Optional[str] = None) -> "ScanResult": ...
+
+    def scan_stream(
+        self, chunks: Iterable[Chunk], engine: Optional[str] = None
+    ) -> "ScanResult": ...
+
+    def scan_many(
+        self,
+        streams: Sequence[Chunk],
+        processes: Optional[int] = None,
+        engine: Optional[str] = None,
+    ) -> list["ScanResult"]: ...
+
+    def matched_rules(self, data: Chunk) -> set[str]: ...
+
+
+# -- multi-stream serving --------------------------------------------------
+class MultiStreamScanner:
+    """Demultiplex many interleaved tagged streams over one ruleset.
+
+    The serving shape the ROADMAP's north star needs: compile once,
+    then interleave chunks from any number of logical client streams --
+    ``feed(tag, chunk)`` routes each chunk to that tag's
+    :class:`MatchSession` (created on first sight, all sharing the
+    matcher's compiled tables), and every emitted :class:`Match`
+    carries its stream tag, so per-stream results never bleed into each
+    other no matter how chunks interleave::
+
+        mux = MultiStreamScanner(matcher)
+        for tag, chunk in traffic:          # arbitrary interleaving
+            for match in mux.feed(tag, chunk):
+                route_alert(match.stream, match.rule, match.end)
+        results = mux.results()             # {tag: ScanResult}
+
+    Works over any :class:`Matcher` (sharded included) and any
+    registered backend.  ``on_match`` observes every stream's matches
+    through one sink (each match is tagged); per-stream sinks can be
+    attached by creating the session first via :meth:`session`.
+    """
+
+    def __init__(
+        self,
+        matcher: Matcher,
+        engine: Optional[str] = None,
+        on_match: Optional[MatchSink] = None,
+    ):
+        self.matcher = matcher
+        self.engine = engine
+        self.on_match = on_match
+        self._sessions: dict[str, MatchSession] = {}
+
+    @property
+    def streams(self) -> list[str]:
+        """Tags seen so far, in first-seen order."""
+        return list(self._sessions)
+
+    def session(self, tag: str) -> MatchSession:
+        """The tag's session, created on first use."""
+        session = self._sessions.get(tag)
+        if session is None:
+            session = self.matcher.session(
+                engine=self.engine, stream=tag, on_match=self.on_match
+            )
+            self._sessions[tag] = session
+        return session
+
+    def feed(self, tag: str, chunk: Chunk) -> list[Match]:
+        """Route one chunk to stream ``tag``; return its new matches."""
+        return self.session(tag).feed(chunk)
+
+    def finish(self, tag: str) -> list[Match]:
+        """End stream ``tag``; return the matches end-of-data unlocks."""
+        return self._session_of(tag).finish()
+
+    def finish_all(self) -> list[Match]:
+        """End every open stream; return the unlocked matches, sorted
+        by offset (ties broken by rule, then stream tag)."""
+        out: list[Match] = []
+        for session in self._sessions.values():
+            out.extend(session.finish())
+        out.sort(key=lambda match: match.sort_key)
+        return out
+
+    def result(self, tag: str) -> "ScanResult":
+        """Stream ``tag``'s :class:`~repro.matching.ScanResult`
+        (finishing it if still open)."""
+        return self._session_of(tag).result()
+
+    def results(self) -> dict[str, "ScanResult"]:
+        """Per-stream results for every stream seen (finishing open
+        ones), keyed by tag."""
+        return {tag: session.result() for tag, session in self._sessions.items()}
+
+    def scan_tagged(
+        self, pairs: Iterable[tuple[str, Chunk]]
+    ) -> dict[str, "ScanResult"]:
+        """One-shot convenience: consume an interleaved ``(tag, chunk)``
+        iterable, finish every stream, and return per-stream results."""
+        for tag, chunk in pairs:
+            self.feed(tag, chunk)
+        self.finish_all()
+        return self.results()
+
+    def _session_of(self, tag: str) -> MatchSession:
+        try:
+            return self._sessions[tag]
+        except KeyError:
+            raise KeyError(
+                f"unknown stream {tag!r}; streams seen: {sorted(self._sessions)}"
+            ) from None

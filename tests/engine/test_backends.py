@@ -378,7 +378,14 @@ class TestFacadeEngineSelection:
     def test_scan_stream_honors_reference_engine(self):
         matcher = RulesetMatcher([("lit", r"abc")], engine="reference")
         assert matcher.scan_stream([b"ab", b"c"]).matches == {"lit": [3]}
-        assert type(matcher.stream_scanner()).__name__ == "ReferenceScanner"
+        # the session wraps a scanner from the matcher's default backend
+        assert type(matcher.session().scanners[0]).__name__ == "ReferenceScanner"
+
+    def test_stream_scanner_deprecated_but_working(self):
+        matcher = RulesetMatcher([("lit", r"abc")], engine="reference")
+        with pytest.deprecated_call():
+            scanner = matcher.stream_scanner()
+        assert type(scanner).__name__ == "ReferenceScanner"
 
     def test_scan_many_ships_engine_choice(self):
         matcher = RulesetMatcher(MODULE_FREE_RULES)

@@ -54,6 +54,51 @@ class TestMerge:
             merge_scan_results([])
 
 
+class TestMergeCompileInfo:
+    def test_merge_scan_results_merges_compile_info(self):
+        from repro.matching import CompileInfo
+
+        info_a = CompileInfo(cache_hit=True, seconds=0.5, opt_level=0)
+        info_b = CompileInfo(cache_hit=False, seconds=0.25, opt_level=1)
+        a = ScanResult(10, {"x": [1]}, 0.5, compile_info=info_a)
+        b = ScanResult(10, {"y": [2]}, 0.25, compile_info=info_b)
+        merged = merge_scan_results([a, b])
+        assert merged.compile_info is not None
+        assert merged.compile_info.seconds == 0.75
+        assert not merged.compile_info.cache_hit  # one shard was cold
+        assert merged.compile_info.opt_level == 1
+
+    def test_merge_without_info_stays_none(self):
+        merged = merge_scan_results([ScanResult(5), ScanResult(5)])
+        assert merged.compile_info is None
+
+    def test_sharded_scan_surfaces_merged_timing(self):
+        matcher = ShardedMatcher(RULES, shards=3)
+        result = matcher.scan(DATA)
+        assert result.compile_info is not None
+        assert result.compile_info.seconds == pytest.approx(
+            sum(info.seconds for info in matcher.compile_infos)
+        )
+        assert matcher.compile_info.seconds == result.compile_info.seconds
+        assert not result.compile_info.cache_hit  # fresh compiles
+
+    def test_sharded_all_warm_reports_cache_hit(self, tmp_path):
+        rules = [("r0", "abc"), ("r1", "def")]
+        cold = ShardedMatcher(rules, shards=2, cache_dir=str(tmp_path))
+        assert not cold.compile_info.cache_hit
+        warm = ShardedMatcher(rules, shards=2, cache_dir=str(tmp_path))
+        assert warm.compile_info.cache_hit
+        assert warm.scan(b"zabc").compile_info.cache_hit
+
+    def test_compile_info_excluded_from_result_equality(self, tmp_path):
+        rules = [("r0", "abc")]
+        cold = RulesetMatcher(rules, cache_dir=str(tmp_path))
+        warm = RulesetMatcher(rules, cache_dir=str(tmp_path))
+        assert cold.compile_info.seconds != warm.compile_info.seconds
+        # same scan, equal results, regardless of compile provenance
+        assert cold.scan(b"zabc") == warm.scan(b"zabc")
+
+
 class TestShardedMatcher:
     @pytest.mark.parametrize("shards", [1, 2, 3])
     def test_scan_equals_unsharded(self, shards):

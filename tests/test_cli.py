@@ -155,6 +155,99 @@ class TestScan:
         assert "c: 1 match(es)" in out
 
 
+class TestScanStreams:
+    def test_interleaved_tagged_streams(self, tmp_path, capsys):
+        rules = tmp_path / "rules.txt"
+        rules.write_text("hit\tabc\nnum\t[0-9]{3,5}\n")
+        data = tmp_path / "streams.txt"
+        # "abc" split across stream a's chunks, b interleaved between
+        data.write_text("a\tza\nb\t12\na\tbc\nb\t34..\n")
+        assert (
+            main(
+                ["scan", "--rules", str(rules), "--input", str(data), "--streams"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "served 2 stream(s)" in out
+        assert "stream a: 4 bytes, 1 match(es)" in out
+        assert "hit: 1 match(es) at [4]" in out
+        assert "stream b: 6 bytes, 2 match(es)" in out
+        assert "num: 2 match(es) at [3, 4]" in out
+
+    def test_64_streams_isolated(self, tmp_path, capsys):
+        """Acceptance: the CLI serves >= 64 interleaved tagged streams
+        over one compiled ruleset."""
+        rules = tmp_path / "rules.txt"
+        rules.write_text("hit\tabc\n")
+        lines = []
+        # two interleaved rounds: every stream's "abc" spans its chunks
+        for i in range(64):
+            lines.append(f"s{i:02d}\tz" + "a" * (i % 2))
+        for i in range(64):
+            lines.append(f"s{i:02d}\t" + ("bc" if i % 2 else "abc"))
+        data = tmp_path / "streams.txt"
+        data.write_text("\n".join(lines) + "\n")
+        assert (
+            main(
+                ["scan", "--rules", str(rules), "--input", str(data), "--streams"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "served 64 stream(s)" in out
+        assert out.count("hit: 1 match(es)") == 64
+
+    def test_streams_with_shards(self, tmp_path, capsys):
+        rules = tmp_path / "rules.txt"
+        rules.write_text("a\tabc\nb\t[0-9]{3,5}\nc\tzz\n")
+        data = tmp_path / "streams.txt"
+        data.write_text("x\tabc 123\ny\tzz\n")
+        assert (
+            main(
+                [
+                    "scan", "--rules", str(rules), "--input", str(data),
+                    "--streams", "--shards", "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "stream x: 7 bytes, 2 match(es)" in out
+        assert "stream y: 2 bytes, 1 match(es)" in out
+
+    def test_payload_carriage_returns_are_data(self, tmp_path, capsys):
+        """Only the line framing (one \\n, at most one preceding \\r)
+        is stripped; interior/trailing \\r payload bytes are stream
+        data (latin-1 is the declared chunk alphabet)."""
+        rules = tmp_path / "rules.txt"
+        rules.write_text("crlf\tabc\\r\n")
+        data = tmp_path / "streams.txt"
+        data.write_bytes(b"s\tabc\r\r\n")  # payload b"abc\r" + CRLF framing
+        assert (
+            main(
+                ["scan", "--rules", str(rules), "--input", str(data), "--streams"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "stream s: 4 bytes, 1 match(es)" in out
+        assert "crlf: 1 match(es) at [4]" in out
+
+    def test_malformed_line_reports_error(self, tmp_path, capsys):
+        rules = tmp_path / "rules.txt"
+        rules.write_text("hit\tabc\n")
+        data = tmp_path / "streams.txt"
+        data.write_text("tag-without-tab\n")
+        assert (
+            main(
+                ["scan", "--rules", str(rules), "--input", str(data), "--streams"]
+            )
+            == 2
+        )
+        assert "expected 'tag<TAB>chunk'" in capsys.readouterr().err
+
+
 class TestCompileRulesAndCache:
     def test_compile_rules_to_cache_then_warm_scan(self, tmp_path, capsys):
         rules = tmp_path / "rules.txt"

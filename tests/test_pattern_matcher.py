@@ -37,6 +37,60 @@ class TestAnchors:
         assert matcher.search(b"zzz") == []  # no nonempty match
 
 
+class TestFinditer:
+    def test_yields_match_events_with_end_offsets(self):
+        from repro.session import Match
+
+        matcher = PatternMatcher("abc")
+        out = list(matcher.finditer(b"zabc..abc"))
+        assert out == [Match("abc", 4, None, "abc"), Match("abc", 9, None, "abc")]
+
+    def test_search_end_offset_matches_finditer(self):
+        # search() returns match-END offsets (1-based): "abc" in b"zabc"
+        # ends after byte 4 -- not the 1 a start-offset API would give
+        matcher = PatternMatcher("abc")
+        assert matcher.search(b"zabc") == [4]
+        assert [m.end for m in matcher.finditer(b"zabc")] == [4]
+
+    def test_chunk_boundary_off_by_one(self):
+        """The classic off-by-one trap: a match whose final byte is the
+        first byte of the next chunk must report the absolute stream
+        offset, not a per-chunk one."""
+        matcher = PatternMatcher("abc")
+        whole = [m.end for m in matcher.finditer(b"xabcx")]
+        for cut in range(6):
+            split = [b"xabcx"[:cut], b"xabcx"[cut:]]
+            assert [m.end for m in matcher.finditer(split)] == whole, cut
+        # ends exactly at a boundary: last byte of chunk 1 vs first of chunk 2
+        assert [m.end for m in matcher.finditer([b"xab", b"cx"])] == [4]
+        assert [m.end for m in matcher.finditer([b"xabc", b"x"])] == [4]
+
+    def test_end_anchor_yields_only_at_stream_end(self):
+        matcher = PatternMatcher("ab$")
+        assert [m.end for m in matcher.finditer([b"ab", b"xx", b"ab"])] == [6]
+        assert list(matcher.finditer([b"ab", b"xx"])) == []
+
+    def test_lazy_iteration(self):
+        matcher = PatternMatcher("ab")
+        consumed = []
+
+        def chunks():
+            for chunk in (b"ab", b"ab", b"ab"):
+                consumed.append(chunk)
+                yield chunk
+
+        iterator = matcher.finditer(chunks())
+        first = next(iterator)
+        assert first.end == 2 and len(consumed) < 3  # input not exhausted
+        assert [m.end for m in iterator] == [4, 6]
+
+    def test_stream_tag_carried(self):
+        matcher = PatternMatcher("ab")
+        out = list(matcher.finditer(b"ab", stream="conn-1"))
+        assert out[0].stream == "conn-1"
+        assert out[0].rule == "ab"
+
+
 class TestRulesetEndAnchors:
     def test_end_anchored_rule_filtered(self):
         rules = [("tail", "xyz$"), ("anywhere", "xyz")]

@@ -1,0 +1,119 @@
+"""Public-API snapshot: keep the exported surface honest.
+
+Pins ``repro.__all__`` and the session-protocol signatures so that
+accidental export drift or signature changes fail a test instead of
+silently breaking downstream users.  Deliberate surface changes update
+the snapshot here *and* the README migration guide.
+"""
+
+import inspect
+
+import repro
+from repro import (
+    Match,
+    Matcher,
+    MatchSession,
+    MultiStreamScanner,
+    PatternMatcher,
+    RulesetMatcher,
+    ShardedMatcher,
+)
+
+EXPECTED_ALL = sorted(
+    [
+        "__version__",
+        # regex
+        "CharClass", "Pattern", "parse", "simplify",
+        # nca
+        "NCA", "build_nca", "NCAExecutor", "CountingSetExecutor",
+        # analysis
+        "Method", "InstanceResult", "RegexAnalysisResult", "analyze",
+        "analyze_pattern",
+        # mnrl
+        "Network", "STE", "CounterNode", "BitVectorNode",
+        # compiler
+        "Decision", "CompiledPattern", "CompiledRuleset",
+        "OptimizationReport", "compile_pattern", "compile_ruleset",
+        "compute_alphabet_classes", "run_passes", "map_network",
+        "NetworkMapping",
+        # hardware
+        "NetworkSimulator", "ReportEvent", "simulate", "CAM_ARRAY",
+        "COUNTER", "BIT_VECTOR", "GEOMETRY", "area_of_mapping",
+        "energy_of_run", "savings_of_mappings",
+        # engine
+        "TransitionTables", "compile_tables", "StreamScanner",
+        "BlockScanner", "ShardedMatcher", "merge_scan_results",
+        # execution backends
+        "Backend", "BackendInfo", "available_backends",
+        "register_backend", "resolve_backend",
+        # high-level facade
+        "RulesetMatcher", "PatternMatcher", "ScanResult", "CompileInfo",
+        "merge_compile_infos",
+        # session API
+        "Match", "match_dict", "MatchSession", "Matcher",
+        "MultiStreamScanner", "CollectorSink", "QueueSink",
+        "UNNAMED_REPORT",
+    ]
+)
+
+
+def params_of(fn) -> list[str]:
+    return list(inspect.signature(fn).parameters)
+
+
+def keyword_only_of(fn) -> set[str]:
+    return {
+        name
+        for name, param in inspect.signature(fn).parameters.items()
+        if param.kind is inspect.Parameter.KEYWORD_ONLY
+    }
+
+
+class TestExports:
+    def test_all_snapshot(self):
+        assert sorted(repro.__all__) == EXPECTED_ALL
+
+    def test_everything_in_all_importable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+
+class TestSessionProtocolSignatures:
+    def test_match_fields(self):
+        assert [f.name for f in Match.__dataclass_fields__.values()] == [
+            "rule", "end", "stream", "code",
+        ]
+
+    def test_session_methods(self):
+        assert params_of(MatchSession.feed) == ["self", "chunk"]
+        assert params_of(MatchSession.finish) == ["self"]
+        assert params_of(MatchSession.matches) == ["self", "chunks"]
+        assert params_of(MatchSession.result) == ["self"]
+
+    @staticmethod
+    def _check_session_factory(fn):
+        assert params_of(fn) == ["self", "engine", "stream", "on_match"]
+        assert keyword_only_of(fn) == {"stream", "on_match"}
+
+    def test_matcher_session_factories_agree(self):
+        self._check_session_factory(RulesetMatcher.session)
+        self._check_session_factory(ShardedMatcher.session)
+
+    def test_matcher_protocol_members(self):
+        for member in (
+            "session", "scan", "scan_stream", "scan_many",
+            "matched_rules", "resources", "skipped",
+        ):
+            assert hasattr(RulesetMatcher, member), member
+            assert hasattr(ShardedMatcher, member), member
+            assert hasattr(Matcher, member), member
+
+    def test_multistream_methods(self):
+        assert params_of(MultiStreamScanner.feed) == ["self", "tag", "chunk"]
+        assert params_of(MultiStreamScanner.finish) == ["self", "tag"]
+        assert params_of(MultiStreamScanner.scan_tagged) == ["self", "pairs"]
+        for member in ("finish_all", "result", "results", "streams", "session"):
+            assert hasattr(MultiStreamScanner, member), member
+
+    def test_finditer_signature(self):
+        assert params_of(PatternMatcher.finditer) == ["self", "data", "stream"]
