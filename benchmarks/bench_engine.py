@@ -379,6 +379,209 @@ def test_session_overhead(ste_only_workload):
     assert overhead < SESSION_OVERHEAD_CEILING, report
 
 
+#: acceptance ceiling for the serving layer's cost (framing, the event
+#: loop, executor hand-offs, match emission) over the offline
+#: multi-stream scanner on the same traffic
+SERVE_OVERHEAD_CEILING = 0.30
+SERVE_CONNECTIONS = 8
+SERVE_CHUNK = 1 << 16
+SERVE_ROUNDS = 3
+
+#: the client fleet runs in its OWN process (like real clients): the
+#: server process pays only its own serving costs, and the driver
+#: reports wall time from first feed to last CLOSED plus a CRC over
+#: every (tag, rule, end) event for the offline-equality check.
+#: Per round it opens fresh connections/streams (tags are namespaced
+#: by round), so rounds are independent and best-of-N is honest.
+_SERVE_DRIVER = r"""
+import asyncio, sys, time, zlib
+
+src, host, port, path, chunk, conns, rounds = sys.argv[1:8]
+port, chunk, conns, rounds = int(port), int(chunk), int(conns), int(rounds)
+sys.path.insert(0, src)
+from repro.serve import MatchClient
+
+with open(path, "rb") as handle:
+    data = handle.read()
+chunks = [data[o : o + chunk] for o in range(0, len(data), chunk)]
+
+async def one_round(index):
+    clients = []
+    for i in range(conns):
+        client = await MatchClient.connect(host, port)
+        await client.open(f"r{index}-s{i}")
+        clients.append(client)
+
+    async def pump(i, client):
+        tag = f"r{index}-s{i}"
+        for piece in chunks:
+            await client.feed(tag, piece)
+        await client.close_stream(tag)
+
+    start = time.perf_counter()
+    await asyncio.gather(*(pump(i, c) for i, c in enumerate(clients)))
+    elapsed = time.perf_counter() - start
+    lines = sorted(
+        f"s{i} {m.rule} {m.end}"
+        for i, c in enumerate(clients)
+        for m in c.matches[f"r{index}-s{i}"]
+    )
+    crc = zlib.crc32("\n".join(lines).encode("latin-1"))
+    count = len(lines)
+    for client in clients:
+        await client.quit()
+    return elapsed, count, crc
+
+async def main():
+    print("READY", flush=True)
+    sys.stdin.readline()  # GO
+    for index in range(rounds):
+        elapsed, count, crc = await one_round(index)
+        print(f"ROUND {elapsed:.6f} {count} {crc}", flush=True)
+
+asyncio.run(main())
+"""
+
+
+def test_serve_throughput(ste_only_workload, tmp_path):
+    """N concurrent connections through a real MatchServer (clients in
+    a separate process, as deployed) vs the same total traffic through
+    the offline MultiStreamScanner in-process; asserts per-stream match
+    equality (CRC over every event) and the serving-overhead ceiling,
+    and appends a ``serve`` section to BENCH_engine.json."""
+    import asyncio
+    import os
+    import subprocess
+    import sys
+    import threading
+    import zlib
+
+    import repro
+    from repro.serve import MatchServer
+    from repro.session import MultiStreamScanner
+
+    rules, _, data = ste_only_workload
+    matcher = RulesetMatcher(rules, unfold_threshold=float("inf"))
+    chunks = [
+        data[offset : offset + SERVE_CHUNK]
+        for offset in range(0, len(data), SERVE_CHUNK)
+    ]
+    tags = [f"s{i}" for i in range(SERVE_CONNECTIONS)]
+
+    # -- offline baseline (and the expected event CRC) ---------------------
+    def offline():
+        mux = MultiStreamScanner(matcher)
+        events = []
+        for tag in tags:
+            session = mux.session(tag)
+            for chunk in chunks:
+                for match in session.feed(chunk):
+                    events.append((tag, match.rule, match.end))
+        for tag in tags:
+            for match in mux.finish(tag):
+                events.append((tag, match.rule, match.end))
+        return events
+
+    t_offline = _time(offline, rounds=SERVE_ROUNDS)
+    expected = sorted(f"{t} {r} {e}" for t, r, e in offline())
+    expected_crc = zlib.crc32("\n".join(expected).encode("latin-1"))
+
+    # -- the server, on its own event loop in this process -----------------
+    ready = threading.Event()
+    box: dict = {}
+
+    def server_thread():
+        async def run():
+            server = MatchServer(matcher, port=0)
+            await server.start()
+            stop = asyncio.Event()
+            box["port"] = server.port
+            box["stop"] = (asyncio.get_running_loop(), stop)
+            ready.set()
+            await stop.wait()
+            box["stats"] = server.stats()
+            await server.stop()
+
+        asyncio.run(run())
+
+    thread = threading.Thread(target=server_thread, daemon=True)
+    thread.start()
+    assert ready.wait(timeout=30)
+
+    data_path = tmp_path / "serve_stream.bin"
+    data_path.write_bytes(data)
+    src_dir = os.path.dirname(os.path.dirname(repro.__file__))
+    driver = subprocess.Popen(
+        [
+            sys.executable, "-c", _SERVE_DRIVER, src_dir, "127.0.0.1",
+            str(box["port"]), str(data_path), str(SERVE_CHUNK),
+            str(SERVE_CONNECTIONS), str(SERVE_ROUNDS),
+        ],
+        stdin=subprocess.PIPE,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        assert driver.stdout.readline().strip() == "READY"
+        driver.stdin.write("GO\n")
+        driver.stdin.flush()
+        rounds = []
+        for _ in range(SERVE_ROUNDS):
+            fields = driver.stdout.readline().split()
+            assert fields and fields[0] == "ROUND", (fields, driver.stderr.read())
+            rounds.append((float(fields[1]), int(fields[2]), int(fields[3])))
+        driver.wait(timeout=30)
+    finally:
+        if driver.poll() is None:
+            driver.kill()
+        loop, stop = box["stop"]
+        loop.call_soon_threadsafe(stop.set)
+        thread.join(timeout=30)
+
+    # every round's served events are identical to the offline scanner's
+    for _, count, crc in rounds:
+        assert count == len(expected)
+        assert crc == expected_crc
+
+    t_serve = min(elapsed for elapsed, _, _ in rounds)
+    stats = box["stats"]
+    total_bytes = len(data) * SERVE_CONNECTIONS
+    offline_bps = total_bytes / t_offline
+    serve_bps = total_bytes / t_serve
+    overhead = t_serve / t_offline - 1.0
+
+    update_json(
+        "engine",
+        {
+            "serve": {
+                "connections": SERVE_CONNECTIONS,
+                "chunk_bytes": SERVE_CHUNK,
+                "stream_bytes": len(data),
+                "total_bytes": total_bytes,
+                "offline_bps": offline_bps,
+                "serve_bps": serve_bps,
+                "overhead": overhead,
+                "ceiling": SERVE_OVERHEAD_CEILING,
+                "matches_per_round": len(expected),
+                "server_busy_seconds": stats.busy_seconds,
+            }
+        },
+    )
+    report = (
+        f"Serving overhead ({SERVE_CONNECTIONS} concurrent connections from "
+        f"a separate client process,\n"
+        f"    {SERVE_CHUNK}-byte frames, {total_bytes} total bytes, "
+        f"{len(expected)} matches streamed per round)\n"
+        f"  offline MultiStreamScanner : {offline_bps / 1e3:9.1f} KB/s\n"
+        f"  served over TCP            : {serve_bps / 1e3:9.1f} KB/s\n"
+        f"  overhead                   : {overhead:9.1%} (ceiling "
+        f"{SERVE_OVERHEAD_CEILING:.0%})"
+    )
+    save_report("engine_serve", report)
+    assert overhead < SERVE_OVERHEAD_CEILING, report
+
+
 def test_table_engine_throughput(benchmark, workload):
     """pytest-benchmark timing of the fast path alone (optimizer on)."""
     _, _, optimized, data = workload

@@ -28,6 +28,12 @@ The library spans the paper's whole stack:
   :class:`Matcher` protocol shared by single and sharded matchers,
   pluggable sinks, and :class:`MultiStreamScanner` multi-stream
   demultiplexing (one compiled ruleset, N interleaved client streams);
+* :mod:`repro.serve` -- the async match-serving subsystem:
+  :class:`MatchServer` (asyncio TCP line-protocol server with bounded
+  per-connection backpressure, threaded feed off-load, graceful
+  drain), :class:`MatchClient`/:func:`scan_tagged_remote`, and
+  :class:`ServerStats` load snapshots; CLI ``repro serve`` /
+  ``repro connect``;
 * :mod:`repro.workloads` -- synthetic Snort/Suricata/Protomata/
   SpamAssassin/ClamAV-style suites and input streams;
 * :mod:`repro.experiments` -- drivers regenerating every table and
@@ -93,6 +99,12 @@ from .matching import (
 from .mnrl import BitVectorNode, CounterNode, Network, STE
 from .nca import NCA, CountingSetExecutor, NCAExecutor, build_nca
 from .regex import CharClass, Pattern, parse, simplify
+from .serve import (
+    MatchClient,
+    MatchServer,
+    ServerStats,
+    scan_tagged_remote,
+)
 from .session import (
     CollectorSink,
     Match,
@@ -179,4 +191,9 @@ __all__ = [
     "CollectorSink",
     "QueueSink",
     "UNNAMED_REPORT",
+    # serving subsystem (async TCP match server + client)
+    "MatchServer",
+    "MatchClient",
+    "ServerStats",
+    "scan_tagged_remote",
 ]

@@ -157,6 +157,12 @@ def analyze_pattern(
     executes; anchoring changes ambiguity (``a{2}`` anchored is
     unambiguous, but ``Sigma* a{2}`` is ambiguous), so this choice
     matters and matches the paper's streaming setting.
+
+    >>> from repro import analyze_pattern
+    >>> analyze_pattern(r".*a{5}").ambiguous
+    True
+    >>> analyze_pattern(r"b a{5}").ambiguous
+    False
     """
     parsed = parse(pattern)
     ast = simplify(parsed.search_ast())

@@ -16,6 +16,13 @@ Commands mirror the toolchain stages:
   compiled ruleset serves every tagged stream through per-stream
   sessions (:class:`~repro.session.MultiStreamScanner`), reporting
   per-stream results;
+* ``serve``    -- run the asyncio match server: one compiled ruleset
+  (same compile options as ``scan``) served over TCP to N concurrent
+  line-protocol clients (protocol spec: ``docs/SERVING.md``); stops
+  gracefully -- drain, flush, ``BYE`` -- on SIGINT/SIGTERM;
+* ``connect``  -- smoke-test client for ``serve``: stream interleaved
+  ``tag<TAB>chunk`` lines (the ``scan --streams`` format) to a running
+  server and report per-stream matches;
 * ``census``   -- Table 1-style census of a synthetic suite;
 * ``report``   -- regenerate one of the paper's tables/figures.
 
@@ -152,6 +159,71 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report compile/cache timing, optimisation results, and "
         "per-rule skip reasons",
+    )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve a compiled ruleset over TCP (line protocol, "
+        "see docs/SERVING.md)",
+    )
+    p_serve.add_argument("--rules", required=True, help="rule file (id\\tpattern lines)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 picks an ephemeral port, printed on the "
+        "ready line)",
+    )
+    p_serve.add_argument(
+        "--engine",
+        choices=engine_choices(),
+        default=AUTO_ENGINE,
+        help="execution backend for every served session",
+    )
+    p_serve.add_argument("--threshold", type=float, default=0)
+    p_serve.add_argument(
+        "-O", "--opt-level", type=int, default=0,
+        help="optimisation passes (see 'compile --opt-level')",
+    )
+    p_serve.add_argument(
+        "--cache-dir",
+        help="warm-start from (and populate) the persistent ruleset cache",
+    )
+    p_serve.add_argument(
+        "--shards", type=int, default=1,
+        help="round-robin the rule set over N independent shards",
+    )
+    p_serve.add_argument(
+        "--queue-depth", type=int, default=32,
+        help="per-connection backpressure depth (frames in flight "
+        "before socket reads pause)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=None,
+        help="feed-offload thread count (default: executor's choice)",
+    )
+
+    p_connect = sub.add_parser(
+        "connect",
+        help="stream tagged chunks to a running match server "
+        "(smoke-test client)",
+    )
+    p_connect.add_argument("--host", default="127.0.0.1")
+    p_connect.add_argument("--port", type=int, required=True)
+    p_connect.add_argument(
+        "--input", default="-",
+        help="tag<TAB>chunk lines, interleaved (default '-' = stdin; "
+        "same format as 'scan --streams')",
+    )
+    p_connect.add_argument(
+        "--retries", type=int, default=5,
+        help="connection attempts before giving up (0.2s apart), for "
+        "racing a just-started server",
+    )
+    p_connect.add_argument(
+        "--stats", action="store_true",
+        help="also print the server's STATS snapshot",
     )
 
     p_census = sub.add_parser("census", help="Table 1-style suite census")
@@ -424,6 +496,147 @@ def _scan_multi_stream(matcher, handle, args) -> int:
     return 0
 
 
+def _build_matcher(args):
+    """Compile the rule file with the scan/serve option set; returns
+    ``None`` (after printing) when the backend is unavailable."""
+    rules = _read_rules(args.rules)
+    options = dict(
+        unfold_threshold=args.threshold,
+        engine=args.engine,
+        opt_level=args.opt_level,
+        cache_dir=args.cache_dir,
+    )
+    try:
+        if args.shards > 1:
+            return ShardedMatcher(rules, shards=args.shards, **options)
+        return RulesetMatcher(rules, **options)
+    except BackendUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_serve(args) -> int:
+    """``serve``: compile once, serve line-protocol clients until a
+    signal arrives, then drain gracefully."""
+    import asyncio
+    import signal
+
+    from .serve import MatchServer
+
+    matcher = _build_matcher(args)
+    if matcher is None:
+        return 2
+    if matcher.skipped:
+        print(f"skipped {len(matcher.skipped)} rule(s)", file=sys.stderr)
+    resources = matcher.resources()
+
+    async def run() -> int:
+        server = MatchServer(
+            matcher,
+            host=args.host,
+            port=args.port,
+            engine=args.engine,
+            queue_depth=args.queue_depth,
+            workers=args.workers,
+        )
+        await server.start()
+        # the ready line is machine-readable: smoke tests poll for it
+        print(
+            f"serving {resources.rules_compiled} rules on "
+            f"{server.host}:{server.port} (engine {args.engine}, "
+            f"queue depth {args.queue_depth})",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        stop = loop.create_future()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: not stop.done() and stop.set_result(None)
+                )
+            except (NotImplementedError, RuntimeError):
+                pass  # platform without signal handlers: Ctrl-C raises
+        try:
+            await stop
+        except KeyboardInterrupt:  # pragma: no cover - no-handler platforms
+            pass
+        print("draining...", file=sys.stderr)
+        await server.stop(drain=True)
+        stats = server.stats()
+        print(
+            f"served {stats.connections_total} connection(s), "
+            f"{stats.streams_total} stream(s), {stats.bytes_scanned} bytes, "
+            f"{stats.matches_emitted} match(es)"
+        )
+        return 0
+
+    return asyncio.run(run())
+
+
+def _cmd_connect(args) -> int:
+    """``connect``: stream a tagged-chunk file at a running server and
+    report per-stream matches (the serve smoke-test client)."""
+    import socket
+    import time
+
+    from .serve.client import scan_tagged_remote
+
+    handle = sys.stdin.buffer if args.input == "-" else open(args.input, "rb")
+    try:
+        try:
+            pairs = [
+                (tag, payload) for _, tag, payload in _tagged_chunks(handle)
+            ]
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    finally:
+        if handle is not sys.stdin.buffer:
+            handle.close()
+
+    last_error: Optional[Exception] = None
+    for attempt in range(max(1, args.retries + 1)):
+        if attempt:
+            time.sleep(0.2)
+        try:
+            matches, summaries, stats = scan_tagged_remote(
+                args.host, args.port, pairs
+            )
+            break
+        except (ConnectionError, socket.error) as exc:
+            last_error = exc
+    else:
+        print(f"error: cannot connect to {args.host}:{args.port}: "
+              f"{last_error}", file=sys.stderr)
+        return 2
+
+    total_bytes = sum(s.bytes_scanned for s in summaries.values())
+    total_matches = sum(s.matches_emitted for s in summaries.values())
+    print(
+        f"served {len(summaries)} stream(s), {total_bytes} bytes, "
+        f"{total_matches} match(es)"
+    )
+    for tag in sorted(summaries):
+        summary = summaries[tag]
+        print(
+            f"stream {tag}: {summary.bytes_scanned} bytes, "
+            f"{summary.matches_emitted} match(es)"
+        )
+        by_rule: dict[str, list[int]] = {}
+        for match in matches.get(tag, []):
+            by_rule.setdefault(match.rule, []).append(match.end)
+        for rule_id in sorted(by_rule):
+            ends = sorted(by_rule[rule_id])
+            shown = ", ".join(map(str, ends[:8]))
+            suffix = ", ..." if len(ends) > 8 else ""
+            print(f"  {rule_id}: {len(ends)} match(es) at [{shown}{suffix}]")
+    if not summaries:
+        print("  no streams")
+    if args.stats:
+        print(f"server stats: {stats}")
+    return 0
+
+
 def _cmd_census(args) -> int:
     suite = suite_by_name(args.suite, total=args.total, seed=args.seed)
     row = census(suite)
@@ -466,6 +679,8 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "compile": _cmd_compile,
     "scan": _cmd_scan,
+    "serve": _cmd_serve,
+    "connect": _cmd_connect,
     "census": _cmd_census,
     "report": _cmd_report,
 }

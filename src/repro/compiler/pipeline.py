@@ -163,6 +163,11 @@ def compile_pattern(
 ) -> CompiledPattern:
     """Compile one pattern to an MNRL network.
 
+    >>> from repro import compile_pattern
+    >>> compiled = compile_pattern(r"ab{2,4}c")
+    >>> (compiled.ste_count, compiled.counter_count)
+    (3, 1)
+
     Args:
         pattern_text: POSIX/PCRE-style pattern source.
         unfold_threshold: occurrences with upper bound <= threshold are
@@ -269,6 +274,11 @@ def compile_ruleset(
     activity statistics -- byte-identical to the classic pipeline;
     ``1+`` additionally runs dead-node elimination and cross-rule
     prefix sharing, preserving exact report sets only.
+
+    >>> from repro import compile_ruleset
+    >>> ruleset = compile_ruleset([("a", "abc"), ("b", "a(?=b)")])
+    >>> ruleset.skipped
+    [('b', 'unsupported: lookahead group')]
     """
     if opt_level < 0:
         raise ValueError(f"opt_level must be >= 0, got {opt_level}")

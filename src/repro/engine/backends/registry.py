@@ -72,7 +72,12 @@ def engine_choices() -> list[str]:
 
 
 def available_backends() -> list[BackendInfo]:
-    """Introspection snapshot of every registered backend."""
+    """Introspection snapshot of every registered backend.
+
+    >>> from repro import available_backends
+    >>> sorted(info.name for info in available_backends())
+    ['block', 'reference', 'stream']
+    """
     return [backend.info() for backend in _BACKENDS.values()]
 
 
@@ -113,6 +118,10 @@ def resolve_backend(
     resolve through aliases and then insist the backend is available
     and applicable, raising :class:`BackendUnavailable` (a
     ``ValueError``) with the reason otherwise.
+
+    >>> from repro import resolve_backend
+    >>> resolve_backend("table").name     # aliases resolve
+    'stream'
     """
     if name == AUTO_ENGINE:
         best: Optional[Backend] = None

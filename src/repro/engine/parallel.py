@@ -54,7 +54,13 @@ from .tables import TransitionTables
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..matching import CompileInfo, ResourceSummary, RulesetMatcher, ScanResult
 
-__all__ = ["shard_rules", "scan_streams", "merge_scan_results", "ShardedMatcher"]
+__all__ = [
+    "shard_rules",
+    "scan_streams",
+    "merge_scan_results",
+    "ShardedMatcher",
+    "FeedPool",
+]
 
 
 def shard_rules(
@@ -78,6 +84,76 @@ def shard_rules(
 
 
 # -- worker plumbing -------------------------------------------------------
+class FeedPool:
+    """Best-effort worker pool for CPU-bound ``feed()`` offload.
+
+    The serving layer (:mod:`repro.serve`) must keep backend scan work
+    off the event loop, but a :class:`~repro.session.MatchSession`
+    carries live mutable scanner state, so -- unlike the per-stream
+    batch grid of :func:`scan_streams`, which ships picklable tables to
+    *processes* -- serving offload uses **threads** sharing the
+    compiled tables.  Same pragmatics as :func:`_run_pool`, though: if
+    a pool cannot be created (restricted sandbox, no threading), work
+    degrades to synchronous in-caller execution with identical
+    results.
+
+    :meth:`submit` always returns a :class:`concurrent.futures.Future`
+    (already resolved on the degraded path), so callers -- including
+    ``asyncio`` code via :func:`asyncio.wrap_future` -- never branch
+    on which mode they got.
+
+        >>> from repro.engine.parallel import FeedPool
+        >>> with FeedPool(workers=2) as pool:
+        ...     pool.submit(sum, [1, 2, 3]).result()
+        6
+    """
+
+    def __init__(self, workers: Optional[int] = None):
+        self._pool = None
+        try:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-feed"
+            )
+        except Exception:
+            self._pool = None  # degraded: run inline
+
+    @property
+    def degraded(self) -> bool:
+        """True when submissions run synchronously in the caller."""
+        return self._pool is None
+
+    def submit(self, fn, *args, **kwargs):
+        """Run ``fn(*args, **kwargs)`` on a worker; return its Future."""
+        if self._pool is not None:
+            try:
+                return self._pool.submit(fn, *args, **kwargs)
+            except RuntimeError:
+                pass  # pool already shut down: fall through to inline
+        from concurrent.futures import Future
+
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:  # noqa: BLE001 - future carries it
+            future.set_exception(exc)
+        return future
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Release the workers (idempotent; queued work completes when
+        ``wait`` is true)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "FeedPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.shutdown()
+        return False
+
+
 _WORKER_TABLES: Optional[list[TransitionTables]] = None
 _WORKER_ENGINE: str = AUTO_ENGINE
 
@@ -160,6 +236,12 @@ def merge_scan_results(results: "Sequence[ScanResult]") -> "ScanResult":
     merges via :func:`~repro.matching.merge_compile_infos` (summed
     compile seconds, all-shards-warm cache flag) when every input
     carries it, instead of being dropped.
+
+    >>> from repro import ScanResult, merge_scan_results
+    >>> merged = merge_scan_results(
+    ...     [ScanResult(5, {"a": [3]}), ScanResult(5, {"b": [5]})])
+    >>> merged.matches
+    {'a': [3], 'b': [5]}
     """
     from ..matching import ScanResult, merge_compile_infos
 
@@ -190,6 +272,11 @@ class ShardedMatcher:
     Same surface as :class:`~repro.matching.RulesetMatcher` for the
     scanning entry points (:meth:`scan`, :meth:`scan_stream`,
     :meth:`scan_many`), with per-shard results merged transparently.
+
+    >>> from repro import ShardedMatcher
+    >>> sharded = ShardedMatcher([("a", "abc"), ("b", "xyz")], shards=2)
+    >>> sharded.scan(b"abcxyz").matches
+    {'a': [3], 'b': [6]}
 
     Args:
         rules: as for :class:`~repro.matching.RulesetMatcher`.

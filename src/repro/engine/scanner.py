@@ -91,6 +91,13 @@ class StreamScanner:
     ends; :attr:`reports` then holds the distinct
     ``(position, report_id)`` pairs (positions are 1-based byte counts
     from the start of the *stream*, not the chunk).
+
+    >>> from repro import StreamScanner, compile_pattern
+    >>> scanner = StreamScanner(compile_pattern("abc").network)
+    >>> scanner.feed(b"xxab")       # match incomplete across the boundary
+    []
+    >>> scanner.feed(b"c")
+    [(5, 'abc')]
     """
 
     def __init__(self, source: TransitionTables | Network):

@@ -180,6 +180,11 @@ def compile_tables(network: Network) -> TransitionTables:
     Mirrors ``NetworkSimulator._build_wiring`` exactly -- same port
     vocabulary, same same-cycle topological order over module-to-module
     connections (``pre`` is latched and excluded from the ordering).
+
+    >>> from repro import compile_pattern, compile_tables
+    >>> tables = compile_tables(compile_pattern("abc").network)
+    >>> (tables.n_stes, tables.n_modules)
+    (3, 0)
     """
     network.validate()
     tables = TransitionTables()

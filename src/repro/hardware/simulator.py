@@ -110,7 +110,16 @@ def _range_mask(lo: int, hi: int) -> int:
 
 
 class NetworkSimulator:
-    """Executes a network byte-per-cycle with activity accounting."""
+    """Executes a network byte-per-cycle with activity accounting.
+
+    The executable specification: every engine backend is tested for
+    report equivalence against this simulator.
+
+    >>> from repro import NetworkSimulator, compile_pattern
+    >>> sim = NetworkSimulator(compile_pattern("abc").network)
+    >>> sim.match_ends(b"xxabc")
+    [5]
+    """
 
     def __init__(self, network: Network):
         network.validate()
@@ -334,7 +343,13 @@ class NetworkSimulator:
 
 
 def simulate(network: Network, data: bytes | str) -> tuple[list[ReportEvent], ActivityStats]:
-    """One-shot convenience: run ``data`` through ``network``."""
+    """One-shot convenience: run ``data`` through ``network``.
+
+    >>> from repro import compile_pattern, simulate
+    >>> reports, stats = simulate(compile_pattern("abc").network, b"xxabc")
+    >>> [(r.position, r.report_id) for r in reports], stats.cycles
+    ([(5, 'abc')], 5)
+    """
     sim = NetworkSimulator(network)
     reports = sim.run(data)
     return reports, sim.stats

@@ -109,6 +109,11 @@ class ScanResult:
     rules only ever list the final offset ``bytes_scanned`` (the facade
     gates their reports with the end-of-data strobe).  See the module
     docstring for the full semantics contract.
+
+    >>> from repro import RulesetMatcher
+    >>> result = RulesetMatcher([("hit", "abc")]).scan(b"zabcabc")
+    >>> result.bytes_scanned, result.matches, result.total_matches()
+    (7, {'hit': [4, 7]}, 2)
     """
 
     bytes_scanned: int
@@ -239,6 +244,13 @@ class RulesetMatcher:
     Reporting semantics (all scan entry points): 1-based end offsets,
     no zero-length matches, ``$`` gated to end-of-data -- see the
     module docstring.
+
+    >>> from repro import RulesetMatcher
+    >>> matcher = RulesetMatcher([("hit", "abc"), ("num", "[0-9]{3}")])
+    >>> matcher.scan(b"xxabc123").matches
+    {'hit': [5], 'num': [8]}
+    >>> sorted(matcher.matched_rules(b"zabcz"))
+    ['hit']
     """
 
     def __init__(
@@ -420,9 +432,11 @@ class RulesetMatcher:
                 continue
             matches.setdefault(rule, set()).add(position)
         energy = energy_of_run(stats, self.mapping)
+        # rule ids are sorted so the mapping's order is deterministic
+        # (report sets iterate in hash order), matching merge_scan_results
         return ScanResult(
             bytes_scanned=bytes_scanned,
-            matches={rule: sorted(ends) for rule, ends in matches.items()},
+            matches={rule: sorted(ends) for rule, ends in sorted(matches.items())},
             energy_nj_per_byte=energy.nj_per_byte,
             compile_info=self.compile_info,
         )
@@ -555,6 +569,13 @@ class PatternMatcher:
     Runs on the registry-selected backend (``engine="auto"`` default);
     pass any registered name, e.g. ``engine="reference"`` for the
     node-by-node simulator.
+
+    >>> from repro import PatternMatcher
+    >>> pm = PatternMatcher(r"a(bc){1,3}d")
+    >>> pm.search(b"xabcbcdy")
+    [7]
+    >>> pm.matches("abcd")
+    True
     """
 
     def __init__(self, pattern: str, engine: str = AUTO_ENGINE, **kwargs):

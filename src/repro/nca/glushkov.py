@@ -228,6 +228,12 @@ def build_nca(root: Regex) -> NCA:
     unbounded ``{m,}`` and no ``Repeat`` with upper bound < 2.  The
     result has state 0 as the pure initial state and one counter per
     counting occurrence (counter id = preorder instance id).
+
+    >>> from repro import build_nca
+    >>> from repro.regex.parser import parse_to_ast
+    >>> nca = build_nca(parse_to_ast(r"ab{2,4}c"))
+    >>> (nca.num_states, len(nca.counter_bounds))
+    (4, 1)
     """
     builder = _Builder()
     frag = builder.visit(root)

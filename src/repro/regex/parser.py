@@ -112,6 +112,11 @@ class Pattern:
 def parse(pattern: str, max_bound: int | None = None) -> Pattern:
     """Parse ``pattern`` into a :class:`Pattern`.
 
+    >>> from repro import parse
+    >>> parsed = parse(r"ab{2,4}c$")
+    >>> (parsed.anchored_start, parsed.anchored_end)
+    (False, True)
+
     Args:
         pattern: the POSIX/PCRE-style source text.
         max_bound: optional cap on repetition bounds; exceeding it raises

@@ -43,7 +43,13 @@ __all__ = ["simplify"]
 
 
 def simplify(root: Regex) -> Regex:
-    """Apply the Section 4.2 rewrite rules bottom-up."""
+    """Apply the Section 4.2 rewrite rules bottom-up.
+
+    >>> from repro.regex.parser import parse_to_ast
+    >>> from repro import simplify
+    >>> simplify(parse_to_ast("a{1,1}"))
+    Sym(cls=CharClass('a'))
+    """
     if isinstance(root, Concat):
         return concat(*(simplify(p) for p in root.parts))
     if isinstance(root, Alt):

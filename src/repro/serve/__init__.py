@@ -1,0 +1,43 @@
+"""repro.serve: the async match-serving subsystem.
+
+The network layer over the session API (:mod:`repro.session`): one
+compiled ruleset -- any :class:`~repro.session.Matcher`, any
+registered execution backend -- served to N concurrent TCP clients,
+each multiplexing tagged streams over a line protocol with
+length-prefixed payloads.  The pieces:
+
+* :mod:`repro.serve.protocol` -- the framing grammar and codec
+  (spec: ``docs/SERVING.md``);
+* :mod:`repro.serve.server` -- :class:`MatchServer`: asyncio
+  acceptor, per-connection bounded job queues (backpressure by not
+  reading), CPU-bound ``feed``/``finish`` off-loaded to the shared
+  :class:`~repro.engine.parallel.FeedPool`, graceful drain on stop;
+* :mod:`repro.serve.stats` -- :class:`ServerStats` load snapshots
+  (the ``STATS`` wire command);
+* :mod:`repro.serve.client` -- :class:`MatchClient` and the one-shot
+  :func:`scan_tagged_remote`, mirrors of
+  :class:`~repro.session.MultiStreamScanner` over the wire.
+
+CLI: ``python -m repro serve --rules ... --port ...`` and
+``python -m repro connect --port ...``.
+
+A served stream emits exactly the matches an offline session would --
+same events, same order, same ``$``-gating -- which the end-to-end
+tests (``tests/serve/test_server.py``) assert against
+:class:`~repro.session.MultiStreamScanner` down to the event level.
+"""
+
+from .client import MatchClient, ServerError, StreamSummary, scan_tagged_remote
+from .protocol import ProtocolError
+from .server import MatchServer
+from .stats import ServerStats
+
+__all__ = [
+    "MatchServer",
+    "MatchClient",
+    "ServerStats",
+    "StreamSummary",
+    "ProtocolError",
+    "ServerError",
+    "scan_tagged_remote",
+]

@@ -1,0 +1,243 @@
+"""Wire protocol for the match server: framing grammar and codec.
+
+One TCP connection carries many logical *streams* (the tags of
+:class:`~repro.session.MultiStreamScanner`), multiplexed over a
+text-line control channel with length-prefixed binary payloads -- the
+same framing shape as Redis inline commands or HTTP chunked bodies,
+chosen so both sides can be written against ``asyncio`` stream
+readers with no lookahead.
+
+Grammar (every line ends in ``\\n``; tokens are latin-1, separated by
+single spaces)::
+
+    client -> server
+      OPEN <stream>                open a tagged session
+      FEED <stream> <nbytes>       followed by exactly <nbytes> raw
+                                   payload bytes (NOT newline-framed)
+      CLOSE <stream>               end-of-data for the stream
+      STATS                        request a ServerStats snapshot
+      PING                         liveness probe
+      QUIT                         drain pending work, then hang up
+
+    server -> client
+      OK OPEN <stream>             session opened
+      MATCH <stream> <end> <rule>  one match event (rule is the rest
+                                   of the line, backslash-escaped)
+      CLOSED <stream> <bytes> <n>  stream ended: bytes scanned, total
+                                   matches emitted for the stream
+      STATS <json>                 one-line JSON snapshot
+      PONG                         liveness reply
+      BYE                          connection closing (QUIT/shutdown)
+      ERR <message>                command rejected (see below)
+
+``FEED`` is **pipelined**: it carries no acknowledgement, so a client
+can stream chunks at full speed; backpressure is applied by the
+server simply not reading (bounded per-connection work queue -> TCP
+flow control), never by dropping bytes.  ``OPEN``/``CLOSE``/``STATS``/
+``PING``/``QUIT`` are answered in command order, so a client can match
+replies to requests FIFO.
+
+Stream tags are 1..128 printable latin-1 characters with no
+whitespace (:func:`validate_stream_tag`); rule ids are arbitrary and
+therefore backslash-escaped on the wire (:func:`escape_token` /
+:func:`unescape_token`).
+
+Protocol violations (unknown verb, malformed counts, oversized
+frames) raise :class:`ProtocolError`; servers answer ``ERR`` and drop
+the connection, because after a framing error the byte stream can no
+longer be trusted.  Application-level rejections (feeding an unknown
+stream, reopening a live tag) are also ``ERR`` but keep the
+connection: the framing is still sound.
+
+Doctest-able codec round-trip:
+
+    >>> from repro.serve.protocol import format_match, parse_match
+    >>> from repro.session import Match
+    >>> line = format_match(Match(rule="evil exe", end=17, stream="s1"))
+    >>> line
+    b'MATCH s1 17 evil exe\\n'
+    >>> parse_match(line)
+    Match(rule='evil exe', end=17, stream='s1', code=None)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..session import Match
+
+__all__ = [
+    "MAX_LINE",
+    "MAX_FEED",
+    "ProtocolError",
+    "Command",
+    "validate_stream_tag",
+    "parse_command",
+    "format_command",
+    "escape_token",
+    "unescape_token",
+    "format_match",
+    "parse_match",
+]
+
+#: hard cap on one control line (a line longer than this is a framing
+#: error, not data -- payload bytes travel length-prefixed, never inline)
+MAX_LINE = 4096
+#: hard cap on one FEED payload; callers chunk larger streams (the cap
+#: bounds per-connection buffering, it does not bound stream length)
+MAX_FEED = 8 * 1024 * 1024
+
+ENCODING = "latin-1"
+
+#: client-side verbs, in the grammar's order
+CLIENT_VERBS = ("OPEN", "FEED", "CLOSE", "STATS", "PING", "QUIT")
+
+
+class ProtocolError(ValueError):
+    """The byte stream violated the framing grammar."""
+
+
+@dataclass(frozen=True)
+class Command:
+    """One parsed client command.
+
+    ``nbytes`` is only meaningful for ``FEED`` (the length of the raw
+    payload that follows the line); ``stream`` is ``None`` for the
+    stream-less verbs (``STATS``/``PING``/``QUIT``).
+
+    >>> parse_command(b"FEED s1 5")
+    Command(verb='FEED', stream='s1', nbytes=5)
+    """
+
+    verb: str
+    stream: Optional[str] = None
+    nbytes: int = 0
+
+
+def validate_stream_tag(tag: str) -> str:
+    """Return ``tag`` if it is a legal wire tag, else raise.
+
+    Legal: 1..128 characters, latin-1, no whitespace or control
+    characters (tags appear unescaped between spaces on control
+    lines).
+
+    >>> validate_stream_tag("client-7")
+    'client-7'
+    >>> validate_stream_tag("a b")
+    Traceback (most recent call last):
+        ...
+    repro.serve.protocol.ProtocolError: illegal stream tag 'a b'
+    """
+    if (
+        not tag
+        or len(tag) > 128
+        or any(ch.isspace() or ord(ch) < 0x21 or ord(ch) > 0xFF for ch in tag)
+    ):
+        raise ProtocolError(f"illegal stream tag {tag!r}")
+    return tag
+
+
+def parse_command(line: bytes) -> Command:
+    """Parse one client control line (without the trailing newline)."""
+    try:
+        text = line.decode(ENCODING)
+    except UnicodeDecodeError as exc:  # pragma: no cover - latin-1 total
+        raise ProtocolError(f"undecodable command line: {exc}") from None
+    fields = text.split(" ")
+    verb = fields[0]
+    if verb in ("STATS", "PING", "QUIT"):
+        if len(fields) != 1:
+            raise ProtocolError(f"{verb} takes no arguments: {text!r}")
+        return Command(verb)
+    if verb in ("OPEN", "CLOSE"):
+        if len(fields) != 2:
+            raise ProtocolError(f"usage: {verb} <stream>, got {text!r}")
+        return Command(verb, validate_stream_tag(fields[1]))
+    if verb == "FEED":
+        if len(fields) != 3:
+            raise ProtocolError(f"usage: FEED <stream> <nbytes>, got {text!r}")
+        tag = validate_stream_tag(fields[1])
+        try:
+            nbytes = int(fields[2])
+        except ValueError:
+            raise ProtocolError(f"FEED length not an integer: {fields[2]!r}") from None
+        if not 0 <= nbytes <= MAX_FEED:
+            raise ProtocolError(
+                f"FEED length {nbytes} outside [0, {MAX_FEED}]"
+            )
+        return Command(verb, tag, nbytes)
+    raise ProtocolError(f"unknown verb {verb!r}")
+
+
+def format_command(command: Command) -> bytes:
+    """The control line (newline included) for ``command``.
+
+    >>> format_command(Command("OPEN", "s1"))
+    b'OPEN s1\\n'
+    """
+    if command.verb == "FEED":
+        body = f"FEED {command.stream} {command.nbytes}"
+    elif command.verb in ("OPEN", "CLOSE"):
+        body = f"{command.verb} {command.stream}"
+    else:
+        body = command.verb
+    return body.encode(ENCODING) + b"\n"
+
+
+# -- rule-id escaping ------------------------------------------------------
+def escape_token(token: str) -> str:
+    """Backslash-escape a token so it survives line framing.
+
+    Rule ids are user-controlled (rule files accept anything between
+    tabs), so newlines and returns are escaped; spaces are legal
+    because the rule id is always the *last* field of its line.
+
+    >>> escape_token("a\\nb")
+    'a\\\\nb'
+    """
+    if "\\" not in token and "\n" not in token and "\r" not in token:
+        return token  # fast path: one call per MATCH line on the server
+    return (
+        token.replace("\\", "\\\\").replace("\n", "\\n").replace("\r", "\\r")
+    )
+
+
+def unescape_token(token: str) -> str:
+    """Inverse of :func:`escape_token`."""
+    if "\\" not in token:  # fast path: nothing was escaped (hot -- one
+        return token  # call per MATCH line on the client)
+    out: list[str] = []
+    it = iter(token)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        nxt = next(it, "")
+        out.append({"n": "\n", "r": "\r", "\\": "\\"}.get(nxt, nxt))
+    return "".join(out)
+
+
+def format_match(match: Match) -> bytes:
+    """The wire line for one :class:`~repro.session.Match` event."""
+    return (
+        f"MATCH {match.stream} {match.end} {escape_token(match.rule)}\n"
+    ).encode(ENCODING)
+
+
+def parse_match(line: bytes) -> Match:
+    """Parse a ``MATCH`` line back into a :class:`~repro.session.Match`.
+
+    The raw hardware ``code`` does not travel on the wire (the facade
+    rule id is the serving contract), so it comes back ``None``.
+    """
+    text = line.decode(ENCODING).rstrip("\n")
+    fields = text.split(" ", 3)
+    if len(fields) != 4 or fields[0] != "MATCH":
+        raise ProtocolError(f"not a MATCH line: {text!r}")
+    _, stream, end, rule = fields
+    try:
+        position = int(end)
+    except ValueError:
+        raise ProtocolError(f"MATCH offset not an integer: {end!r}") from None
+    return Match(rule=unescape_token(rule), end=position, stream=stream)

@@ -1,0 +1,145 @@
+"""Server load accounting: live counters and immutable snapshots.
+
+The server mutates one :class:`StatsCounters` from its event loop and
+worker callbacks; :meth:`StatsCounters.snapshot` freezes it into a
+:class:`ServerStats` -- the thing the ``STATS`` wire command, the CLI,
+and the tests observe.  Throughput is derived, not sampled: the
+workers accumulate the wall-clock seconds actually spent inside
+backend ``feed``/``finish`` calls (``busy_seconds``), so
+``throughput_bps`` is the compiled ruleset's measured scan rate under
+serving load, directly comparable to the offline numbers in
+``BENCH_engine.json``.
+
+    >>> from repro.serve.stats import StatsCounters
+    >>> counters = StatsCounters(engine="stream")
+    >>> counters.record_feed(nbytes=1024, matches=3, seconds=0.5)
+    >>> snap = counters.snapshot()
+    >>> (snap.bytes_scanned, snap.matches_emitted, snap.throughput_bps)
+    (1024, 3, 2048.0)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Optional
+
+__all__ = ["ServerStats", "StatsCounters"]
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """One immutable load snapshot of a running match server.
+
+    Counters are cumulative since server start unless suffixed
+    ``_open`` (current).  ``engine`` is the *requested* backend name
+    (``auto`` resolves per compiled ruleset); ``throughput_bps`` is
+    ``bytes_scanned / busy_seconds`` -- the scan rate while actually
+    scanning, independent of client idle time.
+    """
+
+    #: backend name the server resolves sessions against
+    engine: str
+    #: currently connected clients / ever-accepted clients
+    connections_open: int = 0
+    connections_total: int = 0
+    #: currently open tagged streams / ever-opened streams
+    streams_open: int = 0
+    streams_total: int = 0
+    #: payload bytes scanned through sessions (post-framing)
+    bytes_scanned: int = 0
+    #: Match events written to clients
+    matches_emitted: int = 0
+    #: FEED frames processed
+    feeds: int = 0
+    #: ERR lines sent (protocol + application rejections)
+    errors: int = 0
+    #: wall seconds spent inside backend feed()/finish() calls
+    busy_seconds: float = 0.0
+    #: seconds since the server started
+    uptime_seconds: float = 0.0
+
+    @property
+    def throughput_bps(self) -> Optional[float]:
+        """Scan throughput in bytes/second while busy (``None`` until
+        the first byte is scanned)."""
+        if self.busy_seconds <= 0:
+            return None
+        return self.bytes_scanned / self.busy_seconds
+
+    def as_dict(self) -> dict:
+        """JSON-ready mapping (includes the derived throughput)."""
+        payload = asdict(self)
+        payload["throughput_bps"] = self.throughput_bps
+        return payload
+
+
+@dataclass
+class StatsCounters:
+    """The mutable accumulator behind :class:`ServerStats`.
+
+    All mutation happens on the server's event loop (worker threads
+    hand their timings back through the loop), so plain int/float
+    fields need no locking.
+    """
+
+    engine: str
+    connections_open: int = 0
+    connections_total: int = 0
+    streams_open: int = 0
+    streams_total: int = 0
+    bytes_scanned: int = 0
+    matches_emitted: int = 0
+    feeds: int = 0
+    errors: int = 0
+    busy_seconds: float = 0.0
+    started: float = field(default_factory=time.monotonic)
+
+    def connection_opened(self) -> None:
+        self.connections_open += 1
+        self.connections_total += 1
+
+    def connection_closed(self) -> None:
+        self.connections_open -= 1
+
+    def stream_opened(self) -> None:
+        self.streams_open += 1
+        self.streams_total += 1
+
+    def stream_closed(self) -> None:
+        self.streams_open -= 1
+
+    def record_feed(
+        self, nbytes: int, matches: int, seconds: float, frames: int = 1
+    ) -> None:
+        """Account one executed FEED batch: total payload size, emitted
+        matches, backend seconds, and how many wire frames it covered
+        (the server batches same-stream frames per executor hop)."""
+        self.feeds += frames
+        self.bytes_scanned += nbytes
+        self.matches_emitted += matches
+        self.busy_seconds += seconds
+
+    def record_finish(self, matches: int, seconds: float) -> None:
+        """Account one CLOSE: end-gated matches and backend time."""
+        self.matches_emitted += matches
+        self.busy_seconds += seconds
+
+    def record_error(self) -> None:
+        self.errors += 1
+
+    def snapshot(self) -> ServerStats:
+        """Freeze the current counters into a :class:`ServerStats`."""
+        return ServerStats(
+            engine=self.engine,
+            connections_open=self.connections_open,
+            connections_total=self.connections_total,
+            streams_open=self.streams_open,
+            streams_total=self.streams_total,
+            bytes_scanned=self.bytes_scanned,
+            matches_emitted=self.matches_emitted,
+            feeds=self.feeds,
+            errors=self.errors,
+            busy_seconds=self.busy_seconds,
+            uptime_seconds=time.monotonic() - self.started,
+        )

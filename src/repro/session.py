@@ -32,7 +32,8 @@ The layer cake:
 * sinks -- any callable accepts matches as they are emitted
   (``on_match=``); :class:`CollectorSink` accumulates,
   :class:`QueueSink` bridges to consumer threads through a bounded
-  queue.
+  queue with an explicit overflow policy (``block`` / ``drop_oldest``
+  / ``raise``) and an observable dropped-count.
 
 Every registered execution backend (``stream``, ``block``,
 ``reference``, and third-party registrations) works under a session:
@@ -84,7 +85,7 @@ __all__ = [
 UNNAMED_REPORT = "<unnamed>"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Match:
     """One match event, fully resolved by the facade.
 
@@ -92,6 +93,11 @@ class Match:
     layer: the rule id is never ``None`` (unnamed reports surface as
     :data:`UNNAMED_REPORT`), the offset is absolute across chunk
     boundaries, and the event knows which tagged stream it came from.
+
+    >>> from repro import Match
+    >>> match = Match(rule="hit", end=7, stream="conn-1")
+    >>> match.sort_key
+    (7, 'hit', 'conn-1', '')
     """
 
     #: facade rule id (:data:`UNNAMED_REPORT` for unnamed reports)
@@ -112,7 +118,12 @@ class Match:
 
 def match_dict(matches: Iterable[Match]) -> dict[str, list[int]]:
     """Collapse match events to the classic ``{rule: sorted distinct
-    end offsets}`` shape of :attr:`~repro.matching.ScanResult.matches`."""
+    end offsets}`` shape of :attr:`~repro.matching.ScanResult.matches`.
+
+    >>> from repro import Match, match_dict
+    >>> match_dict([Match("r", 5), Match("r", 3), Match("q", 2)])
+    {'r': [3, 5], 'q': [2]}
+    """
     ends: dict[str, set[int]] = {}
     for match in matches:
         ends.setdefault(match.rule, set()).add(match.end)
@@ -125,7 +136,15 @@ MatchSink = Callable[[Match], None]
 
 
 class CollectorSink:
-    """Sink that accumulates every emitted match, in emission order."""
+    """Sink that accumulates every emitted match, in emission order.
+
+    >>> from repro import CollectorSink, RulesetMatcher
+    >>> sink = CollectorSink()
+    >>> with RulesetMatcher([("hit", "abc")]).session(on_match=sink) as s:
+    ...     _ = s.feed(b"zabc")
+    >>> sink.by_rule()
+    {'hit': [4]}
+    """
 
     def __init__(self) -> None:
         self.matches: list[Match] = []
@@ -138,21 +157,68 @@ class CollectorSink:
         return match_dict(self.matches)
 
 
+#: overflow policies a bounded :class:`QueueSink` can apply when the
+#: queue is full at emission time
+QUEUE_OVERFLOW_POLICIES = ("block", "drop_oldest", "raise")
+
+
 class QueueSink:
     """Sink that bridges match emission to consumer threads.
 
-    Matches are ``put`` on a bounded :class:`queue.Queue`; with
-    ``maxsize > 0`` a full queue applies backpressure to the feeding
-    thread (``put`` blocks), so a slow consumer throttles the scan
-    instead of growing memory without bound.  Single-threaded callers
-    should :meth:`drain` between feeds (or leave ``maxsize=0``).
+    Matches are ``put`` on a bounded :class:`queue.Queue`.  What
+    happens when the queue is **full** (``maxsize > 0``) is an
+    explicit, named policy -- never a silent drop -- because serving
+    backpressure hangs off this choice:
+
+    * ``"block"`` (default) -- ``put`` blocks the feeding thread until
+      the consumer catches up: lossless backpressure, a slow consumer
+      throttles the scan instead of growing memory without bound.
+      Single-threaded callers should :meth:`drain` between feeds (or
+      leave ``maxsize=0``, unbounded).
+    * ``"drop_oldest"`` -- evict the oldest queued match to admit the
+      new one (a bounded tail of the freshest matches); every eviction
+      increments :attr:`dropped`, so loss is observable, not silent.
+    * ``"raise"`` -- propagate :class:`queue.Full` to the emitter
+      (fail-fast for callers that treat overflow as a logic error).
+
+    >>> from repro.session import Match, QueueSink
+    >>> sink = QueueSink(maxsize=2, overflow="drop_oldest")
+    >>> for end in (1, 2, 3):
+    ...     sink(Match(rule="r", end=end))
+    >>> [match.end for match in sink.drain()], sink.dropped
+    ([2, 3], 1)
     """
 
-    def __init__(self, maxsize: int = 0) -> None:
+    def __init__(self, maxsize: int = 0, overflow: str = "block") -> None:
+        if overflow not in QUEUE_OVERFLOW_POLICIES:
+            raise ValueError(
+                f"unknown overflow policy {overflow!r}; "
+                f"choose from {QUEUE_OVERFLOW_POLICIES}"
+            )
         self.queue: "queue.Queue[Match]" = queue.Queue(maxsize)
+        self.overflow = overflow
+        #: matches evicted under the ``drop_oldest`` policy so far
+        self.dropped = 0
 
     def __call__(self, match: Match) -> None:
-        self.queue.put(match)
+        if self.overflow == "block":
+            self.queue.put(match)
+            return
+        while True:
+            try:
+                self.queue.put_nowait(match)
+                return
+            except queue.Full:
+                if self.overflow == "raise":
+                    raise
+                # drop_oldest: evict one, count it, retry the put (the
+                # consumer may race us for the eviction; that is fine,
+                # the queue only gets emptier)
+                try:
+                    self.queue.get_nowait()
+                except queue.Empty:
+                    continue
+                self.dropped += 1
 
     def drain(self) -> list[Match]:
         """Pop everything currently queued without blocking."""
@@ -203,6 +269,15 @@ class MatchSession:
     zero-length matches, :data:`UNNAMED_REPORT` naming) match the batch
     entry points exactly -- ``scan``/``scan_stream`` are wrappers over
     this class.
+
+    >>> from repro import RulesetMatcher
+    >>> session = RulesetMatcher([("hit", "abc")]).session()
+    >>> session.feed(b"xxab")       # match not complete yet
+    []
+    >>> [(m.rule, m.end) for m in session.feed(b"c..abc")]
+    [('hit', 5), ('hit', 10)]
+    >>> session.finish()
+    []
     """
 
     def __init__(
@@ -399,6 +474,12 @@ class MultiStreamScanner:
     registered backend.  ``on_match`` observes every stream's matches
     through one sink (each match is tagged); per-stream sinks can be
     attached by creating the session first via :meth:`session`.
+
+    >>> from repro import MultiStreamScanner, RulesetMatcher
+    >>> mux = MultiStreamScanner(RulesetMatcher([("hit", "abc")]))
+    >>> pairs = [("s1", b"ab"), ("s2", b"abc"), ("s1", b"c")]
+    >>> {tag: r.matches for tag, r in mux.scan_tagged(pairs).items()}
+    {'s1': {'hit': [3]}, 's2': {'hit': [3]}}
     """
 
     def __init__(

@@ -1,0 +1,114 @@
+"""Wire-protocol codec: grammar round-trips and framing rejections."""
+
+import pytest
+
+from repro.serve.protocol import (
+    Command,
+    MAX_FEED,
+    ProtocolError,
+    escape_token,
+    format_command,
+    format_match,
+    parse_command,
+    parse_match,
+    unescape_token,
+    validate_stream_tag,
+)
+from repro.session import Match
+
+
+class TestCommandGrammar:
+    @pytest.mark.parametrize(
+        "line,expected",
+        [
+            (b"OPEN s1", Command("OPEN", "s1")),
+            (b"CLOSE conn-9", Command("CLOSE", "conn-9")),
+            (b"FEED s1 0", Command("FEED", "s1", 0)),
+            (b"FEED s1 65536", Command("FEED", "s1", 65536)),
+            (b"STATS", Command("STATS")),
+            (b"PING", Command("PING")),
+            (b"QUIT", Command("QUIT")),
+        ],
+    )
+    def test_parse(self, line, expected):
+        assert parse_command(line) == expected
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            b"",  # empty verb
+            b"NOPE",  # unknown verb
+            b"OPEN",  # missing tag
+            b"OPEN a b",  # too many fields
+            b"OPEN a\tb",  # whitespace inside a tag
+            b"FEED s1",  # missing length
+            b"FEED s1 xyz",  # non-integer length
+            b"FEED s1 -1",  # negative length
+            b"PING now",  # argument on a bare verb
+            b"open s1",  # verbs are case-sensitive
+        ],
+    )
+    def test_rejects(self, line):
+        with pytest.raises(ProtocolError):
+            parse_command(line)
+
+    def test_feed_length_cap(self):
+        assert parse_command(f"FEED s {MAX_FEED}".encode()).nbytes == MAX_FEED
+        with pytest.raises(ProtocolError):
+            parse_command(f"FEED s {MAX_FEED + 1}".encode())
+
+    @pytest.mark.parametrize(
+        "command",
+        [
+            Command("OPEN", "s1"),
+            Command("FEED", "s1", 42),
+            Command("CLOSE", "s1"),
+            Command("STATS"),
+            Command("PING"),
+            Command("QUIT"),
+        ],
+    )
+    def test_format_parse_round_trip(self, command):
+        line = format_command(command)
+        assert line.endswith(b"\n")
+        assert parse_command(line[:-1]) == command
+
+
+class TestStreamTags:
+    @pytest.mark.parametrize("tag", ["a", "client-7", "x" * 128, "A.B_C/9"])
+    def test_legal(self, tag):
+        assert validate_stream_tag(tag) == tag
+
+    @pytest.mark.parametrize(
+        "tag", ["", " ", "a b", "a\tb", "a\nb", "x" * 129, "\x00", "a\x1fb"]
+    )
+    def test_illegal(self, tag):
+        with pytest.raises(ProtocolError):
+            validate_stream_tag(tag)
+
+
+class TestMatchLines:
+    def test_round_trip(self):
+        match = Match(rule="sig-1", end=1234, stream="s1", code="sig-1")
+        parsed = parse_match(format_match(match))
+        # the raw hardware code does not travel on the wire
+        assert (parsed.rule, parsed.end, parsed.stream) == ("sig-1", 1234, "s1")
+        assert parsed.code is None
+
+    @pytest.mark.parametrize(
+        "rule",
+        ["plain", "with spaces", "tab\tinside", "line\nbreak", "back\\slash", ""],
+    )
+    def test_rule_escaping_round_trips(self, rule):
+        assert unescape_token(escape_token(rule)) == rule
+        match = Match(rule=rule, end=7, stream="s")
+        line = format_match(match)
+        assert line.count(b"\n") == 1 and line.endswith(b"\n")
+        assert parse_match(line).rule == rule
+
+    @pytest.mark.parametrize(
+        "line", [b"MATCH s1\n", b"MATCH s1 x rule\n", b"PONG\n"]
+    )
+    def test_rejects_malformed(self, line):
+        with pytest.raises(ProtocolError):
+            parse_match(line)

@@ -333,3 +333,85 @@ class TestCensusAndReport:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["bogus"])
+
+
+class TestServeConnect:
+    """CLI serving: `repro connect` against a live MatchServer (the
+    server side of `repro serve` is the same MatchServer; its
+    signal-driven entry point is smoke-tested in CI)."""
+
+    @staticmethod
+    def _live_server(matcher):
+        """Start a MatchServer on its own loop thread; returns
+        (port, stop_callable)."""
+        import asyncio
+        import threading
+
+        ready = threading.Event()
+        box = {}
+
+        def run():
+            async def main_():
+                server = await __import__(
+                    "repro.serve", fromlist=["MatchServer"]
+                ).MatchServer(matcher, port=0).start()
+                stop = asyncio.Event()
+                box["port"] = server.port
+                box["stop"] = (asyncio.get_running_loop(), stop)
+                ready.set()
+                await stop.wait()
+                await server.stop()
+
+            asyncio.run(main_())
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert ready.wait(timeout=30)
+
+        def stop():
+            loop, event = box["stop"]
+            loop.call_soon_threadsafe(event.set)
+            thread.join(timeout=30)
+
+        return box["port"], stop
+
+    def test_connect_streams_tagged_file(self, tmp_path, capsys):
+        from repro.matching import RulesetMatcher
+
+        port, stop = self._live_server(RulesetMatcher([("hit", "abc")]))
+        tagged = tmp_path / "tagged.txt"
+        tagged.write_bytes(b"a\tza\nb\txxab\na\tbc\nb\tcxx\n")
+        try:
+            code = main([
+                "connect", "--port", str(port),
+                "--input", str(tagged), "--stats",
+            ])
+        finally:
+            stop()
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 2 stream(s), 11 bytes, 2 match(es)" in out
+        assert "hit: 1 match(es) at [4]" in out  # stream a: za|bc
+        assert "hit: 1 match(es) at [5]" in out  # stream b: xxab|cxx
+        assert "server stats" in out
+
+    def test_connect_refused_reports_cleanly(self, tmp_path, capsys):
+        tagged = tmp_path / "tagged.txt"
+        tagged.write_bytes(b"a\tza\n")
+        code = main([
+            "connect", "--port", "1", "--input", str(tagged),
+            "--retries", "0",
+        ])
+        assert code == 2
+        assert "cannot connect" in capsys.readouterr().err
+
+    def test_parser_accepts_serve_options(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "serve", "--rules", "r.txt", "--port", "7341",
+            "--engine", "stream", "--queue-depth", "4", "--shards", "2",
+            "-O", "1",
+        ])
+        assert args.command == "serve"
+        assert (args.port, args.queue_depth, args.shards) == (7341, 4, 2)

@@ -11,11 +11,15 @@ import inspect
 import repro
 from repro import (
     Match,
+    MatchClient,
     Matcher,
+    MatchServer,
     MatchSession,
     MultiStreamScanner,
     PatternMatcher,
+    QueueSink,
     RulesetMatcher,
+    ServerStats,
     ShardedMatcher,
 )
 
@@ -53,6 +57,9 @@ EXPECTED_ALL = sorted(
         "Match", "match_dict", "MatchSession", "Matcher",
         "MultiStreamScanner", "CollectorSink", "QueueSink",
         "UNNAMED_REPORT",
+        # serving subsystem
+        "MatchServer", "MatchClient", "ServerStats",
+        "scan_tagged_remote",
     ]
 )
 
@@ -117,3 +124,37 @@ class TestSessionProtocolSignatures:
 
     def test_finditer_signature(self):
         assert params_of(PatternMatcher.finditer) == ["self", "data", "stream"]
+
+    def test_queue_sink_overflow_surface(self):
+        assert params_of(QueueSink.__init__) == ["self", "maxsize", "overflow"]
+        sink = QueueSink(maxsize=1, overflow="drop_oldest")
+        assert sink.dropped == 0  # the dropped-count is part of the API
+
+
+class TestServeSurface:
+    def test_match_server_signature(self):
+        params = params_of(MatchServer.__init__)
+        assert params[:2] == ["self", "matcher"]
+        assert keyword_only_of(MatchServer.__init__) == {
+            "host", "port", "engine", "queue_depth", "workers",
+            "drain_timeout",
+        }
+        for member in ("start", "stop", "serve_forever", "stats",
+                       "address", "connections"):
+            assert hasattr(MatchServer, member), member
+
+    def test_match_client_surface(self):
+        for member in ("connect", "open", "feed", "close_stream", "stats",
+                       "ping", "quit", "aclose"):
+            assert hasattr(MatchClient, member), member
+
+    def test_server_stats_fields(self):
+        fields = set(ServerStats.__dataclass_fields__)
+        assert {
+            "engine", "connections_open", "connections_total",
+            "streams_open", "streams_total", "bytes_scanned",
+            "matches_emitted", "feeds", "errors", "busy_seconds",
+            "uptime_seconds",
+        } <= fields
+        assert isinstance(ServerStats.throughput_bps, property)
+        assert callable(ServerStats.as_dict)

@@ -184,6 +184,65 @@ class TestSinks:
         assert isinstance(sink.queue, queue.Queue)
 
 
+class TestQueueSinkOverflow:
+    """Overflow at a full bounded queue is an explicit, named policy --
+    never a silent drop (the serving backpressure path depends on it)."""
+
+    @staticmethod
+    def matches(n):
+        return [Match(rule="r", end=end) for end in range(1, n + 1)]
+
+    def test_block_is_the_default_and_is_lossless(self):
+        sink = QueueSink(maxsize=8)
+        assert sink.overflow == "block"
+        # a consumer thread drains while the producer blocks on put
+        import threading
+
+        drained: list[Match] = []
+        consumer = threading.Thread(
+            target=lambda: [
+                drained.append(sink.queue.get()) for _ in range(32)
+            ]
+        )
+        consumer.start()
+        for match in self.matches(32):
+            sink(match)  # blocks at 8 queued until the consumer catches up
+        consumer.join(timeout=10)
+        assert len(drained) == 32 and sink.dropped == 0
+
+    def test_drop_oldest_keeps_the_freshest_tail(self):
+        sink = QueueSink(maxsize=4, overflow="drop_oldest")
+        for match in self.matches(10):
+            sink(match)
+        assert [m.end for m in sink.drain()] == [7, 8, 9, 10]
+        assert sink.dropped == 6  # loss is observable, not silent
+
+    def test_drop_oldest_never_drops_below_capacity(self):
+        sink = QueueSink(maxsize=4, overflow="drop_oldest")
+        for match in self.matches(4):
+            sink(match)
+        assert sink.dropped == 0
+
+    def test_raise_policy_propagates_queue_full(self):
+        sink = QueueSink(maxsize=2, overflow="raise")
+        sink(Match(rule="r", end=1))
+        sink(Match(rule="r", end=2))
+        with pytest.raises(queue.Full):
+            sink(Match(rule="r", end=3))
+        assert [m.end for m in sink.drain()] == [1, 2]
+        assert sink.dropped == 0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="overflow policy"):
+            QueueSink(maxsize=2, overflow="yolo")
+
+    def test_unbounded_queue_ignores_policy_pressure(self):
+        sink = QueueSink()  # maxsize=0: never full, block degenerates
+        for match in self.matches(100):
+            sink(match)
+        assert len(sink.drain()) == 100
+
+
 class TestMatcherProtocol:
     def test_both_matchers_satisfy_protocol(self):
         assert isinstance(RulesetMatcher(RULES), Matcher)
