@@ -35,7 +35,7 @@ from repro.compiler.mapping import map_network
 from repro.hardware.simulator import NetworkSimulator
 from repro.matching import RulesetMatcher
 from repro.workloads.inputs import plant_matches, stream_for_style
-from repro.workloads.synth import snort_like
+from repro.workloads.synth import module_heavy, snort_like
 
 from conftest import save_json, save_report, update_json
 
@@ -311,6 +311,122 @@ def test_backend_throughput_matrix(ste_only_workload):
         assert block_speedup >= BLOCK_SPEEDUP_FLOOR, "\n".join(lines)
     else:
         # graceful degradation: auto serves the suite on the interpreter
+        assert auto_choice == "stream"
+
+
+@pytest.fixture(scope="module")
+def module_heavy_workload():
+    """Every rule bears a counter/bit-vector module (threshold 0 keeps
+    them as modules): the workload in-sweep module execution exists
+    for."""
+    suite = module_heavy(total=24, seed=0x40D5)
+    rules = suite.patterns()
+    ruleset = compile_ruleset(rules)
+    tables = compile_tables(ruleset.network)
+    background = stream_for_style(suite.input_style, STREAM_BYTES, seed=5)
+    data = plant_matches(background, [r.pattern for r in suite.rules], seed=6)
+    return rules, tables, data
+
+
+def test_backend_throughput_matrix_modules(module_heavy_workload):
+    """Per-backend bytes/sec on the module-heavy suite, archived under
+    ``backends_modules`` in BENCH_engine.json.  Acceptance: the block
+    backend must beat stream by >= 2x *with zero scalar rescans* --
+    module activity runs inside the vector sweeps, not around them."""
+    _, tables, data = module_heavy_workload
+    assert tables.n_modules > 0  # the module-heavy suite really has modules
+
+    matrix: dict = {}
+    report_sets: dict = {}
+    sweep_stats = None
+    for info in available_backends():
+        if not info.available:
+            matrix[info.name] = {
+                "available": False,
+                "reason": info.unavailable_reason,
+            }
+            continue
+        sample = data[:REFERENCE_SLICE] if info.name == "reference" else data
+        scanner = get_backend(info.name).make_scanner(tables)
+
+        def run(scanner=scanner, sample=sample):
+            scanner.reset()
+            for offset in range(0, len(sample), CHUNK):
+                scanner.feed(sample[offset : offset + CHUNK])
+            scanner.finish()
+
+        elapsed = _time(run)
+        matrix[info.name] = {
+            "available": True,
+            "bytes": len(sample),
+            "bps": len(sample) / elapsed,
+            "stats_exact": info.stats_exact,
+        }
+        report_sets[info.name] = set(scanner.reports)
+        if info.name == "block":
+            sweep_stats = scanner.sweep_stats
+
+    want = report_sets["stream"]
+    want_prefix = {pair for pair in want if pair[0] <= REFERENCE_SLICE}
+    for name, reports in report_sets.items():
+        if name == "reference":
+            assert reports == want_prefix, name
+        else:
+            assert reports == want, name
+
+    auto_choice = resolve_backend("auto", tables).name
+    block = matrix.get("block", {})
+    block_speedup = (
+        block["bps"] / matrix["stream"]["bps"] if block.get("available") else None
+    )
+    update_json(
+        "engine",
+        {
+            "backends_modules": {
+                "stream_bytes": len(data),
+                "chunk_bytes": CHUNK,
+                "n_stes": tables.n_stes,
+                "n_modules": tables.n_modules,
+                "auto_choice": auto_choice,
+                "block_speedup_floor": BLOCK_SPEEDUP_FLOOR,
+                "block_speedup_vs_stream": block_speedup,
+                "block_sweep": None
+                if sweep_stats is None
+                else {
+                    "committed_blocks": sweep_stats.committed_blocks,
+                    "rescans": sweep_stats.rescans,
+                    "reenables": sweep_stats.reenables,
+                    "modules_vectorized": sweep_stats.modules_vectorized,
+                },
+                "matrix": matrix,
+            }
+        },
+    )
+    lines = [
+        f"Backend throughput (module-heavy suite, {tables.n_stes} STEs + "
+        f"{tables.n_modules} modules, {len(data)} bytes, auto -> {auto_choice})"
+    ]
+    for name, row in matrix.items():
+        if row.get("available"):
+            lines.append(f"  {name:<10}: {row['bps'] / 1e3:9.1f} KB/s ({row['bytes']} B)")
+        else:
+            lines.append(f"  {name:<10}: unavailable ({row['reason']})")
+    if block_speedup is not None:
+        lines.append(
+            f"  block / stream: {block_speedup:.2f}x (floor {BLOCK_SPEEDUP_FLOOR}x), "
+            f"{sweep_stats.rescans} rescans over "
+            f"{sweep_stats.committed_blocks} committed sweeps"
+        )
+    save_report("engine_backends_modules", "\n".join(lines))
+
+    if block.get("available"):
+        assert auto_choice == "block"
+        # the acceptance claim: fast AND never replaying scalar blocks
+        assert sweep_stats.modules_vectorized
+        assert sweep_stats.rescans == 0, "\n".join(lines)
+        assert block_speedup >= BLOCK_SPEEDUP_FLOOR, "\n".join(lines)
+    else:
+        # graceful degradation: module rules fall back to the interpreter
         assert auto_choice == "stream"
 
 

@@ -5,10 +5,16 @@ gated on the optional NumPy dependency -- when the import fails the
 registry reports the backend unavailable with the import error as the
 reason, and ``engine="auto"`` quietly degrades to ``"stream"``.
 
-The backend applies to *every* network (module-bearing blocks replay
-through the embedded scalar interpreter), but ``auto`` only prefers it
-where the sweeps actually pay off: module-free tables whose STE graph
-is acyclic up to self-loops -- the Snort/Suricata-style common case.
+The backend applies to *every* network (module-bearing blocks that
+defeat in-lane execution replay through the embedded scalar
+interpreter), and ``auto`` prefers it wherever sweeps actually pay
+off: module-free tables whose STE graph is acyclic up to self-loops
+-- the Snort/Suricata-style common case -- and module-bearing tables
+whose combined STE+module graph admits in-sweep closed-form module
+execution (``{n,m}`` bounded repeats, gap rules).  Only tables with
+genuine feedback cycles (nested counting, multi-STE counter bodies)
+rank below ``"stream"``, because there every sweep risks a scalar
+replay.
 """
 
 from __future__ import annotations
@@ -26,8 +32,9 @@ class BlockBackend(Backend):
     name = "block"
     aliases = ()
     description = (
-        "NumPy bit-parallel block scanner (vector sweeps on STE-only "
-        "activity, scalar replay around module activity)"
+        "NumPy bit-parallel block scanner (vector sweeps with in-lane "
+        "counter/bit-vector execution, scalar replay only around "
+        "genuinely cyclic module wiring)"
     )
     stats_exact = True
     streaming = True
@@ -38,13 +45,16 @@ class BlockBackend(Backend):
         return True, None
 
     def auto_priority(self, tables: TransitionTables) -> Optional[int]:
-        if tables.n_modules != 0:
-            return None
         # building the program also answers acyclicity; it is cached
         # per tables object, so this is free after the first ask
-        if not block_engine._program_for(tables).vector_ok:
-            return None
-        return 30
+        program = block_engine._program_for(tables)
+        if program.pure:
+            return 30 if program.vector_ok else None
+        if program.full_ok:
+            # modules run inside the sweep: every block commits
+            return 25
+        # optimistic sweeps risk scalar replays; let "stream" win
+        return None
 
     def make_scanner(self, tables: TransitionTables) -> "block_engine.BlockScanner":
         return block_engine.BlockScanner(tables)

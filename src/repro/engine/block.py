@@ -41,15 +41,32 @@ positions of reporting STEs' lanes, so the backend meets the same
 
 Counter / bit-vector modules
 ----------------------------
-Blocks are vector-scanned *optimistically*: module side effects can
-only begin at an STE that drives a module port (``ste_module_hooks``),
-and those STEs' occupancy lanes are computed by the sweep anyway.  If
-no hook STE fired in the block and every module was at rest when it
-started, the vector result is committed; otherwise the block is
-rescanned by the embedded scalar :class:`StreamScanner`, which owns
-all module state.  A streak of consecutive aborted sweeps (no commit
-in between) disables further vector attempts, so module-dense streams
-run at plain scalar speed instead of paying for doomed sweeps.
+Module activity runs *inside* the sweep whenever the combined
+STE+module dependency graph is acyclic after
+:mod:`repro.engine.block_modules` collapses the emitted one-STE
+feedback loops (``en_fst`` re-arming a counter body, ``en_body``
+holding a bit-vector body STE) into closed-form nodes: counter
+registers become prefix sums over ``fst`` lanes, bit-vector shift
+registers become windowed existence queries over entry lanes, and the
+carried scalar state (registers, latched ``pre``, dirty set) is
+written back at every block boundary.  Such blocks always commit --
+no rescans -- and reports/stats stay exactly equal to the
+interpreter's.
+
+Tables whose module wiring genuinely cycles (nested counting,
+multi-STE counter bodies) fall back to the *optimistic* strategy:
+module side effects can only begin at an STE that drives a module
+port (``ste_module_hooks``), and those STEs' occupancy lanes are
+computed by the sweep anyway.  If no hook STE fired in the block and
+every module was at rest when it started, the vector result is
+committed; otherwise the block is rescanned by the embedded scalar
+:class:`StreamScanner`, which owns all module state.  A streak of
+consecutive aborted sweeps (no commit in between) disables further
+vector attempts; the disable *decays* -- after enough consecutive
+module-quiescent scalar blocks the scanner re-arms sweeps, so a
+module-dense burst does not condemn the rest of the stream to scalar
+speed.  :attr:`BlockScanner.sweep_stats` surfaces the commit/rescan/
+re-enable counters.
 
 NumPy is an optional dependency: importing this module never raises,
 and :func:`numpy_or_none` reports what the backend registry should say
@@ -59,11 +76,13 @@ when the import failed.
 from __future__ import annotations
 
 import weakref
+from dataclasses import dataclass
 from typing import Optional
 
 from ..mnrl.network import Network
+from . import block_modules
 from .scanner import Chunk, StreamScanner, coerce_chunk
-from .tables import TransitionTables, compile_tables
+from .tables import KIND_BIT_VECTOR, SRC_OUT, TransitionTables, compile_tables
 
 try:  # NumPy is optional: the registry degrades gracefully without it
     import numpy as _np
@@ -73,7 +92,13 @@ except Exception as exc:  # pragma: no cover - exercised via monkeypatch
     _np = None
     _NUMPY_ERROR = f"{type(exc).__name__}: {exc}"
 
-__all__ = ["BlockScanner", "numpy_or_none", "numpy_unavailable_reason", "DEFAULT_BLOCK_SIZE"]
+__all__ = [
+    "BlockScanner",
+    "BlockSweepStats",
+    "numpy_or_none",
+    "numpy_unavailable_reason",
+    "DEFAULT_BLOCK_SIZE",
+]
 
 #: Input positions evaluated per vector sweep.  Measured sweet spot on
 #: Snort-scale STE-only tables: large enough to amortize per-STE NumPy
@@ -82,7 +107,13 @@ DEFAULT_BLOCK_SIZE = 16384
 
 #: Consecutive vector sweeps discarded (module activity detected, no
 #: commit in between) before BlockScanner stops attempting sweeps.
+#: Only reachable on tables whose module wiring defeats in-sweep
+#: execution (``full_ok`` False).
 _RESCAN_LIMIT = 8
+
+#: Consecutive module-quiescent scalar blocks consumed while sweeps
+#: are disabled before the scanner re-arms vector sweeping.
+_REENABLE_AFTER = 4
 
 
 def numpy_or_none():
@@ -108,6 +139,7 @@ class _BlockProgram:
     __slots__ = (
         "vector_ok",
         "pure",
+        "full_ok",
         "topo",
         "preds",
         "succ_lists",
@@ -117,10 +149,15 @@ class _BlockProgram:
         "report_flag",
         "hook_flag",
         "always_list",
+        "always_eff_flag",
+        "always_eff_list",
         "start_list",
         "row_of",
         "uniq_rows",
         "byte_class_arr",
+        "mod_plans",
+        "steps",
+        "mod_preds",
     )
 
     def __init__(self, tables: TransitionTables):
@@ -171,6 +208,43 @@ class _BlockProgram:
         self.always_list = [i for i in range(n) if self.always_flag[i]]
         self.start_list = [i for i in range(n) if self.start_flag[i]]
 
+        # STEs the interpreter enables every cycle regardless of
+        # drives: ALL_INPUT starts plus const_enable targets (ALL_INPUT
+        # bit vectors re-arming their body).  For lane purposes both
+        # mean "occupancy is plain membership".
+        const_flag = _mask_flags(tables.const_enable_mask, n)
+        self.always_eff_flag = [
+            a or c for a, c in zip(self.always_flag, const_flag)
+        ]
+        self.always_eff_list = [i for i in range(n) if self.always_eff_flag[i]]
+
+        # In-sweep module execution: collapse emitted feedback loops
+        # and demand a combined acyclic order (see block_modules).
+        if tables.n_modules == 0:
+            self.full_ok = self.vector_ok
+            self.mod_plans = None
+            self.steps = None
+            self.mod_preds = None
+        else:
+            mod_program = block_modules.analyze(
+                tables,
+                preds,
+                succ_lists,
+                has_self,
+                self.always_eff_flag,
+                self.start_flag,
+            )
+            if mod_program is None:
+                self.full_ok = False
+                self.mod_plans = None
+                self.steps = None
+                self.mod_preds = None
+            else:
+                self.full_ok = True
+                self.mod_plans = mod_program.plans
+                self.steps = mod_program.steps
+                self.mod_preds = mod_program.mod_preds
+
         # one bool row of n_classes per distinct symbol set; STEs with
         # identical symbol sets (all copies of an unfolded run) share a
         # row, so the per-block membership gather happens once per set
@@ -214,6 +288,27 @@ def _program_for(tables: TransitionTables) -> _BlockProgram:
     return program
 
 
+@dataclass(frozen=True)
+class BlockSweepStats:
+    """Sweep bookkeeping for one :class:`BlockScanner` stream.
+
+    Makes claims like "this workload ran with zero scalar rescans"
+    directly assertable instead of inferred from private attributes.
+    """
+
+    #: vector sweeps committed (pure or in-lane module blocks)
+    committed_blocks: int
+    #: sweeps discarded and replayed through the scalar interpreter
+    rescans: int
+    #: times the vector-disable streak decayed and sweeps re-armed
+    reenables: int
+    #: currently feeding scalar because of a rescan streak?
+    sweeps_disabled: bool
+    #: module activity runs inside sweeps on these tables (no-op True
+    #: for module-free tables; False means the optimistic/rescan path)
+    modules_vectorized: bool
+
+
 class BlockScanner:
     """Drop-in :class:`StreamScanner` replacement with block sweeps.
 
@@ -250,6 +345,12 @@ class BlockScanner:
         #: consecutive aborted sweeps since the last committed block
         self._fruitless = 0
         self._sweeps_disabled = False
+        #: committed vector sweeps (monotonic)
+        self._committed = 0
+        #: disable-streak decays (monotonic)
+        self._reenables = 0
+        #: module-quiescent bytes consumed since sweeps were disabled
+        self._quiet_bytes = 0
 
     # the embedded scalar scanner owns all mutable state, so fallback
     # blocks and vector commits observe one single source of truth
@@ -266,11 +367,26 @@ class BlockScanner:
     def bytes_fed(self) -> int:
         return self._scalar.bytes_fed
 
+    @property
+    def sweep_stats(self) -> BlockSweepStats:
+        """Commit/rescan/re-enable counters for this stream so far."""
+        program = self._program
+        return BlockSweepStats(
+            committed_blocks=self._committed,
+            rescans=self._rescans,
+            reenables=self._reenables,
+            sweeps_disabled=self._sweeps_disabled,
+            modules_vectorized=program.full_ok,
+        )
+
     def reset(self) -> None:
         self._scalar.reset()
         self._rescans = 0
         self._fruitless = 0
         self._sweeps_disabled = False
+        self._committed = 0
+        self._reenables = 0
+        self._quiet_bytes = 0
 
     def finish(self):
         """Mark end-of-stream; returns the distinct report set."""
@@ -282,18 +398,38 @@ class BlockScanner:
             raise RuntimeError("feed() after finish(); call reset() to rescan")
         chunk = coerce_chunk(chunk)
         program = self._program
-        if not program.vector_ok or self._sweeps_disabled:
+
+        if program.full_ok and not program.pure:
+            # module activity runs inside the sweep: every block
+            # commits, the scalar interpreter never replays anything
+            arr = _np.frombuffer(chunk, dtype=_np.uint8)
+            new: list[tuple[int, Optional[str]]] = []
+            length = len(arr)
+            offset = 0
+            block = self.block_size
+            while offset < length:
+                end = min(offset + block, length)
+                self._vector_block_modules(arr[offset:end], new)
+                self._committed += 1
+                offset = end
+            return new
+
+        if not program.vector_ok:
             return self._scalar.feed(chunk)
 
         arr = _np.frombuffer(chunk, dtype=_np.uint8)
-        new: list[tuple[int, Optional[str]]] = []
+        new = []
         length = len(arr)
         offset = 0
         block = self.block_size
         while offset < length:
             end = min(offset + block, length)
+            if self._sweeps_disabled:
+                # scalar blocks, but watch for module-quiescent runs
+                # long enough to re-arm sweeping
+                new.extend(self._scalar_feed_tracked(chunk[offset:end]))
             # modules holding state must see every byte: scalar block
-            if not program.pure and self._scalar._dirty:
+            elif not program.pure and self._scalar._dirty:
                 new.extend(self._scalar.feed(chunk[offset:end]))
             elif not self._vector_block(arr[offset:end], new):
                 # a module port was signalled mid-block: discard the
@@ -304,10 +440,30 @@ class BlockScanner:
                 if self._fruitless >= _RESCAN_LIMIT:
                     # module-dense phase: stop paying for doomed sweeps
                     self._sweeps_disabled = True
-                    new.extend(self._scalar.feed(chunk[end:]))
-                    return new
+                    self._quiet_bytes = 0
             offset = end
         return new
+
+    def _scalar_feed_tracked(self, piece):
+        """Scalar feed while sweeps are disabled; decays the disable
+        after ``_REENABLE_AFTER`` blocks' worth of module-quiescent
+        input so a module-dense burst is not a life sentence."""
+        stats = self._scalar.stats
+        ops_before = stats.counter_ops + stats.bit_vector_ops
+        out = self._scalar.feed(piece)
+        module_active = bool(self._scalar._dirty) or (
+            stats.counter_ops + stats.bit_vector_ops != ops_before
+        )
+        if module_active:
+            self._quiet_bytes = 0
+        else:
+            self._quiet_bytes += len(piece)
+            if self._quiet_bytes >= _REENABLE_AFTER * self.block_size:
+                self._sweeps_disabled = False
+                self._fruitless = 0
+                self._quiet_bytes = 0
+                self._reenables += 1
+        return out
 
     # -- one-shot conveniences (mirror StreamScanner) ----------------------
     def scan(self, data: Chunk):
@@ -452,4 +608,202 @@ class BlockScanner:
                     reports.add(pair)
                     new.append(pair)
         self._fruitless = 0
+        self._committed += 1
         return True
+
+    # -- the module-aware vector sweep --------------------------------------
+    def _vector_block_modules(self, arr, new: list) -> None:
+        """Sweep one block with counter/bit-vector activity evaluated
+        in-lane (``full_ok`` tables).  Always commits: reports, stats,
+        and module registers land exactly where the interpreter would
+        have put them, so there is nothing to rescan."""
+        np = _np
+        program = self._program
+        tables = self.tables
+        scalar = self._scalar
+        enabled = scalar._enabled
+        cycle = scalar._cycle
+        blen = len(arr)
+
+        cls = program.byte_class_arr[arr]
+        preds = program.preds
+        succ_lists = program.succ_lists
+        succ_masks = tables.succ_masks
+        has_self = program.has_self
+        always_flag = program.always_flag
+        always_eff = program.always_eff_flag
+        start_flag = program.start_flag
+        report_flag = program.report_flag
+        row_of = program.row_of
+        uniq_rows = program.uniq_rows
+        rids = tables.ste_report_ids
+        plans = program.mod_plans
+        mod_preds = program.mod_preds
+        out_ste_masks = tables.out_ste_masks
+        aux_ste_masks = tables.aux_ste_masks
+        at_start = cycle == 0
+        base = cycle + 1
+
+        n = tables.n_stes
+        occ: list = [None] * n
+        mod_out: list = [None] * tables.n_modules
+        mod_aux: list = [None] * tables.n_modules
+        needed = bytearray(n)
+        for v in program.always_eff_list:
+            needed[v] = 1
+        if at_start:
+            for v in program.start_list:
+                needed[v] = 1
+        mask = enabled
+        while mask:
+            low = mask & -mask
+            mask ^= low
+            needed[low.bit_length() - 1] = 1
+
+        memb_cache: dict = {}
+
+        def memb_for(v):
+            row = row_of[v]
+            memb = memb_cache.get(row)
+            if memb is None:
+                memb = uniq_rows[row][cls]
+                memb_cache[row] = memb
+            return memb
+
+        idx = None
+        activations = 0
+        events = 0
+        found: list[tuple[int, Optional[str]]] = []
+        acc: list = [0, 0, 0.0]
+        # the interpreter seeds every cycle's next_enabled with the
+        # const mask (ALL_INPUT bit vectors re-arming their body STE)
+        last_mask = tables.const_enable_mask
+        for step_kind, index in program.steps:
+            if step_kind == 0:
+                v = index
+                if not needed[v]:
+                    continue
+                memb = memb_for(v)
+                entry = bool((enabled >> v) & 1) or (at_start and start_flag[v])
+                if always_eff[v]:
+                    # enabled on every symbol: occupancy is membership --
+                    # except a const-enabled (not always) STE at stream
+                    # start, which the cycle-0 base does not include
+                    lane = memb
+                    if at_start and not always_flag[v] and not entry and memb[0]:
+                        lane = memb.copy()
+                        lane[0] = False
+                else:
+                    live = [occ[u] for u in preds[v] if occ[u] is not None]
+                    for j, src in mod_preds[v]:
+                        lane_j = mod_out[j] if src == SRC_OUT else mod_aux[j]
+                        if lane_j is not None:
+                            live.append(lane_j)
+                    if has_self[v]:
+                        if idx is None:
+                            idx = np.arange(blen)
+                        drive = np.zeros(blen, dtype=bool)
+                        drive[0] = entry
+                        for lane_u in live:
+                            np.logical_or(drive[1:], lane_u[:-1], out=drive[1:])
+                        run_start = np.maximum.accumulate(np.where(memb, 0, idx + 1))
+                        last_drive = np.maximum.accumulate(np.where(drive, idx, -1))
+                        lane = memb & (last_drive >= run_start)
+                    elif len(live) == 1:
+                        lane = np.empty(blen, dtype=bool)
+                        np.logical_and(live[0][:-1], memb[1:], out=lane[1:])
+                        lane[0] = entry and bool(memb[0])
+                    else:
+                        lane = np.zeros(blen, dtype=bool)
+                        lane[0] = entry
+                        for lane_u in live:
+                            np.logical_or(lane[1:], lane_u[:-1], out=lane[1:])
+                        np.logical_and(lane, memb, out=lane)
+                count = int(np.count_nonzero(lane))
+                if count == 0:
+                    continue
+                occ[v] = lane
+                activations += count
+                if report_flag[v]:
+                    events += count
+                    rid = rids[v]
+                    for position in np.flatnonzero(lane).tolist():
+                        found.append((base + position, rid))
+                if lane[-1]:
+                    last_mask |= succ_masks[v]
+                for w in succ_lists[v]:
+                    needed[w] = 1
+            else:
+                plan = plans[index]
+                s = plan.absorbed
+                if s is not None:
+                    memb = memb_for(s)
+                    enabled_bit = bool((enabled >> s) & 1)
+                else:
+                    memb = None
+                    enabled_bit = False
+                s_occ, out_lane, aux_lane, pre_last = block_modules.eval_module(
+                    np,
+                    plan,
+                    blen,
+                    occ,
+                    mod_out,
+                    mod_aux,
+                    memb,
+                    enabled_bit,
+                    scalar,
+                    acc,
+                )
+                if s_occ is not None:
+                    count = int(np.count_nonzero(s_occ))
+                    if count:
+                        occ[s] = s_occ
+                        activations += count
+                        if report_flag[s]:
+                            events += count
+                            rid = rids[s]
+                            for position in np.flatnonzero(s_occ).tolist():
+                                found.append((base + position, rid))
+                        if s_occ[-1]:
+                            last_mask |= succ_masks[s]
+                        for w in succ_lists[s]:
+                            needed[w] = 1
+                if out_lane is not None:
+                    mod_out[index] = out_lane
+                    if plan.reports:
+                        count = int(np.count_nonzero(out_lane))
+                        events += count
+                        rid = plan.report_id
+                        for position in np.flatnonzero(out_lane).tolist():
+                            found.append((base + position, rid))
+                    if out_lane[-1]:
+                        last_mask |= out_ste_masks[index]
+                    for w in plan.out_targets:
+                        needed[w] = 1
+                if aux_lane is not None:
+                    mod_aux[index] = aux_lane
+                    if aux_lane[-1]:
+                        last_mask |= aux_ste_masks[index]
+                    for w in plan.aux_targets:
+                        needed[w] = 1
+                # the interpreter's pre-latch loop enables a bit
+                # vector's body STE for the cycle after any pre pulse
+                if pre_last and plan.kind == KIND_BIT_VECTOR:
+                    last_mask |= aux_ste_masks[index]
+
+        scalar._enabled = last_mask
+        scalar._cycle = cycle + blen
+        stats = scalar.stats
+        stats.cycles += blen
+        stats.ste_activations += activations
+        stats.counter_ops += acc[0]
+        stats.bit_vector_ops += acc[1]
+        stats.bit_vector_weighted_ops += acc[2]
+        stats.reports += events
+        if found:
+            reports = scalar.reports
+            found.sort(key=lambda pair: pair[0])
+            for pair in found:
+                if pair not in reports:
+                    reports.add(pair)
+                    new.append(pair)

@@ -47,7 +47,9 @@ from ..mnrl.nodes import BitVectorNode, CounterNode, STE, StartType
 __all__ = [
     "TransitionTables",
     "TableStats",
+    "ModuleWiring",
     "compile_tables",
+    "module_wiring",
     "table_stats",
     "PORT_PRE",
     "PORT_FST",
@@ -55,6 +57,8 @@ __all__ = [
     "PORT_BODY",
     "KIND_COUNTER",
     "KIND_BIT_VECTOR",
+    "SRC_OUT",
+    "SRC_AUX",
 ]
 
 #: Module input ports, encoded as bits of a per-module signal word.
@@ -67,6 +71,12 @@ _PORT_BITS = {"pre": PORT_PRE, "fst": PORT_FST, "lst": PORT_LST, "body": PORT_BO
 
 KIND_COUNTER = 0
 KIND_BIT_VECTOR = 1
+
+#: Module output sources, as they appear in :class:`ModuleWiring`
+#: driver pairs: the main ``en_out`` output or the auxiliary output
+#: (``en_fst`` for counters, ``en_body`` for bit vectors).
+SRC_OUT = 0
+SRC_AUX = 1
 
 
 @dataclass
@@ -295,6 +305,71 @@ def compile_tables(network: Network) -> TransitionTables:
         if tables.module_all_input[i] and tables.module_kinds[i] == KIND_BIT_VECTOR:
             tables.const_enable_mask |= tables.aux_ste_masks[i]
     return tables
+
+
+@dataclass(frozen=True)
+class ModuleWiring:
+    """Per-module inversion of the interconnect: who drives each port.
+
+    :class:`TransitionTables` stores module wiring *forward* (per STE /
+    per module, the ports it signals), which is what the per-byte
+    interpreter wants.  A vectorized executor works the other way
+    round: to evaluate a module's lanes over a block it must gather the
+    lanes of everything feeding each of its input ports.  This is that
+    inversion, computed once per tables:
+
+    * ``ste_drivers[m][port_bit]`` -- STE indices whose activation
+      signals the port (``PORT_PRE``/``PORT_FST``/``PORT_LST``/
+      ``PORT_BODY``);
+    * ``module_drivers[m][port_bit]`` -- ``(module, source)`` pairs,
+      where source is :data:`SRC_OUT` (``en_out``) or :data:`SRC_AUX`
+      (``en_fst``/``en_body``).
+
+    Ports with no drivers are absent from the dicts.
+    """
+
+    ste_drivers: tuple[dict[int, tuple[int, ...]], ...]
+    module_drivers: tuple[dict[int, tuple[tuple[int, int], ...]], ...]
+
+
+def module_wiring(tables: TransitionTables) -> ModuleWiring:
+    """Invert ``tables``' module hook lists into per-port driver lists
+    (see :class:`ModuleWiring`).  O(hooks); duplicate connections to
+    the same port collapse to one driver entry."""
+    n_modules = tables.n_modules
+    ste_drivers: list[dict[int, list[int]]] = [{} for _ in range(n_modules)]
+    module_drivers: list[dict[int, list[tuple[int, int]]]] = [
+        {} for _ in range(n_modules)
+    ]
+    for i, hooks in enumerate(tables.ste_module_hooks):
+        if hooks is None:
+            continue
+        for target, port_bit in hooks:
+            bucket = ste_drivers[target].setdefault(port_bit, [])
+            if i not in bucket:
+                bucket.append(i)
+    for source_kind, hook_lists in (
+        (SRC_OUT, tables.out_module_hooks),
+        (SRC_AUX, tables.aux_module_hooks),
+    ):
+        for j, hooks in enumerate(hook_lists):
+            if hooks is None:
+                continue
+            for target, port_bit in hooks:
+                bucket = module_drivers[target].setdefault(port_bit, [])
+                pair = (j, source_kind)
+                if pair not in bucket:
+                    bucket.append(pair)
+    return ModuleWiring(
+        ste_drivers=tuple(
+            {port: tuple(drivers) for port, drivers in by_port.items()}
+            for by_port in ste_drivers
+        ),
+        module_drivers=tuple(
+            {port: tuple(drivers) for port, drivers in by_port.items()}
+            for by_port in module_drivers
+        ),
+    )
 
 
 @dataclass(frozen=True)

@@ -42,6 +42,7 @@ __all__ = [
     "protomata_like",
     "spamassassin_like",
     "clamav_like",
+    "module_heavy",
     "suite_by_name",
     "all_suites",
     "APPLICATION_SUITES",
@@ -427,6 +428,52 @@ def clamav_like(total: int = 2009, seed: int = 0xC1A3) -> Suite:
         rules,
         input_style="binary",
         description="virus byte signatures with wildcard gaps",
+    )
+
+
+def module_heavy(total: int = 24, seed: int = 0x40D5) -> Suite:
+    """Every rule carries a ``{n,m}`` bounded repeat that lowers to a
+    counter or bit-vector module (``unfold_threshold=0``) -- the
+    workload for measuring in-sweep module execution (the
+    ``backends_modules`` matrix in ``bench_engine.py``).
+
+    Unlike the application suites this one is *pure* module pressure:
+    guarded runs (counters), wildcard/class gaps (bit vectors), and
+    ALL_INPUT gap heads, all with one-STE bodies so the entire suite
+    stays on the block scanner's in-lane fast path (zero rescans is an
+    asserted property, not luck).
+    """
+    rng = random.Random(seed)
+    rules: list[Rule] = []
+    for i in range(total):
+        lo = rng.randint(2, 10)
+        hi = lo + rng.randint(1, 14)
+        roll = rng.random()
+        if roll < 0.35:
+            # guarded run: `lit [^s] s{lo,hi}` -> absorbable counter
+            guard, run = rng.choice(_GUARDED_RUNS)
+            prefix = _literal(rng) if rng.random() < 0.5 else ""
+            pattern = f"{prefix}{guard}{run}{{{lo},{hi}}}"
+            category = "count-unambiguous"
+        elif roll < 0.7:
+            # wildcard gap between contents -> absorbable bit vector
+            pattern = f"{_literal(rng)}.{{{lo},{hi}}}{_literal(rng)}"
+            category = "count-ambiguous"
+        elif roll < 0.9:
+            # bare class run -> counter with a class body
+            cls = rng.choice((r"[0-9]", r"[A-Za-z0-9+/]", r"[a-z ]"))
+            pattern = f"{cls}{{{lo},{hi}}}{rng.choice(('!', ';', '='))}"
+            category = "count-ambiguous"
+        else:
+            # ALL_INPUT gap head: `.{lo,hi} lit`
+            pattern = f".{{{lo},{hi}}}{_literal(rng)}"
+            category = "count-ambiguous"
+        rules.append(Rule(f"modheavy:{i}", pattern, category))
+    return Suite(
+        "ModuleHeavy",
+        rules,
+        input_style="network",
+        description="all-counting suite exercising counter/bit-vector modules",
     )
 
 

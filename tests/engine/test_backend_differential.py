@@ -58,15 +58,9 @@ rule_subsets = st.frozensets(
 )
 
 
-@given(
-    indices=rule_subsets,
-    data=small_data,
-    cuts=st.lists(st.integers(min_value=0, max_value=40), max_size=5),
-)
-@settings(max_examples=60, deadline=None)
-def test_all_backends_report_identically(indices, data, cuts):
-    tables = _tables_for(indices)
-    chunks = _chunkings(data, cuts)
+def _assert_backends_agree(tables, chunks, context):
+    """Feed ``chunks`` through every available backend; reports must be
+    identical everywhere and stats equivalent wherever declared exact."""
     outcomes = {}
     for info in available_backends():
         if not info.available:
@@ -79,9 +73,84 @@ def test_all_backends_report_identically(indices, data, cuts):
     assert "stream" in outcomes and "reference" in outcomes
     _, want_reports, want_stats = outcomes["reference"]
     for name, (info, reports, stats) in outcomes.items():
-        assert reports == want_reports, (name, sorted(indices), data, cuts)
+        assert reports == want_reports, (name,) + context
         if info.stats_exact:
-            assert stats.equivalent(want_stats), (name, sorted(indices), data, cuts)
+            assert stats.equivalent(want_stats), (name,) + context
+
+
+@given(
+    indices=rule_subsets,
+    data=small_data,
+    cuts=st.lists(st.integers(min_value=0, max_value=40), max_size=5),
+)
+@settings(max_examples=60, deadline=None)
+def test_all_backends_report_identically(indices, data, cuts):
+    tables = _tables_for(indices)
+    chunks = _chunkings(data, cuts)
+    _assert_backends_agree(tables, chunks, (sorted(indices), data, cuts))
+
+
+# -- module-heavy generator -------------------------------------------------
+#
+# Random `{n,m}` bounded repeats lower to counter and bit-vector
+# modules (unfold_threshold=0 in compile_ruleset keeps them as
+# modules); the generator covers every wiring shape the block scanner
+# distinguishes: absorbable one-STE loops, ALL_INPUT gaps, nested
+# counters, multi-STE bodies (the non-vectorizable fallback), and
+# plain STE context around them.
+
+
+@st.composite
+def _module_rule(draw, tag):
+    lo = draw(st.integers(min_value=1, max_value=4))
+    # hi > lo >= 1, or an exact repeat with lo >= 2: `a{1,1}` would
+    # simplify to a plain STE and leave the tables module-free
+    hi = lo + draw(st.integers(min_value=1, max_value=4))
+    if draw(st.booleans()) and lo >= 2:
+        hi = lo
+    shape = draw(
+        st.sampled_from(
+            [
+                "{head}a{{{lo},{hi}}}",  # counter run (absorbable)
+                "b.{{{lo},{hi}}}c",  # bit-vector gap
+                ".{{{lo},{hi}}}x",  # ALL_INPUT bit vector
+                "[ab]{{{lo},{hi}}}x",  # class-run counter
+                "(a{{{lo},{hi}}})+b",  # nested counting
+                "x(ab){{{lo},{hi}}}c",  # multi-STE body (fallback)
+                "{head}a{{{lo},{hi}}}b{{{lo},{hi}}}",  # chained modules
+            ]
+        )
+    )
+    head = draw(st.sampled_from(["x", "[^a]", "c"]))
+    return (tag, shape.format(head=head, lo=lo, hi=hi))
+
+
+module_rule_lists = st.integers(min_value=1, max_value=3).flatmap(
+    lambda k: st.tuples(*[_module_rule(tag=f"m{i}") for i in range(k)])
+)
+
+_MODULE_TABLES_CACHE: dict = {}
+
+
+def _module_tables_for(rules: tuple):
+    tables = _MODULE_TABLES_CACHE.get(rules)
+    if tables is None:
+        tables = compile_tables(compile_ruleset(list(rules)).network)
+        _MODULE_TABLES_CACHE[rules] = tables
+    return tables
+
+
+@given(
+    rules=module_rule_lists,
+    data=st.lists(st.sampled_from(list(b"aabbcx.")), max_size=60).map(bytes),
+    cuts=st.lists(st.integers(min_value=0, max_value=60), max_size=5),
+)
+@settings(max_examples=80, deadline=None)
+def test_all_backends_agree_on_module_heavy_rules(rules, data, cuts):
+    tables = _module_tables_for(rules)
+    assert tables.n_modules > 0, rules
+    chunks = _chunkings(data, cuts)
+    _assert_backends_agree(tables, chunks, (rules, data, cuts))
 
 
 @given(data=small_data)

@@ -109,8 +109,18 @@ class TestRegistry:
         tables = RulesetMatcher(MODULE_FREE_RULES).tables
         assert resolve_backend("auto", tables).name == "block"
 
-    def test_auto_picks_stream_for_module_bearing(self):
+    @needs_numpy
+    def test_auto_picks_block_for_vectorizable_modules(self):
+        # bounded repeats compile to counter/bit-vector modules that
+        # now run inside the vector sweep, so auto prefers block
         tables = RulesetMatcher([("ctr", r"[^a]a{3,9}")]).tables
+        assert tables.n_modules > 0
+        assert resolve_backend("auto", tables).name == "block"
+
+    def test_auto_picks_stream_for_cyclic_module_wiring(self):
+        # a multi-STE counter body defeats in-sweep module execution;
+        # the optimistic-sweep path risks rescans, so stream wins auto
+        tables = RulesetMatcher([("loop", r"x(ab){2,3}y")]).tables
         assert tables.n_modules > 0
         assert resolve_backend("auto", tables).name == "stream"
 
@@ -153,6 +163,15 @@ class TestNumpyDegradation:
     def test_auto_degrades_to_stream(self, no_numpy):
         tables = _tables("abc")
         assert resolve_backend("auto", tables).name == "stream"
+
+    def test_module_rules_degrade_to_stream(self, no_numpy):
+        """Counter/bit-vector rules prefer block when numpy exists;
+        without it they must quietly serve on the interpreter."""
+        matcher = RulesetMatcher([("ctr", r"[^a]a{3,9}"), ("gap", r"b.{2,4}c")])
+        assert matcher.tables.n_modules > 0
+        assert resolve_backend("auto", matcher.tables).name == "stream"
+        result = matcher.scan(b"xaaaa b12c")
+        assert set(result.matched_rules()) == {"ctr", "gap"}
 
     def test_scanner_constructor_raises(self, no_numpy):
         with pytest.raises(RuntimeError, match="requires numpy"):
@@ -315,9 +334,9 @@ class TestBlockScannerEquivalence:
         scanner.reset()
         assert scanner.scan(b"xab") == {(3, "p")}
 
-    def test_module_rescan_limit_degrades_to_scalar(self):
-        """Module-dense input: the scanner must stop paying for doomed
-        vector sweeps but stay exactly equivalent."""
+    def test_vectorizable_modules_run_in_sweep_without_rescans(self):
+        """Bounded repeats with one-STE bodies execute inside the
+        sweep: every block commits, the scalar replay path never runs."""
         compiled = compile_pattern(r"[^a]a{3,9}", report_id="p")
         tables = compile_tables(compiled.network)
         data = b"xaaaa baaab zaaaaaaaaaz " * 200
@@ -326,11 +345,31 @@ class TestBlockScannerEquivalence:
         scanner.feed(data)
         assert scanner.finish() == want_reports
         assert scanner.stats.equivalent(want_stats)
-        assert scanner._rescans >= 1  # the fallback actually engaged
+        sweep = scanner.sweep_stats
+        assert sweep.modules_vectorized
+        assert sweep.rescans == 0
+        assert not sweep.sweeps_disabled
+        assert sweep.committed_blocks == -(-len(data) // 16)
+
+    def test_module_rescan_limit_degrades_to_scalar(self):
+        """Module wiring the sweep cannot absorb (multi-STE counter
+        body): on module-dense input the scanner must stop paying for
+        doomed vector sweeps but stay exactly equivalent."""
+        compiled = compile_pattern(r"x(ab){2,3}y", report_id="p")
+        tables = compile_tables(compiled.network)
+        data = b"xababy xabababy zz " * 200
+        want_reports, want_stats = _reference(compiled.network, data)
+        scanner = BlockScanner(tables, block_size=16)
+        scanner.feed(data)
+        assert scanner.finish() == want_reports
+        assert scanner.stats.equivalent(want_stats)
+        sweep = scanner.sweep_stats
+        assert not sweep.modules_vectorized
+        assert sweep.rescans >= 1  # the fallback actually engaged
         # ...and a streak of fruitless sweeps shut vectorization off
-        assert scanner._sweeps_disabled
+        assert sweep.sweeps_disabled
         scanner.reset()
-        assert not scanner._sweeps_disabled
+        assert not scanner.sweep_stats.sweeps_disabled
 
     @pytest.mark.parametrize(
         "factory, total",
