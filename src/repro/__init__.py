@@ -102,7 +102,10 @@ from .regex import CharClass, Pattern, parse, simplify
 from .serve import (
     MatchClient,
     MatchServer,
+    MatcherHandle,
     ServerStats,
+    WorkerFleet,
+    merge_server_stats,
     scan_tagged_remote,
 )
 from .session import (
@@ -191,9 +194,12 @@ __all__ = [
     "CollectorSink",
     "QueueSink",
     "UNNAMED_REPORT",
-    # serving subsystem (async TCP match server + client)
+    # serving subsystem (async TCP match server + client + fleet)
     "MatchServer",
+    "MatcherHandle",
     "MatchClient",
     "ServerStats",
+    "WorkerFleet",
+    "merge_server_stats",
     "scan_tagged_remote",
 ]

@@ -200,8 +200,25 @@ def build_parser() -> argparse.ArgumentParser:
         "before socket reads pause)",
     )
     p_serve.add_argument(
-        "--workers", type=int, default=None,
-        help="feed-offload thread count (default: executor's choice)",
+        "--threads", type=int, default=None,
+        help="feed-offload thread count per server process "
+        "(default: executor's choice)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=1,
+        help="server process count: >1 forks a fleet of workers "
+        "sharing host:port via SO_REUSEPORT (crashed workers are "
+        "respawned; see docs/SERVING.md 'Multi-worker deployment')",
+    )
+    p_serve.add_argument(
+        "--reload", action="store_true",
+        help="enable hot ruleset reload on SIGHUP (re-reads --rules, "
+        "swaps atomically; in-flight streams drain on the old tables)",
+    )
+    p_serve.add_argument(
+        "--control",
+        help="unix control-socket path speaking "
+        "PING/GEN/STATS/RELOAD/STOP (one reply line per command)",
     )
 
     p_connect = sub.add_parser(
@@ -218,12 +235,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_connect.add_argument(
         "--retries", type=int, default=5,
-        help="connection attempts before giving up (0.2s apart), for "
-        "racing a just-started server",
+        help="extra connection attempts before giving up (exponential "
+        "backoff with jitter), for racing a just-started server",
     )
     p_connect.add_argument(
         "--stats", action="store_true",
         help="also print the server's STATS snapshot",
+    )
+    p_connect.add_argument(
+        "--json", action="store_true",
+        help="machine-readable output: one JSON document with "
+        "per-stream summaries, match events (with ruleset "
+        "generations), and the server STATS snapshot "
+        "(schema: docs/SERVING.md)",
     )
 
     p_census = sub.add_parser("census", help="Table 1-style suite census")
@@ -515,13 +539,28 @@ def _build_matcher(args):
         return None
 
 
+def _serve_summary(stats) -> None:
+    print(
+        f"served {stats.connections_total} connection(s), "
+        f"{stats.streams_total} stream(s), {stats.bytes_scanned} bytes, "
+        f"{stats.matches_emitted} match(es)"
+    )
+
+
 def _cmd_serve(args) -> int:
     """``serve``: compile once, serve line-protocol clients until a
-    signal arrives, then drain gracefully."""
+    signal arrives, then drain gracefully.  ``--workers N`` (N > 1)
+    forks a SO_REUSEPORT-sharded worker fleet instead of serving
+    in-process; both paths support ``--reload`` (SIGHUP hot ruleset
+    reload) and ``--control`` (unix control socket)."""
+    if args.workers > 1:
+        return _serve_fleet(args)
+
     import asyncio
     import signal
 
     from .serve import MatchServer
+    from .serve.control import ControlServer
 
     matcher = _build_matcher(args)
     if matcher is None:
@@ -530,6 +569,13 @@ def _cmd_serve(args) -> int:
         print(f"skipped {len(matcher.skipped)} rule(s)", file=sys.stderr)
     resources = matcher.resources()
 
+    def rebuild():
+        """Reload path: recompile the (possibly edited) rule file."""
+        fresh = _build_matcher(args)
+        if fresh is None:
+            raise RuntimeError(f"cannot rebuild ruleset from {args.rules}")
+        return fresh
+
     async def run() -> int:
         server = MatchServer(
             matcher,
@@ -537,9 +583,16 @@ def _cmd_serve(args) -> int:
             port=args.port,
             engine=args.engine,
             queue_depth=args.queue_depth,
-            workers=args.workers,
+            workers=args.threads,
         )
-        await server.start()
+        try:
+            await server.start()
+        except OSError as exc:
+            print(
+                f"error: cannot bind {args.host}:{args.port}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
         # the ready line is machine-readable: smoke tests poll for it
         print(
             f"serving {resources.rules_compiled} rules on "
@@ -549,37 +602,157 @@ def _cmd_serve(args) -> int:
         )
         loop = asyncio.get_running_loop()
         stop = loop.create_future()
+
+        def request_stop() -> None:
+            if not stop.done():
+                stop.set_result(None)
+
         for signum in (signal.SIGINT, signal.SIGTERM):
             try:
-                loop.add_signal_handler(
-                    signum, lambda: not stop.done() and stop.set_result(None)
-                )
+                loop.add_signal_handler(signum, request_stop)
             except (NotImplementedError, RuntimeError):
                 pass  # platform without signal handlers: Ctrl-C raises
+
+        async def do_reload() -> None:
+            try:
+                generation = await server.reload(rebuild)
+            except Exception as exc:  # noqa: BLE001 - operator-facing
+                print(f"reload failed: {exc}", file=sys.stderr, flush=True)
+            else:
+                print(f"reloaded ruleset: generation {generation}", flush=True)
+
+        if args.reload and hasattr(signal, "SIGHUP"):
+            try:
+                loop.add_signal_handler(
+                    signal.SIGHUP,
+                    lambda: loop.create_task(do_reload()),
+                )
+            except (NotImplementedError, RuntimeError):
+                pass
+
+        control = None
+        if args.control:
+
+            class _Target:
+                """Duck-typed control target over the running loop."""
+
+                @property
+                def generation(self) -> int:
+                    return server.handle.generation
+
+                def stats(self):
+                    return server.stats()
+
+                def reload(self) -> int:
+                    return asyncio.run_coroutine_threadsafe(
+                        server.reload(rebuild), loop
+                    ).result()
+
+            control = ControlServer(
+                _Target(),
+                args.control,
+                on_stop=lambda: loop.call_soon_threadsafe(request_stop),
+            )
+            control.start()
+            print(f"control socket at {args.control}", file=sys.stderr)
         try:
             await stop
         except KeyboardInterrupt:  # pragma: no cover - no-handler platforms
             pass
+        finally:
+            if control is not None:
+                control.stop()
         print("draining...", file=sys.stderr)
         await server.stop(drain=True)
-        stats = server.stats()
-        print(
-            f"served {stats.connections_total} connection(s), "
-            f"{stats.streams_total} stream(s), {stats.bytes_scanned} bytes, "
-            f"{stats.matches_emitted} match(es)"
-        )
+        _serve_summary(server.stats())
         return 0
 
     return asyncio.run(run())
 
 
+def _serve_fleet(args) -> int:
+    """``serve --workers N``: supervise a process-sharded fleet."""
+    import signal
+    import threading
+
+    from .serve.control import ControlServer
+    from .serve.fleet import FleetError, WorkerFleet
+
+    rules = _read_rules(args.rules)
+    fleet = WorkerFleet(
+        rules,
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        engine=args.engine,
+        unfold_threshold=args.threshold,
+        opt_level=args.opt_level,
+        cache_dir=args.cache_dir,
+        shards=args.shards,
+        queue_depth=args.queue_depth,
+        threads=args.threads,
+    )
+    try:
+        fleet.start()
+    except (OSError, FleetError) as exc:
+        print(
+            f"error: cannot serve on {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    warm = sum(1 for worker in fleet._workers if worker.cache_hit)
+    print(
+        f"serving {len(rules)} rules on {fleet.host}:{fleet.port} "
+        f"(engine {args.engine}, workers {args.workers}, "
+        f"{warm} warm-started, generation {fleet.generation})",
+        flush=True,
+    )
+
+    stop = threading.Event()
+    reload_requested = threading.Event()
+    signal.signal(signal.SIGINT, lambda *_: stop.set())
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    if args.reload and hasattr(signal, "SIGHUP"):
+        signal.signal(signal.SIGHUP, lambda *_: reload_requested.set())
+
+    def do_reload() -> None:
+        try:
+            generation = fleet.reload(rules=_read_rules(args.rules))
+        except Exception as exc:  # noqa: BLE001 - operator-facing
+            print(f"reload failed: {exc}", file=sys.stderr, flush=True)
+        else:
+            print(f"reloaded ruleset: generation {generation}", flush=True)
+
+    control = None
+    if args.control:
+        control = ControlServer(fleet, args.control, on_stop=stop.set)
+        control.start()
+        print(f"control socket at {args.control}", file=sys.stderr)
+    try:
+        while not stop.wait(0.2):
+            if reload_requested.is_set():
+                reload_requested.clear()
+                do_reload()
+    finally:
+        print("draining...", file=sys.stderr)
+        if control is not None:
+            control.stop()
+        fleet.stop(drain=True)
+    if fleet.restarts:
+        print(f"respawned {fleet.restarts} worker(s)", file=sys.stderr)
+    if fleet.final_stats is not None:
+        _serve_summary(fleet.final_stats)
+    return 0
+
+
 def _cmd_connect(args) -> int:
     """``connect``: stream a tagged-chunk file at a running server and
     report per-stream matches (the serve smoke-test client)."""
+    import json
     import socket
     import time
 
-    from .serve.client import scan_tagged_remote
+    from .serve.client import backoff_delays, scan_tagged_remote
 
     handle = sys.stdin.buffer if args.input == "-" else open(args.input, "rb")
     try:
@@ -595,9 +768,10 @@ def _cmd_connect(args) -> int:
             handle.close()
 
     last_error: Optional[Exception] = None
+    delays = backoff_delays(max(0, args.retries))
     for attempt in range(max(1, args.retries + 1)):
         if attempt:
-            time.sleep(0.2)
+            time.sleep(next(delays, 0.0))
         try:
             matches, summaries, stats = scan_tagged_remote(
                 args.host, args.port, pairs
@@ -612,6 +786,35 @@ def _cmd_connect(args) -> int:
 
     total_bytes = sum(s.bytes_scanned for s in summaries.values())
     total_matches = sum(s.matches_emitted for s in summaries.values())
+    if args.json:
+        document = {
+            "host": args.host,
+            "port": args.port,
+            "streams": {
+                tag: {
+                    "bytes": summary.bytes_scanned,
+                    "matches": summary.matches_emitted,
+                    "generation": summary.generation,
+                    "events": [
+                        {
+                            "rule": match.rule,
+                            "end": match.end,
+                            "generation": match.generation,
+                        }
+                        for match in matches.get(tag, [])
+                    ],
+                }
+                for tag, summary in summaries.items()
+            },
+            "totals": {
+                "streams": len(summaries),
+                "bytes": total_bytes,
+                "matches": total_matches,
+            },
+            "stats": stats,
+        }
+        print(json.dumps(document, sort_keys=True))
+        return 0
     print(
         f"served {len(summaries)} stream(s), {total_bytes} bytes, "
         f"{total_matches} match(es)"

@@ -58,9 +58,32 @@ __all__ = [
     "shard_rules",
     "scan_streams",
     "merge_scan_results",
+    "mp_context",
     "ShardedMatcher",
     "FeedPool",
 ]
+
+
+def mp_context(prefer: Sequence[str] = ("fork", "spawn")):
+    """The best available :mod:`multiprocessing` context, or ``None``.
+
+    ``fork`` first: workers inherit the parent's compiled tables and
+    module state for free (the process-grid idiom of :func:`_run_pool`
+    and the serve fleet's worker spawn both want that); ``spawn`` as
+    the portable fallback.  ``None`` means no multiprocessing at all
+    (restricted sandbox) -- callers degrade the same way the pools in
+    this module do.
+    """
+    try:
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+        for method in prefer:
+            if method in methods:
+                return multiprocessing.get_context(method)
+    except Exception:
+        pass
+    return None
 
 
 def shard_rules(

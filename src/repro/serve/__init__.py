@@ -16,10 +16,19 @@ length-prefixed payloads.  The pieces:
   (the ``STATS`` wire command);
 * :mod:`repro.serve.client` -- :class:`MatchClient` and the one-shot
   :func:`scan_tagged_remote`, mirrors of
-  :class:`~repro.session.MultiStreamScanner` over the wire.
+  :class:`~repro.session.MultiStreamScanner` over the wire;
+* :mod:`repro.serve.fleet` -- :class:`WorkerFleet`: N worker
+  processes sharing one ``host:port`` via ``SO_REUSEPORT`` (or a
+  passed listener), each a full ``MatchServer`` warmed from the
+  shared ruleset cache, with hot ruleset reload (generation-stamped
+  ``MATCH`` lines, atomic :class:`MatcherHandle` swap) and crash
+  respawn;
+* :mod:`repro.serve.control` -- :class:`ControlServer` /
+  :class:`ControlClient`: the unix-socket operator channel
+  (``PING``/``GEN``/``STATS``/``RELOAD``/``STOP``).
 
-CLI: ``python -m repro serve --rules ... --port ...`` and
-``python -m repro connect --port ...``.
+CLI: ``python -m repro serve --rules ... --port ... [--workers N
+--reload --control PATH]`` and ``python -m repro connect --port ...``.
 
 A served stream emits exactly the matches an offline session would --
 same events, same order, same ``$``-gating -- which the end-to-end
@@ -27,17 +36,34 @@ tests (``tests/serve/test_server.py``) assert against
 :class:`~repro.session.MultiStreamScanner` down to the event level.
 """
 
-from .client import MatchClient, ServerError, StreamSummary, scan_tagged_remote
+from .client import (
+    MatchClient,
+    ServerError,
+    StreamSummary,
+    backoff_delays,
+    scan_tagged_remote,
+)
+from .control import ControlClient, ControlServer
+from .fleet import FleetError, MatcherSpec, WorkerFleet, reuse_port_supported
 from .protocol import ProtocolError
-from .server import MatchServer
-from .stats import ServerStats
+from .server import MatcherHandle, MatchServer
+from .stats import ServerStats, merge_server_stats
 
 __all__ = [
     "MatchServer",
+    "MatcherHandle",
     "MatchClient",
     "ServerStats",
     "StreamSummary",
     "ProtocolError",
     "ServerError",
+    "WorkerFleet",
+    "MatcherSpec",
+    "FleetError",
+    "ControlServer",
+    "ControlClient",
+    "backoff_delays",
+    "merge_server_stats",
+    "reuse_port_supported",
     "scan_tagged_remote",
 ]

@@ -21,9 +21,10 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
 import socket
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Iterator, Optional, Sequence
 
 from ..engine.scanner import Chunk, coerce_chunk
 from ..session import Match
@@ -34,7 +35,13 @@ from .protocol import (
     validate_stream_tag,
 )
 
-__all__ = ["MatchClient", "ServerError", "StreamSummary", "scan_tagged_remote"]
+__all__ = [
+    "MatchClient",
+    "ServerError",
+    "StreamSummary",
+    "backoff_delays",
+    "scan_tagged_remote",
+]
 
 
 @dataclass(frozen=True)
@@ -44,6 +51,34 @@ class StreamSummary:
     stream: str
     bytes_scanned: int
     matches_emitted: int
+    #: ruleset generation the stream was pinned to (0 = initial)
+    generation: int = 0
+
+
+def backoff_delays(
+    attempts: int,
+    base: float = 0.05,
+    cap: float = 2.0,
+    jitter=None,
+) -> Iterator[float]:
+    """Exponential-backoff sleep schedule with full jitter.
+
+    Yields one delay per retry *attempt*: each drawn uniformly from
+    ``[0, min(cap, base * 2**i)]`` ("full jitter", the AWS
+    decorrelation scheme) -- so a fleet of clients reconnecting after
+    a mass restart spreads out instead of thundering back in lockstep.
+    ``jitter`` is the uniform sampler (injectable for tests; defaults
+    to :func:`random.uniform`).
+
+    >>> delays = list(backoff_delays(4, base=0.1, cap=0.5,
+    ...                              jitter=lambda lo, hi: hi))
+    >>> [round(d, 2) for d in delays]
+    [0.1, 0.2, 0.4, 0.5]
+    """
+    if jitter is None:
+        jitter = random.uniform
+    for attempt in range(attempts):
+        yield jitter(0.0, min(cap, base * (2.0 ** attempt)))
 
 
 class ServerError(RuntimeError):
@@ -95,9 +130,10 @@ class MatchClient:
         self._reader = reader
         self._writer = writer
         self.on_match = on_match
-        #: parsed ``(rule, end)`` events per stream, in emission order;
-        #: Match objects are materialized lazily by :attr:`matches`
-        self._events: dict[str, list[tuple[str, int]]] = {}
+        #: parsed ``(rule, end, generation)`` events per stream, in
+        #: emission order; Match objects are materialized lazily by
+        #: :attr:`matches`
+        self._events: dict[str, list[tuple[str, int, int]]] = {}
         self._built: dict[str, list[Match]] = {}
         #: ``ERR`` lines that acknowledge nothing (rejected pipelined
         #: FEEDs, server-side protocol complaints), in arrival order
@@ -109,10 +145,32 @@ class MatchClient:
 
     @classmethod
     async def connect(
-        cls, host: str = "127.0.0.1", port: int = 0, on_match=None
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        on_match=None,
+        retries: int = 0,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
     ) -> "MatchClient":
-        """Open a TCP connection and start the reply demultiplexer."""
-        reader, writer = await asyncio.open_connection(host, port)
+        """Open a TCP connection and start the reply demultiplexer.
+
+        ``retries`` extra attempts are made on ``ConnectionError`` /
+        ``OSError``, sleeping per :func:`backoff_delays` between them
+        (exponential with full jitter -- a restarting fleet is not
+        greeted by a thundering herd of synchronized reconnects); the
+        last failure propagates.
+        """
+        delays = backoff_delays(retries, base=backoff_base, cap=backoff_cap)
+        while True:
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                break
+            except (ConnectionError, OSError):
+                delay = next(delays, None)
+                if delay is None:
+                    raise
+                await asyncio.sleep(delay)
         _set_nodelay(writer)
         return cls(reader, writer, on_match=on_match)
 
@@ -125,8 +183,8 @@ class MatchClient:
             built = self._built.setdefault(stream, [])
             if len(built) < len(events):
                 built.extend(
-                    Match(rule=rule, end=end, stream=stream)
-                    for rule, end in events[len(built):]
+                    Match(rule=rule, end=end, stream=stream, generation=gen)
+                    for rule, end, gen in events[len(built):]
                 )
         return self._built
 
@@ -166,6 +224,7 @@ class MatchClient:
             stream=fields[1],
             bytes_scanned=int(fields[2]),
             matches_emitted=int(fields[3]),
+            generation=int(fields[4]) if len(fields) > 4 else 0,
         )
 
     async def stats(self) -> dict:
@@ -247,13 +306,20 @@ class MatchClient:
             # hot path: split once, defer Match construction (several
             # thousand of these per busy stream compete with the
             # server's own scanning for the GIL)
-            _, stream, end, rule = (
-                raw.decode("latin-1").rstrip("\r").split(" ", 3)
+            _, stream, end, gen, rule = (
+                raw.decode("latin-1").rstrip("\r").split(" ", 4)
             )
-            event = (unescape_token(rule), int(end))
+            event = (unescape_token(rule), int(end), int(gen))
             self._events.setdefault(stream, []).append(event)
             if self.on_match is not None:
-                self.on_match(Match(rule=event[0], end=event[1], stream=stream))
+                self.on_match(
+                    Match(
+                        rule=event[0],
+                        end=event[1],
+                        stream=stream,
+                        generation=event[2],
+                    )
+                )
             return
         line = raw.decode("latin-1").rstrip("\r")
         if not line:
@@ -297,8 +363,9 @@ async def _scan_tagged(
     host: str,
     port: int,
     pairs: Sequence[tuple[str, bytes]],
+    retries: int = 0,
 ) -> tuple[dict[str, list[Match]], dict[str, StreamSummary], dict]:
-    client = await MatchClient.connect(host, port)
+    client = await MatchClient.connect(host, port, retries=retries)
     try:
         seen: list[str] = []
         for tag, chunk in pairs:
@@ -318,6 +385,7 @@ def scan_tagged_remote(
     host: str,
     port: int,
     pairs: Iterable[tuple[str, Chunk]],
+    retries: int = 0,
 ) -> tuple[dict[str, list[Match]], dict[str, StreamSummary], dict]:
     """One-shot remote mirror of
     :meth:`~repro.session.MultiStreamScanner.scan_tagged`.
@@ -330,4 +398,4 @@ def scan_tagged_remote(
     only (the CLI and tests do).
     """
     material = [(tag, bytes(coerce_chunk(chunk))) for tag, chunk in pairs]
-    return asyncio.run(_scan_tagged(host, port, material))
+    return asyncio.run(_scan_tagged(host, port, material, retries=retries))

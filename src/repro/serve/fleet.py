@@ -1,0 +1,702 @@
+"""Process-sharded serving: a supervisor over N ``MatchServer`` workers.
+
+One asyncio :class:`~repro.serve.server.MatchServer` is GIL-bound:
+aggregate serve throughput is capped near one core's sweep rate no
+matter how many clients connect.  :class:`WorkerFleet` is the
+scale-out layer -- the same story as kernel-sharded IDS deployments:
+
+* the parent **reserves** one ``host:port`` and forks N worker
+  processes; each worker binds the same address with ``SO_REUSEPORT``,
+  so the kernel shards accepted connections across workers by 4-tuple
+  hash (zero parent involvement per connection).  On platforms
+  without ``SO_REUSEPORT`` the parent binds one listening socket and
+  passes it to every worker instead (classic pre-fork accept);
+* each worker runs a **full** server -- own
+  :class:`~repro.matching.RulesetMatcher`, own
+  :class:`~repro.engine.parallel.FeedPool` -- built from a picklable
+  :class:`MatcherSpec`.  The parent compiles the spec once first, so
+  every worker warm-starts from the shared compiled-ruleset cache
+  (``cache_hit`` is reported in each worker's ready event);
+* **hot reload** (:meth:`WorkerFleet.reload`): the parent compiles
+  the new ruleset into the cache, assigns the next fleet-wide
+  generation, and broadcasts; each worker loads the artifact off-loop
+  and atomically swaps its
+  :class:`~repro.serve.server.MatcherHandle`.  In-flight streams
+  drain on the tables they pinned at ``OPEN``; streams opened after
+  the swap scan -- and stamp their ``MATCH``/``CLOSED`` lines -- with
+  the new generation.  No connection is dropped;
+* **supervision**: a monitor thread respawns crashed workers (at the
+  current generation and spec) within ``restart_budget``;
+  :meth:`WorkerFleet.stats` merges per-worker snapshots into one
+  fleet-wide :class:`~repro.serve.stats.ServerStats` via
+  :func:`~repro.serve.stats.merge_server_stats`.
+
+Parent and workers talk over per-worker :func:`multiprocessing.Pipe`
+duplex channels carrying small dict messages (``ready`` / ``reload``
+/ ``stats`` / ``stop`` / ``stopped``); the data plane never touches
+the parent.  The supervisor is synchronous by design -- it is control
+plane only, driven from the CLI's signal handlers or a
+:class:`~repro.serve.control.ControlServer`.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Iterable, Optional, Sequence, Union
+
+from ..engine.parallel import mp_context
+from .stats import ServerStats, merge_server_stats
+
+__all__ = [
+    "FleetError",
+    "MatcherSpec",
+    "WorkerFleet",
+    "reuse_port_supported",
+]
+
+#: worker startup allowance (first-ever compile of a big ruleset can
+#: be slow; respawns and warm starts are far under this)
+READY_TIMEOUT = 120.0
+#: per-worker allowance for a reload acknowledgement
+RELOAD_TIMEOUT = 120.0
+#: per-worker allowance for a stats round-trip
+STATS_TIMEOUT = 10.0
+
+
+class FleetError(RuntimeError):
+    """The fleet could not start, reload, or reach its workers."""
+
+
+def reuse_port_supported() -> bool:
+    """True when this platform accepts ``SO_REUSEPORT`` on TCP sockets."""
+    if not hasattr(socket, "SO_REUSEPORT"):
+        return False
+    try:
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    except OSError:  # pragma: no cover - no TCP at all
+        return False
+    try:
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+    except OSError:  # pragma: no cover - kernel without the option
+        return False
+    finally:
+        probe.close()
+    return True
+
+
+def _normalize_rules(
+    rules: Union[Iterable[str], Sequence[tuple[str, str]]]
+) -> tuple[tuple[str, str], ...]:
+    from ..compiler.pipeline import normalize_rules
+
+    return tuple(normalize_rules(rules))
+
+
+@dataclass(frozen=True)
+class MatcherSpec:
+    """A picklable recipe for building one worker's Matcher.
+
+    Workers cannot receive a live matcher (scanner state is not
+    picklable and must not be shared across processes anyway), so the
+    fleet ships the *recipe*: the normalized rules plus the compile
+    options of ``repro scan``/``serve``.  :meth:`build` is the single
+    construction path used by the parent's validation compile, every
+    worker's startup, and every reload.
+    """
+
+    rules: tuple[tuple[str, str], ...]
+    engine: Optional[str] = None
+    unfold_threshold: float = 0
+    opt_level: int = 0
+    cache_dir: Optional[str] = None
+    shards: int = 1
+
+    def build(self):
+        """Compile (or warm-start from cache) and return the matcher."""
+        from ..engine.backends import AUTO_ENGINE
+        from ..engine.parallel import ShardedMatcher
+        from ..matching import RulesetMatcher
+
+        options = dict(
+            unfold_threshold=self.unfold_threshold,
+            engine=self.engine or AUTO_ENGINE,
+            opt_level=self.opt_level,
+            cache_dir=self.cache_dir,
+        )
+        if self.shards > 1:
+            return ShardedMatcher(list(self.rules), shards=self.shards, **options)
+        return RulesetMatcher(list(self.rules), **options)
+
+
+def _cache_hit(matcher) -> bool:
+    """Did ``matcher`` warm-start entirely from the shared cache?"""
+    info = getattr(matcher, "compile_info", None)
+    if info is not None:
+        return bool(info.cache_hit)
+    infos = getattr(matcher, "compile_infos", None) or ()
+    return bool(infos) and all(info.cache_hit for info in infos)
+
+
+@dataclass(frozen=True)
+class _WorkerConfig:
+    """Per-worker serving parameters (picklable, like the spec)."""
+
+    index: int
+    host: str
+    port: int
+    engine: Optional[str]
+    queue_depth: int
+    threads: Optional[int]
+    drain_timeout: float
+    reuse_port: bool
+    generation: int
+
+
+# -- worker process --------------------------------------------------------
+def _worker_main(spec, config, conn, listen_sock=None):
+    """Process entry point: run one MatchServer until told to stop.
+
+    Module-level (not a closure) so it works under the ``spawn`` start
+    method too.  SIGHUP/SIGINT are ignored here -- the *parent* owns
+    reload and shutdown coordination, and terminal-delivered signals
+    hit the whole process group; a direct SIGTERM still drains
+    gracefully as a fallback for kill-one-worker operations.
+    """
+    import asyncio
+
+    for signum in ("SIGHUP", "SIGINT"):
+        if hasattr(signal, signum):
+            try:
+                signal.signal(getattr(signal, signum), signal.SIG_IGN)
+            except (OSError, ValueError):  # pragma: no cover - exotic env
+                pass
+    try:
+        asyncio.run(_worker_async(spec, config, conn, listen_sock))
+    except Exception as exc:  # noqa: BLE001 - reported to the parent
+        try:
+            conn.send(
+                {
+                    "event": "error",
+                    "worker": config.index,
+                    "message": f"{type(exc).__name__}: {exc}",
+                }
+            )
+        except (OSError, BrokenPipeError, ValueError):
+            pass
+        raise
+
+
+async def _worker_async(spec, config, conn, listen_sock):
+    import asyncio
+
+    from .server import MatcherHandle, MatchServer
+
+    loop = asyncio.get_running_loop()
+    matcher = spec.build()
+    handle = MatcherHandle(matcher, generation=config.generation)
+    server = MatchServer(
+        handle,
+        host=config.host,
+        port=config.port,
+        engine=config.engine,
+        queue_depth=config.queue_depth,
+        workers=config.threads,
+        drain_timeout=config.drain_timeout,
+        sock=listen_sock,
+        reuse_port=config.reuse_port,
+        worker=config.index,
+    )
+    await server.start()
+
+    mailbox: asyncio.Queue = asyncio.Queue()
+
+    def on_readable() -> None:
+        try:
+            while conn.poll():
+                mailbox.put_nowait(conn.recv())
+        except (EOFError, OSError):
+            # parent hung up: treat as an immediate stop request
+            mailbox.put_nowait({"cmd": "stop", "drain": False})
+
+    loop.add_reader(conn.fileno(), on_readable)
+    if hasattr(signal, "SIGTERM"):
+        try:
+            loop.add_signal_handler(
+                signal.SIGTERM,
+                lambda: mailbox.put_nowait({"cmd": "stop", "drain": True}),
+            )
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+
+    conn.send(
+        {
+            "event": "ready",
+            "worker": config.index,
+            "pid": os.getpid(),
+            "port": server.port,
+            "generation": handle.generation,
+            "cache_hit": _cache_hit(matcher),
+        }
+    )
+    drain = True
+    while True:
+        message = await mailbox.get()
+        cmd = message.get("cmd")
+        if cmd == "stop":
+            drain = bool(message.get("drain", True))
+            break
+        if cmd == "stats":
+            conn.send(
+                {
+                    "event": "stats",
+                    "worker": config.index,
+                    "stats": server.stats().as_dict(),
+                }
+            )
+        elif cmd == "reload":
+            new_spec = message.get("spec") or spec
+            try:
+                generation = await server.reload(
+                    new_spec.build, generation=message.get("generation")
+                )
+            except Exception as exc:  # noqa: BLE001 - reported, not fatal:
+                # the worker keeps serving the old generation
+                conn.send(
+                    {
+                        "event": "reload_failed",
+                        "worker": config.index,
+                        "message": f"{type(exc).__name__}: {exc}",
+                    }
+                )
+            else:
+                spec = new_spec
+                conn.send(
+                    {
+                        "event": "reloaded",
+                        "worker": config.index,
+                        "generation": generation,
+                    }
+                )
+        elif cmd == "ping":
+            conn.send({"event": "pong", "worker": config.index})
+    loop.remove_reader(conn.fileno())
+    await server.stop(drain=drain)
+    try:
+        conn.send(
+            {
+                "event": "stopped",
+                "worker": config.index,
+                "stats": server.stats().as_dict(),
+            }
+        )
+    except (OSError, BrokenPipeError, ValueError):
+        pass
+
+
+# -- parent supervisor -----------------------------------------------------
+@dataclass
+class _Worker:
+    """Parent-side record of one live worker process."""
+
+    index: int
+    process: object
+    conn: object
+    pid: Optional[int] = None
+    cache_hit: bool = False
+
+
+def _stats_from_dict(payload: dict) -> ServerStats:
+    fields = {
+        key: value
+        for key, value in payload.items()
+        if key in ServerStats.__dataclass_fields__
+    }
+    return ServerStats(**fields)
+
+
+class WorkerFleet:
+    """Supervise N ``MatchServer`` processes sharing one ``host:port``.
+
+    Synchronous control-plane API (see the module docstring for the
+    architecture)::
+
+        fleet = WorkerFleet(rules, workers=4, port=0)
+        fleet.start()                  # forks, waits for every ready
+        fleet.port                     # the shared bound port
+        fleet.stats()                  # merged fleet ServerStats
+        fleet.reload()                 # recompile + swap, same rules
+        fleet.reload(rules=new_rules)  # swap to a new ruleset
+        fleet.stop(drain=True)         # graceful fleet-wide drain
+
+    Args mirror ``MatchServer`` plus the fleet knobs: ``workers``
+    (process count), ``threads`` (each worker's FeedPool),
+    ``restart_budget`` (crash respawns before the fleet gives up),
+    ``reuse_port`` (``None`` auto-detects; ``False`` forces the
+    pass-the-listener fallback), ``cache_dir`` (``None`` makes a
+    private temp cache so workers still warm-start).
+    """
+
+    def __init__(
+        self,
+        rules: Union[Iterable[str], Sequence[tuple[str, str]]],
+        *,
+        workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        engine: Optional[str] = None,
+        unfold_threshold: float = 0,
+        opt_level: int = 0,
+        cache_dir: Optional[str] = None,
+        shards: int = 1,
+        queue_depth: int = 32,
+        threads: Optional[int] = None,
+        drain_timeout: float = 10.0,
+        restart_budget: int = 3,
+        reuse_port: Optional[bool] = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._spec = MatcherSpec(
+            rules=_normalize_rules(rules),
+            engine=engine,
+            unfold_threshold=unfold_threshold,
+            opt_level=opt_level,
+            cache_dir=cache_dir,
+            shards=shards,
+        )
+        self.workers = workers
+        self.host = host
+        self.port = port
+        self.engine = engine
+        self.queue_depth = queue_depth
+        self.threads = threads
+        self.drain_timeout = drain_timeout
+        self.restart_budget = restart_budget
+        self.generation = 0
+        self.restarts = 0
+        #: merged final ServerStats captured by :meth:`stop`
+        self.final_stats: Optional[ServerStats] = None
+        self._reuse_requested = reuse_port
+        self._reuse = False
+        self._ctx = None
+        self._workers: list[_Worker] = []
+        self._placeholder: Optional[socket.socket] = None
+        self._listener: Optional[socket.socket] = None
+        self._tmp_cache: Optional[tempfile.TemporaryDirectory] = None
+        self._lock = threading.RLock()
+        self._stop_event = threading.Event()
+        self._monitor: Optional[threading.Thread] = None
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "WorkerFleet":
+        """Reserve the port, fork the workers, wait for every ready.
+
+        Bind failures propagate as ``OSError`` (the CLI turns them
+        into a one-line error); worker startup failures raise
+        :class:`FleetError` after tearing down what already started.
+        """
+        if self._started:
+            raise RuntimeError("fleet already started")
+        self._ctx = mp_context()
+        if self._ctx is None:
+            raise FleetError("multiprocessing is unavailable on this platform")
+        try:
+            import multiprocessing
+
+            multiprocessing.allow_connection_pickling()
+        except Exception:  # pragma: no cover - best-effort (spawn only)
+            pass
+        if self._spec.cache_dir is None:
+            # a private cache still pays off: the parent's validation
+            # compile below populates it, so all N workers warm-start
+            self._tmp_cache = tempfile.TemporaryDirectory(
+                prefix="repro-fleet-cache-"
+            )
+            self._spec = replace(self._spec, cache_dir=self._tmp_cache.name)
+        # compile once in the parent: validates the ruleset before any
+        # worker exists and fills the shared cache
+        self._spec.build()
+        self._reserve_port()
+        self._started = True
+        try:
+            for index in range(self.workers):
+                self._workers.append(self._spawn(index))
+        except BaseException:
+            self.stop(drain=False)
+            raise
+        self._stop_event.clear()
+        self._monitor = threading.Thread(
+            target=self._watch, name="repro-fleet-monitor", daemon=True
+        )
+        self._monitor.start()
+        return self
+
+    def _reserve_port(self) -> None:
+        self._reuse = (
+            reuse_port_supported()
+            if self._reuse_requested is None
+            else self._reuse_requested
+        )
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            if self._reuse:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            sock.bind((self.host, self.port))
+        except BaseException:
+            sock.close()
+            raise
+        self.host, self.port = sock.getsockname()[:2]
+        if self._reuse:
+            # bound but never listen()ed: a non-listening socket gets
+            # no SYNs, so it only pins the port for the workers' own
+            # SO_REUSEPORT binds (and keeps it across respawns)
+            self._placeholder = sock
+        else:
+            # fallback: one parent listening socket shared by every
+            # worker (the kernel wakes one acceptor per connection)
+            sock.listen(128)
+            self._listener = sock
+
+    def _spawn(self, index: int) -> _Worker:
+        """Fork worker ``index`` at the current spec + generation and
+        wait for its ready event.  Callers hold the lock (or are
+        single-threaded start)."""
+        parent_conn, child_conn = self._ctx.Pipe()
+        config = _WorkerConfig(
+            index=index,
+            host=self.host,
+            port=self.port,
+            engine=self.engine,
+            queue_depth=self.queue_depth,
+            threads=self.threads,
+            drain_timeout=self.drain_timeout,
+            reuse_port=self._reuse,
+            generation=self.generation,
+        )
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(self._spec, config, child_conn, self._listener),
+            name=f"repro-serve-worker-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        worker = _Worker(index, process, parent_conn, pid=process.pid)
+        event = self._await_event(worker, {"ready"}, READY_TIMEOUT)
+        worker.cache_hit = bool(event.get("cache_hit"))
+        return worker
+
+    def _await_event(self, worker: _Worker, kinds: set, timeout: float) -> dict:
+        """Next event of one of ``kinds`` from ``worker`` (stray late
+        events from earlier broadcasts are dropped)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise FleetError(
+                    f"worker {worker.index} (pid {worker.pid}): no "
+                    f"{'/'.join(sorted(kinds))} event within {timeout:.0f}s"
+                )
+            try:
+                if not worker.conn.poll(min(remaining, 0.5)):
+                    if not worker.process.is_alive():
+                        raise FleetError(
+                            f"worker {worker.index} (pid {worker.pid}) died "
+                            f"(exit code {worker.process.exitcode})"
+                        )
+                    continue
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                raise FleetError(
+                    f"worker {worker.index} (pid {worker.pid}) hung up"
+                ) from None
+            if message.get("event") == "error":
+                raise FleetError(
+                    f"worker {worker.index}: {message.get('message')}"
+                )
+            if message.get("event") in kinds:
+                return message
+
+    # -- control plane -----------------------------------------------------
+    def reload(self, rules=None) -> int:
+        """Hot-swap the fleet's ruleset; return the new generation.
+
+        ``rules=None`` recompiles the current rules (a cache-warm
+        no-op swap -- useful to confirm the path); otherwise the new
+        ruleset replaces the old one fleet-wide.  The parent compiles
+        first, so an unusable ruleset -- empty, or every rule failed
+        to compile -- fails *here* as :class:`FleetError` with no
+        worker touched (partial skips stay permissive, mirroring
+        ``repro serve`` startup), and the workers' own builds are
+        cache warm starts.  Every worker acknowledges before this
+        returns; in-flight client streams are never dropped (they
+        drain on their pinned tables).
+        """
+        with self._lock:
+            self._require_started()
+            if rules is None:
+                new_spec = self._spec
+            else:
+                new_spec = replace(self._spec, rules=_normalize_rules(rules))
+            matcher = new_spec.build()
+            skipped = list(getattr(matcher, "skipped", ()) or ())
+            if rules is not None and skipped and len(skipped) >= len(
+                new_spec.rules
+            ):
+                reasons = "; ".join(f"{tag}: {why}" for tag, why in skipped)
+                raise FleetError(
+                    f"reload rejected, no rule compiled ({reasons})"
+                )
+            generation = self.generation + 1
+            payload = {
+                "cmd": "reload",
+                "generation": generation,
+                "spec": None if rules is None else new_spec,
+            }
+            for worker in self._workers:
+                worker.conn.send(payload)
+            for worker in self._workers:
+                event = self._await_event(
+                    worker, {"reloaded", "reload_failed"}, RELOAD_TIMEOUT
+                )
+                if event["event"] != "reloaded":
+                    raise FleetError(
+                        f"worker {worker.index} reload failed: "
+                        f"{event.get('message')}"
+                    )
+            self._spec = new_spec
+            self.generation = generation
+            return generation
+
+    def worker_stats(self) -> list[ServerStats]:
+        """One fresh :class:`ServerStats` per reachable worker."""
+        with self._lock:
+            self._require_started()
+            snapshots: list[ServerStats] = []
+            for worker in self._workers:
+                try:
+                    worker.conn.send({"cmd": "stats"})
+                    event = self._await_event(worker, {"stats"}, STATS_TIMEOUT)
+                except (FleetError, OSError, BrokenPipeError):
+                    continue  # mid-crash: the monitor will respawn it
+                snapshots.append(_stats_from_dict(event["stats"]))
+            if not snapshots:
+                raise FleetError("no live workers answered STATS")
+            return snapshots
+
+    def stats(self) -> ServerStats:
+        """The merged fleet-wide snapshot (counters summed across
+        workers; see :func:`~repro.serve.stats.merge_server_stats`)."""
+        return merge_server_stats(self.worker_stats())
+
+    @property
+    def alive(self) -> int:
+        """Currently live worker processes."""
+        with self._lock:
+            return sum(1 for w in self._workers if w.process.is_alive())
+
+    @property
+    def cache_hits(self) -> list[bool]:
+        """Per-worker warm-start flags (did each worker load its
+        compiled ruleset from the shared cache instead of compiling?).
+        All-true after a normal start: the parent's validation compile
+        fills the cache before any worker forks."""
+        with self._lock:
+            return [w.cache_hit for w in self._workers]
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The shared ``(host, port)`` every worker serves on."""
+        return (self.host, self.port)
+
+    def _require_started(self) -> None:
+        if not self._started:
+            raise RuntimeError("fleet not started")
+
+    # -- supervision -------------------------------------------------------
+    def _watch(self) -> None:
+        """Monitor thread: respawn dead workers within the budget."""
+        while not self._stop_event.wait(0.2):
+            with self._lock:
+                if self._stop_event.is_set():
+                    return
+                for slot, worker in enumerate(self._workers):
+                    if worker.process.is_alive():
+                        continue
+                    if self.restarts >= self.restart_budget:
+                        return  # budget exhausted: stop supervising
+                    self.restarts += 1
+                    try:
+                        worker.conn.close()
+                    except OSError:
+                        pass
+                    try:
+                        self._workers[slot] = self._spawn(worker.index)
+                    except (FleetError, OSError):
+                        continue  # next tick retries (budget permitting)
+
+    # -- shutdown ----------------------------------------------------------
+    def stop(self, drain: bool = True) -> None:
+        """Stop every worker (gracefully by default) and release the
+        port.  Idempotent.  Captures :attr:`final_stats` from the
+        workers' parting snapshots when draining."""
+        self._stop_event.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
+            self._monitor = None
+        with self._lock:
+            finals: list[ServerStats] = []
+            for worker in self._workers:
+                try:
+                    worker.conn.send({"cmd": "stop", "drain": drain})
+                except (OSError, BrokenPipeError, ValueError):
+                    pass
+            deadline = time.monotonic() + (
+                self.drain_timeout + 5.0 if drain else 5.0
+            )
+            for worker in self._workers:
+                if drain:
+                    try:
+                        event = self._await_event(
+                            worker,
+                            {"stopped"},
+                            max(0.1, deadline - time.monotonic()),
+                        )
+                        finals.append(_stats_from_dict(event["stats"]))
+                    except FleetError:
+                        pass
+                worker.process.join(max(0.1, deadline - time.monotonic()))
+                if worker.process.is_alive():
+                    worker.process.terminate()
+                    worker.process.join(5.0)
+                try:
+                    worker.conn.close()
+                except OSError:
+                    pass
+            if finals:
+                self.final_stats = merge_server_stats(finals)
+            self._workers = []
+        for sock_attr in ("_placeholder", "_listener"):
+            sock = getattr(self, sock_attr)
+            if sock is not None:
+                sock.close()
+                setattr(self, sock_attr, None)
+        if self._tmp_cache is not None:
+            self._tmp_cache.cleanup()
+            self._tmp_cache = None
+        self._started = False
+
+    def __enter__(self) -> "WorkerFleet":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop(drain=exc_type is None)
+        return False

@@ -20,15 +20,29 @@ single spaces)::
       QUIT                         drain pending work, then hang up
 
     server -> client
-      OK OPEN <stream>             session opened
-      MATCH <stream> <end> <rule>  one match event (rule is the rest
-                                   of the line, backslash-escaped)
-      CLOSED <stream> <bytes> <n>  stream ended: bytes scanned, total
-                                   matches emitted for the stream
+      OK OPEN <stream> <gen>       session opened, pinned to ruleset
+                                   generation <gen>
+      MATCH <stream> <end> <gen> <rule>
+                                   one match event (rule is the rest
+                                   of the line, backslash-escaped;
+                                   <gen> is the ruleset generation the
+                                   match was scanned against)
+      CLOSED <stream> <bytes> <n> <gen>
+                                   stream ended: bytes scanned, total
+                                   matches emitted, ruleset generation
       STATS <json>                 one-line JSON snapshot
       PONG                         liveness reply
       BYE                          connection closing (QUIT/shutdown)
       ERR <message>                command rejected (see below)
+
+The **ruleset generation** is a monotonically increasing integer the
+server bumps on every hot ruleset reload (:meth:`MatchServer.reload`,
+or the fleet's SIGHUP/``RELOAD`` path).  A stream is *pinned* to the
+generation current at its ``OPEN``: every one of its matches carries
+that generation, in-flight streams drain on the tables they started
+on, and only streams opened after a swap scan with the new ruleset --
+which is how clients observe a cutover without ever seeing a mixed
+stream.  Servers that never reload stamp generation ``0`` everywhere.
 
 ``FEED`` is **pipelined**: it carries no acknowledgement, so a client
 can stream chunks at full speed; backpressure is applied by the
@@ -55,9 +69,11 @@ Doctest-able codec round-trip:
     >>> from repro.session import Match
     >>> line = format_match(Match(rule="evil exe", end=17, stream="s1"))
     >>> line
-    b'MATCH s1 17 evil exe\\n'
+    b'MATCH s1 17 0 evil exe\\n'
     >>> parse_match(line)
-    Match(rule='evil exe', end=17, stream='s1', code=None)
+    Match(rule='evil exe', end=17, stream='s1', code=None, generation=0)
+    >>> format_match(Match(rule="evil exe", end=17, stream="s1"), generation=3)
+    b'MATCH s1 17 3 evil exe\\n'
 """
 
 from __future__ import annotations
@@ -218,10 +234,17 @@ def unescape_token(token: str) -> str:
     return "".join(out)
 
 
-def format_match(match: Match) -> bytes:
-    """The wire line for one :class:`~repro.session.Match` event."""
+def format_match(match: Match, generation: Optional[int] = None) -> bytes:
+    """The wire line for one :class:`~repro.session.Match` event.
+
+    ``generation`` overrides the match's own ``generation`` field; both
+    unset stamps ``0`` (the never-reloaded ruleset).
+    """
+    if generation is None:
+        generation = match.generation or 0
     return (
-        f"MATCH {match.stream} {match.end} {escape_token(match.rule)}\n"
+        f"MATCH {match.stream} {match.end} {generation} "
+        f"{escape_token(match.rule)}\n"
     ).encode(ENCODING)
 
 
@@ -229,15 +252,24 @@ def parse_match(line: bytes) -> Match:
     """Parse a ``MATCH`` line back into a :class:`~repro.session.Match`.
 
     The raw hardware ``code`` does not travel on the wire (the facade
-    rule id is the serving contract), so it comes back ``None``.
+    rule id is the serving contract), so it comes back ``None``; the
+    ruleset generation does, and lands in ``Match.generation``.
     """
     text = line.decode(ENCODING).rstrip("\n")
-    fields = text.split(" ", 3)
-    if len(fields) != 4 or fields[0] != "MATCH":
+    fields = text.split(" ", 4)
+    if len(fields) != 5 or fields[0] != "MATCH":
         raise ProtocolError(f"not a MATCH line: {text!r}")
-    _, stream, end, rule = fields
+    _, stream, end, gen, rule = fields
     try:
         position = int(end)
+        generation = int(gen)
     except ValueError:
-        raise ProtocolError(f"MATCH offset not an integer: {end!r}") from None
-    return Match(rule=unescape_token(rule), end=position, stream=stream)
+        raise ProtocolError(
+            f"MATCH offset/generation not integers: {end!r} {gen!r}"
+        ) from None
+    return Match(
+        rule=unescape_token(rule),
+        end=position,
+        stream=stream,
+        generation=generation,
+    )

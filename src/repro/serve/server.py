@@ -44,8 +44,9 @@ from __future__ import annotations
 
 import asyncio
 import json
+import socket
 import time
-from typing import Optional
+from typing import Callable, Optional, Union
 
 from ..engine.parallel import FeedPool
 from ..session import Match, Matcher, MatchSession
@@ -58,7 +59,7 @@ from .protocol import (
 )
 from .stats import ServerStats, StatsCounters
 
-__all__ = ["MatchServer"]
+__all__ = ["MatchServer", "MatcherHandle"]
 
 #: default per-connection job-queue depth (frames in flight before the
 #: reader stops reading the socket and TCP backpressure kicks in)
@@ -73,6 +74,56 @@ _SHUTDOWN = _Shutdown()
 _EOF = object()  # reader saw end-of-stream: stop the worker quietly
 
 
+class MatcherHandle:
+    """A swappable reference to the server's live matcher.
+
+    The hot-reload primitive: the server reads the handle, never the
+    matcher directly, and :meth:`swap` replaces the matcher *and* bumps
+    the ruleset generation in one attribute store -- atomic under the
+    GIL, so connections racing a reload see either the old
+    ``(generation, matcher)`` pair or the new one, never a torn mix.
+    Streams pin the pair at ``OPEN`` and drain on it; only streams
+    opened after the swap scan with the new tables.
+
+    >>> from repro.serve.server import MatcherHandle
+    >>> handle = MatcherHandle("tables-v0")
+    >>> handle.current()
+    (0, 'tables-v0')
+    >>> handle.swap("tables-v1")
+    1
+    >>> handle.current()
+    (1, 'tables-v1')
+    """
+
+    def __init__(self, matcher: Matcher, generation: int = 0):
+        self._current: tuple[int, Matcher] = (generation, matcher)
+
+    @property
+    def generation(self) -> int:
+        """The live ruleset generation (0 until the first swap)."""
+        return self._current[0]
+
+    @property
+    def matcher(self) -> Matcher:
+        """The live matcher."""
+        return self._current[1]
+
+    def current(self) -> tuple[int, Matcher]:
+        """One consistent ``(generation, matcher)`` pair."""
+        return self._current
+
+    def swap(self, matcher: Matcher, generation: Optional[int] = None) -> int:
+        """Install ``matcher`` atomically; return its generation.
+
+        ``generation=None`` auto-increments; a fleet supervisor passes
+        an explicit parent-assigned generation so every worker agrees.
+        """
+        if generation is None:
+            generation = self._current[0] + 1
+        self._current = (generation, matcher)
+        return generation
+
+
 class _Connection:
     """One accepted client: its sessions, job queue, and two tasks."""
 
@@ -83,6 +134,9 @@ class _Connection:
         self.jobs: asyncio.Queue = asyncio.Queue(maxsize=server.queue_depth)
         self.sessions: dict[str, MatchSession] = {}
         self.match_counts: dict[str, int] = {}
+        #: ruleset generation each open stream is pinned to (set at
+        #: OPEN from the handle, constant for the stream's life)
+        self.generations: dict[str, int] = {}
         self.closing = False
         #: the per-connection ``on_match`` sink target: sessions append
         #: here during (threaded) feed/finish; the worker drains it to
@@ -124,6 +178,7 @@ class _Connection:
         for _ in self.sessions:
             self.server._stats.stream_closed()
         self.sessions.clear()
+        self.generations.clear()
 
     # -- reader: socket -> bounded job queue -------------------------------
     async def _read_frames(self) -> None:
@@ -219,17 +274,21 @@ class _Connection:
             if tag in self.sessions:
                 self._error(f"OPEN {tag}: stream already open")
                 return False
-            self.sessions[tag] = server.matcher.session(
+            # pin (generation, matcher) in one read: the stream drains
+            # on these tables even if a reload swaps the handle mid-life
+            generation, matcher = server.handle.current()
+            self.sessions[tag] = matcher.session(
                 engine=server.engine,
                 stream=tag,
                 on_match=self.emitted.append,
             )
+            self.generations[tag] = generation
             # reset, not setdefault: reusing a tag after CLOSE is a
             # fresh stream, so its CLOSED summary must not accumulate
             # the previous incarnation's match count
             self.match_counts[tag] = 0
             server._stats.stream_opened()
-            self._write_line(f"OK OPEN {tag}\n".encode("latin-1"))
+            self._write_line(f"OK OPEN {tag} {generation}\n".encode("latin-1"))
         elif verb == "FEED":
             session = self.sessions.get(tag)
             if session is None:
@@ -262,7 +321,8 @@ class _Connection:
             server._stats.stream_closed()
             self._write_line(
                 f"CLOSED {tag} {session.bytes_fed} "
-                f"{self.match_counts[tag]}\n".encode("latin-1")
+                f"{self.match_counts[tag]} "
+                f"{self.generations.pop(tag, 0)}\n".encode("latin-1")
             )
         elif verb == "STATS":
             snapshot = server.stats().as_dict()
@@ -286,7 +346,10 @@ class _Connection:
         emitted = self.emitted
         if not emitted:
             return 0
-        self.writer.writelines(format_match(match) for match in emitted)
+        generation = self.generations.get(tag, 0)
+        self.writer.writelines(
+            format_match(match, generation) for match in emitted
+        )
         count = len(emitted)
         self.match_counts[tag] = self.match_counts.get(tag, 0) + count
         emitted.clear()
@@ -313,7 +376,9 @@ class MatchServer:
         matcher: any :class:`~repro.session.Matcher`
             (:class:`~repro.matching.RulesetMatcher` or
             :class:`~repro.engine.parallel.ShardedMatcher`), already
-            compiled; the server never recompiles.
+            compiled -- the server never recompiles -- or a
+            :class:`MatcherHandle` for hot-reload deployments (a bare
+            matcher is wrapped in a fresh handle at generation 0).
         host / port: bind address (``port=0`` picks an ephemeral port,
             readable from :attr:`port` after :meth:`start`).
         engine: execution-backend override for every session (``None``
@@ -326,6 +391,15 @@ class MatchServer:
             the pool pick).
         drain_timeout: seconds :meth:`stop` waits for per-connection
             graceful drain before cancelling.
+        sock: an already-bound listening socket to serve on instead of
+            binding ``host:port`` (the fleet's fd-passing fallback on
+            platforms without ``SO_REUSEPORT``).
+        reuse_port: bind with ``SO_REUSEPORT`` so N processes can
+            listen on the same ``host:port`` and the kernel shards
+            accepted connections across them.
+        worker: this server's index within a fleet, stamped into
+            :class:`~repro.serve.stats.ServerStats` (``None`` for a
+            lone server).
 
     Usage (also the shape of ``python -m repro serve``)::
 
@@ -338,7 +412,7 @@ class MatchServer:
 
     def __init__(
         self,
-        matcher: Matcher,
+        matcher: Union[Matcher, MatcherHandle],
         *,
         host: str = "127.0.0.1",
         port: int = 0,
@@ -346,35 +420,74 @@ class MatchServer:
         queue_depth: int = DEFAULT_QUEUE_DEPTH,
         workers: Optional[int] = None,
         drain_timeout: float = 10.0,
+        sock: Optional[socket.socket] = None,
+        reuse_port: bool = False,
+        worker: Optional[int] = None,
     ):
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
-        self.matcher = matcher
+        if sock is not None and reuse_port:
+            raise ValueError("sock and reuse_port are mutually exclusive")
+        self.handle = (
+            matcher
+            if isinstance(matcher, MatcherHandle)
+            else MatcherHandle(matcher)
+        )
         self.host = host
         self.port = port
         self.engine = engine
         self.queue_depth = queue_depth
         self.workers = workers
         self.drain_timeout = drain_timeout
+        self.reuse_port = reuse_port
+        self.worker = worker
+        self._sock = sock
         self._server: Optional[asyncio.AbstractServer] = None
         self._pool: Optional[FeedPool] = None
         self._handlers: set[asyncio.Task] = set()
         self._connections: set[_Connection] = set()
         self._stats = StatsCounters(
-            engine=engine or getattr(matcher, "engine", "auto")
+            engine=engine or getattr(self.handle.matcher, "engine", "auto"),
+            worker=worker,
         )
+
+    @property
+    def matcher(self) -> Matcher:
+        """The live matcher (reads through the swap-aware handle)."""
+        return self.handle.matcher
 
     # -- lifecycle ---------------------------------------------------------
     async def start(self) -> "MatchServer":
-        """Bind and start accepting; resolves the ephemeral port."""
+        """Bind and start accepting; resolves the ephemeral port.
+
+        Bind failures (port in use, privileged port, SO_REUSEPORT
+        unsupported) propagate as ``OSError``/``ValueError`` -- callers
+        own the bind-error UX.
+        """
         if self._server is not None:
             raise RuntimeError("server already started")
         self._pool = FeedPool(self.workers)
-        self._stats = StatsCounters(engine=self._stats.engine)
-        self._server = await asyncio.start_server(
-            self._handle, host=self.host, port=self.port, limit=MAX_LINE * 16
+        self._stats = StatsCounters(
+            engine=self._stats.engine, worker=self.worker
         )
-        self.port = self._server.sockets[0].getsockname()[1]
+        try:
+            if self._sock is not None:
+                self._server = await asyncio.start_server(
+                    self._handle, sock=self._sock, limit=MAX_LINE * 16
+                )
+            else:
+                self._server = await asyncio.start_server(
+                    self._handle,
+                    host=self.host,
+                    port=self.port,
+                    limit=MAX_LINE * 16,
+                    reuse_port=self.reuse_port or None,
+                )
+        except BaseException:
+            self._pool.shutdown()
+            self._pool = None
+            raise
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
         return self
 
     async def serve_forever(self) -> None:
@@ -443,7 +556,31 @@ class MatchServer:
 
     def stats(self) -> ServerStats:
         """A point-in-time :class:`~repro.serve.stats.ServerStats`."""
+        self._stats.generation = self.handle.generation
         return self._stats.snapshot()
+
+    # -- hot reload --------------------------------------------------------
+    async def reload(
+        self,
+        build: Callable[[], Matcher],
+        generation: Optional[int] = None,
+    ) -> int:
+        """Hot-swap the ruleset; return the new generation.
+
+        ``build`` (typically ``lambda: RulesetMatcher(rules, cache_dir=...)``)
+        runs on the FeedPool, so compiling/loading the new tables never
+        blocks the event loop or in-flight scans.  The swap itself is
+        :meth:`MatcherHandle.swap` -- atomic; already-open streams keep
+        draining on the tables they pinned at ``OPEN``, streams opened
+        afterwards scan (and stamp their lines) with the new
+        generation.  ``generation=None`` auto-increments; a fleet
+        supervisor passes its own fleet-wide number.
+        """
+        if self._pool is not None:
+            matcher, _ = await self._offload(build)
+        else:  # not started yet: nothing to keep responsive
+            matcher = build()
+        return self.handle.swap(matcher, generation)
 
     # -- internals ---------------------------------------------------------
     async def _handle(self, reader, writer) -> None:

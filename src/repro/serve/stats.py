@@ -22,9 +22,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import asdict, dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
-__all__ = ["ServerStats", "StatsCounters"]
+__all__ = ["ServerStats", "StatsCounters", "merge_server_stats"]
 
 
 @dataclass(frozen=True)
@@ -58,6 +58,13 @@ class ServerStats:
     busy_seconds: float = 0.0
     #: seconds since the server started
     uptime_seconds: float = 0.0
+    #: current ruleset generation (bumped by hot reloads; 0 = initial)
+    generation: int = 0
+    #: worker index within a fleet (``None`` for a lone server)
+    worker: Optional[int] = None
+    #: number of live workers behind this snapshot (1 for a lone
+    #: server, N for a merged fleet snapshot)
+    workers: int = 1
 
     @property
     def throughput_bps(self) -> Optional[float]:
@@ -93,6 +100,8 @@ class StatsCounters:
     feeds: int = 0
     errors: int = 0
     busy_seconds: float = 0.0
+    generation: int = 0
+    worker: Optional[int] = None
     started: float = field(default_factory=time.monotonic)
 
     def connection_opened(self) -> None:
@@ -142,4 +151,44 @@ class StatsCounters:
             errors=self.errors,
             busy_seconds=self.busy_seconds,
             uptime_seconds=time.monotonic() - self.started,
+            generation=self.generation,
+            worker=self.worker,
         )
+
+
+def merge_server_stats(snapshots: Sequence[ServerStats]) -> ServerStats:
+    """Fold per-worker snapshots into one fleet-wide :class:`ServerStats`.
+
+    Counters sum (including ``busy_seconds`` -- the fleet's aggregate
+    ``throughput_bps`` is total bytes over total backend seconds, i.e.
+    per-worker average, not wall-clock rate); ``uptime_seconds`` takes
+    the oldest worker; ``generation`` takes the minimum, so a fleet
+    mid-rollout reports the generation every worker has *at least*
+    reached; ``worker`` collapses to ``None`` and ``workers`` counts
+    the inputs.
+
+    >>> from repro.serve.stats import ServerStats, merge_server_stats
+    >>> a = ServerStats(engine="block", bytes_scanned=10, generation=2)
+    >>> b = ServerStats(engine="block", bytes_scanned=32, generation=1)
+    >>> merged = merge_server_stats([a, b])
+    >>> (merged.bytes_scanned, merged.generation, merged.workers)
+    (42, 1, 2)
+    """
+    if not snapshots:
+        raise ValueError("merge_server_stats needs at least one snapshot")
+    return ServerStats(
+        engine=snapshots[0].engine,
+        connections_open=sum(s.connections_open for s in snapshots),
+        connections_total=sum(s.connections_total for s in snapshots),
+        streams_open=sum(s.streams_open for s in snapshots),
+        streams_total=sum(s.streams_total for s in snapshots),
+        bytes_scanned=sum(s.bytes_scanned for s in snapshots),
+        matches_emitted=sum(s.matches_emitted for s in snapshots),
+        feeds=sum(s.feeds for s in snapshots),
+        errors=sum(s.errors for s in snapshots),
+        busy_seconds=sum(s.busy_seconds for s in snapshots),
+        uptime_seconds=max(s.uptime_seconds for s in snapshots),
+        generation=min(s.generation for s in snapshots),
+        worker=None,
+        workers=sum(s.workers for s in snapshots),
+    )

@@ -109,6 +109,9 @@ class Match:
     stream: Optional[str] = None
     #: raw hardware report id (``None`` when the node was unnamed)
     code: Optional[str] = None
+    #: ruleset generation the match was scanned against (stamped by the
+    #: serving layer's hot-reload path; ``None`` for offline scans)
+    generation: Optional[int] = None
 
     @property
     def sort_key(self) -> tuple[int, str, str, str]:

@@ -94,6 +94,18 @@ class TestMatchLines:
         # the raw hardware code does not travel on the wire
         assert (parsed.rule, parsed.end, parsed.stream) == ("sig-1", 1234, "s1")
         assert parsed.code is None
+        # a match with no generation stamps (and parses back) gen 0
+        assert parsed.generation == 0
+        assert format_match(match) == b"MATCH s1 1234 0 sig-1\n"
+
+    def test_generation_stamp_round_trips(self):
+        match = Match(rule="sig-1", end=9, stream="s1", generation=4)
+        line = format_match(match)
+        assert line == b"MATCH s1 9 4 sig-1\n"
+        assert parse_match(line).generation == 4
+        # an explicit generation argument overrides the match's own
+        assert format_match(match, generation=7) == b"MATCH s1 9 7 sig-1\n"
+        assert parse_match(b"MATCH s1 9 7 sig-1\n").generation == 7
 
     @pytest.mark.parametrize(
         "rule",
@@ -107,7 +119,14 @@ class TestMatchLines:
         assert parse_match(line).rule == rule
 
     @pytest.mark.parametrize(
-        "line", [b"MATCH s1\n", b"MATCH s1 x rule\n", b"PONG\n"]
+        "line",
+        [
+            b"MATCH s1\n",
+            b"MATCH s1 x rule\n",  # non-integer end offset
+            b"MATCH s1 17 rule\n",  # v1 line: generation field missing
+            b"MATCH s1 17 g rule\n",  # non-integer generation
+            b"PONG\n",
+        ],
     )
     def test_rejects_malformed(self, line):
         with pytest.raises(ProtocolError):

@@ -262,7 +262,7 @@ class TestShutdownAndErrors:
 
         wire = run(main())
         lines = wire.decode("latin-1").splitlines()
-        assert lines[0] == "OK OPEN s"
+        assert lines[0] == "OK OPEN s 0"
         assert lines[-1] == "BYE"
         # drained matches are a prefix of the offline emission sequence
         # (frames still in socket buffers at stop() time are dropped,
@@ -270,7 +270,7 @@ class TestShutdownAndErrors:
         pairs = [("s", chunk) for chunk in chunks]
         expected = offline_events(matcher, pairs)["s"]
         got = [
-            (line.split(" ", 3)[3], int(line.split(" ", 3)[2]))
+            (line.split(" ", 4)[4], int(line.split(" ", 4)[2]))
             for line in lines[1:-1]
             if line.startswith("MATCH ")
         ]

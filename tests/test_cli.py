@@ -395,6 +395,37 @@ class TestServeConnect:
         assert "hit: 1 match(es) at [5]" in out  # stream b: xxab|cxx
         assert "server stats" in out
 
+    def test_connect_json_document(self, tmp_path, capsys):
+        """`connect --json` emits the machine-readable schema of
+        docs/SERVING.md: per-stream summaries with generation-stamped
+        events, totals, and the server STATS snapshot."""
+        import json
+
+        from repro.matching import RulesetMatcher
+
+        port, stop = self._live_server(RulesetMatcher([("hit", "abc")]))
+        tagged = tmp_path / "tagged.txt"
+        tagged.write_bytes(b"a\tza\nb\txxab\na\tbc\nb\tcxx\n")
+        try:
+            code = main([
+                "connect", "--port", str(port),
+                "--input", str(tagged), "--json",
+            ])
+        finally:
+            stop()
+        assert code == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["totals"] == {"streams": 2, "bytes": 11, "matches": 2}
+        assert set(document["streams"]) == {"a", "b"}
+        for stream in document["streams"].values():
+            assert stream["generation"] == 0
+            assert stream["matches"] == len(stream["events"]) == 1
+            (event,) = stream["events"]
+            assert event["rule"] == "hit" and event["generation"] == 0
+        assert document["streams"]["a"]["events"][0]["end"] == 4
+        assert document["stats"]["generation"] == 0
+        assert document["stats"]["workers"] == 1
+
     def test_connect_refused_reports_cleanly(self, tmp_path, capsys):
         tagged = tmp_path / "tagged.txt"
         tagged.write_bytes(b"a\tza\n")
@@ -405,13 +436,128 @@ class TestServeConnect:
         assert code == 2
         assert "cannot connect" in capsys.readouterr().err
 
+    def test_serve_bind_failure_is_one_clean_line(self, tmp_path, capsys):
+        """A taken port yields one `error:` line and exit 2 -- no
+        traceback -- on both the single-server and fleet paths."""
+        import socket
+
+        rules = tmp_path / "rules.txt"
+        rules.write_text("hit\tabc\n")
+        blocker = socket.socket()
+        blocker.bind(("127.0.0.1", 0))
+        blocker.listen(1)
+        port = blocker.getsockname()[1]
+        try:
+            code = main([
+                "serve", "--rules", str(rules), "--port", str(port),
+            ])
+            assert code == 2
+            err = capsys.readouterr().err
+            assert f"error: cannot bind 127.0.0.1:{port}" in err
+            assert "Traceback" not in err
+
+            code = main([
+                "serve", "--rules", str(rules), "--port", str(port),
+                "--workers", "2",
+            ])
+            assert code == 2
+            err = capsys.readouterr().err
+            assert f"error: cannot serve on 127.0.0.1:{port}" in err
+            assert "Traceback" not in err
+        finally:
+            blocker.close()
+
     def test_parser_accepts_serve_options(self):
         from repro.cli import build_parser
 
         args = build_parser().parse_args([
             "serve", "--rules", "r.txt", "--port", "7341",
             "--engine", "stream", "--queue-depth", "4", "--shards", "2",
-            "-O", "1",
+            "-O", "1", "--threads", "2", "--workers", "4", "--reload",
+            "--control", "/tmp/repro.sock",
         ])
         assert args.command == "serve"
         assert (args.port, args.queue_depth, args.shards) == (7341, 4, 2)
+        assert (args.threads, args.workers) == (2, 4)
+        assert args.reload is True
+        assert args.control == "/tmp/repro.sock"
+        # defaults: one in-process server, no reload, no control socket
+        args = build_parser().parse_args(["serve", "--rules", "r.txt"])
+        assert (args.workers, args.reload, args.control) == (1, False, None)
+
+    def test_serve_fleet_cli_sighup_reload_roundtrip(self, tmp_path):
+        """End-to-end over the real CLI: a 2-worker fleet subprocess,
+        SIGHUP hot reload after editing the rule file, SIGTERM drain."""
+        import json
+        import os
+        import signal
+        import subprocess
+        import sys as _sys
+        import time
+
+        rules = tmp_path / "rules.txt"
+        rules.write_text("hit\tabc\ngone\told[0-9]\n")
+        tagged = tmp_path / "tagged.txt"
+        tagged.write_bytes(b"s\tza\ns\tbc old7 new!\n")
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src, env.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.Popen(
+            [_sys.executable, "-m", "repro", "serve",
+             "--rules", str(rules), "--port", "0",
+             "--workers", "2", "--reload"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env,
+        )
+        try:
+            ready = proc.stdout.readline()
+            assert "serving 2 rules on" in ready, ready
+            assert "workers 2" in ready and "generation 0" in ready
+            port = ready.split(" on ")[1].split(" ")[0].split(":")[1]
+
+            def connect_json():
+                out = subprocess.run(
+                    [_sys.executable, "-m", "repro", "connect",
+                     "--port", port, "--input", str(tagged), "--json"],
+                    capture_output=True, text=True, env=env, timeout=60,
+                ).stdout
+                return json.loads(out)
+
+            before = connect_json()
+            assert before["streams"]["s"]["generation"] == 0
+            assert {e["rule"] for e in before["streams"]["s"]["events"]} == {
+                "hit", "gone",
+            }
+
+            # one rule removed, one added: the SIGHUP re-reads the file
+            rules.write_text("hit\tabc\nfresh\tnew!\n")
+            proc.send_signal(signal.SIGHUP)
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                line = proc.stdout.readline()
+                if not line and proc.poll() is not None:
+                    raise AssertionError("fleet process died during reload")
+                if "reloaded ruleset: generation 1" in line:
+                    break
+            else:  # pragma: no cover - diagnostic only
+                raise AssertionError("no reload acknowledgement")
+
+            after = connect_json()
+            assert after["streams"]["s"]["generation"] == 1
+            assert {e["rule"] for e in after["streams"]["s"]["events"]} == {
+                "hit", "fresh",
+            }
+            assert all(
+                e["generation"] == 1 for e in after["streams"]["s"]["events"]
+            )
+
+            proc.send_signal(signal.SIGTERM)
+            remaining = proc.communicate(timeout=60)[0]
+            assert proc.returncode == 0
+            assert "served " in remaining  # final drain summary
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate(timeout=30)

@@ -58,8 +58,8 @@ EXPECTED_ALL = sorted(
         "MultiStreamScanner", "CollectorSink", "QueueSink",
         "UNNAMED_REPORT",
         # serving subsystem
-        "MatchServer", "MatchClient", "ServerStats",
-        "scan_tagged_remote",
+        "MatchServer", "MatcherHandle", "MatchClient", "ServerStats",
+        "WorkerFleet", "merge_server_stats", "scan_tagged_remote",
     ]
 )
 
@@ -88,7 +88,7 @@ class TestExports:
 class TestSessionProtocolSignatures:
     def test_match_fields(self):
         assert [f.name for f in Match.__dataclass_fields__.values()] == [
-            "rule", "end", "stream", "code",
+            "rule", "end", "stream", "code", "generation",
         ]
 
     def test_session_methods(self):
@@ -137,10 +137,10 @@ class TestServeSurface:
         assert params[:2] == ["self", "matcher"]
         assert keyword_only_of(MatchServer.__init__) == {
             "host", "port", "engine", "queue_depth", "workers",
-            "drain_timeout",
+            "drain_timeout", "sock", "reuse_port", "worker",
         }
         for member in ("start", "stop", "serve_forever", "stats",
-                       "address", "connections"):
+                       "address", "connections", "reload", "matcher"):
             assert hasattr(MatchServer, member), member
 
     def test_match_client_surface(self):
