@@ -891,6 +891,78 @@ def test_serve_fleet_scaling(ste_only_workload, tmp_path):
         assert scaling >= FLEET_LINEAR_FLOOR * FLEET_WORKERS, report
 
 
+RULES_CORPUS_SIZE = 2000
+#: the cache must buy at least this over a cold ruleset compile
+#: (measured ~13x; keep headroom for slow CI runners)
+RULES_WARM_FLOOR = 3.0
+
+
+def test_rules_compile_scale(tmp_path):
+    """The Snort-rule frontend at corpus scale: triage a synthetic
+    multi-thousand-rule corpus (every rule classified), compile the
+    survivors cold then warm through the persistent cache, and scan —
+    the `rules_frontend` section of BENCH_engine.json."""
+    from repro.rules import load_rules_text
+    from repro.workloads.snort_rules import corpus_text
+
+    started = time.perf_counter()
+    loaded = load_rules_text(
+        corpus_text(total=RULES_CORPUS_SIZE), file="synthetic.rules"
+    )
+    triage_seconds = time.perf_counter() - started
+    report = loaded.report
+    assert report.total == RULES_CORPUS_SIZE
+    assert sum(report.counts.values()) == report.total  # zero unclassified
+
+    cache_dir = str(tmp_path / "cache")
+    started = time.perf_counter()
+    cold, folded = loaded.compile(cache_dir=cache_dir, opt_level=1)
+    cold_seconds = time.perf_counter() - started
+    assert not cold.compile_info.cache_hit
+    assert sum(folded.counts.values()) == folded.total
+
+    started = time.perf_counter()
+    warm, _ = loaded.compile(cache_dir=cache_dir, opt_level=1)
+    warm_seconds = time.perf_counter() - started
+    assert warm.compile_info.cache_hit
+
+    background = stream_for_style("network", STREAM_BYTES, seed=11)
+    started = time.perf_counter()
+    result = warm.scan(background)
+    scan_seconds = time.perf_counter() - started
+    throughput = len(background) / scan_seconds
+
+    speedup = cold_seconds / warm_seconds
+    update_json(
+        "engine",
+        {
+            "rules_frontend": {
+                "corpus_rules": report.total,
+                "triage_counts": dict(report.counts),
+                "triage_seconds": round(triage_seconds, 3),
+                "compile_cold_seconds": round(cold_seconds, 3),
+                "compile_warm_seconds": round(warm_seconds, 3),
+                "warm_speedup": round(speedup, 1),
+                "warm_speedup_floor": RULES_WARM_FLOOR,
+                "scan_bytes": len(background),
+                "scan_bytes_per_second": round(throughput),
+            }
+        },
+    )
+    counts = report.counts
+    save_report(
+        "engine_rules_frontend",
+        f"rules frontend: {report.total} rules "
+        f"({counts['compiled']} compiled / {counts['rewritten']} rewritten / "
+        f"{counts['rejected']} rejected) triaged in {triage_seconds:.2f}s; "
+        f"compile cold {cold_seconds:.2f}s, warm {warm_seconds:.2f}s "
+        f"({speedup:.1f}x, floor {RULES_WARM_FLOOR:.0f}x); "
+        f"scan {throughput / 1e6:.2f} MB/s over {len(background)} bytes "
+        f"({result.total_matches()} matches)",
+    )
+    assert speedup >= RULES_WARM_FLOOR
+
+
 def test_table_engine_throughput(benchmark, workload):
     """pytest-benchmark timing of the fast path alone (optimizer on)."""
     _, _, optimized, data = workload

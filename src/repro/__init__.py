@@ -34,6 +34,12 @@ The library spans the paper's whole stack:
   drain), :class:`MatchClient`/:func:`scan_tagged_remote`, and
   :class:`ServerStats` load snapshots; CLI ``repro serve`` /
   ``repro connect``;
+* :mod:`repro.rules` -- the Snort/PCRE ruleset ingestion frontend:
+  rule-line parsing (``content:``/``pcre:`` with ``nocase``,
+  ``offset``/``depth``/``distance``/``within``, ``|AA BB|`` hex
+  blocks), conservative translation into the project dialect, and
+  triage classifying every rule as compiled / rewritten / rejected
+  with a machine-readable reason; CLI ``repro rules``;
 * :mod:`repro.workloads` -- synthetic Snort/Suricata/Protomata/
   SpamAssassin/ClamAV-style suites and input streams;
 * :mod:`repro.experiments` -- drivers regenerating every table and
@@ -99,6 +105,16 @@ from .matching import (
 from .mnrl import BitVectorNode, CounterNode, Network, STE
 from .nca import NCA, CountingSetExecutor, NCAExecutor, build_nca
 from .regex import CharClass, Pattern, parse, simplify
+from .rules import (
+    LoadedRuleset,
+    SnortRule,
+    TriagedRule,
+    TriageReport,
+    load_rules,
+    load_rules_text,
+    parse_rule,
+    translate_rule,
+)
 from .serve import (
     MatchClient,
     MatchServer,
@@ -194,6 +210,15 @@ __all__ = [
     "CollectorSink",
     "QueueSink",
     "UNNAMED_REPORT",
+    # ruleset ingestion frontend (Snort-style .rules files + triage)
+    "SnortRule",
+    "TriagedRule",
+    "TriageReport",
+    "LoadedRuleset",
+    "load_rules",
+    "load_rules_text",
+    "parse_rule",
+    "translate_rule",
     # serving subsystem (async TCP match server + client + fleet)
     "MatchServer",
     "MatcherHandle",

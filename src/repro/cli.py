@@ -23,11 +23,19 @@ Commands mirror the toolchain stages:
 * ``connect``  -- smoke-test client for ``serve``: stream interleaved
   ``tag<TAB>chunk`` lines (the ``scan --streams`` format) to a running
   server and report per-stream matches;
+* ``rules``    -- ingest Snort-style ``.rules`` files through the
+  :mod:`repro.rules` frontend and report the triage (every rule
+  classified compiled / rewritten / rejected-with-reason; ``--json``
+  for the machine-readable document, ``--compile``/``--cache-dir`` to
+  also compile the accepted rules and fold compile-level skips in);
 * ``census``   -- Table 1-style census of a synthetic suite;
 * ``report``   -- regenerate one of the paper's tables/figures.
 
 Rule files are plain text: one ``id<TAB>pattern`` (or just ``pattern``)
-per line; ``#`` comments and blank lines are ignored.
+per line; ``#`` comments and blank lines are ignored.  ``scan
+--format snort`` instead reads Snort-style ``.rules`` files through
+the ingestion frontend (accepted rules scan, rejected ones are
+reported on stderr).
 """
 
 from __future__ import annotations
@@ -110,6 +118,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_scan.add_argument("--rules", required=True, help="rule file (id\\tpattern lines)")
     p_scan.add_argument(
         "--input", required=True, help="data file to scan ('-' reads stdin)"
+    )
+    p_scan.add_argument(
+        "--format",
+        choices=["native", "snort"],
+        default="native",
+        help="rule file format: native = id\\tpattern lines, snort = "
+        "Snort-style .rules ingested through the repro.rules frontend "
+        "(rejected rules reported on stderr)",
     )
     p_scan.add_argument("--threshold", type=float, default=0)
     p_scan.add_argument(
@@ -250,6 +266,41 @@ def build_parser() -> argparse.ArgumentParser:
         "(schema: docs/SERVING.md)",
     )
 
+    p_rules = sub.add_parser(
+        "rules",
+        help="ingest Snort-style .rules files and report the triage "
+        "(compiled / rewritten / rejected-with-reason)",
+    )
+    p_rules.add_argument(
+        "files", nargs="+", help="Snort-style .rules files (one id namespace)"
+    )
+    p_rules.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable triage document (schema: docs/RULES.md)",
+    )
+    p_rules.add_argument(
+        "--compile",
+        action="store_true",
+        help="also compile the accepted rules and fold compile-level "
+        "skips into the triage",
+    )
+    p_rules.add_argument(
+        "--cache-dir",
+        help="compile through the persistent ruleset cache "
+        "(implies --compile)",
+    )
+    p_rules.add_argument("--threshold", type=float, default=0)
+    p_rules.add_argument(
+        "-O", "--opt-level", type=int, default=0,
+        help="optimisation passes (see 'compile --opt-level')",
+    )
+    p_rules.add_argument(
+        "--rejected",
+        action="store_true",
+        help="list every rejected rule with its reason and origin",
+    )
+
     p_census = sub.add_parser("census", help="Table 1-style suite census")
     p_census.add_argument(
         "--suite",
@@ -359,8 +410,22 @@ def _compile_rules(args) -> int:
     return 0
 
 
-def _read_rules(path: str) -> list[tuple[str, str]]:
-    rules: list[tuple[str, str]] = []
+def _read_rules(path: str, fmt: str = "native") -> list[tuple]:
+    if fmt == "snort":
+        from .rules import load_rules
+
+        loaded = load_rules(path)
+        counts = loaded.report.counts
+        if counts["rejected"]:
+            print(
+                f"triage: {counts['compiled']} compiled, "
+                f"{counts['rewritten']} rewritten, "
+                f"{counts['rejected']} rejected "
+                f"(run 'repro rules {path}' for details)",
+                file=sys.stderr,
+            )
+        return loaded.rules
+    rules: list[tuple] = []
     with open(path, "r", encoding="utf-8") as handle:
         for index, line in enumerate(handle):
             line = line.rstrip("\n")
@@ -383,7 +448,7 @@ def _chunks(handle, size: int):
 
 
 def _cmd_scan(args) -> int:
-    rules = _read_rules(args.rules)
+    rules = _read_rules(args.rules, fmt=getattr(args, "format", "native"))
     options = dict(
         unfold_threshold=args.threshold,
         engine=args.engine,
@@ -840,6 +905,67 @@ def _cmd_connect(args) -> int:
     return 0
 
 
+def _cmd_rules(args) -> int:
+    """``rules``: triage Snort-style rule files (optionally compile)."""
+    import json
+
+    from .rules import load_rules
+
+    try:
+        loaded = load_rules(args.files)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = loaded.report
+    compile_block = None
+    if args.compile or args.cache_dir:
+        matcher, report = loaded.compile(
+            cache_dir=args.cache_dir,
+            unfold_threshold=args.threshold,
+            opt_level=args.opt_level,
+        )
+        info = matcher.compile_info
+        resources = matcher.resources()
+        compile_block = {
+            "cache_hit": info.cache_hit,
+            "seconds": info.seconds,
+            "opt_level": info.opt_level,
+            "cache_path": info.cache_path,
+            "rules_compiled": resources.rules_compiled,
+            "stes": resources.stes,
+            "counters": resources.counters,
+            "bit_vectors": resources.bit_vectors,
+        }
+
+    if args.json:
+        document = report.as_dict()
+        document["files"] = list(loaded.files)
+        if compile_block is not None:
+            document["compile"] = compile_block
+        print(json.dumps(document, sort_keys=True))
+        return 0
+
+    print(f"files: {', '.join(loaded.files)}")
+    print(report.summary())
+    if args.rejected:
+        for rule in report.rejected:
+            where = rule.origin or rule.rule_id
+            detail = f": {rule.detail}" if rule.detail else ""
+            print(f"  rejected {where} [{rule.reason}]{detail}")
+    if compile_block is not None:
+        source = "cache (warm start)" if compile_block["cache_hit"] else "fresh compile"
+        print(
+            f"compiled {compile_block['rules_compiled']} rules in "
+            f"{compile_block['seconds'] * 1e3:.1f} ms [{source}, "
+            f"-O{compile_block['opt_level']}]: "
+            f"{compile_block['stes']} STEs / {compile_block['counters']} ctr / "
+            f"{compile_block['bit_vectors']} bv"
+        )
+        if compile_block["cache_path"]:
+            print(f"  artifact: {compile_block['cache_path']}")
+    return 0
+
+
 def _cmd_census(args) -> int:
     suite = suite_by_name(args.suite, total=args.total, seed=args.seed)
     row = census(suite)
@@ -884,6 +1010,7 @@ _COMMANDS = {
     "scan": _cmd_scan,
     "serve": _cmd_serve,
     "connect": _cmd_connect,
+    "rules": _cmd_rules,
     "census": _cmd_census,
     "report": _cmd_report,
 }

@@ -46,7 +46,10 @@ __all__ = [
 #: contains) changes shape; old artifacts then miss cleanly.
 #: v2: ``TransitionTables`` gained ``network`` (the reference backend
 #: resolves anywhere tables travel) and artifacts record ``backends``.
-CACHE_VERSION = 2
+#: v3: the key hashes each rule's ``file:line`` origin too (skip
+#: reasons stored in the artifact carry it, so artifacts compiled with
+#: and without provenance must not alias).
+CACHE_VERSION = 3
 
 
 @dataclass(frozen=True)
@@ -85,7 +88,7 @@ class RulesetArtifact:
 
 
 def ruleset_cache_key(
-    rules: Sequence[tuple[str, str]],
+    rules: Sequence[tuple],
     *,
     unfold_threshold: float = 0,
     method: str = "hybrid",
@@ -109,11 +112,13 @@ def ruleset_cache_key(
             )
         ).encode()
     )
-    for rule_id, pattern in rules:
+    for rule in rules:
+        rule_id, pattern = rule[0], rule[1]
+        origin = rule[2] if len(rule) > 2 else None
         # length-prefixed framing: in-band separators would let crafted
         # ids/patterns containing the separator bytes collide across
         # structurally different rulesets
-        for text in (rule_id, pattern):
+        for text in (rule_id, pattern, origin or ""):
             blob = text.encode("utf-8", "surrogateescape")
             hasher.update(len(blob).to_bytes(8, "big"))
             hasher.update(blob)

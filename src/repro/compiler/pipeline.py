@@ -40,50 +40,97 @@ __all__ = [
     "compute_module_unsafe",
     "dedupe_rules",
     "normalize_rules",
+    "normalize_sourced",
 ]
+
+#: accepted rule spellings: bare pattern strings, ``(rule_id, pattern)``
+#: pairs, or ``(rule_id, pattern, origin)`` triples where ``origin`` is
+#: a ``file:line`` provenance string (or ``None``)
+RuleInput = "str | tuple[str, str] | tuple[str, str, Optional[str]]"
+
+
+def normalize_sourced(
+    rules: Iterable[str] | Sequence[tuple],
+) -> list[tuple[str, str, Optional[str]]]:
+    """Materialize rules as ``(rule_id, pattern, origin)`` triples.
+
+    The superset form of :func:`normalize_rules`: bare strings get
+    positional ``rule{index}`` ids and a ``None`` origin, pairs keep
+    their id with a ``None`` origin, and triples pass through.  The
+    ruleset frontend (:mod:`repro.rules`) emits triples so skip reasons
+    can point back at the ``file:line`` the rule came from.
+    """
+    named: list[tuple[str, str, Optional[str]]] = []
+    for index, rule in enumerate(rules):
+        if isinstance(rule, tuple):
+            if len(rule) >= 3:
+                named.append((rule[0], rule[1], rule[2]))
+            else:
+                rule_id, pattern = rule
+                named.append((rule_id, pattern, None))
+        else:
+            named.append((f"rule{index}", rule, None))
+    return named
 
 
 def normalize_rules(
-    rules: Iterable[str] | Sequence[tuple[str, str]],
+    rules: Iterable[str] | Sequence[tuple],
 ) -> list[tuple[str, str]]:
     """Materialize rules as ``(rule_id, pattern)`` pairs.
 
     Bare pattern strings get positional ``rule{index}`` ids -- the one
     naming scheme shared by :func:`compile_ruleset`, the sharding
     front-end, and the ruleset cache key, so every entry point reports
-    (and caches) the same rule ids for the same input.
+    (and caches) the same rule ids for the same input.  Sourced
+    ``(rule_id, pattern, origin)`` triples are accepted too; the origin
+    is dropped (use :func:`normalize_sourced` to keep it).
     """
-    named: list[tuple[str, str]] = []
-    for index, rule in enumerate(rules):
-        if isinstance(rule, tuple):
-            named.append(rule)
-        else:
-            named.append((f"rule{index}", rule))
-    return named
+    return [(rid, pattern) for rid, pattern, _ in normalize_sourced(rules)]
+
+
+def _sourced_entry(
+    rule_id: str, pattern: str, origin: Optional[str]
+) -> tuple:
+    """Pair when there is no origin, triple when there is.
+
+    Keeps origin-free flows (the synthetic suites, bare pattern lists)
+    on the historical pair shape while letting provenance ride along
+    when the ruleset frontend supplies it.
+    """
+    if origin is None:
+        return (rule_id, pattern)
+    return (rule_id, pattern, origin)
+
+
+def annotate_reason(reason: str, origin: Optional[str]) -> str:
+    """Suffix a skip reason with its rule's ``file:line`` origin."""
+    if origin is None:
+        return reason
+    return f"{reason} ({origin})"
 
 
 def dedupe_rules(
-    rules: Iterable[str] | Sequence[tuple[str, str]],
-) -> tuple[list[tuple[str, str]], list[tuple[str, str]]]:
+    rules: Iterable[str] | Sequence[tuple],
+) -> tuple[list[tuple], list[tuple[str, str]]]:
     """Split normalized rules into ``(unique, skipped)``.
 
     The first occurrence of each rule id wins; later occurrences are
     returned as ``(rule_id, reason)`` skip entries.  Shared by
     :func:`compile_ruleset` and the sharding front-end so both report
     identical skip reasons (and so duplicates can never collide in a
-    shared network's node-id namespace).
+    shared network's node-id namespace).  Rules carrying a ``file:line``
+    origin keep it in the unique list and in duplicate skip reasons.
     """
     seen: set[str] = set()
-    unique: list[tuple[str, str]] = []
+    unique: list[tuple] = []
     skipped: list[tuple[str, str]] = []
-    for rule_id, pattern in normalize_rules(rules):
+    for rule_id, pattern, origin in normalize_sourced(rules):
         if rule_id in seen:
-            skipped.append(
-                (rule_id, "duplicate rule id (an earlier rule with this id was kept)")
-            )
+            reason = "duplicate rule id (an earlier rule with this id was kept)"
+            skipped.append((rule_id, annotate_reason(reason, origin)))
             continue
         seen.add(rule_id)
-        unique.append((rule_id, pattern))
+        unique.append(_sourced_entry(rule_id, pattern, origin))
     return unique, skipped
 
 
@@ -264,10 +311,16 @@ def compile_ruleset(
 ) -> CompiledRuleset:
     """Compile many rules into one network, skipping unsupported ones.
 
-    ``rules`` is either an iterable of pattern strings or of
-    ``(rule_id, pattern)`` pairs.  Rules repeating an earlier rule's id
+    ``rules`` is an iterable of pattern strings, ``(rule_id, pattern)``
+    pairs, or sourced ``(rule_id, pattern, origin)`` triples (see
+    :func:`normalize_sourced`).  Rules repeating an earlier rule's id
     are recorded in ``skipped`` (the first occurrence wins; compiling
-    both would collide in the shared node-id namespace).
+    both would collide in the shared node-id namespace).  When a rule
+    carries a ``file:line`` origin, every skip reason for it ends with
+    that origin in parentheses, so triage reports stay actionable:
+
+    >>> compile_ruleset([("r1", "a(?=b)", "local.rules:7")]).skipped
+    [('r1', 'unsupported: lookahead group (local.rules:7)')]
 
     ``opt_level`` selects the post-emission pass pipeline
     (:mod:`repro.compiler.passes`): ``0`` keeps the network -- and its
@@ -286,7 +339,9 @@ def compile_ruleset(
     result = CompiledRuleset(network=network, opt_level=opt_level)
     unique, duplicates = dedupe_rules(rules)
     result.skipped.extend(duplicates)
-    for rule_id, pattern_text in unique:
+    for entry in unique:
+        rule_id, pattern_text = entry[0], entry[1]
+        origin = entry[2] if len(entry) > 2 else None
         try:
             compiled = compile_pattern(
                 pattern_text,
@@ -300,10 +355,12 @@ def compile_ruleset(
                 strict_modules=strict_modules,
             )
         except UnsupportedFeatureError as err:
-            result.skipped.append((rule_id, f"unsupported: {err.feature}"))
+            result.skipped.append(
+                (rule_id, annotate_reason(f"unsupported: {err.feature}", origin))
+            )
             continue
         except (RegexError, EmitError) as err:
-            result.skipped.append((rule_id, str(err)))
+            result.skipped.append((rule_id, annotate_reason(str(err), origin)))
             continue
         result.patterns.append(compiled)
     if opt_level > 0:

@@ -69,7 +69,7 @@ from .compiler.cache import (
 )
 from .compiler.mapping import NetworkMapping, map_network
 from .compiler.passes import OptimizationReport, compute_alphabet_classes
-from .compiler.pipeline import CompiledRuleset, compile_ruleset, normalize_rules
+from .compiler.pipeline import CompiledRuleset, compile_ruleset, normalize_sourced
 from .engine.backends import (
     AUTO_ENGINE,
     resolve_backend,
@@ -271,7 +271,9 @@ class RulesetMatcher:
             resolve_backend(engine)
         self.engine = engine
         start = time.perf_counter()
-        named = normalize_rules(rules)
+        # sourced triples keep each rule's file:line provenance so
+        # compile-time skip reasons (and the cache key) carry it
+        named = normalize_sourced(rules)
 
         cache_path: Optional[str] = None
         artifact: Optional[RulesetArtifact] = None

@@ -403,7 +403,10 @@ class _Parser:
                     digits += self._next()
         if not digits:
             raise self._error("empty \\x escape")
-        value = int(digits, 16)
+        try:
+            value = int(digits, 16)
+        except ValueError:
+            raise self._error(f"bad hex digits in \\x{{{digits}}}") from None
         if value >= cc.ALPHABET_SIZE:
             raise self._error(f"\\x{{{digits}}} outside byte alphabet")
         return value

@@ -1,0 +1,72 @@
+"""Snort/PCRE ruleset ingestion frontend (parse -> translate -> triage).
+
+The gateway from real IDS rule files to the in-memory matching stack:
+a tokenizer/parser for Snort-style rule lines (:mod:`.parser`), a
+byte-exact ``content`` string codec (:mod:`.content`), a conservative
+translator into the project regex dialect (:mod:`.translate`), and a
+triage layer that classifies **every** rule as ``compiled``,
+``rewritten`` (with the applied transformations), or ``rejected`` with
+a machine-readable reason (:mod:`.triage`) -- then feeds the accepted
+patterns straight into :func:`repro.compiler.pipeline.compile_ruleset`
+and the persistent ruleset cache (:mod:`.loader`).
+
+Quickstart::
+
+    from repro import load_rules
+
+    loaded = load_rules("community.rules")
+    print(loaded.report.summary())
+    matcher, report = loaded.compile(cache_dir=".cache")
+    print(matcher.scan(b"GET /admin HTTP/1.1").matches)
+
+See ``docs/RULES.md`` for the grammar subset, the translation table,
+and the triage reason codes.
+"""
+
+from .content import ContentError, decode_content, encode_content
+from .loader import LoadedRuleset, load_rules, load_rules_text
+from .model import ContentOption, PcreOption, SnortRule, SourceLocation
+from .parser import RuleSyntaxError, iter_rule_lines, parse_rule, split_options
+from .translate import (
+    REASONS,
+    TRANSFORMATIONS,
+    RuleRejected,
+    Translation,
+    escape_bytes,
+    translate_rule,
+)
+from .triage import STATUSES, TriagedRule, TriageReport, triage_rule, triage_rules
+
+__all__ = [
+    # content codec
+    "ContentError",
+    "decode_content",
+    "encode_content",
+    # model
+    "SourceLocation",
+    "ContentOption",
+    "PcreOption",
+    "SnortRule",
+    # parser
+    "RuleSyntaxError",
+    "parse_rule",
+    "split_options",
+    "iter_rule_lines",
+    # translation
+    "Translation",
+    "RuleRejected",
+    "translate_rule",
+    "escape_bytes",
+    "REASONS",
+    "TRANSFORMATIONS",
+    # triage
+    "STATUSES",
+    "TriagedRule",
+    "TriageReport",
+    "triage_rule",
+    "triage_rules",
+    # loading
+    "LoadedRuleset",
+    "load_rules",
+    "load_rules_text",
+]

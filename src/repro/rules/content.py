@@ -1,0 +1,118 @@
+r"""Snort ``content`` string codec.
+
+A Snort ``content:"..."`` pattern mixes three lexical layers inside
+one quoted string: plain ASCII text, backslash escapes for the
+characters the rule grammar reserves (``\;``, ``\"``, ``\\``, ``\|``,
+``\:``), and ``|AA BB|`` hex blocks for arbitrary bytes.  This module
+is the byte-exact codec between that surface syntax and plain
+``bytes`` -- the property the round-trip tests pin is
+``decode_content(encode_content(data))[0] == data`` for every byte
+string.
+
+>>> decode_content("GET|20 2F|admin")
+(b'GET /admin', True)
+>>> decode_content(r'a\;b')
+(b'a;b', False)
+>>> encode_content(b"a;b\x00")
+'a\\;b|00|'
+"""
+
+from __future__ import annotations
+
+__all__ = ["ContentError", "decode_content", "encode_content"]
+
+#: characters that must be backslash-escaped in the text layer (the
+#: rule grammar reserves them: option separator, quote, escape, hex
+#: delimiter, key separator)
+SPECIAL_CHARS = frozenset('\\";:|')
+
+_HEX_DIGITS = frozenset("0123456789abcdefABCDEF")
+
+
+class ContentError(ValueError):
+    """A ``content`` string that does not decode to bytes."""
+
+
+def decode_content(text: str) -> tuple[bytes, bool]:
+    r"""Decode a ``content`` pattern into ``(data, had_hex)``.
+
+    ``had_hex`` records whether any ``|...|`` hex block appeared --
+    the triage layer reports that as a ``hex-block`` transformation
+    because the translated regex spells those bytes as ``\xHH``
+    literals rather than source text.
+
+    >>> decode_content("|41 42|C")
+    (b'ABC', True)
+    >>> decode_content("plain")
+    (b'plain', False)
+    """
+    out = bytearray()
+    had_hex = False
+    i = 0
+    in_hex = False
+    while i < len(text):
+        ch = text[i]
+        if in_hex:
+            if ch == "|":
+                in_hex = False
+                i += 1
+            elif ch in " \t":
+                i += 1
+            else:
+                pair = text[i : i + 2]
+                if len(pair) < 2 or any(c not in _HEX_DIGITS for c in pair):
+                    raise ContentError(f"bad hex byte {pair!r} in hex block")
+                out.append(int(pair, 16))
+                had_hex = True
+                i += 2
+        elif ch == "|":
+            in_hex = True
+            i += 1
+        elif ch == "\\":
+            if i + 1 >= len(text):
+                raise ContentError("dangling backslash in content")
+            escaped = text[i + 1]
+            if ord(escaped) > 0xFF:
+                raise ContentError(f"escaped character {escaped!r} outside byte range")
+            out.append(ord(escaped))
+            i += 2
+        else:
+            if ord(ch) > 0xFF:
+                raise ContentError(f"character {ch!r} outside byte range")
+            out.append(ord(ch))
+            i += 1
+    if in_hex:
+        raise ContentError("unterminated hex block")
+    return bytes(out), had_hex
+
+
+def encode_content(data: bytes) -> str:
+    """Encode bytes as a canonical ``content`` pattern.
+
+    Printable ASCII stays literal (reserved characters
+    backslash-escaped); everything else lands in ``|..|`` hex blocks,
+    with consecutive hex bytes sharing one block.
+
+    >>> encode_content(b'GET /admin\\r\\n')
+    'GET /admin|0d 0a|'
+    """
+    parts: list[str] = []
+    hex_run: list[str] = []
+
+    def flush_hex() -> None:
+        if hex_run:
+            parts.append("|" + " ".join(hex_run) + "|")
+            hex_run.clear()
+
+    for byte in data:
+        ch = chr(byte)
+        if 0x20 <= byte <= 0x7E and ch not in SPECIAL_CHARS:
+            flush_hex()
+            parts.append(ch)
+        elif ch in SPECIAL_CHARS:
+            flush_hex()
+            parts.append("\\" + ch)
+        else:
+            hex_run.append(f"{byte:02x}")
+    flush_hex()
+    return "".join(parts)

@@ -1,0 +1,345 @@
+r"""Translate parsed Snort rules into the project regex dialect.
+
+Every rule ends in exactly one of three buckets (the FastSNAP
+convertible-vs-rejected split, refined):
+
+* translated with **zero** transformations -- triage ``compiled``;
+* translated with recorded transformations (``nocase`` folded to
+  ``(?i:...)``, anchoring windows lowered to bounded counting
+  ``.{m,n}``, hex blocks respelled as ``\xHH``, payload elements
+  joined with gaps) -- triage ``rewritten``;
+* untranslatable, with a machine-readable reason code
+  (:data:`REASONS` maps every code to its meaning) -- triage
+  ``rejected``.
+
+The lowering is conservative: anything whose byte-level language we
+cannot reproduce exactly under the project's match-reporting
+conventions is rejected, never approximated silently.
+
+>>> from repro.rules.parser import parse_rule
+>>> rule = parse_rule('alert tcp any any -> any any '
+...                   '(content:"user"; nocase; sid:1;)')
+>>> translation = translate_rule(rule)
+>>> (translation.pattern, translation.transformations)
+('(?i:user)', ('nocase',))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..regex.errors import RegexSyntaxError, UnsupportedFeatureError
+from ..regex.parser import parse
+from .model import ContentOption, PcreOption, SnortRule
+
+__all__ = [
+    "Translation",
+    "RuleRejected",
+    "translate_rule",
+    "escape_bytes",
+    "REASONS",
+    "TRANSFORMATIONS",
+]
+
+# -- machine-readable triage vocabulary ------------------------------------
+#: rejection reason codes -> human meaning (the full closed set; every
+#: rejected rule carries exactly one of these)
+REASONS: dict[str, str] = {
+    "syntax-error": "the rule line does not fit the supported grammar",
+    "no-payload-pattern": "no content or pcre option to match on",
+    "negated-content": "content:!\"...\" absence checks have no regex equivalent",
+    "negated-pcre": "pcre:!\"...\" absence checks have no regex equivalent",
+    "unsupported-option": "a match-affecting option outside the supported subset",
+    "window-too-small": "depth/within window shorter than the content itself",
+    "mid-rule-absolute-position": "offset/depth on a non-leading content "
+    "needs a mid-pattern absolute anchor",
+    "negative-position": "negative offset/distance windows are not lowered",
+    "pcre-backreference": "backreferences are irregular (Table 1 unsupported)",
+    "pcre-lookaround": "lookahead/lookbehind groups are not supported",
+    "pcre-word-boundary": "\\b/\\B zero-width assertions are not supported",
+    "pcre-anchor-conflict": "pcre anchors clash with surrounding payload elements",
+    "pcre-unsupported-modifier": "a pcre flag outside the supported i/s/m/R set",
+    "pcre-unsupported-feature": "a pcre construct outside the project dialect",
+    "pcre-syntax-error": "the pcre body does not parse",
+    "compile-skipped": "accepted by triage but skipped by compile_ruleset",
+    "duplicate-id": "an earlier rule with the same sid was kept",
+}
+
+#: transformation codes a ``rewritten`` rule may carry -> meaning
+TRANSFORMATIONS: dict[str, str] = {
+    "nocase": "content nocase folded to a scoped (?i:...) group",
+    "hex-block": "|AA BB| hex bytes respelled as \\xHH literals",
+    "offset-depth-window": "absolute offset/depth lowered to ^.{m,n}",
+    "distance-within-gap": "relative distance/within lowered to .{m,n}",
+    "content-join": "consecutive payload elements joined with .*",
+    "pcre-relative": "pcre /R relative match lowered onto the previous "
+    "element's end",
+    "pcre-flags": "pcre /i flag folded to a scoped (?i:...) group",
+    "buffer-collapse": "HTTP/file buffer selectors collapsed into the "
+    "single-payload view",
+}
+
+#: options that gate matching on computations the regex dialect cannot
+#: express; their presence rejects the rule
+REJECT_OPTIONS = frozenset(
+    [
+        "byte_test", "byte_jump", "byte_extract", "byte_math",
+        "isdataat", "base64_decode", "base64_data", "dsize", "urilen",
+        "bufferlen", "asn1", "cvs", "dce_iface", "dce_opnum",
+        "dce_stub_data", "ssl_state", "ssl_version",
+    ]
+)
+
+#: regex metacharacters in the project dialect (escaped when emitting
+#: content bytes as pattern text)
+_METAS = frozenset(b"\\^$.|?*+()[]{}")
+
+
+@dataclass(frozen=True)
+class Translation:
+    """A successful lowering: the dialect pattern + what was changed."""
+
+    pattern: str
+    transformations: tuple[str, ...] = ()
+
+
+class RuleRejected(Exception):
+    """Raised when a rule cannot be lowered; carries the reason code."""
+
+    def __init__(self, code: str, detail: str = ""):
+        assert code in REASONS, code
+        self.code = code
+        self.detail = detail
+        super().__init__(f"{code}: {detail}" if detail else code)
+
+
+def escape_bytes(data: bytes) -> str:
+    r"""Spell raw bytes as a dialect regex literal.
+
+    >>> escape_bytes(b'a.b\x00')
+    'a\\.b\\x00'
+    """
+    out: list[str] = []
+    for byte in data:
+        if byte in _METAS:
+            out.append("\\" + chr(byte))
+        elif 0x20 <= byte <= 0x7E:
+            out.append(chr(byte))
+        else:
+            out.append(f"\\x{byte:02x}")
+    return "".join(out)
+
+
+def _window(lo: int, hi: Optional[int]) -> str:
+    """A bounded-counting gap ``.{lo,hi}`` (empty when degenerate)."""
+    if hi is None:
+        return ".*" if lo == 0 else f".{{{lo},}}"
+    if lo == 0 and hi == 0:
+        return ""
+    return f".{{{lo},{hi}}}"
+
+
+def _content_core(content: ContentOption, transformations: list[str]) -> str:
+    body = escape_bytes(content.data)
+    if content.had_hex:
+        _record(transformations, "hex-block")
+    if content.nocase:
+        body = f"(?i:{body})"
+        _record(transformations, "nocase")
+    return body
+
+
+def _record(transformations: list[str], code: str) -> None:
+    if code not in transformations:
+        transformations.append(code)
+
+
+def _leading_window(
+    content: ContentOption, transformations: list[str]
+) -> tuple[str, bool]:
+    """Lower offset/depth (or leading distance/within) to ``^.{m,n}``.
+
+    Returns ``(prefix, anchored)``; an unwindowed leading content stays
+    unanchored (the scan engine's Sigma* search form handles it).
+    """
+    offset = content.offset if content.offset is not None else content.distance
+    depth = content.depth if content.depth is not None else content.within
+    if offset is None and depth is None:
+        return "", False
+    lo = offset or 0
+    if lo < 0:
+        raise RuleRejected("negative-position", f"offset {lo}")
+    if depth is not None:
+        if depth < len(content.data):
+            raise RuleRejected(
+                "window-too-small",
+                f"depth {depth} < content length {len(content.data)}",
+            )
+        hi: Optional[int] = lo + depth - len(content.data)
+    else:
+        hi = None
+    _record(transformations, "offset-depth-window")
+    return "^" + _window(lo, hi), True
+
+
+def _gap(content: ContentOption, transformations: list[str]) -> str:
+    """Lower distance/within on a non-leading content to a gap."""
+    if content.offset is not None or content.depth is not None:
+        raise RuleRejected(
+            "mid-rule-absolute-position",
+            f"offset/depth on non-leading content {content.data!r}",
+        )
+    if content.distance is None and content.within is None:
+        _record(transformations, "content-join")
+        return ".*"
+    lo = content.distance or 0
+    if lo < 0:
+        raise RuleRejected("negative-position", f"distance {lo}")
+    if content.within is not None:
+        if content.within < len(content.data):
+            raise RuleRejected(
+                "window-too-small",
+                f"within {content.within} < content length {len(content.data)}",
+            )
+        hi: Optional[int] = lo + content.within - len(content.data)
+    else:
+        hi = None
+    _record(transformations, "distance-within-gap")
+    return _window(lo, hi)
+
+
+#: pcre flags with an exact lowering (i -> (?i:...), s is a no-op
+#: because the dialect ``.`` already spans all 256 byte values, R
+#: concatenates directly after the previous element)
+_PCRE_OK_FLAGS = frozenset("isR")
+
+
+def _pcre_parts(
+    pcre: PcreOption, first: bool, last: bool, solo: bool
+) -> tuple[str, bool, bool, bool, list[str]]:
+    """Lower one pcre element.
+
+    Returns ``(core, anchored_start, anchored_end, relative,
+    transformations)`` where ``core`` excludes the anchors (re-applied
+    by the caller at the pattern edges).
+    """
+    if pcre.negated:
+        raise RuleRejected("negated-pcre", f"/{pcre.pattern}/")
+    transformations: list[str] = []
+    flags = set(pcre.flags)
+    bad = flags - _PCRE_OK_FLAGS - {"m"}
+    if bad:
+        raise RuleRejected("pcre-unsupported-modifier", "".join(sorted(bad)))
+    try:
+        parsed = parse(pcre.pattern)
+    except UnsupportedFeatureError as err:
+        raise RuleRejected(*_classify_feature(err.feature)) from None
+    except RegexSyntaxError as err:
+        raise RuleRejected("pcre-syntax-error", str(err)) from None
+    if "m" in flags and (parsed.anchored_start or parsed.anchored_end):
+        # multiline re-binds ^/$ to line boundaries; our anchors are
+        # stream edges, so the languages genuinely differ
+        raise RuleRejected("pcre-unsupported-modifier", "m with anchors")
+    relative = "R" in flags
+    if parsed.anchored_start and not first and not relative:
+        # ^ without /R is an absolute payload-start anchor; mid-pattern
+        # it has no lowering (with /R it just pins the relative gap to
+        # zero, handled by the caller)
+        raise RuleRejected("pcre-anchor-conflict", "^ after another element")
+    if parsed.anchored_end and not last:
+        raise RuleRejected("pcre-anchor-conflict", "$ before another element")
+
+    core = pcre.pattern
+    if parsed.anchored_start:
+        core = core[1:]
+    if parsed.anchored_end:
+        core = core[:-1]
+    if "i" in flags:
+        core = f"(?i:{core})"
+        _record(transformations, "pcre-flags")
+    elif not solo:
+        # grouping protects surrounding concatenation from top-level
+        # alternation in the pcre body
+        core = f"(?:{core})"
+    return core, parsed.anchored_start, parsed.anchored_end, relative, transformations
+
+
+def _classify_feature(feature: str) -> tuple[str, str]:
+    if "backreference" in feature:
+        return "pcre-backreference", feature
+    if "look" in feature:
+        return "pcre-lookaround", feature
+    if "word boundary" in feature:
+        return "pcre-word-boundary", feature
+    return "pcre-unsupported-feature", feature
+
+
+def translate_rule(rule: SnortRule) -> Translation:
+    """Lower one parsed rule; raises :class:`RuleRejected` otherwise.
+
+    >>> from repro.rules.parser import parse_rule
+    >>> windowed = parse_rule('alert tcp any any -> any any '
+    ...     '(content:"AB"; offset:4; depth:6; sid:2;)')
+    >>> translate_rule(windowed).pattern
+    '^.{4,8}AB'
+    """
+    for key, _value in rule.options:
+        if key in REJECT_OPTIONS:
+            raise RuleRejected("unsupported-option", key)
+    if not rule.payload:
+        raise RuleRejected("no-payload-pattern")
+    for element in rule.payload:
+        if isinstance(element, ContentOption) and element.negated:
+            raise RuleRejected("negated-content", repr(element.data))
+
+    transformations: list[str] = []
+    if rule.buffers:
+        _record(transformations, "buffer-collapse")
+
+    solo = len(rule.payload) == 1
+    parts: list[str] = []
+    anchored_start = False
+    anchored_end = False
+    for index, element in enumerate(rule.payload):
+        first = index == 0
+        last = index == len(rule.payload) - 1
+        if isinstance(element, ContentOption):
+            if first:
+                prefix, anchored_start = _leading_window(element, transformations)
+                parts.append(prefix)
+            else:
+                parts.append(_gap(element, transformations))
+            parts.append(_content_core(element, transformations))
+        else:
+            core, a_start, a_end, relative, pcre_transforms = _pcre_parts(
+                element, first, last, solo
+            )
+            for code in pcre_transforms:
+                _record(transformations, code)
+            if first:
+                anchored_start = a_start
+            elif relative:
+                # /R pins the search region to the previous match's
+                # end: a ^-anchored body concatenates directly, an
+                # unanchored one still floats within the region
+                _record(transformations, "pcre-relative")
+                if not a_start:
+                    parts.append(".*")
+            else:
+                _record(transformations, "content-join")
+                parts.append(".*")
+            if a_end:
+                anchored_end = True
+            parts.append(core)
+
+    pattern = "".join(parts)
+    if anchored_start and not pattern.startswith("^"):
+        pattern = "^" + pattern
+    if anchored_end:
+        pattern = pattern + "$"
+    try:
+        parse(pattern)
+    except Exception as err:  # pragma: no cover - lowering invariant
+        raise RuleRejected("pcre-syntax-error", f"lowered pattern: {err}") from None
+    return Translation(pattern=pattern, transformations=tuple(transformations))

@@ -1,0 +1,242 @@
+"""Triage: classify every ingested rule, leave none unaccounted for.
+
+The contract (mirrors FastSNAP's convertible-vs-rejected split, with a
+middle bucket for lossless-but-rewritten lowerings): every rule line
+that reaches the frontend lands in exactly one of
+
+* ``compiled``  -- translated verbatim, zero transformations;
+* ``rewritten`` -- translated with recorded transformation codes;
+* ``rejected``  -- untranslatable, with a machine-readable reason code
+  from :data:`repro.rules.translate.REASONS` plus a human detail.
+
+``TriageReport.with_compile_skips`` folds the *compiler's* verdicts
+back in after :func:`repro.compiler.pipeline.compile_ruleset` runs, so
+a rule the translator accepted but the analysis pipeline skipped still
+ends up ``rejected`` with its reason -- zero unclassified rules, end
+to end.
+
+>>> from repro.rules.parser import parse_rule
+>>> report = triage_rules([
+...     parse_rule('alert tcp any any -> any any (content:"abc"; sid:1;)'),
+...     parse_rule('alert tcp any any -> any any (content:"abc"; nocase; sid:2;)'),
+...     parse_rule('alert tcp any any -> any any (pcre:"/(a)\\\\1/"; sid:3;)'),
+... ])
+>>> report.counts
+{'compiled': 1, 'rewritten': 1, 'rejected': 1}
+>>> report.rejected[0].reason
+'pcre-backreference'
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional, Union
+
+from .model import SnortRule
+from .translate import RuleRejected, translate_rule
+
+__all__ = [
+    "STATUSES",
+    "TriagedRule",
+    "TriageReport",
+    "triage_rule",
+    "triage_rules",
+]
+
+#: the closed status vocabulary
+STATUSES = ("compiled", "rewritten", "rejected")
+
+
+@dataclass(frozen=True)
+class TriagedRule:
+    """One rule's triage verdict."""
+
+    rule_id: str
+    status: str
+    pattern: Optional[str] = None
+    transformations: tuple[str, ...] = ()
+    reason: Optional[str] = None
+    detail: Optional[str] = None
+    origin: Optional[str] = None
+    sid: Optional[int] = None
+    msg: Optional[str] = None
+
+    @property
+    def accepted(self) -> bool:
+        return self.status in ("compiled", "rewritten")
+
+    def as_dict(self) -> dict:
+        """JSON-ready view (drops ``None`` fields)."""
+        out: dict = {"rule_id": self.rule_id, "status": self.status}
+        if self.pattern is not None:
+            out["pattern"] = self.pattern
+        if self.transformations:
+            out["transformations"] = list(self.transformations)
+        if self.reason is not None:
+            out["reason"] = self.reason
+        if self.detail:
+            out["detail"] = self.detail
+        for key in ("origin", "sid", "msg"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        return out
+
+
+@dataclass
+class TriageReport:
+    """Every ingested rule's verdict, plus aggregate views."""
+
+    rules: list[TriagedRule] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.rules)
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """Status -> count over the full closed vocabulary (every rule
+        is in exactly one bucket; the values sum to ``total``)."""
+        counts = {status: 0 for status in STATUSES}
+        for rule in self.rules:
+            counts[rule.status] += 1
+        return counts
+
+    @property
+    def accepted(self) -> list[TriagedRule]:
+        return [rule for rule in self.rules if rule.accepted]
+
+    @property
+    def rejected(self) -> list[TriagedRule]:
+        return [rule for rule in self.rules if rule.status == "rejected"]
+
+    def reasons(self) -> dict[str, int]:
+        """Rejection reason code -> count."""
+        return dict(Counter(r.reason for r in self.rejected))
+
+    def transformations(self) -> dict[str, int]:
+        """Transformation code -> number of rules carrying it."""
+        counter: Counter = Counter()
+        for rule in self.rules:
+            counter.update(rule.transformations)
+        return dict(counter)
+
+    def patterns(self) -> list[tuple[str, str, Optional[str]]]:
+        """Accepted rules as sourced ``(rule_id, pattern, origin)``
+        triples -- the shape :class:`~repro.matching.RulesetMatcher`
+        and :func:`~repro.compiler.pipeline.compile_ruleset` ingest."""
+        return [
+            (rule.rule_id, rule.pattern, rule.origin)
+            for rule in self.rules
+            if rule.accepted and rule.pattern is not None
+        ]
+
+    def with_compile_skips(
+        self, skipped: Iterable[tuple[str, str]]
+    ) -> "TriageReport":
+        """Fold compiler skip verdicts into a new report.
+
+        Accepted rules whose id appears in ``skipped`` (the
+        ``CompiledRuleset.skipped`` / ``RulesetMatcher.skipped`` list)
+        move to ``rejected`` with reason ``compile-skipped`` and the
+        compiler's reason string -- which carries the ``file:line``
+        origin for sourced rules -- as the detail.
+        """
+        by_id = dict(skipped)
+        rules = [
+            replace(
+                rule,
+                status="rejected",
+                reason="compile-skipped",
+                detail=by_id[rule.rule_id],
+                transformations=(),
+            )
+            if rule.accepted and rule.rule_id in by_id
+            else rule
+            for rule in self.rules
+        ]
+        return TriageReport(rules=rules)
+
+    def as_dict(self) -> dict:
+        """JSON-ready report (the ``repro rules --json`` document)."""
+        return {
+            "total": self.total,
+            "counts": self.counts,
+            "reasons": self.reasons(),
+            "transformations": self.transformations(),
+            "rules": [rule.as_dict() for rule in self.rules],
+        }
+
+    def summary(self) -> str:
+        """Human-readable one-screen summary."""
+        counts = self.counts
+        lines = [
+            f"rules: {self.total}  "
+            f"compiled: {counts['compiled']}  "
+            f"rewritten: {counts['rewritten']}  "
+            f"rejected: {counts['rejected']}"
+        ]
+        transformations = self.transformations()
+        if transformations:
+            lines.append("transformations:")
+            for code, count in sorted(transformations.items()):
+                lines.append(f"  {code}: {count}")
+        reasons = self.reasons()
+        if reasons:
+            lines.append("rejection reasons:")
+            for code, count in sorted(reasons.items()):
+                lines.append(f"  {code}: {count}")
+        return "\n".join(lines)
+
+
+def triage_rule(rule: SnortRule) -> TriagedRule:
+    """Classify one parsed rule (never raises)."""
+    base = dict(
+        rule_id=rule.rule_id,
+        origin=rule.origin,
+        sid=rule.sid,
+        msg=rule.msg,
+    )
+    try:
+        translation = translate_rule(rule)
+    except RuleRejected as err:
+        return TriagedRule(
+            status="rejected", reason=err.code, detail=err.detail, **base
+        )
+    status = "rewritten" if translation.transformations else "compiled"
+    return TriagedRule(
+        status=status,
+        pattern=translation.pattern,
+        transformations=translation.transformations,
+        **base,
+    )
+
+
+def triage_rules(
+    rules: Iterable[Union[SnortRule, TriagedRule]],
+) -> TriageReport:
+    """Triage parsed rules into one report.
+
+    Pre-triaged entries (e.g. syntax errors recorded by the loader)
+    pass through unchanged; duplicate rule ids after the first become
+    ``rejected`` with reason ``duplicate-id`` (mirroring the compiler's
+    first-wins dedupe so triage and compile never disagree on which
+    rules are live).
+    """
+    report = TriageReport()
+    seen: set[str] = set()
+    for rule in rules:
+        triaged = rule if isinstance(rule, TriagedRule) else triage_rule(rule)
+        if triaged.accepted and triaged.rule_id in seen:
+            triaged = replace(
+                triaged,
+                status="rejected",
+                reason="duplicate-id",
+                detail=f"earlier rule kept for {triaged.rule_id}",
+                transformations=(),
+            )
+        if triaged.accepted:
+            seen.add(triaged.rule_id)
+        report.rules.append(triaged)
+    return report

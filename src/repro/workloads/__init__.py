@@ -10,6 +10,7 @@ from .inputs import (
     random_bytes,
     stream_for_style,
 )
+from .snort_rules import CATEGORY_MIX, corpus_text, snort_corpus, write_corpus
 from .stats import CensusRow, RegexRecord, census
 from .synth import (
     APPLICATION_SUITES,
@@ -48,4 +49,8 @@ __all__ = [
     "binary_stream",
     "stream_for_style",
     "plant_matches",
+    "CATEGORY_MIX",
+    "snort_corpus",
+    "corpus_text",
+    "write_corpus",
 ]

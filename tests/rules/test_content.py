@@ -1,0 +1,77 @@
+r"""Content codec: unit cases + hypothesis round-trip properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rules.content import ContentError, decode_content, encode_content
+
+
+class TestDecode:
+    def test_plain_text(self):
+        assert decode_content("GET /index") == (b"GET /index", False)
+
+    def test_hex_block(self):
+        assert decode_content("|41 42 43|") == (b"ABC", True)
+
+    def test_hex_block_spacing_is_free(self):
+        assert decode_content("|4142  43|")[0] == b"ABC"
+        assert decode_content("|de ad|")[0] == b"\xde\xad"
+
+    def test_mixed_text_and_hex(self):
+        assert decode_content("Host|3a 20|x") == (b"Host: x", True)
+
+    def test_escaped_specials(self):
+        assert decode_content(r"a\;b")[0] == b"a;b"
+        assert decode_content(r"a\"b")[0] == b'a"b'
+        assert decode_content(r"a\\b")[0] == b"a\\b"
+        assert decode_content(r"a\|b")[0] == b"a|b"
+        assert decode_content(r"a\:b")[0] == b"a:b"
+
+    def test_multiple_hex_blocks(self):
+        data, had_hex = decode_content("|00|mid|ff|")
+        assert data == b"\x00mid\xff"
+        assert had_hex
+
+    @pytest.mark.parametrize(
+        "bad", ["|zz|", "|4|", "|41", "trailing\\", "|4g|"]
+    )
+    def test_malformed_raises_content_error(self, bad):
+        with pytest.raises(ContentError):
+            decode_content(bad)
+
+
+class TestEncode:
+    def test_printables_stay_literal(self):
+        assert encode_content(b"GET /index") == "GET /index"
+
+    def test_specials_escaped(self):
+        assert encode_content(b'a;b"c') == r"a\;b\"c"
+
+    def test_binary_lands_in_hex_blocks(self):
+        assert encode_content(b"\xde\xad\xbe\xef") == "|de ad be ef|"
+
+    def test_consecutive_binary_shares_one_block(self):
+        assert encode_content(b"a\x00\x01b") == "a|00 01|b"
+
+
+@settings(max_examples=300, deadline=None)
+@given(st.binary(max_size=64))
+def test_round_trip_any_bytes(data):
+    """decode(encode(b)) is the identity for every byte string."""
+    text = encode_content(data)
+    decoded, _had_hex = decode_content(text)
+    assert decoded == data
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.binary(min_size=1, max_size=32))
+def test_encoded_form_survives_rule_embedding(data):
+    """An encoded content embeds into a full rule line and parses back
+    to the same bytes (quote/escape layers compose correctly)."""
+    from repro.rules.parser import parse_rule
+
+    text = encode_content(data)
+    rule = parse_rule(
+        f'alert tcp any any -> any any (content:"{text}"; sid:1;)'
+    )
+    assert rule.payload[0].data == data

@@ -1,0 +1,171 @@
+r"""Satellite: translated rules agree with the derivative oracle and
+with Python ``re`` on sampled inputs.
+
+Three layers of cross-checking:
+
+* hex-block / escaped-separator contents round-trip byte-exactly
+  (encode -> rule line -> translate -> oracle match),
+* ``nocase`` is observationally equivalent to ``(?i:...)`` and to
+  Python's ``re.IGNORECASE``,
+* a sample of translated corpus rules gives the same found/not-found
+  answer from the oracle and from Python ``re`` on generated payloads.
+"""
+
+import random
+import re
+
+from hypothesis import given, settings, strategies as st
+
+from repro.regex.oracle import accepts, match_ends
+from repro.regex.parser import parse
+from repro.rules import load_rules_text, parse_rule, translate_rule
+from repro.rules.content import encode_content
+from repro.workloads.snort_rules import corpus_text
+
+
+def _translate_content(options: str):
+    return translate_rule(
+        parse_rule(f"alert tcp any any -> any any ({options} sid:1;)")
+    )
+
+
+def _py_compile(pattern: str) -> "re.Pattern[bytes]":
+    """Compile a dialect pattern with Python re (dialect `.` = any byte)."""
+    return re.compile(b"(?s:" + pattern.encode("latin-1") + b")")
+
+
+NOISE = st.binary(max_size=16).filter(lambda b: b"\n" not in b)
+
+
+@settings(max_examples=150, deadline=None)
+@given(data=st.binary(min_size=1, max_size=24), prefix=NOISE, suffix=NOISE)
+def test_content_bytes_roundtrip_through_oracle(data, prefix, suffix):
+    """encode -> rule -> translate -> the oracle finds the bytes."""
+    t = _translate_content(f'content:"{encode_content(data)}";')
+    parsed = parse(t.pattern)
+    haystack = prefix + data + suffix
+    assert accepts(parsed.membership_ast(), haystack)
+    assert len(prefix) + len(data) in match_ends(parsed.search_ast(), haystack)
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.binary(min_size=1, max_size=24))
+def test_content_translation_agrees_with_python_re(data):
+    """The translated literal and Python's re.escape match identically."""
+    t = _translate_content(f'content:"{encode_content(data)}";')
+    parsed = parse(t.pattern)
+    ref = re.compile(re.escape(data))
+    for haystack in (data, b"x" + data, data + b"\x00", data[1:], b""):
+        assert accepts(parsed.membership_ast(), haystack) == bool(
+            ref.search(haystack)
+        )
+
+
+_WORD = st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=10)
+
+
+@settings(max_examples=150, deadline=None)
+@given(word=_WORD, flips=st.lists(st.booleans(), min_size=10, max_size=10),
+       prefix=NOISE)
+def test_nocase_equivalent_to_inline_i_flag(word, flips, prefix):
+    """`content:"w"; nocase;` matches every case-mangling of w, exactly
+    like `(?i:w)` and Python's re.IGNORECASE."""
+    nocase = _translate_content(f'content:"{word}"; nocase;')
+    inline = parse(f"(?i:{word})")
+    mangled = "".join(
+        c.upper() if flip else c for c, flip in zip(word, flips)
+    ).encode("latin-1")
+    haystack = prefix + mangled
+    parsed = parse(nocase.pattern)
+    assert accepts(parsed.membership_ast(), haystack)
+    assert accepts(inline.membership_ast(), haystack)
+    ref = re.compile(re.escape(word).encode("latin-1"), re.IGNORECASE)
+    assert bool(ref.search(haystack))
+    # and a guaranteed non-match stays a non-match everywhere
+    miss = prefix + b"\x00"
+    assert accepts(parsed.membership_ast(), miss) == bool(ref.search(miss))
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.binary(min_size=1, max_size=16))
+def test_escaped_separators_survive_translation(data):
+    """Bytes containing `;` `"` `|` `:` round-trip through the quoted
+    rule syntax into a pattern the oracle matches byte-exactly."""
+    salted = b';"|:' + data
+    t = _translate_content(f'content:"{encode_content(salted)}";')
+    parsed = parse(t.pattern)
+    assert accepts(parsed.membership_ast(), b"pre" + salted + b"post")
+    assert not accepts(parsed.membership_ast(), salted[:-1])
+
+
+def _sampled_accepted_rules(count: int = 60):
+    report = load_rules_text(corpus_text(total=300), file="sample.rules").report
+    rng = random.Random(0xACE)
+    accepted = [r for r in report.accepted if "$" not in r.pattern]
+    rng.shuffle(accepted)
+    return accepted[:count]
+
+
+def _payloads_for(pattern: str, rng: random.Random):
+    """A handful of adversarial payloads: random noise plus fragments
+    of the pattern's own literal bytes (with escapes collapsed)."""
+    literal = re.sub(
+        r"\\x([0-9a-fA-F]{2})", lambda m: chr(int(m.group(1), 16)),
+        pattern,
+    )
+    literal = re.sub(r"[\^$.|?*+()\[\]{}]", "", literal).replace("\\", "")
+    seed = literal.encode("latin-1")[:32]
+    yield seed
+    yield b"QQ" + seed + b"QQ"
+    yield seed[: max(1, len(seed) // 2)]
+    yield bytes(rng.randrange(256) for _ in range(24))
+    yield b""
+
+
+def test_sampled_translated_rules_agree_with_python_re():
+    """Oracle membership == Python re search on every sampled rule."""
+    rules = _sampled_accepted_rules()
+    assert len(rules) >= 40  # the sample is meaningful
+    rng = random.Random(0xBEEF)
+    checked = 0
+    for rule in rules:
+        parsed = parse(rule.pattern)
+        ref = _py_compile(rule.pattern)
+        for payload in _payloads_for(rule.pattern, rng):
+            oracle_found = accepts(parsed.membership_ast(), payload)
+            python_found = bool(ref.search(payload))
+            assert oracle_found == python_found, (
+                rule.rule_id, rule.pattern, payload,
+            )
+            checked += 1
+    assert checked >= 200
+
+
+def test_fixture_rewrites_agree_with_python_re():
+    """Every accepted fixture rule: oracle vs Python re on its own msg
+    bytes and on a crafted hit."""
+    import os
+
+    fixture = os.path.join(os.path.dirname(__file__), "fixtures", "local.rules")
+    with open(fixture, encoding="utf-8") as handle:
+        report = load_rules_text(handle.read(), file="local.rules").report
+    hits = {
+        "sid:1000001": b"GET /admin",
+        "sid:1000003": b"uSeR-aGeNt",
+        "sid:1000004": b"\xde\xad\xbe\xef",
+        "sid:1000005": b"Host: evil",
+        "sid:1000007": b"MAIL FROM x evil.example",
+        "sid:1000008": b'a;b"c',
+    }
+    for rule in report.accepted:
+        parsed = parse(rule.pattern)
+        ref = _py_compile(rule.pattern)
+        payloads = [b"unrelated noise", b""]
+        if rule.rule_id in hits:
+            payloads.append(b"pad " + hits[rule.rule_id] + b" pad")
+        for payload in payloads:
+            assert accepts(parsed.membership_ast(), payload) == bool(
+                ref.search(payload)
+            ), (rule.rule_id, rule.pattern, payload)
+        if rule.rule_id in hits:
+            assert accepts(parsed.membership_ast(), b"pad " + hits[rule.rule_id])

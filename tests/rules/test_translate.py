@@ -1,0 +1,149 @@
+"""Translation table + rejection reason codes (docs/RULES.md pins)."""
+
+import pytest
+
+from repro.rules.parser import parse_rule
+from repro.rules.translate import (
+    REASONS,
+    TRANSFORMATIONS,
+    RuleRejected,
+    escape_bytes,
+    translate_rule,
+)
+
+
+def _translate(options: str):
+    return translate_rule(
+        parse_rule(f"alert tcp any any -> any any ({options} sid:1;)")
+    )
+
+
+def _reject(options: str) -> RuleRejected:
+    with pytest.raises(RuleRejected) as err:
+        _translate(options)
+    return err.value
+
+
+class TestTranslationTable:
+    """Each row mirrors the table in docs/RULES.md."""
+
+    def test_plain_content_is_verbatim(self):
+        t = _translate('content:"GET /admin";')
+        assert (t.pattern, t.transformations) == ("GET /admin", ())
+
+    def test_metacharacters_escaped(self):
+        assert _translate('content:"a.b(c)";').pattern == r"a\.b\(c\)"
+
+    def test_nocase_folds_to_scoped_case_group(self):
+        t = _translate('content:"user"; nocase;')
+        assert t.pattern == "(?i:user)"
+        assert t.transformations == ("nocase",)
+
+    def test_hex_block_respelled(self):
+        t = _translate('content:"|de ad|";')
+        assert t.pattern == r"\xde\xad"
+        assert t.transformations == ("hex-block",)
+
+    def test_offset_depth_window(self):
+        t = _translate('content:"AB"; offset:4; depth:6;')
+        assert t.pattern == "^.{4,8}AB"
+        assert t.transformations == ("offset-depth-window",)
+
+    def test_offset_without_depth_is_open_window(self):
+        assert _translate('content:"AB"; offset:3;').pattern == "^.{3,}AB"
+
+    def test_depth_alone_anchors_at_zero(self):
+        assert _translate('content:"AB"; depth:5;').pattern == "^.{0,3}AB"
+
+    def test_exact_window_degenerates_to_anchor(self):
+        assert _translate('content:"AB"; depth:2;').pattern == "^AB"
+
+    def test_distance_within_gap(self):
+        t = _translate('content:"foo"; content:"bar"; distance:2; within:8;')
+        assert t.pattern == "foo.{2,7}bar"
+        assert t.transformations == ("distance-within-gap",)
+
+    def test_unmodified_join_uses_dot_star(self):
+        t = _translate('content:"foo"; content:"bar";')
+        assert t.pattern == "foo.*bar"
+        assert t.transformations == ("content-join",)
+
+    def test_pcre_verbatim_is_compiled(self):
+        t = _translate('pcre:"/ab{2,4}c/";')
+        assert (t.pattern, t.transformations) == ("ab{2,4}c", ())
+
+    def test_pcre_i_flag_folds(self):
+        t = _translate('pcre:"/login/i";')
+        assert t.pattern == "(?i:login)"
+        assert t.transformations == ("pcre-flags",)
+
+    def test_pcre_anchors_survive_solo(self):
+        assert _translate('pcre:"/^GET .* HTTP$/";').pattern == "^GET .* HTTP$"
+
+    def test_relative_pcre_floats_in_region(self):
+        t = _translate('content:"AB"; pcre:"/x[0-9]/R";')
+        assert t.pattern == "AB.*(?:x[0-9])"
+        assert "pcre-relative" in t.transformations
+
+    def test_relative_anchored_pcre_concatenates(self):
+        t = _translate('content:"AB"; pcre:"/^CD/R";')
+        assert t.pattern == "AB(?:CD)"
+
+    def test_pcre_alternation_grouped_when_joined(self):
+        t = _translate('content:"AB"; pcre:"/x|y/";')
+        assert t.pattern == "AB.*(?:x|y)"
+
+    def test_buffer_selector_records_collapse(self):
+        t = _translate('content:"/sh"; http_uri;')
+        assert "buffer-collapse" in t.transformations
+
+
+class TestRejections:
+    @pytest.mark.parametrize(
+        ("options", "code"),
+        [
+            ('pcre:"/(a)\\1/";', "pcre-backreference"),
+            ('pcre:"/a(?=b)/";', "pcre-lookaround"),
+            ('pcre:"/a(?<=b)c/";', "pcre-lookaround"),
+            ('pcre:"/a\\bword/";', "pcre-word-boundary"),
+            ('pcre:"/a[/";', "pcre-syntax-error"),
+            ('pcre:"/abc/U";', "pcre-unsupported-modifier"),
+            ('pcre:"/^abc$/m";', "pcre-unsupported-modifier"),
+            ('pcre:!"/abc/";', "negated-pcre"),
+            ('content:!"x";', "negated-content"),
+            ('content:"x"; byte_test:4,>,1,0;', "unsupported-option"),
+            ('content:"x"; isdataat:10;', "unsupported-option"),
+            ('content:"longtoken"; depth:4;', "window-too-small"),
+            ('content:"ab"; content:"cd"; within:1;', "window-too-small"),
+            ('content:"a"; content:"b"; offset:9;', "mid-rule-absolute-position"),
+            ('content:"a"; content:"b"; distance:-2;', "negative-position"),
+            ('content:"AB"; pcre:"/^x/";', "pcre-anchor-conflict"),
+            ('pcre:"/x$/"; content:"AB";', "pcre-anchor-conflict"),
+            ("flow:established;", "no-payload-pattern"),
+        ],
+    )
+    def test_reason_codes(self, options, code):
+        assert _reject(options).code == code
+
+    def test_every_emitted_code_is_documented(self):
+        for options in [
+            'pcre:"/(a)\\1/";', 'content:!"x";', "flow:established;",
+        ]:
+            assert _reject(options).code in REASONS
+
+    def test_vocabularies_are_disjoint(self):
+        assert not set(REASONS) & set(TRANSFORMATIONS)
+
+
+class TestEscapeBytes:
+    def test_printables_and_metas(self):
+        assert escape_bytes(b"a+b") == r"a\+b"
+
+    def test_nonprintables_become_hex(self):
+        assert escape_bytes(b"\x00\xff") == r"\x00\xff"
+
+    def test_result_always_parses(self):
+        from repro.regex.parser import parse
+
+        data = bytes(range(256))
+        parse(escape_bytes(data))  # must not raise

@@ -335,6 +335,87 @@ class TestCensusAndReport:
             main(["bogus"])
 
 
+class TestRulesCommand:
+    """`repro rules`: triage reporting over Snort-syntax rule files."""
+
+    FIXTURE = "tests/rules/fixtures/local.rules"
+
+    def test_text_report(self, capsys):
+        assert main(["rules", self.FIXTURE]) == 0
+        out = capsys.readouterr().out
+        assert "rules: 16" in out
+        assert "compiled" in out and "rejected" in out
+
+    def test_rejected_listing_names_source_lines(self, capsys):
+        assert main(["rules", self.FIXTURE, "--rejected"]) == 0
+        out = capsys.readouterr().out
+        assert "local.rules:29 [pcre-backreference]" in out
+        assert "local.rules:31 [negated-content]" in out
+
+    def test_json_report(self, capsys):
+        import json
+
+        assert main(["rules", self.FIXTURE, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["total"] == 16
+        assert report["counts"] == {
+            "compiled": 3, "rewritten": 6, "rejected": 7,
+        }
+        assert sum(report["counts"].values()) == report["total"]
+        rejected = [r for r in report["rules"] if r["status"] == "rejected"]
+        assert all(r["reason"] and r["origin"] for r in rejected)
+
+    def test_json_compile_cold_then_warm(self, tmp_path, capsys):
+        import json
+
+        cache = str(tmp_path / "cache")
+        assert main(["rules", self.FIXTURE, "--json", "--cache-dir", cache]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["compile"]["cache_hit"] is False
+        assert cold["compile"]["rules_compiled"] == 9
+        assert main(["rules", self.FIXTURE, "--json", "--cache-dir", cache]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["compile"]["cache_hit"] is True
+        assert warm["compile"]["rules_compiled"] == 9
+
+    def test_missing_file_errors(self, capsys):
+        assert main(["rules", "/nonexistent/x.rules"]) == 2
+        assert "x.rules" in capsys.readouterr().err
+
+    def test_scan_snort_format(self, tmp_path, capsys):
+        data = tmp_path / "payload.bin"
+        data.write_bytes(b"xxGET /admin HTTP/1.1\r\nuser-agent: probe")
+        assert (
+            main(
+                ["scan", "--format", "snort", "--rules", self.FIXTURE,
+                 "--input", str(data)]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "sid:1000001" in captured.out  # GET /admin literal
+        assert "sid:1000003" in captured.out  # nocase'd user-agent
+        assert "rejected" in captured.err  # triage note on stderr
+
+    def test_scan_snort_format_respects_triage(self, tmp_path, capsys):
+        # a rejected rule (negated content) must not reach the engine
+        rules = tmp_path / "only_rejects.rules"
+        rules.write_text(
+            'alert tcp any any -> any any (content:!"x"; sid:1;)\n'
+        )
+        data = tmp_path / "d.bin"
+        data.write_bytes(b"anything")
+        assert (
+            main(
+                ["scan", "--format", "snort", "--rules", str(rules),
+                 "--input", str(data)]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "sid:1" not in captured.out
+
+
 class TestServeConnect:
     """CLI serving: `repro connect` against a live MatchServer (the
     server side of `repro serve` is the same MatchServer; its

@@ -44,6 +44,9 @@ EXAMPLED = [
     "simulate",
     "available_backends",
     "resolve_backend",
+    "parse_rule",
+    "translate_rule",
+    "load_rules_text",
 ]
 
 #: modules whose doctests run as part of tier-1 (the CI markdown leg
@@ -58,6 +61,12 @@ DOCTESTED_MODULES = [
     "repro.engine.tables",
     "repro.engine.backends.registry",
     "repro.compiler.pipeline",
+    "repro.rules.content",
+    "repro.rules.parser",
+    "repro.rules.translate",
+    "repro.rules.triage",
+    "repro.rules.loader",
+    "repro.workloads.snort_rules",
     "repro.analysis.hybrid",
     "repro.regex.parser",
     "repro.regex.rewrite",

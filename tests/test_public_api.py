@@ -57,6 +57,9 @@ EXPECTED_ALL = sorted(
         "Match", "match_dict", "MatchSession", "Matcher",
         "MultiStreamScanner", "CollectorSink", "QueueSink",
         "UNNAMED_REPORT",
+        # ruleset ingestion frontend
+        "SnortRule", "TriagedRule", "TriageReport", "LoadedRuleset",
+        "load_rules", "load_rules_text", "parse_rule", "translate_rule",
         # serving subsystem
         "MatchServer", "MatcherHandle", "MatchClient", "ServerStats",
         "WorkerFleet", "merge_server_stats", "scan_tagged_remote",
