@@ -891,6 +891,91 @@ def test_serve_fleet_scaling(ste_only_workload, tmp_path):
         assert scaling >= FLEET_LINEAR_FLOOR * FLEET_WORKERS, report
 
 
+CLUSTER_SHARDS = 3
+#: a 3-shard scatter-gather scan must stay under this multiple of the
+#: 1-shard remote baseline (every shard scans every byte, but each
+#: holds 1/3 of the rules -- the scan work roughly conserves; what
+#: this bounds is the tripled framing + per-feed PING-barrier cost)
+CLUSTER_OVERHEAD_CEILING = 2.0
+CLUSTER_ROUNDS = 3
+
+
+def test_serve_cluster_overhead(ste_only_workload):
+    """ISSUE 10 acceptance: scatter-gather fan-out over 3 shard-server
+    processes costs < 2x the 1-shard remote baseline on the same
+    stream, with merged matches identical to the offline scanner.
+
+    Always measures and writes the ``serve_cluster`` section of
+    BENCH_engine.json; like the fleet benchmark, the ceiling is a
+    latency bound (barrier + framing), not a parallelism claim, so it
+    is asserted regardless of core count."""
+    import os
+
+    from repro import LocalShardCluster, RemoteShardedMatcher
+
+    rules, _, data = ste_only_workload
+    chunks = [
+        data[offset : offset + SERVE_CHUNK]
+        for offset in range(0, len(data), SERVE_CHUNK)
+    ]
+    offline = RulesetMatcher(rules, unfold_threshold=float("inf")).scan_stream(
+        chunks
+    )
+
+    def measure(shards):
+        with LocalShardCluster(
+            rules,
+            shards=shards,
+            unfold_threshold=float("inf"),
+            processes=True,
+        ) as cluster:
+            with RemoteShardedMatcher(cluster.addresses) as remote:
+                result = remote.scan_stream(chunks)
+                assert result.matches == offline.matches
+                assert result.bytes_scanned == offline.bytes_scanned
+                elapsed = _time(
+                    lambda: remote.scan_stream(chunks), rounds=CLUSTER_ROUNDS
+                )
+            mode = cluster.mode
+        return elapsed, mode
+
+    t_single, _ = measure(1)
+    t_cluster, mode = measure(CLUSTER_SHARDS)
+    single_bps = len(data) / t_single
+    cluster_bps = len(data) / t_cluster
+    ratio = t_cluster / t_single
+
+    update_json(
+        "engine",
+        {
+            "serve_cluster": {
+                "shards": CLUSTER_SHARDS,
+                "mode": mode,
+                "chunk_bytes": SERVE_CHUNK,
+                "stream_bytes": len(data),
+                "single_shard_bps": single_bps,
+                "cluster_bps": cluster_bps,
+                "fanout_ratio": ratio,
+                "ceiling": CLUSTER_OVERHEAD_CEILING,
+                "matches": sum(len(e) for e in offline.matches.values()),
+                "cpus": os.cpu_count() or 1,
+            }
+        },
+    )
+    report = (
+        f"Cluster fan-out overhead ({CLUSTER_SHARDS} shard-server "
+        f"processes vs 1, {SERVE_CHUNK}-byte frames,\n"
+        f"    {len(data)} stream bytes, lockstep FEED+PING barrier "
+        f"per frame, mode {mode})\n"
+        f"  1 shard : {single_bps / 1e3:9.1f} KB/s\n"
+        f"  {CLUSTER_SHARDS} shards: {cluster_bps / 1e3:9.1f} KB/s\n"
+        f"  ratio   : {ratio:9.2f}x (ceiling "
+        f"{CLUSTER_OVERHEAD_CEILING:.1f}x)"
+    )
+    save_report("engine_serve_cluster", report)
+    assert ratio < CLUSTER_OVERHEAD_CEILING, report
+
+
 RULES_CORPUS_SIZE = 2000
 #: the cache must buy at least this over a cold ruleset compile
 #: (measured ~13x; keep headroom for slow CI runners)

@@ -31,9 +31,10 @@ The library spans the paper's whole stack:
 * :mod:`repro.serve` -- the async match-serving subsystem:
   :class:`MatchServer` (asyncio TCP line-protocol server with bounded
   per-connection backpressure, threaded feed off-load, graceful
-  drain), :class:`MatchClient`/:func:`scan_tagged_remote`, and
-  :class:`ServerStats` load snapshots; CLI ``repro serve`` /
-  ``repro connect``;
+  drain), :class:`MatchClient`/:func:`scan_tagged_remote`,
+  :class:`ServerStats` load snapshots, and the cluster scatter-gather
+  layer (:class:`RemoteShardedMatcher` over M remote ruleset shards);
+  CLI ``repro serve`` / ``repro connect`` / ``repro cluster``;
 * :mod:`repro.rules` -- the Snort/PCRE ruleset ingestion frontend:
   rule-line parsing (``content:``/``pcre:`` with ``nocase``,
   ``offset``/``depth``/``distance``/``within``, ``|AA BB|`` hex
@@ -116,9 +117,13 @@ from .rules import (
     translate_rule,
 )
 from .serve import (
+    ClusterPartialResultError,
+    ClusterSpec,
+    LocalShardCluster,
     MatchClient,
     MatchServer,
     MatcherHandle,
+    RemoteShardedMatcher,
     ServerStats,
     WorkerFleet,
     merge_server_stats,
@@ -227,4 +232,9 @@ __all__ = [
     "WorkerFleet",
     "merge_server_stats",
     "scan_tagged_remote",
+    # cluster scatter-gather (network-sharded rulesets)
+    "RemoteShardedMatcher",
+    "LocalShardCluster",
+    "ClusterSpec",
+    "ClusterPartialResultError",
 ]

@@ -23,6 +23,13 @@ Commands mirror the toolchain stages:
 * ``connect``  -- smoke-test client for ``serve``: stream interleaved
   ``tag<TAB>chunk`` lines (the ``scan --streams`` format) to a running
   server and report per-stream matches;
+* ``cluster``  -- scatter-gather over network ruleset shards
+  (:mod:`repro.serve.cluster`): either spawn M local shard servers
+  from one rule file (``--rules``/``--shards``, each server holding a
+  round-robin slice) and serve until SIGTERM, or attach to an existing
+  shard fleet (``--attach host:port,...``); with ``--input`` the
+  spawned or attached cluster one-shots a tagged-chunk scan whose
+  merged per-stream results equal an offline ``scan --streams`` run;
 * ``rules``    -- ingest Snort-style ``.rules`` files through the
   :mod:`repro.rules` frontend and report the triage (every rule
   classified compiled / rewritten / rejected-with-reason; ``--json``
@@ -264,6 +271,67 @@ def build_parser() -> argparse.ArgumentParser:
         "per-stream summaries, match events (with ruleset "
         "generations), and the server STATS snapshot "
         "(schema: docs/SERVING.md)",
+    )
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="scatter-gather a ruleset over network shard servers "
+        "(spawn local shards from --rules, or --attach host:port,...)",
+    )
+    p_cluster.add_argument(
+        "--rules",
+        help="spawn mode: rule file to split round-robin over --shards "
+        "local shard servers",
+    )
+    p_cluster.add_argument(
+        "--attach",
+        help="attach mode: comma-separated host:port shard endpoints "
+        "(one running match server per ruleset shard)",
+    )
+    p_cluster.add_argument(
+        "--shards", type=int, default=3,
+        help="shard server count in spawn mode (default 3)",
+    )
+    p_cluster.add_argument("--host", default="127.0.0.1")
+    p_cluster.add_argument(
+        "--ports",
+        help="comma-separated fixed ports for spawned shards "
+        "(default: ephemeral, printed on the ready line)",
+    )
+    p_cluster.add_argument(
+        "--input",
+        help="one-shot scan: tag<TAB>chunk lines ('-' = stdin; same "
+        "format as 'scan --streams'); omit in spawn mode to keep the "
+        "shards serving until SIGINT/SIGTERM",
+    )
+    p_cluster.add_argument(
+        "--engine",
+        choices=engine_choices(),
+        default=AUTO_ENGINE,
+        help="execution backend for every spawned shard server",
+    )
+    p_cluster.add_argument("--threshold", type=float, default=0)
+    p_cluster.add_argument(
+        "-O", "--opt-level", type=int, default=0,
+        help="optimisation passes (see 'compile --opt-level')",
+    )
+    p_cluster.add_argument(
+        "--cache-dir",
+        help="warm-start spawned shards from the persistent ruleset cache",
+    )
+    p_cluster.add_argument(
+        "--retries", type=int, default=5,
+        help="extra connection attempts per shard before giving up "
+        "(exponential backoff with jitter)",
+    )
+    p_cluster.add_argument(
+        "--in-process", action="store_true",
+        help="run spawned shards as servers inside this process "
+        "instead of forked worker processes (dev/debug)",
+    )
+    p_cluster.add_argument(
+        "--stats", action="store_true",
+        help="also print the merged cluster STATS snapshot",
     )
 
     p_rules = sub.add_parser(
@@ -905,6 +973,157 @@ def _cmd_connect(args) -> int:
     return 0
 
 
+def _cluster_scan(matcher, args) -> int:
+    """One-shot cluster scan: demultiplex tagged lines through the
+    remote shards and report per stream (merged across shards)."""
+    from .serve.cluster import ClusterPartialResultError
+    from .session import MultiStreamScanner
+
+    handle = sys.stdin.buffer if args.input == "-" else open(args.input, "rb")
+    mux = MultiStreamScanner(matcher, engine=None)
+    try:
+        try:
+            for _, tag, payload in _tagged_chunks(handle):
+                mux.feed(tag, payload)
+            mux.finish_all()
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        except ClusterPartialResultError as exc:
+            # partial-result contract: name the casualty, keep what
+            # was already delivered visible, exit distinctly
+            print(f"error: {exc}", file=sys.stderr)
+            for stream in sorted(exc.delivered):
+                for match in exc.delivered[stream]:
+                    print(
+                        f"  delivered {stream}: {match.rule} @ {match.end}",
+                        file=sys.stderr,
+                    )
+            return 3
+    finally:
+        if handle is not sys.stdin.buffer:
+            handle.close()
+    results = mux.results()
+    total_bytes = sum(result.bytes_scanned for result in results.values())
+    total_matches = sum(result.total_matches() for result in results.values())
+    print(
+        f"scanned {len(results)} stream(s), {total_bytes} bytes, "
+        f"{total_matches} match(es) across {matcher.shard_count} shard(s)"
+    )
+    for tag in sorted(results):
+        result = results[tag]
+        print(
+            f"stream {tag}: {result.bytes_scanned} bytes, "
+            f"{result.total_matches()} match(es)"
+        )
+        for rule_id in sorted(result.matches):
+            ends = result.matches[rule_id]
+            shown = ", ".join(map(str, ends[:8]))
+            suffix = ", ..." if len(ends) > 8 else ""
+            print(f"  {rule_id}: {len(ends)} match(es) at [{shown}{suffix}]")
+    if not results:
+        print("  no streams")
+    if args.stats:
+        print(f"cluster stats: {matcher.stats().as_dict()}")
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    """``cluster``: spawn or attach to a shard-server fleet and either
+    one-shot a tagged scan (``--input``) or serve until a signal."""
+    import signal
+    import threading
+
+    from .serve.cluster import ClusterSpec, RemoteShardedMatcher, parse_endpoint
+
+    if bool(args.rules) == bool(args.attach):
+        print(
+            "error: exactly one of --rules (spawn) or --attach (attach)",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.attach:
+        if args.input is None:
+            print("error: --attach requires --input", file=sys.stderr)
+            return 2
+        try:
+            endpoints = [
+                parse_endpoint(part)
+                for part in args.attach.split(",")
+                if part.strip()
+            ]
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not endpoints:
+            print("error: --attach lists no endpoints", file=sys.stderr)
+            return 2
+        try:
+            matcher = ClusterSpec.attach(endpoints).connect(retries=args.retries)
+        except ConnectionError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        with matcher:
+            return _cluster_scan(matcher, args)
+
+    # spawn mode: one rule file, round-robin over --shards local servers
+    rules = _read_rules(args.rules)
+    try:
+        ports = tuple(
+            int(part) for part in args.ports.split(",") if part.strip()
+        ) if args.ports else ()
+    except ValueError:
+        print(f"error: bad --ports list {args.ports!r}", file=sys.stderr)
+        return 2
+    if ports and len(ports) != args.shards:
+        print(
+            f"error: --ports lists {len(ports)} port(s) for "
+            f"{args.shards} shard(s)",
+            file=sys.stderr,
+        )
+        return 2
+    spec = ClusterSpec.spawn(
+        rules,
+        shards=args.shards,
+        host=args.host,
+        ports=ports,
+        engine=args.engine,
+        unfold_threshold=args.threshold,
+        opt_level=args.opt_level,
+        cache_dir=args.cache_dir,
+    )
+    try:
+        cluster = spec.start(processes=not args.in_process)
+    except (OSError, RuntimeError, ValueError) as exc:
+        print(f"error: cannot start shard servers: {exc}", file=sys.stderr)
+        return 2
+    code = 0
+    try:
+        addresses = ",".join(f"{host}:{port}" for host, port in cluster.addresses)
+        # the ready line is machine-readable: smoke tests poll for it
+        print(
+            f"cluster of {cluster.shard_count} shard(s) on {addresses} "
+            f"({cluster.rule_count} rules, engine {args.engine}, "
+            f"mode {cluster.mode})",
+            flush=True,
+        )
+        if args.input is not None:
+            with RemoteShardedMatcher(
+                cluster.addresses, retries=args.retries
+            ) as matcher:
+                code = _cluster_scan(matcher, args)
+        else:
+            stop = threading.Event()
+            signal.signal(signal.SIGINT, lambda *_: stop.set())
+            signal.signal(signal.SIGTERM, lambda *_: stop.set())
+            stop.wait()
+    finally:
+        print("draining...", file=sys.stderr)
+        _serve_summary(cluster.stop(drain=True))
+    return code
+
+
 def _cmd_rules(args) -> int:
     """``rules``: triage Snort-style rule files (optionally compile)."""
     import json
@@ -1010,6 +1229,7 @@ _COMMANDS = {
     "scan": _cmd_scan,
     "serve": _cmd_serve,
     "connect": _cmd_connect,
+    "cluster": _cmd_cluster,
     "rules": _cmd_rules,
     "census": _cmd_census,
     "report": _cmd_report,

@@ -94,6 +94,10 @@ def shard_rules(
     Bare pattern strings get the same ``rule{index}`` ids that
     :func:`~repro.compiler.pipeline.compile_ruleset` would assign, so a
     sharded compilation reports the same rule ids as an unsharded one.
+    This is *the* shard-assignment policy: the network cluster layer
+    (:class:`~repro.serve.cluster.LocalShardCluster`) calls the same
+    function, so a ruleset splits identically whether the shards are
+    threads in this process or match servers on other machines.
     """
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
@@ -260,16 +264,26 @@ def merge_scan_results(results: "Sequence[ScanResult]") -> "ScanResult":
     compile seconds, all-shards-warm cache flag) when every input
     carries it, instead of being dropped.
 
+    The merge has an identity: an **empty** input returns the neutral
+    result (zero bytes, no matches) and a one-element input returns an
+    equal result unchanged -- so scatter-gather callers (the network
+    cluster path, :mod:`repro.serve.cluster`) can fold whatever shard
+    subset responded without special-casing 0 or 1 shards.
+
     >>> from repro import ScanResult, merge_scan_results
     >>> merged = merge_scan_results(
     ...     [ScanResult(5, {"a": [3]}), ScanResult(5, {"b": [5]})])
     >>> merged.matches
     {'a': [3], 'b': [5]}
+    >>> merge_scan_results([]) == ScanResult(0, {})
+    True
+    >>> merge_scan_results([merged]) == merged
+    True
     """
     from ..matching import ScanResult, merge_compile_infos
 
     if not results:
-        raise ValueError("nothing to merge")
+        return ScanResult(bytes_scanned=0, matches={})
     lengths = {result.bytes_scanned for result in results}
     if len(lengths) > 1:
         raise ValueError(f"shard results disagree on stream length: {lengths}")

@@ -185,6 +185,11 @@ def merge_compile_infos(infos: Sequence[CompileInfo]) -> CompileInfo:
     the shards agree (a single-matcher merge) -- a sharded compilation
     is backed by many artifacts, reachable per shard via
     :attr:`~repro.engine.parallel.ShardedMatcher.compile_infos`.
+    Callers include :class:`~repro.engine.parallel.ShardedMatcher` and
+    the cluster layer's :class:`~repro.serve.cluster.LocalShardCluster`
+    (one info per shard *server*).  An empty sequence raises -- unlike
+    :func:`~repro.engine.parallel.merge_scan_results` there is no
+    neutral ``CompileInfo`` (``cache_hit`` has no identity value).
     """
     if not infos:
         raise ValueError("nothing to merge")

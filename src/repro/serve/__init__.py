@@ -25,10 +25,20 @@ length-prefixed payloads.  The pieces:
   respawn;
 * :mod:`repro.serve.control` -- :class:`ControlServer` /
   :class:`ControlClient`: the unix-socket operator channel
-  (``PING``/``GEN``/``STATS``/``RELOAD``/``STOP``).
+  (``PING``/``GEN``/``STATS``/``RELOAD``/``STOP``);
+* :mod:`repro.serve.cluster` -- :class:`RemoteShardedMatcher`: the
+  :class:`~repro.session.Matcher` protocol over M remote servers each
+  holding one ruleset *shard* (same dedup + round-robin policy as
+  :class:`~repro.engine.parallel.ShardedMatcher`), with lockstep
+  FEED fan-out, merged match streams, and
+  :class:`ClusterPartialResultError` on mid-flight shard failure;
+  :class:`LocalShardCluster`/:class:`ClusterSpec` spawn or describe
+  the shard servers.
 
 CLI: ``python -m repro serve --rules ... --port ... [--workers N
---reload --control PATH]`` and ``python -m repro connect --port ...``.
+--reload --control PATH]``, ``python -m repro connect --port ...``,
+and ``python -m repro cluster [--rules ... --shards M | --attach
+host:port,...]``.
 
 A served stream emits exactly the matches an offline session would --
 same events, same order, same ``$``-gating -- which the end-to-end
@@ -42,6 +52,12 @@ from .client import (
     StreamSummary,
     backoff_delays,
     scan_tagged_remote,
+)
+from .cluster import (
+    ClusterPartialResultError,
+    ClusterSpec,
+    LocalShardCluster,
+    RemoteShardedMatcher,
 )
 from .control import ControlClient, ControlServer
 from .fleet import FleetError, MatcherSpec, WorkerFleet, reuse_port_supported
@@ -62,6 +78,10 @@ __all__ = [
     "FleetError",
     "ControlServer",
     "ControlClient",
+    "ClusterPartialResultError",
+    "ClusterSpec",
+    "LocalShardCluster",
+    "RemoteShardedMatcher",
     "backoff_delays",
     "merge_server_stats",
     "reuse_port_supported",

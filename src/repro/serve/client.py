@@ -4,11 +4,13 @@
 :class:`~repro.serve.server.MatchServer`: it demultiplexes the
 server's reply stream -- asynchronous ``MATCH`` events interleaved
 with FIFO command acknowledgements -- into per-stream match lists and
-awaitable command results.  It exists for three consumers: the
+awaitable command results.  It exists for four consumers: the
 ``python -m repro connect`` smoke-test CLI, the end-to-end test
-suite, and as the reference implementation of the framing rules in
-``docs/SERVING.md`` (anything that can speak it can be a client; the
-grammar is six verbs).
+suite, the cluster scatter-gather layer (:mod:`repro.serve.cluster`
+holds one ``MatchClient`` per remote ruleset shard and uses
+``PING``/``PONG`` as its lockstep barrier), and as the reference
+implementation of the framing rules in ``docs/SERVING.md`` (anything
+that can speak it can be a client; the grammar is six verbs).
 
 The synchronous convenience :func:`scan_tagged_remote` mirrors
 :meth:`repro.session.MultiStreamScanner.scan_tagged` over the wire:
@@ -245,12 +247,28 @@ class MatchClient:
             await self.aclose()
 
     async def aclose(self) -> None:
-        """Tear the connection down without the QUIT handshake."""
+        """Tear the connection down without the QUIT handshake.
+
+        Any still-pending command futures are failed with
+        :class:`ConnectionError` -- a caller awaiting one must never
+        hang on a connection that no longer exists (the protocol-fuzz
+        suite pins this)."""
         if self._closed:
             return
         self._closed = True
         self._demux_task.cancel()
         await asyncio.gather(self._demux_task, return_exceptions=True)
+        if self._pending:
+            abandoned = ConnectionError("client closed with commands in flight")
+            for pending in self._pending:
+                if not pending.future.done():
+                    pending.future.set_exception(abandoned)
+                    # a future nobody ever awaits (write raised before
+                    # the await) would otherwise log "exception was
+                    # never retrieved"; exception() marks it retrieved
+                    # without consuming it for real awaiters
+                    pending.future.exception()
+            self._pending.clear()
         self._writer.close()
         try:
             await self._writer.wait_closed()
@@ -306,10 +324,13 @@ class MatchClient:
             # hot path: split once, defer Match construction (several
             # thousand of these per busy stream compete with the
             # server's own scanning for the GIL)
-            _, stream, end, gen, rule = (
-                raw.decode("latin-1").rstrip("\r").split(" ", 4)
-            )
-            event = (unescape_token(rule), int(end), int(gen))
+            try:
+                _, stream, end, gen, rule = (
+                    raw.decode("latin-1").rstrip("\r").split(" ", 4)
+                )
+                event = (unescape_token(rule), int(end), int(gen))
+            except ValueError:
+                raise ProtocolError(f"malformed MATCH line: {raw[:80]!r}") from None
             self._events.setdefault(stream, []).append(event)
             if self.on_match is not None:
                 self.on_match(

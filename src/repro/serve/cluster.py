@@ -1,0 +1,1125 @@
+"""Cluster scatter-gather: one logical matcher over N remote ruleset shards.
+
+:class:`~repro.engine.parallel.ShardedMatcher` splits a ruleset
+round-robin across matchers *in this process*; this module applies the
+identical shard policy **across servers**.  A
+:class:`RemoteShardedMatcher` implements the ordinary
+:class:`~repro.session.Matcher` protocol, but each shard is a remote
+:class:`~repro.serve.server.MatchServer` reached through its own
+:class:`~repro.serve.client.MatchClient` connection -- the "CRAM string
+matching at scale" shape: ruleset capacity and scan throughput grow
+horizontally with the shard count, while callers keep the one-matcher
+surface (``session``/``scan``/``scan_many``/``MultiStreamScanner``).
+
+How a session works over the wire:
+
+* ``session()`` opens one tagged stream *on every shard* (the tag is
+  made unique per session, so concurrent sessions never collide on a
+  connection);
+* ``feed(chunk)`` fans the same ``FEED`` frame out to all shards, then
+  issues a ``PING`` barrier per shard.  ``PONG`` proves every earlier
+  frame on that connection was processed and its matches flushed
+  (protocol FIFO), so once all shards answered, this chunk's matches
+  have fully arrived.  The per-shard streams are merged and sorted by
+  :attr:`~repro.session.Match.sort_key` -- the same deterministic
+  order an offline sharded session emits;
+* ``finish()`` closes the stream on every shard (delivering the
+  ``$``-gated matches, which the *servers* gate -- the client never
+  needs the rulesets), and ``result()`` folds the per-shard
+  :class:`~repro.matching.ScanResult`\\ s with
+  :func:`~repro.engine.parallel.merge_scan_results`;
+* :meth:`RemoteShardedMatcher.stats` folds per-shard ``STATS``
+  snapshots with :func:`~repro.serve.stats.merge_server_stats`.
+
+Failure semantics: a shard dying mid-flight raises
+:class:`ClusterPartialResultError` naming the shard, its address, and
+the streams affected; every match already delivered stays available on
+the error's :attr:`~ClusterPartialResultError.delivered` map (no hang,
+no silent loss).  Shard (re)attachment reuses
+:meth:`MatchClient.connect`'s ``retries=N`` jittered backoff.
+
+:class:`LocalShardCluster` is the dev/CI harness: it shards one rule
+list with the same dedup + round-robin policy as ``ShardedMatcher``
+(:func:`~repro.compiler.pipeline.dedupe_rules` then
+:func:`~repro.engine.parallel.shard_rules`) and spawns one
+``MatchServer`` per bucket -- in-process on a private event loop, or
+one OS process per shard (``processes=True``) for real parallelism.
+:class:`ClusterSpec` is the picklable recipe both the ``repro
+cluster`` CLI and tests build from.  Topology and sizing guidance:
+``docs/SERVING.md`` "Cluster deployment".
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import Iterable, Iterator, Optional, Sequence, Union
+
+from ..engine.scanner import Chunk, coerce_chunk
+from ..session import Match, MatchSink, match_dict
+from .client import MatchClient, StreamSummary
+from .protocol import validate_stream_tag
+from .stats import ServerStats, merge_server_stats
+
+__all__ = [
+    "ClusterPartialResultError",
+    "ClusterSpec",
+    "LocalShardCluster",
+    "RemoteShardedMatcher",
+    "parse_endpoint",
+]
+
+#: default seconds a cluster operation may spend before the caller
+#: gives up (generous: covers a full drain of queued frames per shard)
+DEFAULT_OP_TIMEOUT = 60.0
+
+
+def parse_endpoint(text: str) -> tuple[str, int]:
+    """Parse one ``host:port`` endpoint string.
+
+    >>> parse_endpoint("10.0.0.7:7401")
+    ('10.0.0.7', 7401)
+    >>> parse_endpoint("7401")
+    ('127.0.0.1', 7401)
+    """
+    host, sep, port = text.strip().rpartition(":")
+    if not sep:
+        host, port = "127.0.0.1", text.strip()
+    try:
+        number = int(port)
+    except ValueError:
+        raise ValueError(f"bad endpoint {text!r}: port {port!r} is not an int")
+    if not host:
+        host = "127.0.0.1"
+    return (host, number)
+
+
+class ClusterPartialResultError(RuntimeError):
+    """A shard died mid-flight; the scatter-gather result is partial.
+
+    The already-delivered matches are *not* lost: everything emitted
+    before the failure was pushed to sinks in order and is preserved on
+    :attr:`delivered` (keyed by stream tag).  The error names the first
+    failed shard; simultaneous multi-shard failures are listed in
+    :attr:`failures`.
+
+    >>> err = ClusterPartialResultError(
+    ...     op="FEED", shard=1, address=("10.0.0.7", 7401),
+    ...     streams=("s1", "s2"), delivered={},
+    ...     cause=ConnectionResetError("peer reset"))
+    >>> print(err)                          # doctest: +ELLIPSIS
+    shard 1 (10.0.0.7:7401) failed during FEED: peer reset; streams affected: s1, s2...
+    """
+
+    def __init__(
+        self,
+        *,
+        op: str,
+        shard: int,
+        address: tuple[str, int],
+        streams: tuple[str, ...],
+        delivered: dict[str, list[Match]],
+        cause: BaseException,
+        failures: Optional[list[tuple[int, tuple[str, int], BaseException]]] = None,
+    ):
+        #: wire operation that surfaced the failure (OPEN/FEED/CLOSE/...)
+        self.op = op
+        #: index of the (first) failed shard
+        self.shard = shard
+        #: ``(host, port)`` of the failed shard
+        self.address = address
+        #: tags of the streams open at failure time
+        self.streams = streams
+        #: matches already emitted per affected stream, in emission order
+        self.delivered = delivered
+        #: underlying per-shard failure(s): ``(index, address, exc)``
+        self.failures = failures or [(shard, address, cause)]
+        affected = ", ".join(streams) if streams else "(none open)"
+        super().__init__(
+            f"shard {shard} ({address[0]}:{address[1]}) failed during {op}: "
+            f"{cause}; streams affected: {affected} "
+            f"(matches delivered before the failure are intact in .delivered)"
+        )
+        self.__cause__ = cause
+
+
+class _LoopThread:
+    """A private asyncio loop on a daemon thread.
+
+    The cluster client keeps the synchronous :class:`Matcher` surface
+    (so a ``MatchServer`` can even serve a ``RemoteShardedMatcher`` as
+    a scatter-gather proxy); all socket work runs here and callers
+    block on :meth:`run`.
+    """
+
+    def __init__(self, name: str = "repro-cluster"):
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name=name, daemon=True
+        )
+        self._thread.start()
+
+    def run(self, coro, timeout: Optional[float] = None):
+        """Run ``coro`` on the loop; block for (and return) its result."""
+        future = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        try:
+            return future.result(timeout)
+        except TimeoutError:
+            future.cancel()
+            raise TimeoutError(
+                f"cluster operation did not complete within {timeout}s"
+            ) from None
+
+    def stop(self) -> None:
+        if self._loop.is_closed():
+            return
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5.0)
+        if not self._thread.is_alive():
+            self._loop.close()
+
+
+def _stats_from_payload(payload: dict) -> ServerStats:
+    """Rebuild a :class:`ServerStats` from its ``STATS`` wire dict
+    (derived keys like ``throughput_bps`` are dropped)."""
+    names = {field.name for field in dataclass_fields(ServerStats)}
+    return ServerStats(**{k: v for k, v in payload.items() if k in names})
+
+
+class ClusterSession:
+    """One logical stream scanned by every shard of a cluster.
+
+    Duck-types the :class:`~repro.session.MatchSession` surface
+    (``feed``/``finish``/``matches``/``result``, ``bytes_fed``,
+    ``finished``, context manager, ``on_match`` sink) so
+    :class:`~repro.session.MultiStreamScanner` and the serving layer
+    drive remote sessions exactly like local ones.  Built by
+    :meth:`RemoteShardedMatcher.session`, not directly.
+    """
+
+    def __init__(
+        self,
+        matcher: "RemoteShardedMatcher",
+        *,
+        stream: Optional[str] = None,
+        on_match: Optional[MatchSink] = None,
+    ):
+        self._matcher = matcher
+        #: tag carried by every match this session emits
+        self.stream = stream
+        #: sink called once per emitted match, in emission order
+        self.on_match = on_match
+        self._wire = matcher._claim_wire_tag(stream)
+        self._cursors = [0] * matcher.shard_count
+        self._delivered: list[Match] = []
+        self._bytes = 0
+        self._finished = False
+        self._summaries: Optional[list[StreamSummary]] = None
+        self._result = None
+        matcher._open_sessions[self._wire] = self
+        try:
+            matcher._fanout(
+                lambda client: client.open(self._wire), op="OPEN", session=self
+            )
+        except BaseException:
+            # never-opened sessions must not linger as "affected
+            # streams" of every later failure
+            matcher._open_sessions.pop(self._wire, None)
+            raise
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def bytes_fed(self) -> int:
+        """Total stream bytes consumed so far."""
+        return self._bytes
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    @property
+    def delivered(self) -> list[Match]:
+        """Every match emitted so far, in emission order (survives a
+        mid-flight shard failure)."""
+        return list(self._delivered)
+
+    # -- context manager ---------------------------------------------------
+    def __enter__(self) -> "ClusterSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self.finish()
+        return False
+
+    # -- streaming ---------------------------------------------------------
+    def feed(self, chunk: Chunk) -> list[Match]:
+        """Fan one chunk out to every shard; return its new matches.
+
+        Lockstep: a ``PING`` barrier follows the ``FEED`` on each
+        connection, so on return every shard has scanned the chunk and
+        flushed its matches -- the returned list is complete for this
+        chunk and sorted by :attr:`~repro.session.Match.sort_key`,
+        exactly like an offline session's ``feed``.
+        """
+        if self._finished:
+            raise RuntimeError(
+                "feed() after finish(); open a new session to scan again"
+            )
+        payload = bytes(coerce_chunk(chunk))
+
+        async def op(client: MatchClient) -> None:
+            await client.feed(self._wire, payload)
+            await client.ping()  # barrier: PONG proves the FEED was scanned
+
+        self._matcher._fanout(op, op="FEED", session=self)
+        self._bytes += len(payload)
+        return self._collect()
+
+    def finish(self) -> list[Match]:
+        """Close the stream on every shard; return the matches the
+        end-of-data unlocks (the servers gate ``$``-anchored rules).
+        Idempotent: a second call returns ``[]``."""
+        if self._finished:
+            return []
+        summaries = self._matcher._fanout(
+            lambda client: client.close_stream(self._wire),
+            op="CLOSE",
+            session=self,
+        )
+        self._finished = True
+        self._summaries = summaries
+        self._matcher._open_sessions.pop(self._wire, None)
+        return self._collect()
+
+    def matches(self, chunks: Iterable[Chunk]) -> Iterator[Match]:
+        """Lazily scan an iterable of chunks, yielding matches as they
+        arrive (and the end-gated ones after the last chunk)."""
+        for chunk in chunks:
+            yield from self.feed(chunk)
+        yield from self.finish()
+
+    def result(self):
+        """The merged :class:`~repro.matching.ScanResult` across all
+        shards (finishing the stream if needed)."""
+        from ..engine.parallel import merge_scan_results
+        from ..matching import ScanResult
+
+        if not self._finished:
+            self.finish()
+        if self._result is None:
+            assert self._summaries is not None
+            shard_results = []
+            for index, client in enumerate(self._matcher._clients):
+                events = client._events.get(self._wire, [])
+                shard_results.append(
+                    ScanResult(
+                        bytes_scanned=self._summaries[index].bytes_scanned,
+                        matches=match_dict(
+                            Match(rule=rule, end=end, stream=self.stream,
+                                  generation=gen)
+                            for rule, end, gen in events
+                        ),
+                    )
+                )
+            self._result = merge_scan_results(shard_results)
+        return self._result
+
+    def summaries(self) -> list[StreamSummary]:
+        """Per-shard ``CLOSED`` summaries (after :meth:`finish`)."""
+        if self._summaries is None:
+            raise RuntimeError("stream not finished yet")
+        return list(self._summaries)
+
+    # -- plumbing ----------------------------------------------------------
+    def _collect(self) -> list[Match]:
+        """Drain newly arrived per-shard events past each cursor, merge
+        and re-tag them, and emit in deterministic order."""
+        fresh: list[Match] = []
+        for index, client in enumerate(self._matcher._clients):
+            events = client._events.get(self._wire, [])
+            seen = len(events)
+            for rule, end, gen in events[self._cursors[index]:seen]:
+                fresh.append(
+                    Match(rule=rule, end=end, stream=self.stream, generation=gen)
+                )
+            self._cursors[index] = seen
+        fresh.sort(key=lambda match: match.sort_key)
+        if self.on_match is not None:
+            for match in fresh:
+                self.on_match(match)
+        self._delivered.extend(fresh)
+        return fresh
+
+
+class RemoteShardedMatcher:
+    """The :class:`~repro.session.Matcher` protocol over network shards.
+
+    Attaches one :class:`~repro.serve.client.MatchClient` per shard
+    address (``retries`` jittered-backoff attempts each, via
+    :meth:`MatchClient.connect`); every session fans each chunk out to
+    all shards in lockstep and merges the match streams.  Synchronous
+    by design -- socket work runs on a private loop thread -- so it
+    drops into any code written against the protocol
+    (:class:`~repro.session.MultiStreamScanner`, the CLI, even a
+    ``MatchServer`` acting as a scatter-gather proxy).
+
+    Args:
+        shards: shard endpoints -- ``(host, port)`` tuples or
+            ``"host:port"`` strings, one per shard server.
+        retries: extra connection attempts per shard (exponential
+            backoff with full jitter), for attach and :meth:`reattach`.
+        timeout: seconds any one fan-out operation may take before
+            :class:`TimeoutError` (a liveness backstop; protocol errors
+            surface much earlier).
+
+    Use as a context manager (or call :meth:`close`) to release the
+    connections::
+
+        with RemoteShardedMatcher(["10.0.0.7:7401", "10.0.0.8:7401"]) as m:
+            result = m.scan(b"payload...")
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[Union[str, tuple[str, int]]],
+        *,
+        retries: int = 5,
+        timeout: float = DEFAULT_OP_TIMEOUT,
+    ):
+        if not shards:
+            raise ValueError("a cluster needs at least one shard endpoint")
+        self._addresses: list[tuple[str, int]] = [
+            parse_endpoint(entry) if isinstance(entry, str) else (entry[0], entry[1])
+            for entry in shards
+        ]
+        #: Matcher-protocol engine name; backend choice is per shard
+        #: *server* configuration, invisible on this side of the wire
+        self.engine: str = "remote"
+        self.retries = retries
+        self.timeout = timeout
+        self._loop = _LoopThread()
+        self._open_sessions: dict[str, ClusterSession] = {}
+        self._session_seq = 0
+        self._closed = False
+        self._clients: list[MatchClient] = []
+        try:
+            self._clients = self._loop.run(self._attach_all(), timeout=timeout)
+        except BaseException:
+            self._loop.stop()
+            raise
+
+    async def _attach_all(self) -> list[MatchClient]:
+        clients: list[MatchClient] = []
+        for index, (host, port) in enumerate(self._addresses):
+            try:
+                clients.append(
+                    await MatchClient.connect(host, port, retries=self.retries)
+                )
+            except (ConnectionError, OSError) as exc:
+                for client in clients:
+                    await client.aclose()
+                raise ConnectionError(
+                    f"cannot attach shard {index} at {host}:{port}: {exc}"
+                ) from exc
+        return clients
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        return len(self._addresses)
+
+    @property
+    def addresses(self) -> list[tuple[str, int]]:
+        """Shard ``(host, port)`` endpoints, in shard order."""
+        return list(self._addresses)
+
+    @property
+    def skipped(self) -> list[tuple[str, str]]:
+        """Matcher-protocol compile skips: compilation happened on the
+        shard servers, so the remote facade reports none."""
+        return []
+
+    def resources(self):
+        """Matcher-protocol hardware footprint: the shards do not expose
+        theirs over the wire, so every count is zero."""
+        from ..matching import ResourceSummary
+
+        return ResourceSummary(
+            rules_compiled=0, rules_skipped=0, stes=0, counters=0,
+            bit_vectors=0, cam_arrays=0, pes=0, area_mm2=0.0, waste_mm2=0.0,
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """QUIT every shard connection (best effort) and stop the loop."""
+        if self._closed:
+            return
+        self._closed = True
+
+        async def hang_up() -> None:
+            for client in self._clients:
+                try:
+                    await asyncio.wait_for(client.quit(), timeout=5.0)
+                except Exception:  # noqa: BLE001 - already dead is fine
+                    await client.aclose()
+
+        try:
+            self._loop.run(hang_up(), timeout=self.timeout)
+        finally:
+            self._loop.stop()
+
+    def __enter__(self) -> "RemoteShardedMatcher":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def reattach(self, shard: int, address: Optional[Union[str, tuple[str, int]]] = None,
+                 retries: Optional[int] = None) -> None:
+        """Reconnect one shard (after a failure or server restart).
+
+        Reuses :meth:`MatchClient.connect`'s jittered-backoff retries.
+        Sessions that were open when the shard died stay failed -- a
+        reattached shard has no memory of their streams -- but sessions
+        opened afterwards use the fresh connection.  ``address``
+        replaces the shard's endpoint (a restarted server rarely keeps
+        its ephemeral port).
+        """
+        if address is not None:
+            self._addresses[shard] = (
+                parse_endpoint(address) if isinstance(address, str) else address
+            )
+        host, port = self._addresses[shard]
+        attempts = self.retries if retries is None else retries
+
+        async def swap() -> None:
+            old = self._clients[shard]
+            await old.aclose()
+            self._clients[shard] = await MatchClient.connect(
+                host, port, retries=attempts
+            )
+
+        self._loop.run(swap(), timeout=self.timeout)
+
+    # -- the Matcher protocol ----------------------------------------------
+    def session(
+        self,
+        engine: Optional[str] = None,
+        *,
+        stream: Optional[str] = None,
+        on_match: Optional[MatchSink] = None,
+    ) -> ClusterSession:
+        """Open a :class:`ClusterSession` spanning every shard.
+
+        ``engine`` is accepted for protocol compatibility and ignored:
+        the execution backend is each shard *server*'s configuration.
+        """
+        del engine
+        return ClusterSession(self, stream=stream, on_match=on_match)
+
+    def scan(self, data: Chunk, engine: Optional[str] = None):
+        with self.session(engine=engine) as session:
+            session.feed(data)
+        return session.result()
+
+    def scan_stream(self, chunks: Iterable[Chunk], engine: Optional[str] = None):
+        """Feed one stream of chunks through every shard in lockstep."""
+        with self.session(engine=engine) as session:
+            for chunk in chunks:
+                session.feed(chunk)
+        return session.result()
+
+    def scan_many(
+        self,
+        streams: Sequence[Chunk],
+        processes: Optional[int] = None,
+        engine: Optional[str] = None,
+    ) -> list:
+        """Scan a batch of independent streams; one merged result each
+        (``processes`` is accepted for protocol compatibility -- the
+        parallelism here is the shard servers, not local workers)."""
+        del processes
+        return [self.scan(stream, engine=engine) for stream in streams]
+
+    def matched_rules(self, data: Chunk) -> set[str]:
+        """Convenience: just the ids of rules that matched."""
+        return self.scan(data).matched_rules()
+
+    # -- cluster-wide operations -------------------------------------------
+    def ping(self) -> None:
+        """Liveness barrier across every shard."""
+        self._fanout(lambda client: client.ping(), op="PING")
+
+    def shard_stats(self) -> list[ServerStats]:
+        """Per-shard ``STATS`` snapshots, in shard order."""
+        payloads = self._fanout(lambda client: client.stats(), op="STATS")
+        return [_stats_from_payload(payload) for payload in payloads]
+
+    def stats(self) -> ServerStats:
+        """One cluster-wide snapshot: per-shard ``STATS`` folded with
+        :func:`~repro.serve.stats.merge_server_stats` (``workers``
+        counts the shards)."""
+        return merge_server_stats(self.shard_stats())
+
+    # -- plumbing ----------------------------------------------------------
+    def _claim_wire_tag(self, stream: Optional[str]) -> str:
+        """A per-session wire tag, unique across this matcher's life.
+
+        The user's tag is kept visible (prefixed) for server-side logs
+        and debugging, but uniqueness comes from the sequence number:
+        two concurrent sessions on the same logical tag must not
+        collide in the shards' stream tables.
+        """
+        self._session_seq += 1
+        base = stream if stream is not None else "anon"
+        tag = f"{base}~{self._session_seq}"
+        if len(tag) > 128:
+            tag = f"{base[:100]}~{self._session_seq}"
+        return validate_stream_tag(tag)
+
+    def _fanout(self, op_fn, *, op: str,
+                session: Optional[ClusterSession] = None) -> list:
+        """Run one client operation on every shard concurrently.
+
+        Any shard failure -- connection loss, server ``ERR``, timeout
+        -- is wrapped into :class:`ClusterPartialResultError` carrying
+        the shard identity, the streams open at failure time, and every
+        match already delivered to their sinks.
+        """
+        if self._closed:
+            raise ConnectionError("cluster already closed")
+
+        async def gathered():
+            return await asyncio.gather(
+                *(op_fn(client) for client in self._clients),
+                return_exceptions=True,
+            )
+
+        outcomes = self._loop.run(gathered(), timeout=self.timeout)
+        failures = [
+            (index, self._addresses[index], outcome)
+            for index, outcome in enumerate(outcomes)
+            if isinstance(outcome, BaseException)
+        ]
+        if failures:
+            raise self._partial_error(op, failures, session)
+        return list(outcomes)
+
+    def _partial_error(
+        self,
+        op: str,
+        failures: list[tuple[int, tuple[str, int], BaseException]],
+        session: Optional[ClusterSession],
+    ) -> ClusterPartialResultError:
+        affected: dict[str, ClusterSession] = dict(self._open_sessions)
+        if session is not None:
+            affected.setdefault(session._wire, session)
+        names: list[str] = []
+        delivered: dict[str, list[Match]] = {}
+        for open_session in affected.values():
+            name = (
+                open_session.stream
+                if open_session.stream is not None
+                else open_session._wire
+            )
+            names.append(name)
+            delivered[name] = open_session.delivered
+        shard, address, cause = failures[0]
+        return ClusterPartialResultError(
+            op=op,
+            shard=shard,
+            address=address,
+            streams=tuple(names),
+            delivered=delivered,
+            cause=cause,
+            failures=failures,
+        )
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A picklable recipe for one cluster deployment.
+
+    Two modes, mirroring the ``repro cluster`` CLI:
+
+    * **attach** -- ``addresses`` names running shard servers
+      (production: each shard is its own ``repro serve`` / fleet);
+    * **spawn** -- ``rules`` + ``shards`` describe a
+      :class:`LocalShardCluster` to start locally (dev/CI).
+
+    >>> spec = ClusterSpec.attach(["10.0.0.7:7401", "10.0.0.8:7401"])
+    >>> spec.mode, spec.addresses
+    ('attach', (('10.0.0.7', 7401), ('10.0.0.8', 7401)))
+    >>> ClusterSpec.spawn([("hit", "abc")], shards=3).mode
+    'spawn'
+    """
+
+    #: shard endpoints (attach mode)
+    addresses: tuple[tuple[str, int], ...] = ()
+    #: normalized ``(id, pattern)`` rules to shard locally (spawn mode)
+    rules: tuple[tuple[str, str], ...] = ()
+    #: local shard-server count (spawn mode)
+    shards: int = 0
+    engine: Optional[str] = None
+    unfold_threshold: float = 0
+    opt_level: int = 0
+    cache_dir: Optional[str] = None
+    host: str = "127.0.0.1"
+    #: fixed ports for spawned shards (empty = ephemeral)
+    ports: tuple[int, ...] = ()
+
+    @property
+    def mode(self) -> str:
+        return "attach" if self.addresses else "spawn"
+
+    @classmethod
+    def attach(cls, endpoints: Iterable[Union[str, tuple[str, int]]]) -> "ClusterSpec":
+        """Spec for an existing fleet of shard servers."""
+        parsed = tuple(
+            parse_endpoint(entry) if isinstance(entry, str) else (entry[0], entry[1])
+            for entry in endpoints
+        )
+        if not parsed:
+            raise ValueError("attach mode needs at least one host:port endpoint")
+        return cls(addresses=parsed)
+
+    @classmethod
+    def spawn(
+        cls,
+        rules: Union[Iterable[str], Sequence[tuple[str, str]]],
+        shards: int = 3,
+        **options,
+    ) -> "ClusterSpec":
+        """Spec for a locally spawned :class:`LocalShardCluster`."""
+        from ..compiler.pipeline import normalize_rules
+
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        return cls(rules=tuple(normalize_rules(rules)), shards=shards, **options)
+
+    def start(self, processes: bool = False, **overrides) -> "LocalShardCluster":
+        """Spawn-mode: build and start the local shard cluster."""
+        if self.mode != "spawn":
+            raise ValueError("start() is for spawn-mode specs; use connect()")
+        cluster = LocalShardCluster(
+            list(self.rules),
+            shards=self.shards,
+            host=self.host,
+            ports=self.ports,
+            engine=self.engine,
+            unfold_threshold=self.unfold_threshold,
+            opt_level=self.opt_level,
+            cache_dir=self.cache_dir,
+            processes=processes,
+            **overrides,
+        )
+        cluster.start()
+        return cluster
+
+    def connect(self, retries: int = 5,
+                timeout: float = DEFAULT_OP_TIMEOUT) -> RemoteShardedMatcher:
+        """Attach-mode: connect a :class:`RemoteShardedMatcher`."""
+        if self.mode != "attach":
+            raise ValueError("connect() is for attach-mode specs; use start()")
+        return RemoteShardedMatcher(
+            self.addresses, retries=retries, timeout=timeout
+        )
+
+
+# -- local shard-server harness --------------------------------------------
+def _shard_worker_main(spec, host, port, queue_depth, threads,
+                       drain_timeout, conn):
+    """Process entry point: serve one ruleset shard until told to stop.
+
+    Module-level (not a closure) so it works under the ``spawn`` start
+    method.  SIGINT is ignored (terminal Ctrl-C hits the whole group;
+    the parent coordinates shutdown); SIGTERM drains gracefully.
+    """
+    import signal
+
+    if hasattr(signal, "SIGINT"):
+        try:
+            signal.signal(signal.SIGINT, signal.SIG_IGN)
+        except (OSError, ValueError):  # pragma: no cover - exotic env
+            pass
+    try:
+        asyncio.run(
+            _shard_worker_async(
+                spec, host, port, queue_depth, threads, drain_timeout, conn
+            )
+        )
+    except Exception as exc:  # noqa: BLE001 - reported to the parent
+        try:
+            conn.send({"event": "error", "message": f"{type(exc).__name__}: {exc}"})
+        except (OSError, BrokenPipeError, ValueError):
+            pass
+        raise
+
+
+async def _shard_worker_async(spec, host, port, queue_depth, threads,
+                              drain_timeout, conn):
+    import signal
+
+    from .server import MatchServer
+
+    loop = asyncio.get_running_loop()
+    matcher = spec.build()
+    server = MatchServer(
+        matcher,
+        host=host,
+        port=port,
+        engine=spec.engine,
+        queue_depth=queue_depth,
+        workers=threads,
+        drain_timeout=drain_timeout,
+    )
+    await server.start()
+
+    mailbox: asyncio.Queue = asyncio.Queue()
+
+    def on_readable() -> None:
+        try:
+            while conn.poll():
+                mailbox.put_nowait(conn.recv())
+        except (EOFError, OSError):
+            # parent hung up: immediate stop
+            mailbox.put_nowait({"cmd": "stop", "drain": False})
+
+    loop.add_reader(conn.fileno(), on_readable)
+    if hasattr(signal, "SIGTERM"):
+        try:
+            loop.add_signal_handler(
+                signal.SIGTERM,
+                lambda: mailbox.put_nowait({"cmd": "stop", "drain": True}),
+            )
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+
+    conn.send({"event": "ready", "port": server.port})
+    message = await mailbox.get()
+    drain = bool(message.get("drain", True))
+    loop.remove_reader(conn.fileno())
+    await server.stop(drain=drain)
+    try:
+        conn.send({"event": "stopped", "stats": server.stats().as_dict()})
+    except (OSError, BrokenPipeError, ValueError):  # pragma: no cover
+        pass
+
+
+class LocalShardCluster:
+    """Spawn M local shard ``MatchServer``\\ s from one ruleset (dev/CI).
+
+    The shard policy is *identical* to
+    :class:`~repro.engine.parallel.ShardedMatcher`:
+    :func:`~repro.compiler.pipeline.dedupe_rules` first (round-robin
+    would otherwise scatter duplicate ids where no single compile sees
+    the collision), then :func:`~repro.engine.parallel.shard_rules`
+    round-robin -- so a remote cluster reports the same rule ids, the
+    same matches, as the in-process sharded matcher.
+
+    ``processes=False`` (default) runs every shard server on one
+    private event loop in this process -- fastest startup, perfect for
+    tests.  ``processes=True`` forks one OS process per shard (real
+    CPU parallelism, the production-shaped dev topology); when
+    multiprocessing is unavailable it degrades to in-process serving
+    with identical semantics (:attr:`mode` says which you got).
+
+    Usage::
+
+        cluster = LocalShardCluster(rules, shards=3)
+        addresses = cluster.start()
+        matcher = RemoteShardedMatcher(addresses)
+        ...
+        matcher.close()
+        final = cluster.stop()          # merged ServerStats
+    """
+
+    def __init__(
+        self,
+        rules: Union[Iterable[str], Sequence[tuple[str, str]]],
+        shards: int = 3,
+        *,
+        host: str = "127.0.0.1",
+        ports: Sequence[int] = (),
+        engine: Optional[str] = None,
+        unfold_threshold: float = 0,
+        opt_level: int = 0,
+        cache_dir: Optional[str] = None,
+        queue_depth: int = 32,
+        threads: Optional[int] = None,
+        drain_timeout: float = 10.0,
+        processes: bool = False,
+    ):
+        from ..compiler.pipeline import dedupe_rules
+        from ..engine.parallel import shard_rules
+        from .fleet import MatcherSpec
+
+        if ports and len(ports) != shards:
+            raise ValueError(
+                f"got {len(ports)} port(s) for {shards} shard(s)"
+            )
+        unique, self.duplicate_skipped = dedupe_rules(rules)
+        self._buckets = shard_rules(unique, shards)
+        self._specs = [
+            MatcherSpec(
+                rules=tuple(bucket),
+                engine=engine,
+                unfold_threshold=unfold_threshold,
+                opt_level=opt_level,
+                cache_dir=cache_dir,
+            )
+            for bucket in self._buckets
+        ]
+        self.host = host
+        self.ports = tuple(ports) if ports else tuple(0 for _ in range(shards))
+        self.engine = engine
+        self.queue_depth = queue_depth
+        self.threads = threads
+        self.drain_timeout = drain_timeout
+        self._want_processes = processes
+        #: "in-process" or "processes" once started
+        self.mode: Optional[str] = None
+        self._addresses: list[tuple[str, int]] = []
+        self._loop: Optional[_LoopThread] = None
+        self._servers: list = []
+        self._matchers: list = []
+        self._procs: list = []
+        self._conns: list = []
+        self._alive: list[bool] = []
+        self._stopped = False
+        self._final_stats: Optional[ServerStats] = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> list[tuple[str, int]]:
+        """Start every shard server; return their addresses."""
+        if self.mode is not None:
+            raise RuntimeError("cluster already started")
+        if self._want_processes and self._start_processes():
+            self.mode = "processes"
+        else:
+            self._start_in_process()
+            self.mode = "in-process"
+        self._alive = [True] * self.shard_count
+        return self.addresses
+
+    def _start_in_process(self) -> None:
+        from .server import MatchServer
+
+        self._loop = _LoopThread("repro-shard-servers")
+        try:
+            self._matchers = [spec.build() for spec in self._specs]
+            for matcher, port in zip(self._matchers, self.ports):
+                server = MatchServer(
+                    matcher,
+                    host=self.host,
+                    port=port,
+                    engine=self.engine,
+                    queue_depth=self.queue_depth,
+                    workers=self.threads,
+                    drain_timeout=self.drain_timeout,
+                )
+                self._loop.run(server.start(), timeout=30.0)
+                self._servers.append(server)
+        except BaseException:
+            for server in self._servers:
+                try:
+                    self._loop.run(server.stop(drain=False), timeout=10.0)
+                except Exception:  # noqa: BLE001 - already tearing down
+                    pass
+            self._loop.stop()
+            raise
+        self._addresses = [(server.host, server.port) for server in self._servers]
+
+    def _start_processes(self) -> bool:
+        """Fork one server process per shard; False = cannot (degrade)."""
+        from ..engine.parallel import mp_context
+
+        context = mp_context()
+        if context is None:
+            return False
+        procs, conns, addresses = [], [], []
+        try:
+            for spec, port in zip(self._specs, self.ports):
+                parent_conn, child_conn = context.Pipe()
+                proc = context.Process(
+                    target=_shard_worker_main,
+                    args=(spec, self.host, port, self.queue_depth,
+                          self.threads, self.drain_timeout, child_conn),
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                procs.append(proc)
+                conns.append(parent_conn)
+                if not parent_conn.poll(120.0):
+                    raise RuntimeError("shard worker did not report ready")
+                event = parent_conn.recv()
+                if event.get("event") != "ready":
+                    raise RuntimeError(
+                        f"shard worker failed: {event.get('message', event)}"
+                    )
+                addresses.append((self.host, int(event["port"])))
+        except Exception:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.kill()
+                proc.join(timeout=5.0)
+            return False
+        self._procs, self._conns, self._addresses = procs, conns, addresses
+        return True
+
+    def stop(self, drain: bool = True) -> ServerStats:
+        """Stop every live shard; return the merged final stats
+        (:func:`~repro.serve.stats.merge_server_stats` over whatever
+        shards were still reachable -- a neutral snapshot if none)."""
+        if self._stopped:
+            assert self._final_stats is not None
+            return self._final_stats
+        self._stopped = True
+        snapshots: list[ServerStats] = []
+        if self.mode == "processes":
+            for index, (proc, conn) in enumerate(zip(self._procs, self._conns)):
+                if not self._alive[index]:
+                    continue
+                try:
+                    conn.send({"cmd": "stop", "drain": drain})
+                    if conn.poll(self.drain_timeout + 10.0):
+                        event = conn.recv()
+                        if event.get("event") == "stopped":
+                            snapshots.append(
+                                _stats_from_payload(event["stats"])
+                            )
+                except (OSError, BrokenPipeError, EOFError, ValueError):
+                    pass
+                proc.join(timeout=self.drain_timeout + 10.0)
+                if proc.is_alive():  # pragma: no cover - stuck worker
+                    proc.kill()
+                    proc.join(timeout=5.0)
+        elif self.mode == "in-process":
+            assert self._loop is not None
+            for index, server in enumerate(self._servers):
+                if self._alive[index]:
+                    try:
+                        self._loop.run(
+                            server.stop(drain=drain),
+                            timeout=self.drain_timeout + 10.0,
+                        )
+                    except Exception:  # noqa: BLE001 - keep stopping others
+                        pass
+                snapshots.append(server.stats())
+            self._loop.stop()
+        self._final_stats = merge_server_stats(snapshots)
+        return self._final_stats
+
+    def __enter__(self) -> "LocalShardCluster":
+        if self.mode is None:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    # -- introspection / test hooks ----------------------------------------
+    @property
+    def shard_count(self) -> int:
+        return len(self._specs)
+
+    @property
+    def addresses(self) -> list[tuple[str, int]]:
+        """Shard server ``(host, port)`` addresses (after :meth:`start`)."""
+        return list(self._addresses)
+
+    @property
+    def buckets(self) -> list[list[tuple[str, str]]]:
+        """The round-robin rule buckets, in shard order."""
+        return [list(bucket) for bucket in self._buckets]
+
+    @property
+    def rule_count(self) -> int:
+        """Deduplicated rules served across all shards."""
+        return sum(len(bucket) for bucket in self._buckets)
+
+    @property
+    def compile_info(self):
+        """Merged compile provenance across shard matchers
+        (:func:`~repro.matching.merge_compile_infos`; ``None`` in
+        processes mode, where compilation happens in the children)."""
+        from ..matching import merge_compile_infos
+
+        if self.mode != "in-process" or not self._matchers:
+            return None
+        return merge_compile_infos(
+            [matcher.compile_info for matcher in self._matchers]
+        )
+
+    def kill_shard(self, shard: int) -> None:
+        """Hard-kill one shard server (no drain) -- the fault-injection
+        hook the cluster tests use to simulate a shard dying."""
+        if not self._alive[shard]:
+            return
+        self._alive[shard] = False
+        if self.mode == "processes":
+            proc = self._procs[shard]
+            proc.kill()
+            proc.join(timeout=10.0)
+        else:
+            assert self._loop is not None
+            self._loop.run(
+                self._servers[shard].stop(drain=False), timeout=10.0
+            )
+
+    def restart_shard(self, shard: int) -> tuple[str, int]:
+        """Start a fresh server for one (killed) shard's bucket; returns
+        its new address (ephemeral port: the old one may still linger in
+        TIME_WAIT).  Pairs with
+        :meth:`RemoteShardedMatcher.reattach`."""
+        from .server import MatchServer
+
+        if self._alive[shard]:
+            raise RuntimeError(f"shard {shard} is still running")
+        if self.mode == "processes":
+            from ..engine.parallel import mp_context
+
+            context = mp_context()
+            assert context is not None  # processes mode implies a context
+            parent_conn, child_conn = context.Pipe()
+            proc = context.Process(
+                target=_shard_worker_main,
+                args=(self._specs[shard], self.host, 0, self.queue_depth,
+                      self.threads, self.drain_timeout, child_conn),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            if not parent_conn.poll(120.0):
+                proc.kill()
+                raise RuntimeError("restarted shard did not report ready")
+            event = parent_conn.recv()
+            if event.get("event") != "ready":
+                raise RuntimeError(
+                    f"restarted shard failed: {event.get('message', event)}"
+                )
+            self._procs[shard] = proc
+            self._conns[shard] = parent_conn
+            address = (self.host, int(event["port"]))
+        else:
+            assert self._loop is not None
+            server = MatchServer(
+                self._matchers[shard],
+                host=self.host,
+                port=0,
+                engine=self.engine,
+                queue_depth=self.queue_depth,
+                workers=self.threads,
+                drain_timeout=self.drain_timeout,
+            )
+            self._loop.run(server.start(), timeout=30.0)
+            self._servers[shard] = server
+            address = (server.host, server.port)
+        self._alive[shard] = True
+        self._addresses[shard] = address
+        return address

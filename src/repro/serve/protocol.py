@@ -49,7 +49,12 @@ can stream chunks at full speed; backpressure is applied by the
 server simply not reading (bounded per-connection work queue -> TCP
 flow control), never by dropping bytes.  ``OPEN``/``CLOSE``/``STATS``/
 ``PING``/``QUIT`` are answered in command order, so a client can match
-replies to requests FIFO.
+replies to requests FIFO.  That FIFO makes ``PING`` double as a
+**barrier**: a ``PONG`` proves every frame sent earlier on the
+connection has been fully processed and its ``MATCH`` lines written --
+the property the cluster scatter-gather layer
+(:mod:`repro.serve.cluster`) uses to keep M ruleset shards in
+lockstep per chunk.
 
 Stream tags are 1..128 printable latin-1 characters with no
 whitespace (:func:`validate_stream_tag`); rule ids are arbitrary and

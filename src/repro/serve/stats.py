@@ -167,15 +167,27 @@ def merge_server_stats(snapshots: Sequence[ServerStats]) -> ServerStats:
     reached; ``worker`` collapses to ``None`` and ``workers`` counts
     the inputs.
 
+    The merge has an identity: an **empty** input returns a neutral
+    snapshot (``engine="none"``, ``workers=0``, every counter zero) and
+    a one-element input returns its counters unchanged (``worker``
+    still collapses to ``None``; ``workers`` keeps the input's count).
+    Scatter-gather callers (:mod:`repro.serve.cluster`) fold whatever
+    shard subset responded without special-casing 0 or 1 shards.
+
     >>> from repro.serve.stats import ServerStats, merge_server_stats
     >>> a = ServerStats(engine="block", bytes_scanned=10, generation=2)
     >>> b = ServerStats(engine="block", bytes_scanned=32, generation=1)
     >>> merged = merge_server_stats([a, b])
     >>> (merged.bytes_scanned, merged.generation, merged.workers)
     (42, 1, 2)
+    >>> empty = merge_server_stats([])
+    >>> (empty.engine, empty.workers, empty.bytes_scanned)
+    ('none', 0, 0)
+    >>> merge_server_stats([a]).bytes_scanned
+    10
     """
     if not snapshots:
-        raise ValueError("merge_server_stats needs at least one snapshot")
+        return ServerStats(engine="none", workers=0)
     return ServerStats(
         engine=snapshots[0].engine,
         connections_open=sum(s.connections_open for s in snapshots),

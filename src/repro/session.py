@@ -418,10 +418,13 @@ class Matcher(Protocol):
     """What every rule-set matcher front-end exposes.
 
     Implemented by :class:`~repro.matching.RulesetMatcher` (one
-    compiled network) and :class:`~repro.engine.parallel.ShardedMatcher`
-    (round-robin shards, merged results): one session/scan surface, so
-    serving code is written once against this protocol and the
-    sharding/backing choice is swappable configuration.
+    compiled network), :class:`~repro.engine.parallel.ShardedMatcher`
+    (round-robin shards in-process, merged results), and
+    :class:`~repro.serve.cluster.RemoteShardedMatcher` (the same shard
+    policy spread over M network match servers): one session/scan
+    surface, so serving code is written once against this protocol and
+    the sharding/backing choice -- local, multi-core, or cluster -- is
+    swappable configuration.
     """
 
     engine: str

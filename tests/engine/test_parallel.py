@@ -49,9 +49,29 @@ class TestMerge:
         with pytest.raises(ValueError):
             merge_scan_results([ScanResult(1), ScanResult(2)])
 
-    def test_empty_rejected(self):
+    def test_empty_merge_is_the_neutral_result(self):
+        # the cluster scatter-gather path folds whatever shard subset
+        # responded; zero shards must merge to the zero result, not raise
+        merged = merge_scan_results([])
+        assert merged.bytes_scanned == 0
+        assert merged.matches == {}
+        assert merged.energy_nj_per_byte == 0.0
+        assert merged.compile_info is None
+
+    def test_one_element_merge_is_identity(self):
+        one = ScanResult(10, {"x": [1, 3]}, 0.5)
+        merged = merge_scan_results([one])
+        assert merged == one
+        assert merged.matches == {"x": [1, 3]}
+
+    def test_empty_merges_as_identity_element(self):
+        # merging the neutral result into a real one must not change it
+        real = ScanResult(7, {"x": [2]}, 0.25)
         with pytest.raises(ValueError):
-            merge_scan_results([])
+            # ... but stream lengths still have to agree (0 != 7): the
+            # identity only applies to the empty *list*, never to mixing
+            # results from different streams
+            merge_scan_results([merge_scan_results([]), real])
 
 
 class TestMergeCompileInfo:

@@ -1,0 +1,321 @@
+"""Deterministic TCP fault injection for the serving test suite.
+
+:class:`FaultProxy` is a thread-based TCP interposer: it listens on an
+ephemeral port, forwards every accepted connection to one upstream
+``(host, port)``, and injects :class:`Fault` events at exact byte
+offsets of the forwarded stream -- so "the connection died 40 bytes
+into the third FEED frame" is a reproducible test case instead of a
+racy ``transport.abort()`` sprinkled into client code.
+
+Fault kinds (``offset`` counts cumulative payload bytes in the fault's
+``direction``, ``"c2s"`` = client-to-server or ``"s2c"``):
+
+* ``"rst"``      -- hard reset: both sockets of the connection are
+  closed with ``SO_LINGER(1, 0)``, so each peer sees ECONNRESET, not
+  a clean FIN (the mid-stream crash case);
+* ``"truncate"`` -- forward exactly ``offset`` bytes, then send a
+  clean FIN to the destination and blackhole the rest (the
+  half-closed / short-write case);
+* ``"drop"``     -- silently stop forwarding past ``offset`` while
+  keeping the connection open (the stalled-peer case; pair with a
+  timeout on the waiting side);
+* ``"delay"``    -- sleep ``delay`` seconds once ``offset`` bytes
+  have passed, then keep forwarding (reorders timing, loses nothing).
+
+Being plain sockets and threads, the proxy works identically beneath
+sync tests and asyncio tests (it never touches the event loop).  Use
+:func:`seeded_schedule` for deterministic randomized fault schedules:
+the same seed always yields the same fault list.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import random
+import socket
+import struct
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["Fault", "FaultProxy", "seeded_schedule"]
+
+FAULT_KINDS = ("rst", "truncate", "drop", "delay")
+
+_RECV = 65536
+#: SO_LINGER {on, timeout 0}: close() sends RST instead of FIN
+_LINGER_RST = struct.pack("ii", 1, 0)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault at an exact byte offset of one connection.
+
+    ``offset`` is the cumulative number of payload bytes forwarded in
+    ``direction`` before the fault fires: a fault at offset N fires
+    after byte N has been forwarded and before byte N+1 is.
+    ``connection`` selects the nth accepted connection (0-based).
+    """
+
+    kind: str
+    offset: int
+    direction: str = "c2s"
+    delay: float = 0.05
+    connection: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.direction not in ("c2s", "s2c"):
+            raise ValueError(f"direction must be c2s|s2c, got {self.direction!r}")
+        if self.offset < 0:
+            raise ValueError("offset must be >= 0")
+
+
+def seeded_schedule(
+    seed: int,
+    *,
+    count: int = 3,
+    kinds: tuple[str, ...] = ("delay",),
+    max_offset: int = 2048,
+    direction: str = "c2s",
+    max_delay: float = 0.02,
+    connection: int = 0,
+) -> list[Fault]:
+    """A deterministic pseudo-random fault schedule.
+
+    Same arguments -> same list, always (backed by ``random.Random``
+    with an explicit seed), so a chaos test failure reproduces from
+    its seed alone.
+    """
+    rng = random.Random(seed)
+    return sorted(
+        (
+            Fault(
+                kind=rng.choice(list(kinds)),
+                offset=rng.randrange(max_offset),
+                direction=direction,
+                delay=rng.uniform(0.001, max_delay),
+                connection=connection,
+            )
+            for _ in range(count)
+        ),
+        key=lambda fault: fault.offset,
+    )
+
+
+@dataclass
+class _Conn:
+    index: int
+    client: socket.socket
+    upstream: socket.socket
+    threads: list = field(default_factory=list)
+    #: set by an rst fault (or stop()): pumps exit on their next poll
+    dead: threading.Event = field(default_factory=threading.Event)
+
+
+class FaultProxy:
+    """TCP interposer injecting :class:`Fault` events at byte offsets.
+
+    ::
+
+        with FaultProxy(("127.0.0.1", server_port),
+                        faults=[Fault("rst", offset=40)]) as proxy:
+            client.connect(("127.0.0.1", proxy.port))
+
+    ``proxy.forwarded`` maps ``(connection_index, direction)`` to the
+    payload byte count actually forwarded -- so a truncate test can
+    assert the exact cut point.
+    """
+
+    def __init__(
+        self,
+        upstream: tuple[str, int],
+        *,
+        faults: tuple[Fault, ...] | list[Fault] = (),
+        host: str = "127.0.0.1",
+    ):
+        self.upstream = (upstream[0], int(upstream[1]))
+        self.faults = list(faults)
+        self.host = host
+        self.port: int = 0
+        self.forwarded: dict[tuple[int, str], int] = {}
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._conns: list[_Conn] = []
+        self._lock = threading.Lock()
+        self._stopping = threading.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "FaultProxy":
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, 0))
+        listener.listen(16)
+        # a timeout lets the accept loop poll _stopping: closing a
+        # listener does NOT wake a thread blocked in accept()
+        listener.settimeout(0.25)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="faultproxy-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stopping.set()
+        if self._listener is not None:
+            with contextlib.suppress(OSError):
+                self._listener.close()
+        with self._lock:
+            conns = list(self._conns)
+        for conn in conns:
+            conn.dead.set()
+            for sock in (conn.client, conn.upstream):
+                with contextlib.suppress(OSError):
+                    sock.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+        for conn in conns:
+            for thread in conn.threads:
+                thread.join(timeout=5)
+
+    def __enter__(self) -> "FaultProxy":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    @property
+    def connections(self) -> int:
+        with self._lock:
+            return len(self._conns)
+
+    # -- data path ---------------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        index = 0
+        while not self._stopping.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except TimeoutError:
+                continue  # poll _stopping
+            except OSError:
+                return  # listener closed by stop()
+            try:
+                up = socket.create_connection(self.upstream, timeout=10)
+            except OSError:
+                with contextlib.suppress(OSError):
+                    client.close()
+                continue
+            # a poll timeout on both sockets: a blocking recv survives a
+            # close() from another thread, so pumps must wake on their
+            # own to notice an rst fault or stop()
+            client.settimeout(0.25)
+            up.settimeout(0.25)
+            conn = _Conn(index, client, up)
+            for direction, src, dst in (
+                ("c2s", client, up),
+                ("s2c", up, client),
+            ):
+                thread = threading.Thread(
+                    target=self._pump,
+                    args=(conn, direction, src, dst),
+                    name=f"faultproxy-{index}-{direction}",
+                    daemon=True,
+                )
+                conn.threads.append(thread)
+            with self._lock:
+                self._conns.append(conn)
+            for thread in conn.threads:
+                thread.start()
+            index += 1
+
+    def _pump(
+        self,
+        conn: _Conn,
+        direction: str,
+        src: socket.socket,
+        dst: socket.socket,
+    ) -> None:
+        """Forward src -> dst, firing this direction's faults in offset
+        order; one thread per direction per connection."""
+        faults = deque(
+            sorted(
+                (
+                    fault
+                    for fault in self.faults
+                    if fault.connection == conn.index
+                    and fault.direction == direction
+                ),
+                key=lambda fault: fault.offset,
+            )
+        )
+        key = (conn.index, direction)
+        self.forwarded.setdefault(key, 0)
+        blackhole = False
+        try:
+            while True:
+                # faults at the current offset fire before more bytes move
+                while faults and self.forwarded[key] >= faults[0].offset:
+                    if self._apply(faults.popleft(), conn, dst) == "stop":
+                        blackhole = True
+                try:
+                    chunk = src.recv(_RECV)
+                except TimeoutError:
+                    if conn.dead.is_set() or self._stopping.is_set():
+                        return
+                    continue
+                if not chunk:
+                    break
+                while chunk:
+                    if faults and not blackhole:
+                        room = faults[0].offset - self.forwarded[key]
+                        head, chunk = chunk[:room], chunk[room:]
+                    else:
+                        head, chunk = chunk, b""
+                    if head and not blackhole:
+                        # count first: once sendall returns, the peer
+                        # may already have echoed the bytes back and a
+                        # test may be reading the counter
+                        self.forwarded[key] += len(head)
+                        dst.sendall(head)
+                    while faults and self.forwarded[key] >= faults[0].offset:
+                        if self._apply(faults.popleft(), conn, dst) == "stop":
+                            blackhole = True
+        except OSError:
+            pass  # a fault (or stop()) closed a socket under us
+        finally:
+            # clean EOF propagation -- unless a fault already cut harder
+            with contextlib.suppress(OSError):
+                dst.shutdown(socket.SHUT_WR)
+
+    @staticmethod
+    def _apply(fault: Fault, conn: _Conn, dst: socket.socket) -> str | None:
+        if fault.kind == "delay":
+            time.sleep(fault.delay)
+            return None
+        if fault.kind == "drop":
+            return "stop"
+        if fault.kind == "truncate":
+            with contextlib.suppress(OSError):
+                dst.shutdown(socket.SHUT_WR)
+            return "stop"
+        # rst: both peers see a reset, exactly as if the proxied process
+        # died -- SO_LINGER(1,0) turns close() into RST
+        # no shutdown() first: that would send a FIN and the peer would
+        # see a clean EOF instead of ECONNRESET; the other pump thread
+        # notices via its recv timeout + the dead flag
+        conn.dead.set()
+        for sock in (conn.client, conn.upstream):
+            with contextlib.suppress(OSError):
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER, _LINGER_RST)
+            with contextlib.suppress(OSError):
+                sock.close()
+        return "stop"

@@ -1,0 +1,220 @@
+"""The chaos layer's own suite: each fault kind against a real socket
+pair, plus schedule determinism.
+
+These tests pin the interposer's semantics *before* the serving tests
+build on it: a ``FaultProxy`` bug would otherwise surface as a
+baffling protocol failure two layers up.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from tests.serve.chaoss import Fault, FaultProxy, seeded_schedule
+
+
+class Upstream:
+    """One-connection upstream: records received bytes, optionally
+    echoes them, flags EOF."""
+
+    def __init__(self, echo: bool = False):
+        self.echo = echo
+        self.received = b""
+        self.eof = threading.Event()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(1)
+        self.port = self._listener.getsockname()[1]
+        self._conn: socket.socket | None = None
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    @property
+    def address(self):
+        return ("127.0.0.1", self.port)
+
+    def _serve(self):
+        try:
+            conn, _ = self._listener.accept()
+        except OSError:
+            self.eof.set()
+            return
+        self._conn = conn
+        while True:
+            try:
+                chunk = conn.recv(65536)
+            except OSError:
+                break
+            if not chunk:
+                break
+            self.received += chunk
+            if self.echo:
+                try:
+                    conn.sendall(chunk)
+                except OSError:
+                    break
+        self.eof.set()
+
+    def close(self):
+        for sock in (self._conn, self._listener):
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        self._thread.join(timeout=5)
+
+
+def recv_exactly(sock: socket.socket, n: int) -> bytes:
+    out = b""
+    while len(out) < n:
+        chunk = sock.recv(n - len(out))
+        if not chunk:
+            break
+        out += chunk
+    return out
+
+
+class TestFaultValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault("explode", 0)
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ValueError, match="c2s"):
+            Fault("rst", 0, direction="sideways")
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError, match="offset"):
+            Fault("rst", -1)
+
+
+class TestSeededSchedule:
+    def test_same_seed_same_schedule(self):
+        assert seeded_schedule(7, count=5) == seeded_schedule(7, count=5)
+
+    def test_different_seed_different_schedule(self):
+        assert seeded_schedule(7, count=5) != seeded_schedule(8, count=5)
+
+    def test_sorted_by_offset_and_typed(self):
+        schedule = seeded_schedule(3, count=8, kinds=("delay", "rst"))
+        offsets = [fault.offset for fault in schedule]
+        assert offsets == sorted(offsets)
+        assert all(fault.kind in ("delay", "rst") for fault in schedule)
+
+
+class TestFaultProxy:
+    def test_passthrough_round_trip(self):
+        upstream = Upstream(echo=True)
+        try:
+            with FaultProxy(upstream.address) as proxy:
+                with socket.create_connection(proxy.address, timeout=5) as sock:
+                    sock.settimeout(5)
+                    sock.sendall(b"hello")
+                    assert recv_exactly(sock, 5) == b"hello"
+                assert upstream.eof.wait(5)
+                assert proxy.forwarded[(0, "c2s")] == 5
+                assert proxy.forwarded[(0, "s2c")] == 5
+        finally:
+            upstream.close()
+
+    def test_truncate_cuts_at_exact_offset(self):
+        upstream = Upstream()
+        try:
+            faults = [Fault("truncate", 5)]
+            with FaultProxy(upstream.address, faults=faults) as proxy:
+                with socket.create_connection(proxy.address, timeout=5) as sock:
+                    sock.sendall(b"0123456789")
+                    # upstream sees a clean FIN after exactly 5 bytes
+                    assert upstream.eof.wait(5)
+                    assert upstream.received == b"01234"
+                    assert proxy.forwarded[(0, "c2s")] == 5
+        finally:
+            upstream.close()
+
+    def test_rst_resets_the_client(self):
+        upstream = Upstream()
+        try:
+            faults = [Fault("rst", 4)]
+            with FaultProxy(upstream.address, faults=faults) as proxy:
+                with socket.create_connection(proxy.address, timeout=5) as sock:
+                    sock.settimeout(5)
+                    sock.sendall(b"0123456789")
+                    # a reset, not a clean FIN: recv must raise, never
+                    # return b"" (that would be EOF) and never hang
+                    with pytest.raises(OSError):
+                        while True:
+                            if not sock.recv(1024):
+                                raise AssertionError("clean FIN, expected RST")
+                assert proxy.forwarded[(0, "c2s")] == 4
+        finally:
+            upstream.close()
+
+    def test_drop_blackholes_but_keeps_connection(self):
+        upstream = Upstream()
+        try:
+            faults = [Fault("drop", 4)]
+            with FaultProxy(upstream.address, faults=faults) as proxy:
+                with socket.create_connection(proxy.address, timeout=5) as sock:
+                    sock.sendall(b"0123456789")
+                    deadline = time.monotonic() + 5
+                    while (
+                        upstream.received != b"0123"
+                        and time.monotonic() < deadline
+                    ):
+                        time.sleep(0.01)
+                    assert upstream.received == b"0123"
+                    # no FIN, no RST: the peer just goes silent
+                    assert not upstream.eof.wait(0.3)
+                    assert proxy.forwarded[(0, "c2s")] == 4
+        finally:
+            upstream.close()
+
+    def test_delay_pauses_forwarding(self):
+        upstream = Upstream(echo=True)
+        try:
+            faults = [Fault("delay", 3, delay=0.3)]
+            with FaultProxy(upstream.address, faults=faults) as proxy:
+                with socket.create_connection(proxy.address, timeout=5) as sock:
+                    sock.settimeout(5)
+                    start = time.monotonic()
+                    sock.sendall(b"abcdef")
+                    assert recv_exactly(sock, 6) == b"abcdef"
+                    assert time.monotonic() - start >= 0.25
+                assert proxy.forwarded[(0, "c2s")] == 6
+        finally:
+            upstream.close()
+
+    def test_second_connection_faults_independently(self):
+        """Faults select connections by index: connection 0 is reset,
+        connection 1 passes through untouched."""
+        first = Upstream()
+        try:
+            faults = [Fault("rst", 2, connection=0)]
+            with FaultProxy(first.address, faults=faults) as proxy:
+                with socket.create_connection(proxy.address, timeout=5) as doomed:
+                    doomed.settimeout(5)
+                    doomed.sendall(b"0123")
+                    with pytest.raises(OSError):
+                        while True:
+                            if not doomed.recv(1024):
+                                raise AssertionError("clean FIN, expected RST")
+                # the upstream accepts one connection per lifetime, so
+                # a fresh upstream backs the second connection
+                second = Upstream(echo=True)
+                try:
+                    proxy.upstream = second.address
+                    with socket.create_connection(
+                        proxy.address, timeout=5
+                    ) as sock:
+                        sock.settimeout(5)
+                        sock.sendall(b"fine")
+                        assert recv_exactly(sock, 4) == b"fine"
+                    assert proxy.forwarded[(1, "c2s")] == 4
+                finally:
+                    second.close()
+        finally:
+            first.close()

@@ -1,0 +1,309 @@
+"""Cluster scatter-gather differential suite (ISSUE 10 satellite).
+
+The load-bearing property: a :class:`RemoteShardedMatcher` over a
+3-shard :class:`LocalShardCluster` -- reached *through*
+:class:`~tests.serve.chaoss.FaultProxy` interposers -- emits exactly
+what an offline :class:`MultiStreamScanner` over the full unsharded
+ruleset emits, per feed, across 64 interleaved streams, on every
+registered backend.
+
+The failure half: a shard that dies mid-flight (deterministic
+byte-offset RST via FaultProxy, or an outright ``kill_shard``) must
+surface as :class:`ClusterPartialResultError` naming the shard, the
+affected streams, and the matches already delivered -- never a hang,
+never silently dropped matches.
+"""
+
+import pytest
+
+from repro import (
+    ClusterPartialResultError,
+    ClusterSpec,
+    LocalShardCluster,
+    MultiStreamScanner,
+    RemoteShardedMatcher,
+    RulesetMatcher,
+    ShardedMatcher,
+    available_backends,
+)
+from repro.compiler.pipeline import dedupe_rules
+from repro.engine.parallel import shard_rules
+from repro.serve.cluster import parse_endpoint
+from tests.serve.chaoss import Fault, FaultProxy
+from tests.serve.test_server import RULES, offline_events, traffic_for
+
+ENGINES = [info.name for info in available_backends() if info.available]
+
+STREAM_COUNT = 64
+
+
+def interleaved_pairs(streams: int = STREAM_COUNT) -> list[tuple[str, bytes]]:
+    """64 tagged streams, chunks interleaved round-robin across tags --
+    the worst case for per-stream isolation."""
+    per = {f"s{index:02d}": traffic_for(index) for index in range(streams)}
+    longest = max(len(chunks) for chunks in per.values())
+    return [
+        (tag, chunks[round_])
+        for round_ in range(longest)
+        for tag, chunks in per.items()
+        if round_ < len(chunks)
+    ]
+
+
+def remote_events(remote, pairs):
+    """Mirror of :func:`tests.serve.test_server.offline_events` driven
+    through a remote cluster matcher: per-feed emission order AND final
+    per-stream results."""
+    mux = MultiStreamScanner(remote)
+    events: dict[str, list] = {}
+    for tag, chunk in pairs:
+        events.setdefault(tag, [])
+        for match in mux.feed(tag, chunk):
+            events[tag].append((match.rule, match.end))
+    for tag in mux.streams:
+        for match in mux.finish(tag):
+            events[tag].append((match.rule, match.end))
+    return events, mux.results()
+
+
+class _Proxies:
+    """One no-fault FaultProxy in front of every shard address."""
+
+    def __init__(self, addresses, faults_for=None):
+        self.proxies = [
+            FaultProxy(address, faults=(faults_for or {}).get(index, ()))
+            for index, address in enumerate(addresses)
+        ]
+
+    def __enter__(self) -> list[tuple[str, int]]:
+        for proxy in self.proxies:
+            proxy.start()
+        return [proxy.address for proxy in self.proxies]
+
+    def __exit__(self, *exc) -> None:
+        for proxy in self.proxies:
+            proxy.stop()
+
+
+# -- the differential ------------------------------------------------------
+class TestClusterDifferential:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_three_shards_equal_offline_on_64_streams(self, engine):
+        """64 interleaved streams through 3 network shards (behind TCP
+        interposers) == one offline scanner, event for event."""
+        pairs = interleaved_pairs()
+        offline = offline_events(RulesetMatcher(RULES), pairs, engine=engine)
+        offline_results = MultiStreamScanner(
+            RulesetMatcher(RULES), engine=engine
+        ).scan_tagged(pairs)
+
+        with LocalShardCluster(RULES, shards=3, engine=engine) as cluster:
+            with _Proxies(cluster.addresses) as endpoints:
+                with RemoteShardedMatcher(endpoints) as remote:
+                    events, results = remote_events(remote, pairs)
+
+        assert events == offline
+        assert set(results) == set(offline_results)
+        for tag, result in offline_results.items():
+            assert results[tag].bytes_scanned == result.bytes_scanned
+            assert results[tag].matches == result.matches
+
+    def test_remote_equals_in_process_sharded_matcher(self):
+        """Same shard policy, same answers: the network cluster is
+        observationally a ShardedMatcher with a wire in the middle."""
+        data = b"za 1234 abc ..aaab 99 xyz"
+        streams = [b"zabc", b"12345zzz", b"..aaab then xyz"]
+        sharded = ShardedMatcher(RULES, shards=3)
+        with LocalShardCluster(RULES, shards=3) as cluster:
+            with RemoteShardedMatcher(cluster.addresses) as remote:
+                local = sharded.scan(data)
+                over_wire = remote.scan(data)
+                assert over_wire.matches == local.matches
+                assert over_wire.bytes_scanned == local.bytes_scanned
+                assert remote.matched_rules(data) == sharded.matched_rules(data)
+                assert [r.matches for r in remote.scan_many(streams)] == [
+                    r.matches for r in sharded.scan_many(streams)
+                ]
+
+    def test_shard_assignment_is_the_parallel_policy(self):
+        """LocalShardCluster buckets rules exactly like shard_rules over
+        the deduplicated list -- one policy, local or networked."""
+        noisy = [*RULES, ("hit", "abc"), ("hit", "different-pattern")]
+        unique, skipped = dedupe_rules(noisy)
+        cluster = LocalShardCluster(noisy, shards=3)  # never started
+        assert cluster.buckets == shard_rules(unique, 3)
+        assert cluster.duplicate_skipped == skipped
+        assert cluster.rule_count == len(unique)
+
+
+# -- shard failure ---------------------------------------------------------
+class TestShardFailure:
+    def test_mid_flight_rst_yields_partial_result_error(self):
+        """Shard 1's connection is RST mid-way through the second FEED
+        frame (deterministic byte offset).  The second feed must raise
+        ClusterPartialResultError naming shard 1 and stream s1, with the
+        first feed's delivered matches intact."""
+        # wire bytes on shard 1's connection, in order (the first
+        # session on a fresh matcher always claims wire tag "<tag>~1"):
+        wire = "s1~1"
+        first_feed = (
+            len(f"OPEN {wire}\n")
+            + len(f"FEED {wire} 4\n") + 4
+            + len("PING\n")
+        )
+        # cut after the second FEED frame's payload, before its PING:
+        # the first feed has fully round-tripped (feed() awaits the
+        # PONG), the second can never complete
+        cut = first_feed + len(f"FEED {wire} 4\n") + 4
+
+        with LocalShardCluster(RULES, shards=3) as cluster:
+            faults = {1: [Fault("rst", cut)]}
+            with _Proxies(cluster.addresses, faults_for=faults) as endpoints:
+                with RemoteShardedMatcher(endpoints) as remote:
+                    with pytest.raises(ClusterPartialResultError) as excinfo:
+                        with remote.session(stream="s1") as session:
+                            delivered = session.feed(b"zabc")
+                            assert [(m.rule, m.end) for m in delivered] == [
+                                ("hit", 4)
+                            ]
+                            session.feed(b"zabc")  # dies on shard 1
+
+        err = excinfo.value
+        assert err.op == "FEED"
+        assert err.shard == 1
+        assert err.address == endpoints[1]
+        assert "s1" in err.streams
+        # the first feed's matches survive the failure
+        assert [(m.rule, m.end) for m in err.delivered["s1"]] == [("hit", 4)]
+        assert isinstance(err.__cause__, (ConnectionError, OSError))
+        assert [failure[0] for failure in err.failures] == [1]
+
+    def test_killed_shard_yields_partial_result_error(self):
+        """kill_shard (no proxy, no drain) mid-session: same error
+        surface as a network fault."""
+        with LocalShardCluster(RULES, shards=3) as cluster:
+            with RemoteShardedMatcher(cluster.addresses) as remote:
+                session = remote.session(stream="victim")
+                assert [(m.rule, m.end) for m in session.feed(b"zabc")] == [
+                    ("hit", 4)
+                ]
+                cluster.kill_shard(2)
+                with pytest.raises(ClusterPartialResultError) as excinfo:
+                    for _ in range(50):  # the RST may take a beat to land
+                        session.feed(b"12345")
+        err = excinfo.value
+        assert err.shard == 2
+        assert "victim" in err.streams
+        delivered = [(m.rule, m.end) for m in err.delivered["victim"]]
+        assert delivered[0] == ("hit", 4)
+
+    def test_restart_and_reattach_recovers(self):
+        """A restarted shard (new ephemeral port) plus reattach()
+        restores full service for sessions opened afterwards."""
+        with LocalShardCluster(RULES, shards=3) as cluster:
+            with RemoteShardedMatcher(cluster.addresses) as remote:
+                before = remote.scan(b"zabc 123")
+                cluster.kill_shard(0)
+                with pytest.raises(RuntimeError, match="still running"):
+                    cluster.restart_shard(1)
+                address = cluster.restart_shard(0)
+                remote.reattach(0, address=address, retries=5)
+                after = remote.scan(b"zabc 123")
+                assert after.matches == before.matches
+                assert after.bytes_scanned == before.bytes_scanned
+
+
+# -- session semantics -----------------------------------------------------
+class TestClusterSession:
+    def test_session_surface(self):
+        with LocalShardCluster(RULES, shards=2) as cluster:
+            with RemoteShardedMatcher(cluster.addresses) as remote:
+                sunk = []
+                with remote.session(stream="tag", on_match=sunk.append) as s:
+                    new = s.feed(b"zabc")
+                    assert [(m.rule, m.end, m.stream) for m in new] == [
+                        ("hit", 4, "tag")
+                    ]
+                result = s.result()
+                assert result.bytes_scanned == 4
+                assert result.matches == {"hit": [4]}
+                assert [m.rule for m in sunk] == ["hit"]
+                assert len(s.summaries()) == 2
+                assert s.finish() == []  # idempotent
+                with pytest.raises(RuntimeError, match=r"feed\(\) after finish"):
+                    s.feed(b"more")
+
+    def test_end_anchors_gate_until_finish(self):
+        """$-anchored rules fire only at finish(), exactly like offline
+        sessions (the remote CLOSE fans out end-of-data)."""
+        with LocalShardCluster(RULES, shards=3) as cluster:
+            with RemoteShardedMatcher(cluster.addresses) as remote:
+                session = remote.session(stream="anchored")
+                assert session.feed(b"..xyz") == []
+                unlocked = session.finish()
+                assert [(m.rule, m.end) for m in unlocked] == [("tail", 5)]
+
+    def test_summaries_before_finish_raises(self):
+        with LocalShardCluster(RULES, shards=2) as cluster:
+            with RemoteShardedMatcher(cluster.addresses) as remote:
+                session = remote.session()
+                session.feed(b"zabc")
+                with pytest.raises(RuntimeError, match="not finished"):
+                    session.summaries()
+                session.finish()
+                assert len(session.summaries()) == 2
+
+
+# -- construction, spec, stats ---------------------------------------------
+class TestClusterConstruction:
+    def test_empty_shard_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            RemoteShardedMatcher([])
+
+    def test_unreachable_shard_names_itself(self):
+        with pytest.raises(ConnectionError, match=r"cannot attach shard 0"):
+            RemoteShardedMatcher([("127.0.0.1", 1)], retries=0)
+
+    def test_parse_endpoint_rejects_bad_port(self):
+        with pytest.raises(ValueError):
+            parse_endpoint("host:notaport")
+
+    def test_spec_round_trip(self):
+        spec = ClusterSpec.spawn(RULES, shards=2)
+        assert spec.mode == "spawn"
+        with pytest.raises(ValueError, match="connect\\(\\) is for attach"):
+            spec.connect()
+        cluster = spec.start()
+        try:
+            attach = ClusterSpec.attach(
+                [f"{host}:{port}" for host, port in cluster.addresses]
+            )
+            assert attach.mode == "attach"
+            with pytest.raises(ValueError, match="start\\(\\) is for spawn"):
+                attach.start()
+            with attach.connect(retries=2) as remote:
+                assert remote.scan(b"zabc").matches == {"hit": [4]}
+        finally:
+            cluster.stop()
+
+    def test_spawn_rejects_zero_shards(self):
+        with pytest.raises(ValueError, match="shards must be >= 1"):
+            ClusterSpec.spawn(RULES, shards=0)
+
+    def test_attach_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ClusterSpec.attach([])
+
+    def test_stats_span_every_shard(self):
+        with LocalShardCluster(RULES, shards=3) as cluster:
+            with RemoteShardedMatcher(cluster.addresses) as remote:
+                remote.ping()
+                remote.scan(b"zabc")
+                per_shard = remote.shard_stats()
+                assert len(per_shard) == 3
+                merged = remote.stats()
+                assert merged.workers == 3
+                # every shard carried the fanned-out stream
+                assert all(s.streams_total >= 1 for s in per_shard)
+                assert remote.engine == "remote"
+                assert remote.skipped == []

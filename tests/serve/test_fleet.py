@@ -251,8 +251,22 @@ class TestFleetServing:
         assert merged.generation == 1  # min: the floor every worker reached
         assert merged.workers == 2
         assert merged.throughput_bps == pytest.approx(20.0)
-        with pytest.raises(ValueError):
-            merge_server_stats([])
+
+    def test_merge_server_stats_empty_and_one_element(self):
+        # the cluster path folds whatever shard subset responded: zero
+        # snapshots merge to a neutral snapshot, one merges to itself
+        empty = merge_server_stats([])
+        assert empty.workers == 0
+        assert empty.engine == "none"
+        assert empty.bytes_scanned == 0 and empty.uptime_seconds == 0.0
+        assert empty.throughput_bps is None
+        one = ServerStats(engine="auto", bytes_scanned=10, busy_seconds=2.0,
+                          generation=3, worker=1)
+        merged = merge_server_stats([one])
+        assert merged.bytes_scanned == 10
+        assert merged.generation == 3
+        assert merged.worker is None  # merged views never name one worker
+        assert merged.workers == 1
 
     def test_crashed_worker_respawns_within_budget(self):
         with WorkerFleet(

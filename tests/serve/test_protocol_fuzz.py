@@ -1,0 +1,349 @@
+"""Protocol fuzz suite (ISSUE 10 satellite): random noise against both
+ends of the wire protocol.
+
+Three properties, each timeout-guarded so a regression shows up as a
+clean failure, never a hung test run:
+
+* the client's reply demultiplexer (``MatchClient._dispatch``) maps
+  arbitrary server bytes to :class:`ProtocolError` /
+  :class:`ConnectionError` / :class:`ServerError` -- never another
+  exception type, never a wedged dispatcher;
+* however the reply stream is split into TCP reads, pipelined commands
+  resolve with identical results (framing is read-boundary-blind);
+* a real :class:`MatchServer` answers garbage -- unknown verbs,
+  oversized/negative FEED length prefixes, binary noise -- with
+  ``ERR`` and at worst drops that one connection; it keeps serving
+  correct clients afterwards.
+
+And the leak property: closing a client with commands in flight fails
+every pending future (nothing awaits forever on a dead connection).
+"""
+
+import asyncio
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st  # noqa: E402
+
+from repro.matching import RulesetMatcher  # noqa: E402
+from repro.serve import MatchClient, MatchServer, ProtocolError, ServerError  # noqa: E402
+from repro.serve.protocol import MAX_FEED, escape_token  # noqa: E402
+
+RULES = [("hit", r"abc"), ("num", r"[0-9]{3,5}")]
+
+#: one compiled ruleset for every spun-up server in this module
+MATCHER = RulesetMatcher(RULES)
+
+#: exception types the client is ALLOWED to surface on bad input
+ALLOWED = (ProtocolError, ConnectionError, ServerError)
+
+
+def run(coro, timeout=30):
+    """Every property runs under a hang guard: a fuzz case that blocks
+    the loop is a failure, not a stuck CI job."""
+    return asyncio.run(asyncio.wait_for(coro, timeout=timeout))
+
+
+class _FakeWriter:
+    """Just enough StreamWriter surface for MatchClient."""
+
+    def __init__(self):
+        self.data = b""
+
+    def write(self, payload: bytes) -> None:
+        self.data += payload
+
+    async def drain(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    async def wait_closed(self) -> None:
+        pass
+
+    def get_extra_info(self, name, default=None):
+        return default
+
+
+async def make_client() -> tuple[MatchClient, asyncio.StreamReader]:
+    reader = asyncio.StreamReader()
+    client = MatchClient(reader, _FakeWriter())
+    return client, reader
+
+
+# -- strategies ------------------------------------------------------------
+latin1_line = st.binary(max_size=120).map(
+    lambda raw: raw.replace(b"\n", b"?")
+)
+matchish_line = st.builds(
+    lambda tail: b"MATCH " + tail.replace(b"\n", b"?"),
+    st.binary(max_size=80),
+)
+verbish_line = st.builds(
+    lambda verb, tail: verb + b" " + tail.replace(b"\n", b"?"),
+    st.sampled_from([b"OK", b"CLOSED", b"STATS", b"PONG", b"BYE", b"ERR", b"NOPE"]),
+    st.binary(max_size=60),
+)
+noise_lines = st.lists(
+    st.one_of(latin1_line, matchish_line, verbish_line), max_size=12
+)
+
+
+class TestDispatchFuzz:
+    @given(lines=noise_lines)
+    @settings(max_examples=60, deadline=None)
+    def test_dispatch_raises_only_protocol_errors(self, lines):
+        """Arbitrary reply lines either parse or raise an ALLOWED
+        exception type; the dispatcher itself never corrupts state so
+        badly that aclose() can't complete."""
+
+        async def main():
+            client, _ = await make_client()
+            for raw in lines:
+                try:
+                    client._dispatch(raw)
+                except ALLOWED:
+                    pass
+                # anything else (ValueError, KeyError, ...) propagates
+                # and fails the test
+            await client.aclose()
+            assert client._pending == []
+
+        run(main())
+
+    @given(lines=noise_lines)
+    @settings(max_examples=30, deadline=None)
+    def test_demux_with_noise_fails_pending_never_hangs(self, lines):
+        """A pending command on a connection that then receives noise
+        (and EOF) resolves -- with a result or an ALLOWED error --
+        instead of hanging its awaiter."""
+
+        async def main():
+            client, reader = await make_client()
+            ping = asyncio.ensure_future(client.ping())
+            await asyncio.sleep(0)  # let the PING enqueue
+            for raw in lines:
+                reader.feed_data(raw + b"\n")
+            reader.feed_eof()
+            try:
+                await asyncio.wait_for(ping, timeout=5)
+            except asyncio.TimeoutError:
+                raise AssertionError("pending PING hung on noisy input")
+            except ALLOWED:
+                pass
+            await client.aclose()
+            assert all(p.future.done() for p in client._pending)
+
+        run(main())
+
+
+class TestSplitFrames:
+    @given(
+        cuts=st.lists(st.integers(min_value=0, max_value=200), max_size=6),
+        rule=st.text(
+            st.characters(
+                codec="latin-1", blacklist_characters="\x00"
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_any_read_split_parses_identically(self, cuts, rule):
+        """The reply stream split at arbitrary byte boundaries yields
+        the same command results and MATCH events."""
+        wire = (
+            b"OK OPEN s 0\n"
+            b"MATCH s 7 0 " + escape_token(rule).encode("latin-1") + b"\n"
+            b"PONG\n"
+        )
+        positions = sorted({min(cut, len(wire)) for cut in cuts})
+        parts = [
+            wire[start:stop]
+            for start, stop in zip([0, *positions], [*positions, len(wire)])
+            if wire[start:stop]
+        ]
+
+        async def main():
+            client, reader = await make_client()
+            # enqueue BOTH pendings (FIFO: OPEN then PING) before any
+            # reply bytes arrive, else the demuxer sees them as
+            # unsolicited
+            open_task = asyncio.ensure_future(client.open("s"))
+            await asyncio.sleep(0)
+            ping_task = asyncio.ensure_future(client.ping())
+            await asyncio.sleep(0)
+            assert len(client._pending) == 2
+            for part in parts:
+                reader.feed_data(part)
+                await asyncio.sleep(0)
+            await asyncio.wait_for(
+                asyncio.gather(open_task, ping_task), timeout=5
+            )
+            events = list(client._events["s"])
+            await client.aclose()
+            return events
+
+        assert run(main()) == [(rule, 7, 0)]
+
+
+class TestPendingFutureLeaks:
+    def test_aclose_fails_commands_in_flight(self):
+        async def main():
+            client, _ = await make_client()
+            ping = asyncio.ensure_future(client.ping())
+            await asyncio.sleep(0)
+            await client.aclose()
+            with pytest.raises(ConnectionError):
+                await asyncio.wait_for(ping, timeout=5)
+
+        run(main())
+
+    def test_eof_fails_commands_in_flight(self):
+        async def main():
+            client, reader = await make_client()
+            ping = asyncio.ensure_future(client.ping())
+            await asyncio.sleep(0)
+            reader.feed_eof()
+            with pytest.raises(ConnectionError):
+                await asyncio.wait_for(ping, timeout=5)
+            await client.aclose()
+
+        run(main())
+
+
+# -- the real server under fire -------------------------------------------
+server_noise = st.one_of(
+    st.binary(min_size=1, max_size=200).map(lambda b: b.replace(b"\n", b"?") + b"\n"),
+    st.builds(
+        lambda n: f"FEED s {n}\n".encode(),
+        st.integers(min_value=MAX_FEED + 1, max_value=10**12),
+    ),
+    st.builds(
+        lambda n: f"FEED s {n}\n".encode(),
+        st.integers(min_value=-(10**9), max_value=-1),
+    ),
+    st.sampled_from(
+        [
+            b"NOPE\n",
+            b"OPEN\n",
+            b"OPEN a b c\n",
+            b"FEED s notanumber\n",
+            b"FEED s 9999999999\n",
+            b"X" * 8192 + b"\n",  # way past MAX_LINE
+            b"OPEN \x01\n",
+        ]
+    ),
+)
+
+
+async def feed_noise_then_probe(noise: bytes):
+    """Throw one noise blob at a fresh connection; assert the server
+    answers ERR or hangs up, then still serves a clean client."""
+    async with MatchServer(MATCHER, port=0) as server:
+        reader, writer = await asyncio.open_connection(port=server.port)
+        writer.write(noise)
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # server already reset us mid-write: acceptable
+        # the connection must resolve: ERR line(s), then EOF (framing
+        # errors drop the connection) -- or survive an app-level ERR,
+        # in which case QUIT completes the read-to-EOF quickly
+        writer.write(b"QUIT\n")
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        replied = await asyncio.wait_for(reader.read(), timeout=10)
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+        # the server is not wedged: a clean client still gets answers
+        client = await MatchClient.connect(port=server.port)
+        await client.open("ok")
+        await client.feed("ok", b"zabc")
+        summary = await client.close_stream("ok")
+        await client.quit()
+        assert summary.bytes_scanned == 4
+        assert [(m.rule, m.end) for m in client.matches["ok"]] == [("hit", 4)]
+        return replied
+
+
+class TestServerUnderFuzz:
+    @given(noise=server_noise)
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_noise_gets_err_and_server_survives(self, noise):
+        replied = run(feed_noise_then_probe(noise), timeout=60)
+        # every rejected connection saw an explicit ERR or BYE before
+        # EOF unless the server reset it outright mid-write
+        assert replied == b"" or b"ERR" in replied or b"BYE" in replied
+
+    def test_oversized_feed_prefix_is_rejected_not_buffered(self):
+        """`FEED s 9999999999` must be refused from the length prefix
+        alone -- the server must not try to buffer 10 GB."""
+
+        async def main():
+            async with MatchServer(MATCHER, port=0) as server:
+                reader, writer = await asyncio.open_connection(port=server.port)
+                writer.write(b"OPEN s\nFEED s 9999999999\n")
+                await writer.drain()
+                replied = await asyncio.wait_for(reader.read(), timeout=10)
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+                return replied
+
+        replied = run(main())
+        assert b"ERR" in replied
+        assert b"FEED" in replied
+
+    def test_split_frames_across_tcp_segments_still_served(self):
+        """A FEED frame dribbled one byte at a time is identical to one
+        sent whole (framing is read-boundary-blind server-side too)."""
+
+        async def main():
+            async with MatchServer(MATCHER, port=0) as server:
+                reader, writer = await asyncio.open_connection(port=server.port)
+                wire = b"OPEN s\nFEED s 4\nzabcCLOSE s\nQUIT\n"
+                for index in range(len(wire)):
+                    writer.write(wire[index : index + 1])
+                    await writer.drain()
+                replied = await asyncio.wait_for(reader.read(), timeout=10)
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+                return replied
+
+        replied = run(main())
+        assert b"MATCH s 4 0 hit\n" in replied
+        assert b"CLOSED s 4 1" in replied
+
+    def test_client_rejects_malformed_match_line(self):
+        """The client side of the same property: a corrupted MATCH line
+        surfaces as ProtocolError, not a bare ValueError."""
+
+        async def main():
+            client, reader = await make_client()
+            ping = asyncio.ensure_future(client.ping())
+            await asyncio.sleep(0)
+            reader.feed_data(b"MATCH s notanint 0 rule\n")
+            with pytest.raises((ProtocolError, ConnectionError)):
+                await asyncio.wait_for(ping, timeout=5)
+            assert isinstance(client._error, ProtocolError)
+            await client.aclose()
+
+        run(main())

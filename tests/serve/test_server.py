@@ -188,18 +188,34 @@ class TestConcurrentConnections:
             assert served == offline_events(matcher, per_client[i]), i
 
     def test_mid_stream_disconnect_leaves_others_intact(self):
+        """The casualty dies by injected RST at an exact wire offset
+        (the chaos layer), not by aborting its own transport: the
+        server sees a peer reset exactly as if the client crashed."""
+        from tests.serve.chaoss import Fault, FaultProxy
+
         matcher = RulesetMatcher(RULES)
         survivor_pairs = [("ok", chunk) for chunk in CHUNKS]
+        # the reset lands exactly at the end of the casualty's SECOND
+        # feed: the first OPEN/FEED/PING round-trip completes cleanly
+        # (forwarded bytes stay below the offset), then the next FEED
+        # frame trips the fault the moment its last byte passes
+        sent = len(b"OPEN dying\n") + len(b"FEED dying 2\n") + 2 + len(b"PING\n")
+        sent += len(b"FEED dying 1\n") + 1
 
         async def main():
             async with MatchServer(matcher, port=0) as server:
-                # the casualty: opens a stream, feeds half a match, dies
-                casualty = await MatchClient.connect(port=server.port)
-                await casualty.open("dying")
-                await casualty.feed("dying", b"ab")
-                await casualty.ping()
-                casualty._writer.transport.abort()  # hard RST, no CLOSE
-                await casualty.aclose()
+                with FaultProxy(
+                    ("127.0.0.1", server.port), faults=[Fault("rst", sent)]
+                ) as proxy:
+                    # the casualty: opens a stream, feeds half a match, dies
+                    casualty = await MatchClient.connect(port=proxy.port)
+                    await casualty.open("dying")
+                    await casualty.feed("dying", b"ab")
+                    await casualty.ping()
+                    with pytest.raises((ConnectionError, OSError)):
+                        await casualty.feed("dying", b"c")  # trips the RST
+                        await casualty.ping()
+                    await casualty.aclose()
 
                 # the survivor keeps streaming, before and after the RST
                 survivor = await MatchClient.connect(port=server.port)

@@ -56,6 +56,7 @@ DOCTESTED_MODULES = [
     "repro.matching",
     "repro.serve.protocol",
     "repro.serve.stats",
+    "repro.serve.cluster",
     "repro.engine.parallel",
     "repro.engine.scanner",
     "repro.engine.tables",

@@ -18,6 +18,7 @@ from repro import (
     MultiStreamScanner,
     PatternMatcher,
     QueueSink,
+    RemoteShardedMatcher,
     RulesetMatcher,
     ServerStats,
     ShardedMatcher,
@@ -63,6 +64,9 @@ EXPECTED_ALL = sorted(
         # serving subsystem
         "MatchServer", "MatcherHandle", "MatchClient", "ServerStats",
         "WorkerFleet", "merge_server_stats", "scan_tagged_remote",
+        # cluster scatter-gather
+        "RemoteShardedMatcher", "LocalShardCluster", "ClusterSpec",
+        "ClusterPartialResultError",
     ]
 )
 
@@ -116,6 +120,7 @@ class TestSessionProtocolSignatures:
         ):
             assert hasattr(RulesetMatcher, member), member
             assert hasattr(ShardedMatcher, member), member
+            assert hasattr(RemoteShardedMatcher, member), member
             assert hasattr(Matcher, member), member
 
     def test_multistream_methods(self):
